@@ -1,0 +1,217 @@
+//! Estimation and policy plumbing shared by client and server apps.
+//!
+//! A [`PolicyDriver`] is what an endpoint runs on its periodic tick: it
+//! snapshots the socket's local queues, pairs them with the peer's latest
+//! exchange, updates an [`E2eEstimator`], records the estimate series (the
+//! "estimated" curves of Figure 4), and — when a toggler is attached —
+//! actuates the socket's dynamic-Nagle switch.
+
+use batchpolicy::{AimdBatchLimit, EpsilonGreedy, TickController};
+use e2e_core::combine::EndpointSnapshots;
+use e2e_core::hints::{HintEstimate, HintEstimator};
+use e2e_core::{E2eEstimator, Estimate};
+use littles::wire::WireScale;
+use littles::Nanos;
+use serde::{Deserialize, Serialize};
+use tcpsim::{HostCtx, SocketId, Unit};
+
+/// One recorded estimate sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimateSample {
+    /// Sample time.
+    pub at: Nanos,
+    /// The estimate.
+    pub estimate: Estimate,
+}
+
+/// Per-unit estimate recording (no actuation).
+///
+/// The series grows by one sample per tick for the lifetime of the run;
+/// it is intended for bounded experiment windows. Long-lived deployments
+/// should drain or cap `series` periodically.
+#[derive(Debug)]
+pub struct EstimateRecorder {
+    /// The message unit this recorder estimates in.
+    pub unit: Unit,
+    estimator: E2eEstimator,
+    /// The recorded series.
+    pub series: Vec<EstimateSample>,
+}
+
+impl EstimateRecorder {
+    /// Creates a recorder for one unit.
+    pub fn new(unit: Unit) -> Self {
+        EstimateRecorder {
+            unit,
+            estimator: E2eEstimator::new(WireScale::default(), 1.0),
+            series: Vec::new(),
+        }
+    }
+
+    /// Runs one tick against `sock`.
+    pub fn tick(&mut self, ctx: &HostCtx<'_>, sock: SocketId) {
+        let now = ctx.now();
+        let snaps = ctx.socket(sock).local_snapshots(now, self.unit);
+        let local = EndpointSnapshots {
+            unacked: snaps.unacked,
+            unread: snaps.unread,
+            ackdelay: snaps.ackdelay,
+        };
+        let remote = ctx.socket(sock).remote().unit(self.unit).cur;
+        if let Some(estimate) = self.estimator.update(now, local, remote) {
+            self.series.push(EstimateSample { at: now, estimate });
+        }
+    }
+
+    /// Mean estimated latency over samples taken in `[from, to)`.
+    pub fn mean_latency_in(&self, from: Nanos, to: Nanos) -> Option<Nanos> {
+        let mut sum = 0u128;
+        let mut n = 0u64;
+        for s in &self.series {
+            if s.at >= from && s.at < to {
+                sum += s.estimate.latency.as_nanos() as u128;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| Nanos::from_nanos((sum / n as u128) as u64))
+    }
+
+    /// Mean estimated throughput over samples in `[from, to)`.
+    pub fn mean_throughput_in(&self, from: Nanos, to: Nanos) -> Option<f64> {
+        let samples: Vec<f64> = self
+            .series
+            .iter()
+            .filter(|s| s.at >= from && s.at < to)
+            .map(|s| s.estimate.throughput)
+            .collect();
+        (!samples.is_empty()).then(|| samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// Hint-based estimate recording (server side of §3.3).
+#[derive(Debug, Default)]
+pub struct HintRecorder {
+    estimator: HintEstimator,
+    /// The recorded series.
+    pub series: Vec<(Nanos, HintEstimate)>,
+}
+
+impl HintRecorder {
+    /// Creates a recorder.
+    pub fn new() -> Self {
+        HintRecorder {
+            estimator: HintEstimator::new(WireScale::default()),
+            series: Vec::new(),
+        }
+    }
+
+    /// Runs one tick against `sock`, consuming the latest forwarded hint.
+    pub fn tick(&mut self, ctx: &HostCtx<'_>, sock: SocketId) {
+        if let Some(hint) = ctx.socket(sock).remote().hint.cur {
+            if let Some(est) = self.estimator.update(hint) {
+                self.series.push((ctx.now(), est));
+            }
+        }
+    }
+
+    /// Mean hint-estimated latency over `[from, to)`.
+    pub fn mean_latency_in(&self, from: Nanos, to: Nanos) -> Option<Nanos> {
+        let vals: Vec<u64> = self
+            .series
+            .iter()
+            .filter(|(at, e)| *at >= from && *at < to && e.latency.is_some())
+            .map(|(_, e)| e.latency.expect("filtered").as_nanos())
+            .collect();
+        (!vals.is_empty())
+            .then(|| Nanos::from_nanos(vals.iter().sum::<u64>() / vals.len() as u64))
+    }
+}
+
+/// Estimation plus AIMD actuation: drives the socket's gradual batch
+/// limit (paper §5, "Better Batching Heuristics") instead of a binary
+/// Nagle switch.
+#[derive(Debug)]
+pub struct AimdDriver {
+    /// The estimate source.
+    pub recorder: EstimateRecorder,
+    controller: AimdBatchLimit,
+    /// Recorded (time, limit) trajectory.
+    pub limits: Vec<(Nanos, u64)>,
+}
+
+impl AimdDriver {
+    /// Creates a driver estimating in `unit` with the given controller.
+    pub fn new(unit: Unit, controller: AimdBatchLimit) -> Self {
+        AimdDriver {
+            recorder: EstimateRecorder::new(unit),
+            controller,
+            limits: Vec::new(),
+        }
+    }
+
+    /// Runs one tick: estimate, adapt the limit, actuate.
+    pub fn tick(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId) {
+        self.recorder.tick(ctx, sock);
+        if let Some(sample) = self.recorder.series.last().copied() {
+            let limit = self.controller.update(&sample.estimate);
+            self.limits.push((ctx.now(), limit));
+            ctx.set_batch_limit(sock, Some(limit as usize));
+        }
+    }
+
+    /// The most recently applied limit.
+    pub fn current_limit(&self) -> Option<u64> {
+        self.limits.last().map(|(_, l)| *l)
+    }
+
+    /// Mean limit over the recorded trajectory in `[from, to)`.
+    pub fn mean_limit_in(&self, from: Nanos, to: Nanos) -> Option<f64> {
+        let vals: Vec<u64> = self
+            .limits
+            .iter()
+            .filter(|(at, _)| *at >= from && *at < to)
+            .map(|(_, l)| *l)
+            .collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<u64>() as f64 / vals.len() as f64)
+    }
+}
+
+/// Estimation plus actuation: drives the socket's dynamic-Nagle switch.
+#[derive(Debug)]
+pub struct PolicyDriver {
+    /// The estimate source.
+    pub recorder: EstimateRecorder,
+    controller: TickController<EpsilonGreedy>,
+    /// Recorded toggle decisions (time, batching-on).
+    pub toggles: Vec<(Nanos, bool)>,
+}
+
+impl PolicyDriver {
+    /// Creates a driver estimating in `unit` and deciding with the given
+    /// ε-greedy controller.
+    pub fn new(unit: Unit, controller: TickController<EpsilonGreedy>) -> Self {
+        PolicyDriver {
+            recorder: EstimateRecorder::new(unit),
+            controller,
+            toggles: Vec::new(),
+        }
+    }
+
+    /// Runs one tick: estimate, decide, actuate.
+    pub fn tick(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId) {
+        self.recorder.tick(ctx, sock);
+        if let Some(sample) = self.recorder.series.last().copied() {
+            let on = self.controller.offer(ctx.now(), &sample.estimate);
+            self.toggles.push((ctx.now(), on));
+            ctx.set_nagle(sock, on);
+        }
+    }
+
+    /// Fraction of ticks with batching on.
+    pub fn on_fraction(&self) -> f64 {
+        if self.toggles.is_empty() {
+            return 0.0;
+        }
+        self.toggles.iter().filter(|(_, on)| *on).count() as f64 / self.toggles.len() as f64
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's figures as runnable experiments.
+//!
+//! Each function regenerates one figure's data on the simulated testbed
+//! and returns a serializable structure the examples and benches print.
+//! See EXPERIMENTS.md for the paper-vs-measured comparison.
+
+use batchpolicy::{figure1_model, BatchOutcome, Figure1Params, Objective};
+use littles::Nanos;
+use serde::{Deserialize, Serialize};
+
+use crate::runner::{run_point, NagleSetting, PointResult, RunConfig};
+use crate::sweep::{run_sweep, SweepResult};
+use crate::workload::WorkloadSpec;
+use crate::cost::CostProfile;
+
+/// The paper's 500 µs latency SLO.
+pub const PAPER_SLO: Nanos = Nanos::from_micros(500);
+
+/// Figure 1: the analytical model for c ∈ {1, 3, 5} (and a few more).
+pub fn figure1() -> Vec<BatchOutcome> {
+    (0..=6)
+        .map(|c| figure1_model(Figure1Params::paper(c as f64)))
+        .collect()
+}
+
+/// One cell of Figure 2: a fixed-load run on one client platform with one
+/// Nagle setting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure2Cell {
+    /// Human-readable platform label.
+    pub platform: String,
+    /// Whether Nagle was on.
+    pub nagle_on: bool,
+    /// The run's results.
+    pub result: PointResult,
+}
+
+/// Figure 2: bare-metal vs. VM client at a fixed 20 kRPS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure2Data {
+    /// The four cells: (bare, off), (bare, on), (vm, off), (vm, on).
+    pub cells: Vec<Figure2Cell>,
+}
+
+impl Figure2Data {
+    fn cell(&self, platform: &str, nagle_on: bool) -> &PointResult {
+        &self
+            .cells
+            .iter()
+            .find(|c| c.platform == platform && c.nagle_on == nagle_on)
+            .expect("cell exists")
+            .result
+    }
+
+    /// (a) Client CPU: VM vs. bare metal (no-Nagle runs).
+    pub fn client_cpu_ratio(&self) -> f64 {
+        let total = |r: &PointResult| r.client_cpu.app + r.client_cpu.softirq;
+        total(self.cell("vm", false)) / total(self.cell("bare", false))
+    }
+
+    /// (b) Server CPU: VM vs. bare metal (should be ≈ 1).
+    pub fn server_cpu_ratio(&self) -> f64 {
+        let total = |r: &PointResult| r.server_cpu.app + r.server_cpu.softirq;
+        total(self.cell("vm", false)) / total(self.cell("bare", false))
+    }
+
+    /// (c) Does Nagle help (lower measured latency) on each platform?
+    pub fn nagle_helps(&self, platform: &str) -> bool {
+        let on = self.cell(platform, true).measured_mean;
+        let off = self.cell(platform, false).measured_mean;
+        match (on, off) {
+            (Some(on), Some(off)) => on < off,
+            _ => false,
+        }
+    }
+}
+
+/// Runs Figure 2: the same fixed-rate workload with the client on "bare
+/// metal" and "in a VM" (application CPU multiplier), Nagle on and off.
+pub fn figure2(rate_rps: f64, warmup: Nanos, measure: Nanos, seed: u64) -> Figure2Data {
+    let mut cells = Vec::new();
+    for (platform, profile) in [
+        ("bare", CostProfile::fig2_bare()),
+        ("vm", CostProfile::vm_client()),
+    ] {
+        for nagle_on in [false, true] {
+            let cfg = RunConfig {
+                workload: WorkloadSpec::fig2(rate_rps, 4096),
+                profile,
+                nagle: if nagle_on {
+                    NagleSetting::On
+                } else {
+                    NagleSetting::Off
+                },
+                use_hints: true,
+                warmup,
+                measure,
+                seed,
+                overrides: crate::runner::Overrides::default(),
+            };
+            cells.push(Figure2Cell {
+                platform: platform.to_string(),
+                nagle_on,
+                result: run_point(&cfg),
+            });
+        }
+    }
+    Figure2Data { cells }
+}
+
+/// Figure 4 data: the sweep plus the derived headline quantities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure4Data {
+    /// Which variant ("4a" or "4b").
+    pub variant: String,
+    /// The full sweep.
+    pub sweep: SweepResult,
+    /// The SLO used.
+    pub slo: Nanos,
+    /// Highest SLO-compliant rate with Nagle off.
+    pub sustainable_off: Option<f64>,
+    /// Highest SLO-compliant rate with Nagle on.
+    pub sustainable_on: Option<f64>,
+    /// Range-extension factor (paper 4a: ≈ 1.93×).
+    pub extension_factor: Option<f64>,
+    /// Measured cutoff rate (where Nagle starts winning).
+    pub cutoff_measured: Option<f64>,
+    /// Byte-estimate cutoff rate (4a: coincides; 4b: does not).
+    pub cutoff_estimated: Option<f64>,
+}
+
+fn figure4(
+    variant: &str,
+    rates: &[f64],
+    spec_at: impl Fn(f64) -> WorkloadSpec,
+    warmup: Nanos,
+    measure: Nanos,
+    seed: u64,
+) -> Figure4Data {
+    let base = RunConfig {
+        warmup,
+        measure,
+        seed,
+        ..RunConfig::new(spec_at(rates[0]), NagleSetting::Off)
+    };
+    let sweep = run_sweep(rates, spec_at, &base, false);
+    let sustainable_off = sweep.sustainable_rate(PAPER_SLO, |r| &r.off);
+    let sustainable_on = sweep.sustainable_rate(PAPER_SLO, |r| &r.on);
+    let extension_factor = match (sustainable_off, sustainable_on) {
+        (Some(off), Some(on)) if off > 0.0 => Some(on / off),
+        _ => None,
+    };
+    Figure4Data {
+        variant: variant.to_string(),
+        cutoff_measured: sweep.cutoff_rate(),
+        cutoff_estimated: sweep.estimated_cutoff_rate(),
+        sweep,
+        slo: PAPER_SLO,
+        sustainable_off,
+        sustainable_on,
+        extension_factor,
+    }
+}
+
+/// The default rate grid for Figure 4 sweeps (requests/second), spanning
+/// from well below the measured cutoff (~75 kRPS) past both knees
+/// (no-Nagle ≈ 88 kRPS, Nagle ≈ 115 kRPS with the calibrated profile).
+pub fn default_rates() -> Vec<f64> {
+    vec![
+        5_000.0, 10_000.0, 20_000.0, 30_000.0, 40_000.0, 50_000.0, 60_000.0, 65_000.0, 70_000.0,
+        75_000.0, 80_000.0, 85_000.0, 88_000.0, 95_000.0, 105_000.0, 115_000.0,
+    ]
+}
+
+/// Figure 4a: SET-only, 16 B keys, 16 KiB values.
+pub fn figure4a(rates: &[f64], warmup: Nanos, measure: Nanos, seed: u64) -> Figure4Data {
+    figure4("4a", rates, WorkloadSpec::fig4a, warmup, measure, seed)
+}
+
+/// Figure 4b: SET:GET = 95:5 — the byte-unit estimate degrades.
+pub fn figure4b(rates: &[f64], warmup: Nanos, measure: Nanos, seed: u64) -> Figure4Data {
+    figure4("4b", rates, WorkloadSpec::fig4b, warmup, measure, seed)
+}
+
+/// The §5 dynamic-toggling experiment: off vs. on vs. ε-greedy dynamic at
+/// each rate.
+pub fn dynamic_toggle(rates: &[f64], warmup: Nanos, measure: Nanos, seed: u64) -> SweepResult {
+    let base = RunConfig {
+        warmup,
+        measure,
+        seed,
+        nagle: NagleSetting::Dynamic {
+            objective: Objective::MinLatency,
+        },
+        ..RunConfig::new(WorkloadSpec::fig4a(rates[0]), NagleSetting::Off)
+    };
+    run_sweep(rates, WorkloadSpec::fig4a, &base, true)
+}

@@ -1,0 +1,124 @@
+//! The in-memory key-value store behind the Redis-like server.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use crate::resp::{Command, Response};
+
+/// A trivially simple hash-map KV store.
+#[derive(Debug, Default)]
+pub struct KvStore {
+    map: HashMap<Bytes, Bytes>,
+    sets: u64,
+    gets: u64,
+    hits: u64,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes one command, producing its response.
+    pub fn execute(&mut self, cmd: Command) -> Response {
+        match cmd {
+            Command::Set { key, value } => {
+                self.sets += 1;
+                self.map.insert(key, value);
+                Response::Ok
+            }
+            Command::Get { key } => {
+                self.gets += 1;
+                match self.map.get(&key) {
+                    Some(v) => {
+                        self.hits += 1;
+                        Response::Value(v.clone())
+                    }
+                    None => Response::Nil,
+                }
+            }
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// SETs executed.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// GETs executed.
+    pub fn gets(&self) -> u64 {
+        self.gets
+    }
+
+    /// GET hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_then_get_hits() {
+        let mut kv = KvStore::new();
+        assert_eq!(
+            kv.execute(Command::Set {
+                key: Bytes::from_static(b"a"),
+                value: Bytes::from_static(b"1"),
+            }),
+            Response::Ok
+        );
+        assert_eq!(
+            kv.execute(Command::Get {
+                key: Bytes::from_static(b"a")
+            }),
+            Response::Value(Bytes::from_static(b"1"))
+        );
+        assert_eq!(kv.hits(), 1);
+    }
+
+    #[test]
+    fn get_missing_is_nil() {
+        let mut kv = KvStore::new();
+        assert_eq!(
+            kv.execute(Command::Get {
+                key: Bytes::from_static(b"nope")
+            }),
+            Response::Nil
+        );
+        assert_eq!(kv.gets(), 1);
+        assert_eq!(kv.hits(), 0);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut kv = KvStore::new();
+        for v in [b"1".as_ref(), b"2".as_ref()] {
+            kv.execute(Command::Set {
+                key: Bytes::from_static(b"k"),
+                value: Bytes::copy_from_slice(v),
+            });
+        }
+        assert_eq!(kv.len(), 1);
+        assert_eq!(
+            kv.execute(Command::Get {
+                key: Bytes::from_static(b"k")
+            }),
+            Response::Value(Bytes::from_static(b"2"))
+        );
+    }
+}

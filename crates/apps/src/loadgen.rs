@@ -1,0 +1,307 @@
+//! The Lancet-like open-loop load generator.
+//!
+//! Requests arrive by a Poisson process at the offered rate, independent
+//! of completions (open loop — the latency explosion near saturation is
+//! visible, unlike closed-loop generators that self-throttle). Each
+//! request's latency is measured from its arrival (generation) time to the
+//! moment the client application *finishes processing* its response,
+//! matching the end-to-end definition of the paper's Figure 1.
+//!
+//! The client also runs the measurement machinery under study:
+//!
+//! * a [`RequestTracker`] (`create`/`complete`) — the application-level
+//!   ground truth, optionally forwarded to the server as hints;
+//! * per-unit [`EstimateRecorder`]s — the byte/packet/message Little's-law
+//!   estimates of §3.2 (the "estimated" curves of Figure 4);
+//! * optionally a [`PolicyDriver`] toggling Nagle dynamically.
+
+use std::collections::VecDeque;
+
+use e2e_core::RequestTracker;
+use littles::{Nanos, Snapshot};
+use simnet::Histogram;
+use tcpsim::{App, HostCtx, SocketId, TcpConfig, WakeReason};
+
+use crate::cost::AppCosts;
+use crate::driver::{AimdDriver, EstimateRecorder, PolicyDriver};
+use crate::resp::{encode_get, encode_set, Response, ResponseParser};
+use crate::workload::WorkloadSpec;
+
+const TOKEN_KIND_SHIFT: u32 = 32;
+const KIND_ARRIVAL: u64 = 1;
+const KIND_PROCESS: u64 = 2;
+const KIND_TICK: u64 = 3;
+const KIND_FLUSH: u64 = 4;
+
+fn token(kind: u64) -> u64 {
+    kind << TOKEN_KIND_SHIFT
+}
+
+/// The load-generator application.
+pub struct LancetClient {
+    spec: WorkloadSpec,
+    costs: AppCosts,
+    config: TcpConfig,
+    warmup_end: Nanos,
+    measure_end: Nanos,
+    tick_period: Nanos,
+    use_hints: bool,
+
+    /// The connection (after `Connected`).
+    pub sock: Option<SocketId>,
+    parser: ResponseParser,
+    /// In-flight requests: (arrival time, is_set), FIFO (RESP responses
+    /// arrive in order).
+    pending: VecDeque<(Nanos, bool)>,
+    backlog: VecDeque<Vec<u8>>,
+    call_pending: bool,
+    flush_pending: bool,
+    key_counter: u64,
+
+    /// Measured latency over the measurement window.
+    pub hist: Histogram,
+    /// Application-level request tracker (ground truth / hints source).
+    pub tracker: RequestTracker,
+    tracker_at_warmup: Option<Snapshot>,
+    tracker_at_end: Option<Snapshot>,
+    /// Little's-law estimate recorders (one per unit under study).
+    pub recorders: Vec<EstimateRecorder>,
+    /// Optional dynamic-Nagle policy.
+    pub policy: Option<PolicyDriver>,
+    /// Optional §5 AIMD batch-limit policy.
+    pub aimd: Option<AimdDriver>,
+
+    /// Requests issued.
+    pub sent: u64,
+    /// Responses fully processed.
+    pub completed: u64,
+    /// Responses (for requests issued inside the window) fully processed.
+    pub completed_in_window: u64,
+}
+
+impl LancetClient {
+    /// Creates a load generator.
+    pub fn new(
+        spec: WorkloadSpec,
+        costs: AppCosts,
+        config: TcpConfig,
+        warmup_end: Nanos,
+        measure_end: Nanos,
+    ) -> Self {
+        assert!(warmup_end < measure_end, "warmup must precede measurement");
+        LancetClient {
+            spec,
+            costs,
+            config,
+            warmup_end,
+            measure_end,
+            tick_period: Nanos::from_micros(500),
+            use_hints: false,
+            sock: None,
+            parser: ResponseParser::new(),
+            pending: VecDeque::new(),
+            backlog: VecDeque::new(),
+            call_pending: false,
+            flush_pending: false,
+            key_counter: 0,
+            hist: Histogram::new(),
+            tracker: RequestTracker::new(Nanos::ZERO),
+            tracker_at_warmup: None,
+            tracker_at_end: None,
+            recorders: Vec::new(),
+            policy: None,
+            aimd: None,
+            sent: 0,
+            completed: 0,
+            completed_in_window: 0,
+        }
+    }
+
+    /// Forwards the tracker's queue state to the server as hints (§3.3).
+    pub fn with_hints(mut self) -> Self {
+        self.use_hints = true;
+        self
+    }
+
+    /// Adds a Little's-law estimate recorder for a unit.
+    pub fn with_recorder(mut self, recorder: EstimateRecorder) -> Self {
+        self.recorders.push(recorder);
+        self
+    }
+
+    /// Attaches a dynamic-Nagle policy (requires `NagleMode::Dynamic`).
+    pub fn with_policy(mut self, policy: PolicyDriver) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Attaches a §5 AIMD batch-limit policy (used with `NagleMode::Off`;
+    /// the limit gate replaces Nagle).
+    pub fn with_aimd(mut self, aimd: AimdDriver) -> Self {
+        self.aimd = Some(aimd);
+        self
+    }
+
+    /// The measurement window.
+    pub fn window(&self) -> (Nanos, Nanos) {
+        (self.warmup_end, self.measure_end)
+    }
+
+    /// Achieved goodput over the measurement window, responses/second.
+    pub fn achieved_rps(&self) -> f64 {
+        let window = self.measure_end - self.warmup_end;
+        self.completed_in_window as f64 / window.as_secs_f64()
+    }
+
+    /// Application-level (tracker) averages over the measurement window —
+    /// the ground truth the §3.3 hints convey.
+    pub fn tracker_averages(&self) -> Option<littles::Averages> {
+        let a = self.tracker_at_warmup?;
+        let b = self.tracker_at_end?;
+        b.averages_since(&a)
+    }
+
+    fn next_wire(&mut self, ctx: &mut HostCtx<'_>) -> (Vec<u8>, bool) {
+        let is_set = self.spec.set_ratio >= 1.0 || ctx.rng.next_f64() < self.spec.set_ratio;
+        let key_idx = self.key_counter % self.spec.key_space as u64;
+        self.key_counter += 1;
+        let key = format!("key:{key_idx:012}");
+        debug_assert_eq!(key.len(), self.spec.key_size);
+        if is_set {
+            let mut value = vec![0u8; self.spec.value_size];
+            // Cheap deterministic fill (contents are irrelevant, but
+            // non-constant data keeps accidental compression-like
+            // shortcuts impossible).
+            let n = 8.min(value.len());
+            ctx.rng.fill_bytes(&mut value[..n]);
+            (encode_set(key.as_bytes(), &value), true)
+        } else {
+            (encode_get(key.as_bytes()), false)
+        }
+    }
+
+    fn arrival(&mut self, ctx: &mut HostCtx<'_>) {
+        let now = ctx.now();
+        let sock = self.sock.expect("connected");
+        let (wire, is_set) = self.next_wire(ctx);
+        self.tracker.create(now, 1);
+        ctx.charge_app(self.costs.client_request(wire.len()));
+        if self.backlog.is_empty() {
+            let accepted = if self.use_hints {
+                let hint = self.tracker.snapshot(now);
+                ctx.send_with_hint(sock, &wire, hint)
+            } else {
+                ctx.send(sock, &wire)
+            };
+            if accepted < wire.len() {
+                self.backlog.push_back(wire[accepted..].to_vec());
+            }
+        } else {
+            self.backlog.push_back(wire);
+        }
+        self.pending.push_back((now, is_set));
+        self.sent += 1;
+        // Self-perpetuating Poisson arrivals.
+        let gap = ctx.rng.exp_duration(self.spec.mean_interarrival());
+        ctx.call_after(gap, token(KIND_ARRIVAL));
+    }
+
+    fn process(&mut self, ctx: &mut HostCtx<'_>) {
+        self.call_pending = false;
+        let now = ctx.now();
+        let sock = self.sock.expect("connected");
+        let (data, _) = ctx.recv(sock, usize::MAX);
+        self.parser.feed(&data);
+        while let Some(resp) = self.parser.next_response() {
+            let payload = match &resp {
+                Response::Value(v) => v.len(),
+                Response::Ok | Response::Nil => 0,
+            };
+            let done = ctx.charge_app(self.costs.client_response(payload));
+            let (sent_at, _is_set) = self
+                .pending
+                .pop_front()
+                .expect("response without a pending request");
+            self.completed += 1;
+            self.tracker.complete(now, 1);
+            if sent_at >= self.warmup_end && sent_at < self.measure_end {
+                self.hist.record(done.saturating_sub(sent_at));
+                self.completed_in_window += 1;
+            }
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut HostCtx<'_>) {
+        let now = ctx.now();
+        if now >= self.warmup_end && self.tracker_at_warmup.is_none() {
+            self.tracker_at_warmup = Some(self.tracker.snapshot(now));
+        }
+        if now >= self.measure_end && self.tracker_at_end.is_none() {
+            self.tracker_at_end = Some(self.tracker.snapshot(now));
+        }
+        if let Some(sock) = self.sock {
+            for rec in &mut self.recorders {
+                rec.tick(ctx, sock);
+            }
+            if let Some(policy) = self.policy.as_mut() {
+                policy.tick(ctx, sock);
+            }
+            if let Some(aimd) = self.aimd.as_mut() {
+                aimd.tick(ctx, sock);
+            }
+        }
+        ctx.call_after(self.tick_period, token(KIND_TICK));
+    }
+
+    fn flush(&mut self, ctx: &mut HostCtx<'_>) {
+        self.flush_pending = false;
+        let sock = self.sock.expect("connected");
+        while let Some(front) = self.backlog.front_mut() {
+            let accepted = ctx.send(sock, front);
+            if accepted < front.len() {
+                front.drain(..accepted);
+                break;
+            }
+            self.backlog.pop_front();
+        }
+    }
+}
+
+impl App for LancetClient {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.sock = Some(ctx.connect(self.config));
+    }
+
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_>, _sock: SocketId, reason: WakeReason) {
+        match reason {
+            WakeReason::Connected => {
+                let gap = ctx.rng.exp_duration(self.spec.mean_interarrival());
+                ctx.call_after(gap, token(KIND_ARRIVAL));
+                ctx.call_after(self.tick_period, token(KIND_TICK));
+            }
+            WakeReason::Readable => {
+                if !self.call_pending {
+                    self.call_pending = true;
+                    ctx.wake_app_thread(token(KIND_PROCESS));
+                }
+            }
+            WakeReason::Writable => {
+                if !self.backlog.is_empty() && !self.flush_pending {
+                    self.flush_pending = true;
+                    ctx.call_at(ctx.app_free_at(), token(KIND_FLUSH));
+                }
+            }
+            WakeReason::Accepted => {}
+        }
+    }
+
+    fn on_call(&mut self, ctx: &mut HostCtx<'_>, tok: u64) {
+        match tok >> TOKEN_KIND_SHIFT {
+            KIND_ARRIVAL => self.arrival(ctx),
+            KIND_PROCESS => self.process(ctx),
+            KIND_TICK => self.tick(ctx),
+            KIND_FLUSH => self.flush(ctx),
+            other => panic!("unknown client token kind {other}"),
+        }
+    }
+}

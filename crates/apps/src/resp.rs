@@ -1,0 +1,367 @@
+//! A RESP (REdis Serialization Protocol) subset.
+//!
+//! The evaluation workloads speak the protocol Redis speaks: commands are
+//! arrays of bulk strings (`*N\r\n$len\r\n<bytes>\r\n...`), SET replies
+//! with the simple string `+OK\r\n`, GET with a bulk string or the null
+//! bulk `$-1\r\n`. Parsers are incremental — they consume a TCP byte
+//! stream fed in arbitrary chunks, exactly as the server's read loop sees
+//! it.
+
+use bytes::Bytes;
+
+/// A client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `SET key value`.
+    Set {
+        /// The key.
+        key: Bytes,
+        /// The value.
+        value: Bytes,
+    },
+    /// `GET key`.
+    Get {
+        /// The key.
+        key: Bytes,
+    },
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `+OK\r\n` (successful SET).
+    Ok,
+    /// A bulk string (GET hit).
+    Value(Bytes),
+    /// The null bulk string (GET miss).
+    Nil,
+}
+
+/// Encodes a SET command.
+pub fn encode_set(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(value.len() + key.len() + 40);
+    out.extend_from_slice(b"*3\r\n$3\r\nSET\r\n");
+    push_bulk(&mut out, key);
+    push_bulk(&mut out, value);
+    out
+}
+
+/// Encodes a GET command.
+pub fn encode_get(key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() + 24);
+    out.extend_from_slice(b"*2\r\n$3\r\nGET\r\n");
+    push_bulk(&mut out, key);
+    out
+}
+
+/// Encodes a response.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Ok => b"+OK\r\n".to_vec(),
+        Response::Nil => b"$-1\r\n".to_vec(),
+        Response::Value(v) => {
+            let mut out = Vec::with_capacity(v.len() + 16);
+            push_bulk(&mut out, v);
+            out
+        }
+    }
+}
+
+fn push_bulk(out: &mut Vec<u8>, data: &[u8]) {
+    out.push(b'$');
+    out.extend_from_slice(data.len().to_string().as_bytes());
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Incremental stream parser state shared by both directions.
+#[derive(Debug, Default)]
+struct StreamBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl StreamBuf {
+    fn feed(&mut self, data: &[u8]) {
+        // Compact before growing if most of the buffer is consumed.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    fn rest(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn unread(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Reads one `\r\n`-terminated line starting at `from`; returns the line
+/// (without terminator) and the total bytes consumed.
+fn read_line(data: &[u8]) -> Option<(&[u8], usize)> {
+    let nl = data.windows(2).position(|w| w == b"\r\n")?;
+    Some((&data[..nl], nl + 2))
+}
+
+fn parse_usize(data: &[u8]) -> Option<usize> {
+    let s = std::str::from_utf8(data).ok()?;
+    s.parse().ok()
+}
+
+/// Reads a `$len\r\n<bytes>\r\n` bulk string; returns the payload and the
+/// bytes consumed. A `$-1` null bulk returns `None` payload.
+#[allow(clippy::type_complexity)]
+fn read_bulk(data: &[u8]) -> Option<(Option<&[u8]>, usize)> {
+    let (header, h) = read_line(data)?;
+    if header.first() != Some(&b'$') {
+        return None;
+    }
+    if &header[1..] == b"-1" {
+        return Some((None, h));
+    }
+    let len = parse_usize(&header[1..])?;
+    if data.len() < h + len + 2 {
+        return None; // incomplete
+    }
+    Some((Some(&data[h..h + len]), h + len + 2))
+}
+
+/// Incremental parser for client commands (the server's read side).
+#[derive(Debug, Default)]
+pub struct CommandParser {
+    stream: StreamBuf,
+}
+
+impl CommandParser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.stream.feed(data);
+    }
+
+    /// Bytes buffered but not yet parsed into a complete command.
+    pub fn pending_bytes(&self) -> usize {
+        self.stream.unread()
+    }
+
+    /// Extracts the next complete command, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (the simulation's peers are trusted; a
+    /// production implementation would return an error).
+    pub fn next_command(&mut self) -> Option<Command> {
+        let data = self.stream.rest();
+        let (header, mut used) = read_line(data)?;
+        assert_eq!(header.first(), Some(&b'*'), "expected array header");
+        let nargs = parse_usize(&header[1..]).expect("array length");
+        let mut args: Vec<Bytes> = Vec::with_capacity(nargs);
+        for _ in 0..nargs {
+            let (bulk, n) = read_bulk(&data[used..])?;
+            args.push(Bytes::copy_from_slice(bulk.expect("commands have no null args")));
+            used += n;
+        }
+        self.stream.advance(used);
+        match args[0].as_ref() {
+            b"SET" => {
+                assert_eq!(args.len(), 3, "SET key value");
+                Some(Command::Set {
+                    key: args[1].clone(),
+                    value: args[2].clone(),
+                })
+            }
+            b"GET" => {
+                assert_eq!(args.len(), 2, "GET key");
+                Some(Command::Get {
+                    key: args[1].clone(),
+                })
+            }
+            other => panic!("unsupported command {:?}", String::from_utf8_lossy(other)),
+        }
+    }
+}
+
+/// Incremental parser for server responses (the client's read side).
+#[derive(Debug, Default)]
+pub struct ResponseParser {
+    stream: StreamBuf,
+}
+
+impl ResponseParser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.stream.feed(data);
+    }
+
+    /// Extracts the next complete response, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input.
+    pub fn next_response(&mut self) -> Option<Response> {
+        let data = self.stream.rest();
+        match data.first()? {
+            b'+' => {
+                let (line, used) = read_line(data)?;
+                assert_eq!(line, b"+OK", "only +OK simple strings are used");
+                self.stream.advance(used);
+                Some(Response::Ok)
+            }
+            b'$' => {
+                let (bulk, used) = read_bulk(data)?;
+                let resp = match bulk {
+                    Some(v) => Response::Value(Bytes::copy_from_slice(v)),
+                    None => Response::Nil,
+                };
+                self.stream.advance(used);
+                Some(resp)
+            }
+            other => panic!("unexpected response type byte {other:#x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_roundtrip() {
+        let wire = encode_set(b"key:0001", b"hello");
+        let mut p = CommandParser::new();
+        p.feed(&wire);
+        assert_eq!(
+            p.next_command(),
+            Some(Command::Set {
+                key: Bytes::from_static(b"key:0001"),
+                value: Bytes::from_static(b"hello"),
+            })
+        );
+        assert_eq!(p.next_command(), None);
+        assert_eq!(p.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let mut p = CommandParser::new();
+        p.feed(&encode_get(b"k"));
+        assert_eq!(
+            p.next_command(),
+            Some(Command::Get {
+                key: Bytes::from_static(b"k")
+            })
+        );
+    }
+
+    #[test]
+    fn partial_feeds_assemble() {
+        let wire = encode_set(b"key", &vec![7u8; 1000]);
+        let mut p = CommandParser::new();
+        // Feed one byte at a time for the header, then the rest in chunks.
+        for chunk in wire.chunks(13) {
+            assert_eq!(p.next_command(), None, "must not parse early");
+            p.feed(chunk);
+        }
+        let cmd = p.next_command().expect("complete now");
+        match cmd {
+            Command::Set { value, .. } => assert_eq!(value.len(), 1000),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_pipelined_commands() {
+        let mut wire = encode_set(b"a", b"1");
+        wire.extend(encode_get(b"a"));
+        wire.extend(encode_set(b"b", b"2"));
+        let mut p = CommandParser::new();
+        p.feed(&wire);
+        assert!(matches!(p.next_command(), Some(Command::Set { .. })));
+        assert!(matches!(p.next_command(), Some(Command::Get { .. })));
+        assert!(matches!(p.next_command(), Some(Command::Set { .. })));
+        assert_eq!(p.next_command(), None);
+    }
+
+    #[test]
+    fn response_ok_roundtrip() {
+        let mut p = ResponseParser::new();
+        p.feed(&encode_response(&Response::Ok));
+        assert_eq!(p.next_response(), Some(Response::Ok));
+    }
+
+    #[test]
+    fn response_value_roundtrip() {
+        let v = vec![9u8; 16384];
+        let mut p = ResponseParser::new();
+        p.feed(&encode_response(&Response::Value(v.clone().into())));
+        assert_eq!(p.next_response(), Some(Response::Value(v.into())));
+    }
+
+    #[test]
+    fn response_nil_roundtrip() {
+        let mut p = ResponseParser::new();
+        p.feed(&encode_response(&Response::Nil));
+        assert_eq!(p.next_response(), Some(Response::Nil));
+    }
+
+    #[test]
+    fn interleaved_response_stream() {
+        let mut wire = encode_response(&Response::Ok);
+        wire.extend(encode_response(&Response::Value(Bytes::from_static(b"xy"))));
+        wire.extend(encode_response(&Response::Ok));
+        let mut p = ResponseParser::new();
+        // Split mid-bulk.
+        p.feed(&wire[..8]);
+        assert_eq!(p.next_response(), Some(Response::Ok));
+        assert_eq!(p.next_response(), None);
+        p.feed(&wire[8..]);
+        assert_eq!(
+            p.next_response(),
+            Some(Response::Value(Bytes::from_static(b"xy")))
+        );
+        assert_eq!(p.next_response(), Some(Response::Ok));
+    }
+
+    #[test]
+    fn buffer_compaction_preserves_stream() {
+        let mut p = CommandParser::new();
+        // Push enough traffic to trigger compaction several times.
+        for i in 0..200 {
+            let key = format!("key:{i:04}");
+            p.feed(&encode_set(key.as_bytes(), &[0u8; 100]));
+            let cmd = p.next_command().expect("complete command");
+            match cmd {
+                Command::Set { key: k, .. } => assert_eq!(k.as_ref(), key.as_bytes()),
+                other => panic!("wrong {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wire_sizes_match_redis_framing() {
+        // 16 B key + 16 KiB value: the paper's Figure 4a request.
+        let wire = encode_set(&[b'k'; 16], &vec![0u8; 16384]);
+        // *3\r\n (4) + $3\r\nSET\r\n (9) + $16\r\n key \r\n (5+16+2)
+        // + $16384\r\n value \r\n (8+16384+2) = 16430.
+        assert_eq!(wire.len(), 16_430);
+        assert_eq!(encode_response(&Response::Ok).len(), 5);
+    }
+}

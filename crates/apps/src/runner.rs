@@ -1,0 +1,380 @@
+//! Running one experiment point: one (workload, configuration) pair.
+//!
+//! A [`RunConfig`] fully describes a run — workload, cost profile, Nagle
+//! setting, hint usage, durations, seed — and [`run_point`] executes it,
+//! returning a serializable [`PointResult`] with measured latency,
+//! achieved throughput, every estimator's view, CPU utilizations, and
+//! packet counts. All figure experiments and many integration tests are
+//! thin wrappers over this.
+
+use batchpolicy::{AimdBatchLimit, EpsilonGreedy, Objective, TickController};
+use littles::Nanos;
+use serde::{Deserialize, Serialize};
+use simnet::{run, CpuContext, EventQueue, LinkConfig};
+use tcpsim::config::ExchangeConfig;
+use tcpsim::{Host, HostId, NagleMode, NetSim, SocketId, TcpConfig, Unit};
+
+use crate::cost::CostProfile;
+use crate::driver::{AimdDriver, EstimateRecorder, PolicyDriver};
+use crate::loadgen::LancetClient;
+use crate::server::RedisServer;
+use crate::workload::WorkloadSpec;
+
+/// How batching is controlled during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NagleSetting {
+    /// `TCP_NODELAY` everywhere (the Redis default).
+    Off,
+    /// Nagle enabled on both endpoints.
+    On,
+    /// Nagle enabled only at the server (toggling Redis's own setting,
+    /// as Figure 2 does), client stays `TCP_NODELAY`.
+    ServerOnly,
+    /// Toggled dynamically by per-endpoint ε-greedy policies under the
+    /// given objective.
+    Dynamic {
+        /// The optimization objective.
+        objective: Objective,
+    },
+    /// Nagle replaced by the §5 gradual batching limit, adapted with AIMD
+    /// under the given objective (client side; the server keeps
+    /// `TCP_NODELAY`).
+    AimdLimit {
+        /// The optimization objective.
+        objective: Objective,
+    },
+}
+
+/// Optional stack/policy overrides for ablation studies (§5 knobs). All
+/// `None` means the calibrated defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Overrides {
+    /// Metadata-exchange minimum interval.
+    pub exchange_interval: Option<Nanos>,
+    /// Dynamic-policy decision period (the toggling granularity).
+    pub policy_tick: Option<Nanos>,
+    /// Per-arm score EWMA weight for the ε-greedy toggler.
+    pub score_alpha: Option<f64>,
+    /// Force TSO on/off.
+    pub tso: Option<bool>,
+    /// Force auto-corking on/off.
+    pub autocork: Option<bool>,
+    /// Delayed-ACK timeout.
+    pub delack_timeout: Option<Nanos>,
+}
+
+/// Everything that defines one experiment point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// CPU cost profile.
+    pub profile: CostProfile,
+    /// Batching control.
+    pub nagle: NagleSetting,
+    /// Whether the client forwards `create`/`complete` hints.
+    pub use_hints: bool,
+    /// Warmup duration (excluded from measurement).
+    pub warmup: Nanos,
+    /// Measurement duration.
+    pub measure: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ablation overrides.
+    pub overrides: Overrides,
+}
+
+impl RunConfig {
+    /// A standard run: 200 ms warmup, 800 ms measurement.
+    pub fn new(workload: WorkloadSpec, nagle: NagleSetting) -> Self {
+        RunConfig {
+            workload,
+            profile: CostProfile::calibrated(),
+            nagle,
+            use_hints: true,
+            warmup: Nanos::from_millis(200),
+            measure: Nanos::from_millis(800),
+            seed: 0xE2E,
+            overrides: Overrides::default(),
+        }
+    }
+}
+
+/// One side's CPU utilizations over the measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuUtil {
+    /// Application-thread utilization (may exceed 1.0 when oversubscribed).
+    pub app: f64,
+    /// Softirq-context utilization.
+    pub softirq: f64,
+}
+
+/// The result of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointResult {
+    /// Offered load (requests/second).
+    pub offered_rps: f64,
+    /// Achieved goodput (responses/second over the window).
+    pub achieved_rps: f64,
+    /// Measured mean latency (arrival → response processed).
+    pub measured_mean: Option<Nanos>,
+    /// Measured median latency.
+    pub measured_p50: Option<Nanos>,
+    /// Measured 99th-percentile latency.
+    pub measured_p99: Option<Nanos>,
+    /// Samples in the window.
+    pub samples: u64,
+    /// Byte-unit Little's-law estimate (the paper's prototype).
+    pub estimated_bytes: Option<Nanos>,
+    /// Packet-unit estimate.
+    pub estimated_packets: Option<Nanos>,
+    /// Message-unit (send-syscall) estimate.
+    pub estimated_messages: Option<Nanos>,
+    /// Hint-based estimate recorded at the server (§3.3).
+    pub estimated_hint: Option<Nanos>,
+    /// Application-level tracker ground truth (client side).
+    pub tracker_mean: Option<Nanos>,
+    /// The client's smoothed RTT — the paper's §2 inadequate baseline
+    /// (misses application read delays; inflated by delayed ACKs).
+    pub srtt: Option<Nanos>,
+    /// Client CPU utilization.
+    pub client_cpu: CpuUtil,
+    /// Server CPU utilization.
+    pub server_cpu: CpuUtil,
+    /// Wire packets client → server during the whole run.
+    pub packets_to_server: u64,
+    /// Wire packets server → client.
+    pub packets_to_client: u64,
+    /// Nagle holds observed (both endpoints).
+    pub nagle_holds: u64,
+    /// Fraction of dynamic-policy decisions with batching on (client).
+    pub client_on_fraction: Option<f64>,
+    /// Fraction of dynamic-policy decisions with batching on (server).
+    pub server_on_fraction: Option<f64>,
+    /// Mean AIMD batch limit over the window (AimdLimit runs only).
+    pub aimd_mean_limit: Option<f64>,
+    /// Exchanges received by the client (metadata-exchange health).
+    pub exchanges_received: u64,
+}
+
+fn tcp_config(nagle: NagleMode, ov: &Overrides) -> TcpConfig {
+    let mut config = TcpConfig {
+        nagle,
+        // Exchange byte- and message-unit counters so one run yields both
+        // estimate flavours (§3.3 comparison).
+        exchange: ExchangeConfig {
+            enabled: true,
+            min_interval: ov.exchange_interval.unwrap_or(Nanos::from_micros(500)),
+            units: [true, false, true],
+        },
+        ..TcpConfig::default()
+    };
+    if let Some(tso) = ov.tso {
+        config.tso.enabled = tso;
+    }
+    if let Some(cork) = ov.autocork {
+        config.cork.enabled = cork;
+    }
+    if let Some(timeout) = ov.delack_timeout {
+        config.delack.timeout = timeout;
+    }
+    config
+}
+
+/// Executes one experiment point.
+pub fn run_point(cfg: &RunConfig) -> PointResult {
+    let (client_mode, server_mode) = match cfg.nagle {
+        NagleSetting::Off | NagleSetting::AimdLimit { .. } => (NagleMode::Off, NagleMode::Off),
+        NagleSetting::On => (NagleMode::On, NagleMode::On),
+        NagleSetting::ServerOnly => (NagleMode::Off, NagleMode::On),
+        NagleSetting::Dynamic { .. } => (NagleMode::Dynamic, NagleMode::Dynamic),
+    };
+    let tcp = tcp_config(client_mode, &cfg.overrides);
+    let tcp_server = tcp_config(server_mode, &cfg.overrides);
+
+    let mut client = LancetClient::new(
+        cfg.workload,
+        cfg.profile.app,
+        tcp,
+        cfg.warmup,
+        cfg.warmup + cfg.measure,
+    )
+    .with_recorder(EstimateRecorder::new(Unit::Bytes))
+    .with_recorder(EstimateRecorder::new(Unit::Packets))
+    .with_recorder(EstimateRecorder::new(Unit::Messages));
+    if cfg.use_hints {
+        client = client.with_hints();
+    }
+    let mut server = RedisServer::new(cfg.profile.app).with_hint_recorder();
+    if let NagleSetting::AimdLimit { objective } = cfg.nagle {
+        // Limit range: one byte (≈ NODELAY) up to the TSO maximum; additive
+        // step of one MSS, as the congestion-control precedent suggests.
+        client = client.with_aimd(AimdDriver::new(
+            Unit::Bytes,
+            AimdBatchLimit::new(objective, 1, 1, 65_536, 1_448),
+        ));
+    }
+    if let NagleSetting::Dynamic { objective } = cfg.nagle {
+        let tick = cfg.overrides.policy_tick.unwrap_or(Nanos::from_millis(1));
+        let alpha = cfg.overrides.score_alpha.unwrap_or(0.4);
+        let mk = |seed: u64| {
+            TickController::new(EpsilonGreedy::new(objective, 0.05, 4, alpha, seed), tick)
+        };
+        client = client.with_policy(PolicyDriver::new(Unit::Bytes, mk(cfg.seed ^ 0xC)));
+        server = server.with_policy(PolicyDriver::new(Unit::Bytes, mk(cfg.seed ^ 0x5)));
+    }
+
+    let client_host = Host::new(
+        HostId(0),
+        CpuContext::with_multiplier("client-app", cfg.profile.client_app_multiplier),
+        CpuContext::new("client-softirq"),
+        cfg.profile.client_stack,
+        tcp,
+    );
+    let server_host = Host::new(
+        HostId(1),
+        CpuContext::new("server-app"),
+        CpuContext::new("server-softirq"),
+        cfg.profile.server_stack,
+        tcp_server, // accept config
+    );
+
+    let mut sim = NetSim::new(
+        client,
+        server,
+        client_host,
+        server_host,
+        LinkConfig::default(),
+        cfg.seed,
+    );
+    let mut queue = EventQueue::new();
+    sim.start(&mut queue);
+
+    // Run warmup, snapshot CPU accounting, run the measurement window.
+    run(&mut sim, &mut queue, cfg.warmup);
+    let snaps: Vec<_> = (0..2)
+        .map(|h| {
+            (
+                sim.host(h).app_cpu.busy_snapshot(queue.now()),
+                sim.host(h).softirq_cpu.busy_snapshot(queue.now()),
+            )
+        })
+        .collect();
+    let end = cfg.warmup + cfg.measure;
+    run(&mut sim, &mut queue, end);
+    // Drain a little so in-flight responses complete (not measured —
+    // samples are keyed by arrival time).
+    run(&mut sim, &mut queue, end + Nanos::from_millis(20));
+
+    let (from, to) = (cfg.warmup, end);
+    let util = |h: usize| CpuUtil {
+        app: sim.host(h).app_cpu.utilization_since(&snaps[h].0, to),
+        softirq: sim.host(h).softirq_cpu.utilization_since(&snaps[h].1, to),
+    };
+    let client_cpu = util(0);
+    let server_cpu = util(1);
+
+    let lg = &sim.client;
+    let rec = |unit: Unit| {
+        lg.recorders
+            .iter()
+            .find(|r| r.unit == unit)
+            .and_then(|r| r.mean_latency_in(from, to))
+    };
+    let client_sock = lg.sock.expect("client connected");
+
+    PointResult {
+        offered_rps: cfg.workload.rate_rps,
+        achieved_rps: lg.achieved_rps(),
+        measured_mean: lg.hist.mean(),
+        measured_p50: lg.hist.p50(),
+        measured_p99: lg.hist.p99(),
+        samples: lg.hist.count(),
+        estimated_bytes: rec(Unit::Bytes),
+        estimated_packets: rec(Unit::Packets),
+        estimated_messages: rec(Unit::Messages),
+        estimated_hint: sim
+            .server
+            .hint_recorder
+            .as_ref()
+            .and_then(|h| h.mean_latency_in(from, to)),
+        tracker_mean: lg.tracker_averages().and_then(|a| a.delay),
+        srtt: sim.host(0).socket(client_sock).srtt(),
+        client_cpu,
+        server_cpu,
+        packets_to_server: sim.link().a_to_b.packets_sent(),
+        packets_to_client: sim.link().b_to_a.packets_sent(),
+        nagle_holds: sim.host(0).socket(client_sock).stats().nagle_holds
+            + sim
+                .host(1)
+                .socket(SocketId(0))
+                .stats()
+                .nagle_holds,
+        client_on_fraction: lg.policy.as_ref().map(|p| p.on_fraction()),
+        aimd_mean_limit: lg.aimd.as_ref().and_then(|a| a.mean_limit_in(from, to)),
+        server_on_fraction: sim.server.policy.as_ref().map(|p| p.on_fraction()),
+        exchanges_received: sim.host(0).socket(client_sock).remote().received,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(rate: f64, nagle: NagleSetting) -> RunConfig {
+        RunConfig {
+            warmup: Nanos::from_millis(50),
+            measure: Nanos::from_millis(150),
+            ..RunConfig::new(WorkloadSpec::fig4a(rate), nagle)
+        }
+    }
+
+    #[test]
+    fn low_load_run_completes_and_measures() {
+        let r = run_point(&quick_cfg(5_000.0, NagleSetting::Off));
+        assert!(r.samples > 400, "got {} samples", r.samples);
+        // Achieved ≈ offered at low load.
+        assert!(
+            (r.achieved_rps - 5_000.0).abs() / 5_000.0 < 0.1,
+            "achieved {}",
+            r.achieved_rps
+        );
+        let mean = r.measured_mean.expect("samples");
+        assert!(
+            mean > Nanos::from_micros(10) && mean < Nanos::from_micros(500),
+            "implausible latency {mean}"
+        );
+    }
+
+    #[test]
+    fn estimates_are_produced() {
+        let r = run_point(&quick_cfg(10_000.0, NagleSetting::Off));
+        assert!(r.estimated_bytes.is_some(), "byte estimate missing");
+        assert!(r.estimated_messages.is_some(), "message estimate missing");
+        assert!(r.estimated_hint.is_some(), "hint estimate missing");
+        assert!(r.tracker_mean.is_some(), "tracker ground truth missing");
+        assert!(r.exchanges_received > 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_point(&quick_cfg(8_000.0, NagleSetting::On));
+        let b = run_point(&quick_cfg(8_000.0, NagleSetting::On));
+        assert_eq!(a.measured_mean, b.measured_mean);
+        assert_eq!(a.packets_to_server, b.packets_to_server);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn nagle_on_coalesces_response_packets_under_load() {
+        let off = run_point(&quick_cfg(40_000.0, NagleSetting::Off));
+        let on = run_point(&quick_cfg(40_000.0, NagleSetting::On));
+        assert!(
+            on.packets_to_client < off.packets_to_client,
+            "Nagle should coalesce responses: on={} off={}",
+            on.packets_to_client,
+            off.packets_to_client
+        );
+        assert!(on.nagle_holds > 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The Redis-like key-value server.
+//!
+//! Single application thread, epoll-style event loop: a readability wakeup
+//! schedules one processing pass on the app CPU; the pass reads everything
+//! available, executes every complete request, and writes the responses.
+//! Under load, several requests are handled per wakeup — the
+//! "adaptive batching" of requests that IX performs and the paper's
+//! Figure 1 models (per-batch cost amortized over the batch).
+//!
+//! Like Redis, the server disables Nagle by default; experiments override
+//! this through [`TcpConfig::nagle`](tcpsim::TcpConfig) on the accept
+//! configuration, including the `Dynamic` mode driven by an attached
+//! [`PolicyDriver`].
+
+use std::collections::HashMap;
+
+use littles::Nanos;
+use simnet::Histogram;
+use tcpsim::{App, HostCtx, SocketId, Unit, WakeReason};
+
+use crate::cost::AppCosts;
+use crate::driver::{HintRecorder, PolicyDriver};
+use crate::kv::KvStore;
+use crate::resp::{encode_response, Command, CommandParser};
+
+const TOKEN_KIND_SHIFT: u32 = 32;
+const KIND_PROCESS: u64 = 1;
+const KIND_TICK: u64 = 2;
+const KIND_FLUSH: u64 = 3;
+
+fn token(kind: u64, sock: usize) -> u64 {
+    (kind << TOKEN_KIND_SHIFT) | sock as u64
+}
+
+struct Conn {
+    parser: CommandParser,
+    call_pending: bool,
+    /// Responses (or response tails) awaiting send-buffer space.
+    out_backlog: std::collections::VecDeque<Vec<u8>>,
+    flush_pending: bool,
+}
+
+impl Conn {
+    fn new() -> Self {
+        Conn {
+            parser: CommandParser::new(),
+            call_pending: false,
+            out_backlog: std::collections::VecDeque::new(),
+            flush_pending: false,
+        }
+    }
+}
+
+/// Per-run server statistics.
+#[derive(Debug, Default, Clone)]
+pub struct ServerStats {
+    /// Requests executed.
+    pub requests: u64,
+    /// Processing passes (app wakeup batches).
+    pub batches: u64,
+    /// Largest number of requests handled in one pass.
+    pub max_batch: u64,
+}
+
+/// The Redis-like server application.
+pub struct RedisServer {
+    costs: AppCosts,
+    kv: KvStore,
+    conns: HashMap<usize, Conn>,
+    /// Request-batch size distribution (requests per processing pass).
+    pub batch_hist: Histogram,
+    /// Aggregate statistics.
+    pub stats: ServerStats,
+    /// Optional dynamic-batching policy (server side).
+    pub policy: Option<PolicyDriver>,
+    /// Optional hint-based estimate recording (paper §3.3).
+    pub hint_recorder: Option<HintRecorder>,
+    tick_period: Nanos,
+}
+
+impl RedisServer {
+    /// Creates a server with the given application costs.
+    pub fn new(costs: AppCosts) -> Self {
+        RedisServer {
+            costs,
+            kv: KvStore::new(),
+            conns: HashMap::new(),
+            batch_hist: Histogram::new(),
+            stats: ServerStats::default(),
+            policy: None,
+            hint_recorder: None,
+            tick_period: Nanos::from_micros(500),
+        }
+    }
+
+    /// Attaches a dynamic-Nagle policy (requires the accept configuration
+    /// to use [`NagleMode::Dynamic`](tcpsim::NagleMode)).
+    pub fn with_policy(mut self, policy: PolicyDriver) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Enables hint-based estimation recording.
+    pub fn with_hint_recorder(mut self) -> Self {
+        self.hint_recorder = Some(HintRecorder::new());
+        self
+    }
+
+    /// The store (for inspection).
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// Estimate unit used by the attached policy, if any.
+    pub fn policy_unit(&self) -> Option<Unit> {
+        self.policy.as_ref().map(|p| p.recorder.unit)
+    }
+
+    /// Writes a response, stashing whatever the send buffer rejects so
+    /// the byte stream stays intact under backpressure (flushed on
+    /// `Writable`).
+    fn send_or_backlog(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId, wire: Vec<u8>) {
+        let conn = self.conns.entry(sock.0).or_insert_with(Conn::new);
+        if conn.out_backlog.is_empty() {
+            let sent = ctx.send(sock, &wire);
+            if sent < wire.len() {
+                let conn = self.conns.get_mut(&sock.0).expect("conn");
+                conn.out_backlog.push_back(wire[sent..].to_vec());
+            }
+        } else {
+            conn.out_backlog.push_back(wire);
+        }
+    }
+
+    /// Drains the write backlog as far as the send buffer allows.
+    fn flush(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId) {
+        let conn = self.conns.entry(sock.0).or_insert_with(Conn::new);
+        conn.flush_pending = false;
+        while let Some(front) = self
+            .conns
+            .get_mut(&sock.0)
+            .expect("conn")
+            .out_backlog
+            .front_mut()
+        {
+            let sent = ctx.send(sock, front);
+            let done = sent == front.len();
+            let conn = self.conns.get_mut(&sock.0).expect("conn");
+            let front = conn.out_backlog.front_mut().expect("non-empty");
+            if !done {
+                front.drain(..sent);
+                break;
+            }
+            conn.out_backlog.pop_front();
+        }
+    }
+
+    fn process(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId) {
+        let conn = self.conns.entry(sock.0).or_insert_with(Conn::new);
+        conn.call_pending = false;
+        let (data, _msgs) = ctx.recv(sock, usize::MAX);
+        let conn = self.conns.get_mut(&sock.0).expect("just inserted");
+        conn.parser.feed(&data);
+
+        let mut batch = 0u64;
+        while let Some(cmd) = self.conns.get_mut(&sock.0).expect("conn").parser.next_command() {
+            let payload = match &cmd {
+                Command::Set { key, value } => key.len() + value.len(),
+                Command::Get { key } => key.len(),
+            };
+            ctx.charge_app(self.costs.server_request(payload));
+            let resp = self.kv.execute(cmd);
+            let wire = encode_response(&resp);
+            self.send_or_backlog(ctx, sock, wire);
+            batch += 1;
+        }
+        if batch > 0 {
+            // The per-pass cost β (charged once, amortized over the batch).
+            ctx.charge_app(self.costs.server_batch_base);
+            self.stats.requests += batch;
+            self.stats.batches += 1;
+            self.stats.max_batch = self.stats.max_batch.max(batch);
+            self.batch_hist.record(Nanos::from_nanos(batch));
+        }
+    }
+}
+
+impl App for RedisServer {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        if self.policy.is_some() || self.hint_recorder.is_some() {
+            ctx.call_after(self.tick_period, token(KIND_TICK, 0));
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId, reason: WakeReason) {
+        match reason {
+            WakeReason::Accepted => {
+                self.conns.insert(sock.0, Conn::new());
+            }
+            WakeReason::Readable => {
+                let conn = self.conns.entry(sock.0).or_insert_with(Conn::new);
+                if !conn.call_pending {
+                    conn.call_pending = true;
+                    ctx.wake_app_thread(token(KIND_PROCESS, sock.0));
+                }
+            }
+            WakeReason::Writable => {
+                let conn = self.conns.entry(sock.0).or_insert_with(Conn::new);
+                if !conn.out_backlog.is_empty() && !conn.flush_pending {
+                    conn.flush_pending = true;
+                    let at = ctx.app_free_at();
+                    ctx.call_at(at, token(KIND_FLUSH, sock.0));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_call(&mut self, ctx: &mut HostCtx<'_>, tok: u64) {
+        let kind = tok >> TOKEN_KIND_SHIFT;
+        let sock = SocketId((tok & 0xFFFF_FFFF) as usize);
+        match kind {
+            KIND_PROCESS => self.process(ctx, sock),
+            KIND_FLUSH => self.flush(ctx, sock),
+            KIND_TICK => {
+                // Tick every connection (the figure experiments use one).
+                let socks: Vec<usize> = self.conns.keys().copied().collect();
+                for s in socks {
+                    if let Some(policy) = self.policy.as_mut() {
+                        policy.tick(ctx, SocketId(s));
+                    }
+                    if let Some(rec) = self.hint_recorder.as_mut() {
+                        rec.tick(ctx, SocketId(s));
+                    }
+                }
+                ctx.call_after(self.tick_period, token(KIND_TICK, 0));
+            }
+            other => panic!("unknown server token kind {other}"),
+        }
+    }
+}

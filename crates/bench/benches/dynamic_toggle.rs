@@ -1,0 +1,35 @@
+//! Regenerates the §5 dynamic-toggling experiment: static off vs static on
+//! vs per-endpoint ε-greedy toggling at each load.
+//!
+//! ```sh
+//! cargo bench -p bench --bench dynamic_toggle
+//! ```
+
+use bench::params::{MEASURE, SEED, WARMUP};
+use e2e_apps::experiments::dynamic_toggle;
+use littles::Nanos;
+
+fn main() {
+    println!("=== Dynamic Nagle toggling vs static (mean latency, µs) ===\n");
+    let rates = [10_000.0, 40_000.0, 70_000.0, 85_000.0, 100_000.0];
+    let sweep = dynamic_toggle(&rates, WARMUP, MEASURE, SEED);
+    println!(
+        "{:>8} | {:>10} {:>10} {:>10} | {:>8} {:>8}",
+        "rate", "off", "on", "dynamic", "cli-on%", "srv-on%"
+    );
+    let us = |o: Option<Nanos>| o.map(|n| n.as_micros_f64()).unwrap_or(f64::NAN);
+    for row in &sweep.rows {
+        let dy = row.dynamic.as_ref().expect("dynamic included");
+        println!(
+            "{:>8.0} | {:>10.1} {:>10.1} {:>10.1} | {:>7.0}% {:>7.0}%",
+            row.rate_rps,
+            us(row.off.measured_mean),
+            us(row.on.measured_mean),
+            us(dy.measured_mean),
+            dy.client_on_fraction.unwrap_or(0.0) * 100.0,
+            dy.server_on_fraction.unwrap_or(0.0) * 100.0,
+        );
+    }
+    println!("\nthe dynamic column should track min(off, on) at every rate —");
+    println!("and can beat both by settling on asymmetric per-endpoint settings");
+}

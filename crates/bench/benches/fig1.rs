@@ -1,0 +1,55 @@
+//! Regenerates Figure 1: the analytical batching model across client
+//! costs, printing the rows the paper's figure encodes.
+//!
+//! ```sh
+//! cargo bench -p bench --bench fig1
+//! ```
+
+use batchpolicy::{figure1_model, Figure1Params};
+
+fn main() {
+    println!("=== Figure 1: on/off batching outcome vs client cost c ===");
+    println!("(n = 3 queued requests, per-request α = 2, per-batch β = 4)\n");
+    println!(
+        "{:>4} | {:>11} {:>11} | {:>12} {:>12} | paper panel",
+        "c", "batched lat", "unbatch lat", "batched tput", "unbatch tput"
+    );
+    for c in [1.0, 3.0, 5.0] {
+        let out = figure1_model(Figure1Params::paper(c));
+        let panel = match (
+            out.batching_improves_latency(),
+            out.batching_improves_throughput(),
+        ) {
+            (true, true) => "1a: batching improves both",
+            (false, true) => "1c: mixed (tput up, latency down)",
+            _ => "1b: batching degrades both",
+        };
+        println!(
+            "{:>4.0} | {:>11.2} {:>11.2} | {:>12.4} {:>12.4} | {}",
+            c,
+            out.batched.avg_latency,
+            out.unbatched.avg_latency,
+            out.batched.throughput,
+            out.unbatched.throughput,
+            panel
+        );
+    }
+
+    // The three regimes must appear in order as c sweeps.
+    let regimes: Vec<(bool, bool)> = (0..=10)
+        .map(|half_c| {
+            let out = figure1_model(Figure1Params::paper(half_c as f64 / 2.0));
+            (
+                out.batching_improves_latency(),
+                out.batching_improves_throughput(),
+            )
+        })
+        .collect();
+    let improving = regimes.iter().take_while(|r| r.0 && r.1).count();
+    let degrading = regimes.iter().rev().take_while(|r| !r.0 && !r.1).count();
+    println!(
+        "\nregimes over c ∈ [0, 5] (0.5 steps): {improving} both-better, \
+         {degrading} both-worse, mixed between"
+    );
+    assert!(improving >= 1 && degrading >= 1, "all three regimes present");
+}

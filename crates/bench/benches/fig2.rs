@@ -1,0 +1,39 @@
+//! Regenerates Figure 2: fixed-load runs with a bare-metal vs VM client.
+//!
+//! ```sh
+//! cargo bench -p bench --bench fig2
+//! ```
+
+use bench::params::{MEASURE, SEED, WARMUP};
+use e2e_apps::experiments::figure2;
+
+fn main() {
+    println!("=== Figure 2: bare-metal vs VM client, fixed 20 kRPS ===\n");
+    let data = figure2(20_000.0, WARMUP, MEASURE, SEED);
+    println!(
+        "{:>5} {:>6} | {:>10} | {:>9} {:>9} | {:>9} {:>9}",
+        "plat", "nagle", "latency", "cli-app", "cli-sirq", "srv-app", "srv-sirq"
+    );
+    for cell in &data.cells {
+        let r = &cell.result;
+        println!(
+            "{:>5} {:>6} | {:>10} | {:>8.0}% {:>8.0}% | {:>8.0}% {:>8.0}%",
+            cell.platform,
+            if cell.nagle_on { "on" } else { "off" },
+            r.measured_mean
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "n/a".into()),
+            r.client_cpu.app * 100.0,
+            r.client_cpu.softirq * 100.0,
+            r.server_cpu.app * 100.0,
+            r.server_cpu.softirq * 100.0,
+        );
+    }
+    println!("\n(a) client CPU vm/bare: {:.2}x", data.client_cpu_ratio());
+    println!("(b) server CPU vm/bare: {:.2}x", data.server_cpu_ratio());
+    println!(
+        "(c) Nagle helps bare: {}, helps VM: {} (see EXPERIMENTS.md)",
+        data.nagle_helps("bare"),
+        data.nagle_helps("vm")
+    );
+}

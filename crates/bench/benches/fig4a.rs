@@ -1,0 +1,46 @@
+//! Regenerates Figure 4a: measured vs estimated latency across the
+//! SET-only load sweep, with the SLO range and cutoff lines.
+//!
+//! ```sh
+//! cargo bench -p bench --bench fig4a
+//! ```
+
+use bench::params::{MEASURE, SEED, WARMUP};
+use e2e_apps::experiments::{default_rates, figure4a};
+use littles::Nanos;
+
+fn fmt(n: Option<Nanos>) -> String {
+    n.map(|v| format!("{:.1}", v.as_micros_f64()))
+        .unwrap_or_else(|| "n/a".into())
+}
+
+fn main() {
+    println!("=== Figure 4a: 100% SET, 16 B keys, 16 KiB values ===\n");
+    let data = figure4a(&default_rates(), WARMUP, MEASURE, SEED);
+    println!(
+        "{:>8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "rate", "off-meas", "off-est", "off-hint", "on-meas", "on-est", "on-hint"
+    );
+    for row in &data.sweep.rows {
+        println!(
+            "{:>8.0} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+            row.rate_rps,
+            fmt(row.off.measured_mean),
+            fmt(row.off.estimated_bytes),
+            fmt(row.off.estimated_hint),
+            fmt(row.on.measured_mean),
+            fmt(row.on.estimated_bytes),
+            fmt(row.on.estimated_hint),
+        );
+    }
+    println!(
+        "\nSLO 500 µs sustainable: off {:?}, on {:?} → extension {:.2}x (paper: 1.93x)",
+        data.sustainable_off,
+        data.sustainable_on,
+        data.extension_factor.unwrap_or(f64::NAN)
+    );
+    println!(
+        "cutoff: measured {:?} vs byte-estimated {:?} (paper 4a: coincide)",
+        data.cutoff_measured, data.cutoff_estimated
+    );
+}

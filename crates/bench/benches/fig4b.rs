@@ -1,0 +1,41 @@
+//! Regenerates Figure 4b: the 95:5 SET:GET mix where byte-unit estimates
+//! break while message/hint estimates stay faithful.
+//!
+//! ```sh
+//! cargo bench -p bench --bench fig4b
+//! ```
+
+use bench::params::{MEASURE, SEED, WARMUP};
+use e2e_apps::experiments::{default_rates, figure4b};
+use littles::Nanos;
+
+fn fmt(n: Option<Nanos>) -> String {
+    n.map(|v| format!("{:.1}", v.as_micros_f64()))
+        .unwrap_or_else(|| "n/a".into())
+}
+
+fn main() {
+    println!("=== Figure 4b: SET:GET = 95:5 ===\n");
+    let data = figure4b(&default_rates(), WARMUP, MEASURE, SEED);
+    println!(
+        "{:>8} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9}",
+        "rate", "off-meas", "off-byte", "off-msg", "off-hint", "on-meas", "on-byte"
+    );
+    for row in &data.sweep.rows {
+        println!(
+            "{:>8.0} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9}",
+            row.rate_rps,
+            fmt(row.off.measured_mean),
+            fmt(row.off.estimated_bytes),
+            fmt(row.off.estimated_messages),
+            fmt(row.off.estimated_hint),
+            fmt(row.on.measured_mean),
+            fmt(row.on.estimated_bytes),
+        );
+    }
+    println!(
+        "\ncutoff: measured {:?} vs byte-estimated {:?} (paper 4b: these diverge —",
+        data.cutoff_measured, data.cutoff_estimated
+    );
+    println!("the 16 KiB GET responses dominate the byte counters; hints fix it)");
+}

@@ -1,0 +1,30 @@
+//! Benchmark and figure-regeneration harnesses.
+//!
+//! Every bench target regenerates one of the paper's figures (or an
+//! ablation from §5) and prints the series the figure plots; `micro` is a
+//! Criterion suite for the measurement primitives themselves (the paper's
+//! "easily maintained counters" claim, quantified).
+//!
+//! | target           | regenerates                                   |
+//! |------------------|-----------------------------------------------|
+//! | `fig1`           | Figure 1 (analytical batching model)          |
+//! | `fig2`           | Figure 2 (bare-metal vs VM client)            |
+//! | `fig4a`          | Figure 4a (SET-only sweep, estimates, cutoff) |
+//! | `fig4b`          | Figure 4b (95:5 mix, byte-estimate breakdown) |
+//! | `dynamic_toggle` | §5 dynamic on/off toggling vs static          |
+//! | `ablations`      | §5 knobs: granularity, smoothing, exchange    |
+//! |                  | interval, AIMD limits, mechanism on/off       |
+//! | `micro`          | Criterion: TRACK/GETAVGS/wire/estimator costs |
+
+/// Shared quick-run parameters so every figure bench uses the same
+/// measurement discipline.
+pub mod params {
+    use littles::Nanos;
+
+    /// Warmup excluded from measurement.
+    pub const WARMUP: Nanos = Nanos::from_millis(200);
+    /// Measurement window.
+    pub const MEASURE: Nanos = Nanos::from_millis(600);
+    /// Seed for figure regeneration (fixed: the runs are deterministic).
+    pub const SEED: u64 = 0xBE7C;
+}

@@ -1,0 +1,131 @@
+//! Aggregating estimates across connections (paper §3.2, last paragraph).
+//!
+//! A batching policy often flips a knob that affects many connections at
+//! once (e.g. a per-interface or per-listener Nagle default). The paper
+//! notes that per-connection estimates "can be averaged if a batching
+//! policy simultaneously affects multiple connections"; the natural
+//! average is throughput-weighted — a connection carrying 100× the
+//! requests should dominate the policy's view of latency.
+
+use littles::Nanos;
+use serde::{Deserialize, Serialize};
+
+use crate::estimator::Estimate;
+
+/// Throughput-weighted aggregate over per-connection estimates.
+#[derive(Debug, Clone, Default)]
+pub struct MultiConnectionAggregator {
+    estimates: Vec<Estimate>,
+}
+
+/// The aggregate result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregateEstimate {
+    /// Throughput-weighted mean latency.
+    pub latency: Nanos,
+    /// Total throughput across connections (items/second).
+    pub throughput: f64,
+    /// Number of connections that contributed.
+    pub connections: usize,
+}
+
+impl MultiConnectionAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one connection's latest estimate for this aggregation round.
+    pub fn add(&mut self, estimate: Estimate) {
+        self.estimates.push(estimate);
+    }
+
+    /// Computes the throughput-weighted aggregate and clears the round.
+    /// Connections with zero throughput contribute equally with a tiny
+    /// weight so an all-idle round still yields a (plain-mean) answer.
+    pub fn aggregate(&mut self) -> Option<AggregateEstimate> {
+        if self.estimates.is_empty() {
+            return None;
+        }
+        let total_tput: f64 = self.estimates.iter().map(|e| e.throughput).sum();
+        let n = self.estimates.len();
+        let latency_ns = if total_tput > 0.0 {
+            self.estimates
+                .iter()
+                .map(|e| e.latency.as_nanos() as f64 * (e.throughput / total_tput))
+                .sum::<f64>()
+        } else {
+            self.estimates
+                .iter()
+                .map(|e| e.latency.as_nanos() as f64)
+                .sum::<f64>()
+                / n as f64
+        };
+        self.estimates.clear();
+        Some(AggregateEstimate {
+            latency: Nanos::from_nanos(latency_ns.round() as u64),
+            throughput: total_tput,
+            connections: n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(latency_us: u64, tput: f64) -> Estimate {
+        Estimate {
+            at: Nanos::ZERO,
+            latency: Nanos::from_micros(latency_us),
+            smoothed_latency: Nanos::from_micros(latency_us),
+            throughput: tput,
+            local_view: Nanos::ZERO,
+            remote_view: Nanos::ZERO,
+        }
+    }
+
+    #[test]
+    fn empty_round_yields_none() {
+        let mut a = MultiConnectionAggregator::new();
+        assert!(a.aggregate().is_none());
+    }
+
+    #[test]
+    fn single_connection_passthrough() {
+        let mut a = MultiConnectionAggregator::new();
+        a.add(est(100, 5_000.0));
+        let agg = a.aggregate().unwrap();
+        assert_eq!(agg.latency, Nanos::from_micros(100));
+        assert_eq!(agg.connections, 1);
+        assert!((agg.throughput - 5_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighting_favours_busy_connections() {
+        let mut a = MultiConnectionAggregator::new();
+        a.add(est(100, 9_000.0)); // busy, fast
+        a.add(est(1_000, 1_000.0)); // quiet, slow
+        let agg = a.aggregate().unwrap();
+        // Weighted: 100·0.9 + 1000·0.1 = 190 µs (vs plain mean 550).
+        assert_eq!(agg.latency, Nanos::from_micros(190));
+        assert!((agg.throughput - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_round_falls_back_to_plain_mean() {
+        let mut a = MultiConnectionAggregator::new();
+        a.add(est(100, 0.0));
+        a.add(est(300, 0.0));
+        let agg = a.aggregate().unwrap();
+        assert_eq!(agg.latency, Nanos::from_micros(200));
+    }
+
+    #[test]
+    fn aggregate_clears_the_round() {
+        let mut a = MultiConnectionAggregator::new();
+        a.add(est(100, 1.0));
+        a.aggregate();
+        assert!(a.aggregate().is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! The RTT baseline — and why it is not end-to-end latency (paper §2).
+//!
+//! TCP already maintains a smoothed round-trip time, so the obvious
+//! question is whether batching policies could just use it. The paper rules
+//! this out for two reasons, both of which this module makes measurable:
+//!
+//! 1. **Application read delays are invisible to RTT.** RTT is measured
+//!    from segment transmission to acknowledgment; the time a response then
+//!    sits in the receive buffer waiting for the application (the `c` cost
+//!    of Figure 1) never appears in it.
+//! 2. **Delayed ACKs inflate it.** The ACK that closes an RTT sample may
+//!    itself have been delayed by up to the delack timeout, unrelated to
+//!    any data-path latency.
+//!
+//! [`RttBaseline`] mirrors the kernel's SRTT smoothing over externally
+//! supplied samples so experiments can plot "RTT-derived latency" next to
+//! measured and Little's-law-estimated latency.
+
+use littles::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// An SRTT-style latency baseline (RFC 6298 smoothing, α = 1/8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RttBaseline {
+    srtt: Option<Nanos>,
+    samples: u64,
+}
+
+impl RttBaseline {
+    /// Creates an empty baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one RTT sample.
+    pub fn sample(&mut self, rtt: Nanos) {
+        self.srtt = Some(match self.srtt {
+            None => rtt,
+            Some(s) => s * 7 / 8 + rtt / 8,
+        });
+        self.samples += 1;
+    }
+
+    /// The smoothed RTT, the baseline's best guess at "latency".
+    pub fn latency(&self) -> Option<Nanos> {
+        self.srtt
+    }
+
+    /// Number of samples seen.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The baseline's estimate of end-to-end latency for a request/response
+    /// exchange: one RTT (it cannot do better — see module docs).
+    pub fn request_response_estimate(&self) -> Option<Nanos> {
+        self.srtt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_steady_input() {
+        let mut b = RttBaseline::new();
+        for _ in 0..200 {
+            b.sample(Nanos::from_micros(30));
+        }
+        let s = b.latency().unwrap();
+        assert!(s.as_micros().abs_diff(30) <= 1);
+    }
+
+    #[test]
+    fn misses_application_read_delay() {
+        // The defining failure: true end-to-end latency includes a 400 µs
+        // application read delay; RTT only ever sees the 30 µs wire+stack
+        // round trip. The baseline underestimates by >10×.
+        let wire_rtt = Nanos::from_micros(30);
+        let app_read_delay = Nanos::from_micros(400);
+        let true_latency = wire_rtt + app_read_delay;
+
+        let mut b = RttBaseline::new();
+        for _ in 0..100 {
+            b.sample(wire_rtt); // acks return regardless of the app
+        }
+        let est = b.request_response_estimate().unwrap();
+        assert!(
+            est * 10 < true_latency,
+            "RTT {est} should grossly underestimate {true_latency}"
+        );
+    }
+
+    #[test]
+    fn inflated_by_delayed_acks() {
+        // The opposite failure: a quiet connection whose ACKs ride the
+        // delack timer. True data-path latency is 30 µs, but every sample
+        // includes a 40 ms delack.
+        let mut b = RttBaseline::new();
+        for _ in 0..100 {
+            b.sample(Nanos::from_micros(30) + Nanos::from_millis(40));
+        }
+        let est = b.latency().unwrap();
+        assert!(
+            est > Nanos::from_millis(39),
+            "delack-inflated RTT {est} bears no relation to the 30 µs path"
+        );
+    }
+
+    #[test]
+    fn sample_count() {
+        let mut b = RttBaseline::new();
+        b.sample(Nanos::from_micros(1));
+        b.sample(Nanos::from_micros(2));
+        assert_eq!(b.samples(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the latency decomposition.
+
+use e2e_core::combine::{combine_delays, EndpointWindows, QueueWindow};
+use e2e_core::{E2eEstimator, RequestTracker};
+use littles::wire::{WireExchange, WireScale};
+use littles::{Nanos, QueueState, Snapshot};
+use proptest::prelude::*;
+
+fn window() -> impl Strategy<Value = QueueWindow> {
+    (1u64..10_000_000, 0u64..10_000, 0u128..1u128 << 40).prop_map(|(dt, total, integral)| {
+        QueueWindow {
+            dt: Nanos::from_nanos(dt),
+            d_total: total,
+            d_integral: integral,
+        }
+    })
+}
+
+fn endpoint() -> impl Strategy<Value = EndpointWindows> {
+    (window(), window(), window()).prop_map(|(unacked, unread, ackdelay)| EndpointWindows {
+        unacked,
+        unread,
+        ackdelay,
+    })
+}
+
+proptest! {
+    /// The decomposition never panics and never returns a negative
+    /// latency (the subtraction clamps).
+    #[test]
+    fn latency_is_total_and_nonnegative(near in endpoint(), far in endpoint()) {
+        let set = combine_delays(&near, &far);
+        let _ = set.latency(); // must not panic; Nanos is unsigned by type
+    }
+
+    /// Monotonicity: growing any *added* component cannot lower the
+    /// combined latency; growing the subtracted one cannot raise it.
+    #[test]
+    fn latency_monotone_in_components(near in endpoint(), far in endpoint(), extra in 1u128..1u128 << 30) {
+        let base = combine_delays(&near, &far).latency();
+
+        let mut more_unread = near;
+        more_unread.unread.d_integral += extra * more_unread.unread.d_total.max(1) as u128;
+        let grown = combine_delays(&more_unread, &far).latency();
+        prop_assert!(grown >= base, "adding unread delay lowered L");
+
+        let mut more_ackdelay = far;
+        more_ackdelay.ackdelay.d_integral += extra * more_ackdelay.ackdelay.d_total.max(1) as u128;
+        let shrunk = combine_delays(&near, &more_ackdelay).latency();
+        prop_assert!(shrunk <= base, "adding remote ackdelay raised L");
+    }
+
+    /// The delay fallbacks: idle → 0, stalled → window length.
+    #[test]
+    fn delay_fallbacks(dt in 1u64..1_000_000) {
+        let idle = QueueWindow { dt: Nanos::from_nanos(dt), d_total: 0, d_integral: 0 };
+        prop_assert_eq!(idle.delay(), Nanos::ZERO);
+        let stalled = QueueWindow { dt: Nanos::from_nanos(dt), d_total: 0, d_integral: 1 };
+        prop_assert_eq!(stalled.delay(), Nanos::from_nanos(dt));
+    }
+
+    /// The estimator is insensitive to tick cadence: feeding the same
+    /// queue activity with twice as many intermediate local snapshots
+    /// yields the same final-window estimate family (every produced
+    /// estimate stays within the envelope of the true per-period delays).
+    #[test]
+    fn estimator_outputs_bounded_by_activity(period_us in 50u64..500, residency_us in 1u64..40) {
+        let us = Nanos::from_micros;
+        let mut unacked = QueueState::new(Nanos::ZERO);
+        let mut est = E2eEstimator::new(WireScale::UNSCALED, 1.0);
+        let mut max_seen = Nanos::ZERO;
+        for p in 0..30u64 {
+            let t0 = us(p * period_us);
+            unacked.track(t0, 1);
+            unacked.track(t0 + us(residency_us.min(period_us - 1)), -1);
+            let tick = us((p + 1) * period_us);
+            let snap = unacked.peek(tick);
+            let local = e2e_core::combine::EndpointSnapshots {
+                unacked: snap,
+                unread: Snapshot { time: tick, ..Snapshot::default() },
+                ackdelay: Snapshot { time: tick, ..Snapshot::default() },
+            };
+            let idle = QueueState::new(Nanos::ZERO).peek(tick);
+            let remote = WireExchange::pack(&idle, &idle, &idle, WireScale::UNSCALED);
+            if let Some(e) = est.update(tick, local, Some(remote)) {
+                max_seen = max_seen.max(e.latency);
+            }
+        }
+        // All estimates bounded by the true residency (± rounding).
+        prop_assert!(max_seen <= us(residency_us) + Nanos::from_nanos(1),
+            "estimate {max_seen} exceeds true residency {}us", residency_us);
+    }
+
+    /// Tracker round-trip: create/complete pairs in FIFO order recover the
+    /// exact mean residency through the hint path.
+    #[test]
+    fn tracker_mean_exact_for_uniform_residency(
+        n in 1u64..50,
+        gap_us in 1u64..100,
+        residency_us in 1u64..2_000,
+    ) {
+        let us = Nanos::from_micros;
+        let mut t = RequestTracker::new(Nanos::ZERO);
+        let s0 = t.snapshot(Nanos::ZERO);
+        let mut events: Vec<(u64, bool)> = (0..n)
+            .flat_map(|i| [(i * gap_us, true), (i * gap_us + residency_us, false)])
+            .collect();
+        events.sort();
+        for (at, create) in events {
+            if create {
+                t.create(us(at), 1);
+            } else {
+                t.complete(us(at), 1);
+            }
+        }
+        let s1 = t.snapshot(us(n * gap_us + residency_us + 1));
+        let avgs = RequestTracker::averages(&s0, &s1).unwrap();
+        prop_assert_eq!(avgs.delay.unwrap(), us(residency_us));
+    }
+}

@@ -1,0 +1,159 @@
+//! Incremental weighted mean and variance.
+//!
+//! The paper cites Finch's note on incremental calculation of weighted mean
+//! and variance as the low-overhead way to maintain smoothed statistics
+//! online. This module implements the exponentially-weighted variant
+//! (Finch §9; a.k.a. West's algorithm): one multiply-accumulate per sample,
+//! no history buffer, numerically stable.
+//!
+//! Policies use the variance to distinguish "estimate moved because load
+//! changed" from "estimate moved because of noise" (paper §5, granularity).
+
+use serde::{Deserialize, Serialize};
+
+/// Exponentially-weighted running mean and variance.
+///
+/// After each sample `x`: `diff = x − mean`, `incr = α·diff`,
+/// `mean += incr`, `var = (1 − α)·(var + diff·incr)`.
+///
+/// # Examples
+///
+/// ```
+/// use littles::WeightedMeanVar;
+///
+/// let mut s = WeightedMeanVar::new(0.1);
+/// for _ in 0..500 { s.update(4.0); }
+/// assert!((s.mean() - 4.0).abs() < 1e-9);
+/// assert!(s.variance() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedMeanVar {
+    alpha: f64,
+    mean: f64,
+    variance: f64,
+    samples: u64,
+}
+
+impl WeightedMeanVar {
+    /// Creates a tracker with weight `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
+        WeightedMeanVar {
+            alpha,
+            mean: 0.0,
+            variance: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Folds in one sample.
+    pub fn update(&mut self, x: f64) {
+        if self.samples == 0 {
+            self.mean = x;
+            self.variance = 0.0;
+        } else {
+            let diff = x - self.mean;
+            let incr = self.alpha * diff;
+            self.mean += incr;
+            self.variance = (1.0 - self.alpha) * (self.variance + diff * incr);
+        }
+        self.samples += 1;
+    }
+
+    /// Current weighted mean (0 before any samples).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current weighted variance (0 before two samples).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Number of samples folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Coefficient of variation (`σ/μ`), or `None` when the mean is ~0.
+    pub fn coeff_of_variation(&self) -> Option<f64> {
+        if self.mean.abs() < f64::EPSILON {
+            None
+        } else {
+            Some(self.std_dev() / self.mean.abs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_stream_has_zero_variance() {
+        let mut s = WeightedMeanVar::new(0.3);
+        for _ in 0..100 {
+            s.update(5.0);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!(s.variance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_stream_has_positive_variance() {
+        let mut s = WeightedMeanVar::new(0.1);
+        for i in 0..1000 {
+            s.update(if i % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        assert!((s.mean() - 5.0).abs() < 1.0);
+        assert!(s.variance() > 1.0);
+    }
+
+    #[test]
+    fn tracks_level_shift() {
+        let mut s = WeightedMeanVar::new(0.2);
+        for _ in 0..100 {
+            s.update(1.0);
+        }
+        for _ in 0..100 {
+            s.update(100.0);
+        }
+        assert!((s.mean() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn variance_is_never_negative() {
+        let mut s = WeightedMeanVar::new(0.9);
+        for x in [1.0, -5.0, 100.0, 3.0, -77.0, 0.0] {
+            s.update(x);
+            assert!(s.variance() >= 0.0, "negative variance after {x}");
+        }
+    }
+
+    #[test]
+    fn cov_undefined_for_zero_mean() {
+        let mut s = WeightedMeanVar::new(0.5);
+        s.update(0.0);
+        assert_eq!(s.coeff_of_variation(), None);
+        s.update(8.0);
+        assert!(s.coeff_of_variation().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sample_count_increments() {
+        let mut s = WeightedMeanVar::new(0.5);
+        assert_eq!(s.samples(), 0);
+        s.update(1.0);
+        s.update(2.0);
+        assert_eq!(s.samples(), 2);
+    }
+}

@@ -1,0 +1,345 @@
+//! Compact peer-exchange encoding of queue snapshots.
+//!
+//! The paper (§3.2) has each party share three queue states with its peer,
+//! "36 bytes ... per exchange (three 4-byte counters per queue)". This
+//! module implements exactly that: a [`WireSnapshot`] packs a
+//! [`Snapshot`] into three `u32` counters (scaled time,
+//! total, scaled integral), and a [`WireExchange`] carries the three queues —
+//! *unacked*, *unread*, and *ackdelay* — in 36 bytes.
+//!
+//! 32-bit counters wrap; deltas between two successive snapshots are
+//! computed with wrapping subtraction and remain exact as long as no counter
+//! advances by ≥ 2³² scaled units between exchanges. With the default
+//! [`WireScale`] (time in ~µs, integral in item-~ms) that allows windows of
+//! over an hour and integral growth of ~4×10⁹ item-ms between exchanges —
+//! comfortably beyond any sane exchange interval. The tradeoff is precision:
+//! quantization error is bounded by one scaled unit per counter and is
+//! analyzed in the tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::queue::Snapshot;
+use crate::time::Nanos;
+
+/// Size in bytes of one encoded queue snapshot.
+pub const SNAPSHOT_WIRE_BYTES: usize = 12;
+
+/// Size in bytes of a full three-queue exchange (the paper's 36 bytes).
+pub const EXCHANGE_WIRE_BYTES: usize = 3 * SNAPSHOT_WIRE_BYTES;
+
+/// Fixed-point scaling applied when packing 64/128-bit counters into `u32`.
+///
+/// Values are right-shifted by the configured number of bits; shifts are
+/// powers of two so encoding stays branch-free integer arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireScale {
+    /// Right-shift applied to nanosecond timestamps. The default of 10 makes
+    /// the time unit ~1.024 µs, wrapping every ~73 minutes.
+    pub time_shift: u32,
+    /// Right-shift applied to item-nanosecond integrals. The default of 20
+    /// makes the unit ~1.05 item-ms.
+    pub integral_shift: u32,
+}
+
+impl Default for WireScale {
+    fn default() -> Self {
+        WireScale {
+            time_shift: 10,
+            integral_shift: 20,
+        }
+    }
+}
+
+impl WireScale {
+    /// A scale with no shifting, for unit tests and very chatty exchanges
+    /// over byte-sized units (wraps quickly; see module docs).
+    pub const UNSCALED: WireScale = WireScale {
+        time_shift: 0,
+        integral_shift: 0,
+    };
+}
+
+/// A queue snapshot packed into three 4-byte counters.
+///
+/// This is the unit the paper's metadata exchange ships: `(time, total,
+/// integral)`, each 32 bits, wrapping.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSnapshot {
+    /// Scaled, wrapped timestamp.
+    pub time: u32,
+    /// Wrapped cumulative departures.
+    pub total: u32,
+    /// Scaled, wrapped occupancy integral.
+    pub integral: u32,
+}
+
+impl WireSnapshot {
+    /// Packs a full-resolution snapshot.
+    pub fn pack(s: &Snapshot, scale: WireScale) -> Self {
+        WireSnapshot {
+            time: (s.time.as_nanos() >> scale.time_shift) as u32,
+            total: s.total as u32,
+            integral: (s.integral >> scale.integral_shift) as u32,
+        }
+    }
+
+    /// Serializes to 12 big-endian bytes.
+    pub fn encode(&self) -> [u8; SNAPSHOT_WIRE_BYTES] {
+        let mut out = [0u8; SNAPSHOT_WIRE_BYTES];
+        out[0..4].copy_from_slice(&self.time.to_be_bytes());
+        out[4..8].copy_from_slice(&self.total.to_be_bytes());
+        out[8..12].copy_from_slice(&self.integral.to_be_bytes());
+        out
+    }
+
+    /// Deserializes from 12 big-endian bytes.
+    pub fn decode(buf: &[u8; SNAPSHOT_WIRE_BYTES]) -> Self {
+        let u32_at = |i: usize| u32::from_be_bytes(buf[i..i + 4].try_into().expect("4 bytes"));
+        WireSnapshot {
+            time: u32_at(0),
+            total: u32_at(4),
+            integral: u32_at(8),
+        }
+    }
+
+    /// Wrap-aware window between two successive wire snapshots, un-scaled
+    /// back to full resolution.
+    ///
+    /// Correct as long as each counter advanced by fewer than 2³² scaled
+    /// units since `prev`. Returns `None` for an empty window.
+    pub fn window_since(&self, prev: &WireSnapshot, scale: WireScale) -> Option<WireWindow> {
+        let dt_scaled = self.time.wrapping_sub(prev.time);
+        if dt_scaled == 0 {
+            return None;
+        }
+        Some(WireWindow {
+            dt: Nanos::from_nanos((dt_scaled as u64) << scale.time_shift),
+            d_total: self.total.wrapping_sub(prev.total) as u64,
+            d_integral: (self.integral.wrapping_sub(prev.integral) as u128)
+                << scale.integral_shift,
+        })
+    }
+}
+
+/// Un-scaled deltas recovered from two wire snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireWindow {
+    /// Window length.
+    pub dt: Nanos,
+    /// Departures during the window.
+    pub d_total: u64,
+    /// Integral growth during the window, item-nanoseconds.
+    pub d_integral: u128,
+}
+
+impl WireWindow {
+    /// Average occupancy `Q` over the window.
+    pub fn avg_occupancy(&self) -> f64 {
+        self.d_integral as f64 / self.dt.as_nanos() as f64
+    }
+
+    /// Throughput `λ` in items per second.
+    pub fn throughput(&self) -> f64 {
+        self.d_total as f64 / self.dt.as_secs_f64()
+    }
+
+    /// Little's-law delay `D = Δintegral / Δtotal`, `None` if nothing
+    /// departed.
+    pub fn delay(&self) -> Option<Nanos> {
+        if self.d_total == 0 {
+            return None;
+        }
+        Some(Nanos::from_nanos(
+            (self.d_integral / self.d_total as u128) as u64,
+        ))
+    }
+}
+
+/// The three per-queue snapshots one endpoint shares with its peer.
+///
+/// Field order matches the latency decomposition of §3.2.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireExchange {
+    /// Messages sent but not yet acknowledged.
+    pub unacked: WireSnapshot,
+    /// Messages received by the stack but not yet read by the application.
+    pub unread: WireSnapshot,
+    /// Messages received but whose acknowledgment is still delayed.
+    pub ackdelay: WireSnapshot,
+}
+
+impl WireExchange {
+    /// Serializes to the paper's 36-byte exchange payload.
+    pub fn encode(&self) -> [u8; EXCHANGE_WIRE_BYTES] {
+        let mut out = [0u8; EXCHANGE_WIRE_BYTES];
+        out[0..12].copy_from_slice(&self.unacked.encode());
+        out[12..24].copy_from_slice(&self.unread.encode());
+        out[24..36].copy_from_slice(&self.ackdelay.encode());
+        out
+    }
+
+    /// Deserializes a 36-byte exchange payload.
+    pub fn decode(buf: &[u8; EXCHANGE_WIRE_BYTES]) -> Self {
+        let part = |lo: usize| {
+            let arr: [u8; SNAPSHOT_WIRE_BYTES] = buf[lo..lo + SNAPSHOT_WIRE_BYTES]
+                .try_into()
+                .expect("12 bytes");
+            WireSnapshot::decode(&arr)
+        };
+        WireExchange {
+            unacked: part(0),
+            unread: part(12),
+            ackdelay: part(24),
+        }
+    }
+
+    /// Packs three full-resolution snapshots.
+    pub fn pack(
+        unacked: &Snapshot,
+        unread: &Snapshot,
+        ackdelay: &Snapshot,
+        scale: WireScale,
+    ) -> Self {
+        WireExchange {
+            unacked: WireSnapshot::pack(unacked, scale),
+            unread: WireSnapshot::pack(unread, scale),
+            ackdelay: WireSnapshot::pack(ackdelay, scale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueState;
+
+    fn snap(time_ns: u64, total: u64, integral: u128) -> Snapshot {
+        Snapshot {
+            time: Nanos::from_nanos(time_ns),
+            total,
+            integral,
+        }
+    }
+
+    #[test]
+    fn exchange_is_exactly_36_bytes() {
+        let ex = WireExchange::default();
+        assert_eq!(ex.encode().len(), 36);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let w = WireSnapshot {
+            time: 0xDEAD_BEEF,
+            total: 42,
+            integral: 0x0102_0304,
+        };
+        assert_eq!(WireSnapshot::decode(&w.encode()), w);
+    }
+
+    #[test]
+    fn exchange_roundtrip() {
+        let ex = WireExchange {
+            unacked: WireSnapshot {
+                time: 1,
+                total: 2,
+                integral: 3,
+            },
+            unread: WireSnapshot {
+                time: 4,
+                total: 5,
+                integral: 6,
+            },
+            ackdelay: WireSnapshot {
+                time: 7,
+                total: 8,
+                integral: 9,
+            },
+        };
+        assert_eq!(WireExchange::decode(&ex.encode()), ex);
+    }
+
+    #[test]
+    fn unscaled_window_is_exact() {
+        let a = WireSnapshot::pack(&snap(100, 5, 1_000), WireScale::UNSCALED);
+        let b = WireSnapshot::pack(&snap(400, 9, 4_000), WireScale::UNSCALED);
+        let w = b.window_since(&a, WireScale::UNSCALED).unwrap();
+        assert_eq!(w.dt, Nanos::from_nanos(300));
+        assert_eq!(w.d_total, 4);
+        assert_eq!(w.d_integral, 3_000);
+        assert_eq!(w.delay(), Some(Nanos::from_nanos(750)));
+    }
+
+    #[test]
+    fn wrapping_delta_survives_overflow() {
+        // Counters near the wrap point: the delta must still be correct.
+        let prev = WireSnapshot {
+            time: u32::MAX - 10,
+            total: u32::MAX - 2,
+            integral: u32::MAX - 100,
+        };
+        let cur = WireSnapshot {
+            time: 20,
+            total: 3,
+            integral: 50,
+        };
+        let w = cur.window_since(&prev, WireScale::UNSCALED).unwrap();
+        assert_eq!(w.dt.as_nanos(), 31);
+        assert_eq!(w.d_total, 6);
+        assert_eq!(w.d_integral, 151);
+    }
+
+    #[test]
+    fn default_scale_quantization_is_bounded() {
+        // A realistic pair of snapshots one millisecond apart; the recovered
+        // window must be within one quantum of the exact value.
+        let scale = WireScale::default();
+        let a = snap(5_000_000, 1_000, 7_000_000_000);
+        let b = snap(6_000_000, 1_500, 9_000_000_000);
+        let wa = WireSnapshot::pack(&a, scale);
+        let wb = WireSnapshot::pack(&b, scale);
+        let w = wb.window_since(&wa, scale).unwrap();
+        let exact_dt = 1_000_000u64;
+        let quantum_t = 1u64 << scale.time_shift;
+        assert!(w.dt.as_nanos().abs_diff(exact_dt) <= quantum_t);
+        let exact_di = 2_000_000_000u128;
+        let quantum_i = 1u128 << scale.integral_shift;
+        assert!(w.d_integral.abs_diff(exact_di) <= quantum_i);
+        assert_eq!(w.d_total, 500);
+    }
+
+    #[test]
+    fn empty_window_is_none() {
+        let w = WireSnapshot {
+            time: 7,
+            total: 1,
+            integral: 2,
+        };
+        assert!(w.window_since(&w, WireScale::UNSCALED).is_none());
+    }
+
+    #[test]
+    fn wire_delay_matches_full_resolution() {
+        // Drive a queue, snapshot at both resolutions, compare delays.
+        let mut q = QueueState::new(Nanos::ZERO);
+        let s0 = q.snapshot(Nanos::ZERO);
+        q.track(Nanos::from_micros(10), 8);
+        q.track(Nanos::from_micros(500), -8);
+        let s1 = q.snapshot(Nanos::from_micros(1_000));
+
+        let full = s1.averages_since(&s0).unwrap().delay.unwrap();
+        let scale = WireScale {
+            time_shift: 10,
+            integral_shift: 10,
+        };
+        let w = WireSnapshot::pack(&s1, scale)
+            .window_since(&WireSnapshot::pack(&s0, scale), scale)
+            .unwrap();
+        let wire = w.delay().unwrap();
+        let tolerance = Nanos::from_nanos((1u64 << scale.integral_shift) / 8 + 1);
+        assert!(
+            wire.as_nanos().abs_diff(full.as_nanos()) <= tolerance.as_nanos(),
+            "wire {wire} vs full {full}"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the Little's-law tracker.
+//!
+//! The central property: for any FIFO arrival/departure schedule over a
+//! window in which the queue starts and ends empty, the Little's-law delay
+//! recovered from the 4-tuple state equals the true mean residence time,
+//! exactly (both are `Σ residence / n` in integer nanoseconds).
+
+use littles::wire::{WireExchange, WireScale, WireSnapshot};
+use littles::{Nanos, QueueState, Snapshot};
+use proptest::prelude::*;
+
+/// A FIFO schedule: item `i` enters at `arrivals[i]` and leaves at
+/// `departures[i]`, with both sequences sorted and `departure ≥ arrival`.
+fn fifo_schedule() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    (1usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u64..1_000_000, n),
+            proptest::collection::vec(1u64..1_000_000, n),
+        )
+            .prop_map(|(mut arr, gaps)| {
+                arr.sort_unstable();
+                // FIFO departures: each departure is after both its arrival
+                // and the previous departure.
+                let mut deps = Vec::with_capacity(arr.len());
+                let mut prev = 0u64;
+                for (a, g) in arr.iter().zip(gaps) {
+                    let d = (*a).max(prev) + g;
+                    deps.push(d);
+                    prev = d;
+                }
+                (arr, deps)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn littles_law_matches_true_mean_residence((arrivals, departures) in fifo_schedule()) {
+        let mut q = QueueState::new(Nanos::ZERO);
+        let start = q.snapshot(Nanos::ZERO);
+
+        // Merge the two event streams in time order.
+        let mut events: Vec<(u64, i64)> = arrivals.iter().map(|&t| (t, 1i64))
+            .chain(departures.iter().map(|&t| (t, -1i64)))
+            .collect();
+        events.sort_by_key(|&(t, kind)| (t, kind)); // departures (-1) before arrivals at ties
+        for (t, delta) in events {
+            q.track(Nanos::from_nanos(t), delta);
+        }
+
+        let end_time = *departures.last().unwrap() + 1;
+        let end = q.snapshot(Nanos::from_nanos(end_time));
+        let avgs = end.averages_since(&start).unwrap();
+
+        let n = arrivals.len() as u128;
+        let residence_sum: u128 = arrivals.iter().zip(&departures)
+            .map(|(&a, &d)| (d - a) as u128)
+            .sum();
+        let true_mean_ns = residence_sum / n;
+
+        let measured = avgs.delay.expect("items departed").as_nanos() as u128;
+        // Integer division on both sides: allow 1 ns rounding slack.
+        prop_assert!(measured.abs_diff(true_mean_ns) <= 1,
+            "littles {measured} vs true {true_mean_ns}");
+    }
+
+    #[test]
+    fn integral_is_monotic_and_total_counts_departures(
+        deltas in proptest::collection::vec((1u64..10_000, -3i64..=5), 1..100)
+    ) {
+        let mut q = QueueState::new(Nanos::ZERO);
+        let mut t = 0u64;
+        let mut last_integral = 0u128;
+        let mut expected_total = 0u64;
+        for (dt, want) in deltas {
+            t += dt;
+            // Clamp removals so occupancy never goes negative.
+            let delta = if want < 0 { -(-want).min(q.size()) } else { want };
+            q.track(Nanos::from_nanos(t), delta);
+            if delta < 0 {
+                expected_total += delta.unsigned_abs();
+            }
+            prop_assert!(q.integral() >= last_integral);
+            last_integral = q.integral();
+            prop_assert_eq!(q.total(), expected_total);
+            prop_assert!(q.size() >= 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_windows_are_additive(
+        deltas in proptest::collection::vec((1u64..10_000, -2i64..=3), 2..60),
+        split in 1usize..59,
+    ) {
+        // Averages over [0, T] must be consistent with the two sub-windows:
+        // the integrals and totals add.
+        let mut q = QueueState::new(Nanos::ZERO);
+        let s0 = q.snapshot(Nanos::ZERO);
+        let mut t = 0u64;
+        let split = split.min(deltas.len() - 1);
+        let mut mid: Option<Snapshot> = None;
+        for (i, (dt, want)) in deltas.iter().enumerate() {
+            t += dt;
+            let delta = if *want < 0 { -(-want).min(q.size()) } else { *want };
+            q.track(Nanos::from_nanos(t), delta);
+            if i == split {
+                mid = Some(q.snapshot(Nanos::from_nanos(t)));
+            }
+        }
+        let s2 = q.snapshot(Nanos::from_nanos(t + 1));
+        let mid = mid.unwrap();
+        prop_assert_eq!(
+            s2.integral - s0.integral,
+            (mid.integral - s0.integral) + (s2.integral - mid.integral)
+        );
+        prop_assert_eq!(
+            s2.total - s0.total,
+            (mid.total - s0.total) + (s2.total - mid.total)
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip_any_snapshot(time in 0u64..u64::MAX / 2, total in 0u64..u32::MAX as u64, integral in 0u128..1u128 << 50) {
+        let s = Snapshot { time: Nanos::from_nanos(time), total, integral };
+        let scale = WireScale::default();
+        let w = WireSnapshot::pack(&s, scale);
+        let encoded = w.encode();
+        prop_assert_eq!(WireSnapshot::decode(&encoded), w);
+    }
+
+    #[test]
+    fn wire_exchange_roundtrip(vals in proptest::collection::vec(0u32..u32::MAX, 9)) {
+        let mk = |i: usize| WireSnapshot { time: vals[i], total: vals[i + 1], integral: vals[i + 2] };
+        let ex = WireExchange { unacked: mk(0), unread: mk(3), ackdelay: mk(6) };
+        prop_assert_eq!(WireExchange::decode(&ex.encode()), ex);
+    }
+
+    #[test]
+    fn wire_window_delta_correct_across_wrap(
+        base_t in 0u32..u32::MAX, dt in 1u32..1_000_000,
+        base_total in 0u32..u32::MAX, dtotal in 0u32..1_000_000,
+    ) {
+        let prev = WireSnapshot { time: base_t, total: base_total, integral: 0 };
+        let cur = WireSnapshot {
+            time: base_t.wrapping_add(dt),
+            total: base_total.wrapping_add(dtotal),
+            integral: 0,
+        };
+        let w = cur.window_since(&prev, WireScale::UNSCALED).unwrap();
+        prop_assert_eq!(w.dt.as_nanos(), dt as u64);
+        prop_assert_eq!(w.d_total, dtotal as u64);
+    }
+}

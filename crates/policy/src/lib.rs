@@ -1,0 +1,35 @@
+//! Dynamic batching policies driven by end-to-end estimates.
+//!
+//! The paper's §4–§5 sketch how end-to-end performance estimates should be
+//! *used*: toggle batching on/off dynamically (ε-greedy exploration, since
+//! the effect of the other mode is unknown until tried), smooth noisy
+//! estimates, decide at a configurable granularity, balance latency and
+//! throughput through an explicit objective, and — as the more principled
+//! future direction — adapt a batch-size *limit* with AIMD rather than a
+//! binary switch.
+//!
+//! * [`objective`] — what "better" means: minimize latency, maximize
+//!   throughput under a latency SLO, or a weighted tradeoff.
+//! * [`toggler`] — [`BatchToggler`] implementations: static on/off
+//!   baselines and the ε-greedy dynamic toggler.
+//! * [`tick`] — the toggling-granularity controller (the paper suggests a
+//!   kernel tick).
+//! * [`aimd`] — additive-increase/multiplicative-decrease batch limits.
+//! * [`figure1`] — the paper's Figure 1 analytical model (n queued
+//!   requests, per-request cost α, per-batch cost β, client cost c),
+//!   reproduced exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aimd;
+pub mod figure1;
+pub mod objective;
+pub mod tick;
+pub mod toggler;
+
+pub use aimd::AimdBatchLimit;
+pub use figure1::{figure1_model, BatchOutcome, Figure1Params, Metrics};
+pub use objective::Objective;
+pub use tick::TickController;
+pub use toggler::{BatchToggler, EpsilonGreedy, StaticToggler};

@@ -1,0 +1,225 @@
+//! CPU execution contexts with cost accounting.
+//!
+//! The paper pins two execution contexts per machine — the application
+//! thread (Redis or Lancet) and the network-stack softirq context — to
+//! dedicated cores. A [`CpuContext`] models one such pinned core: work items
+//! execute serially, each with a caller-supplied cost; a context that is
+//! offered more work than one core's worth of time saturates, and the
+//! backlog becomes queueing delay.
+//!
+//! This model is what reproduces the *shape* of the paper's results:
+//! per-packet softirq cost × packets/sec approaching 1 core is exactly the
+//! saturation knee in Figure 4, and the VM client of Figure 2 is a context
+//! whose costs carry a multiplier.
+
+use serde::{Deserialize, Serialize};
+
+use littles::Nanos;
+
+/// A serially-executing CPU context (one pinned core).
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{CpuContext, Nanos};
+///
+/// let mut cpu = CpuContext::new("softirq");
+/// let done1 = cpu.run(Nanos::ZERO, Nanos::from_micros(3));
+/// let done2 = cpu.run(Nanos::ZERO, Nanos::from_micros(2));
+/// assert_eq!(done1, Nanos::from_micros(3));
+/// assert_eq!(done2, Nanos::from_micros(5)); // queued behind the first
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuContext {
+    name: &'static str,
+    busy_until: Nanos,
+    busy_accum: Nanos,
+    jobs: u64,
+    /// Multiplier applied to every cost, in parts per 1024 (1024 = 1.0×).
+    /// Models virtualization overhead (paper Figure 2: the VM client's
+    /// per-request CPU cost is substantially higher).
+    cost_multiplier_milli: u64,
+}
+
+impl CpuContext {
+    /// Creates an idle context with no cost multiplier.
+    pub fn new(name: &'static str) -> Self {
+        CpuContext {
+            name,
+            busy_until: Nanos::ZERO,
+            busy_accum: Nanos::ZERO,
+            jobs: 0,
+            cost_multiplier_milli: 1000,
+        }
+    }
+
+    /// Creates a context whose every cost is scaled by `multiplier`
+    /// (e.g. `2.5` for a VM whose guest work costs 2.5× bare metal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is not positive and finite.
+    pub fn with_multiplier(name: &'static str, multiplier: f64) -> Self {
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "bad multiplier {multiplier}"
+        );
+        CpuContext {
+            cost_multiplier_milli: (multiplier * 1000.0).round() as u64,
+            ..CpuContext::new(name)
+        }
+    }
+
+    /// The context's label.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The effective cost of `raw` after the multiplier.
+    pub fn scaled(&self, raw: Nanos) -> Nanos {
+        Nanos::from_nanos(raw.as_nanos() * self.cost_multiplier_milli / 1000)
+    }
+
+    /// Executes work of cost `raw` (scaled by the multiplier), starting no
+    /// earlier than `now` and behind any queued work. Returns the
+    /// completion time.
+    pub fn run(&mut self, now: Nanos, raw: Nanos) -> Nanos {
+        let cost = self.scaled(raw);
+        let start = self.busy_until.max(now);
+        self.busy_until = start + cost;
+        self.busy_accum += cost;
+        self.jobs += 1;
+        self.busy_until
+    }
+
+    /// Time at which all currently queued work completes.
+    pub fn busy_until(&self) -> Nanos {
+        self.busy_until
+    }
+
+    /// Remaining backlog at `now` (zero when idle).
+    pub fn backlog(&self, now: Nanos) -> Nanos {
+        self.busy_until.saturating_sub(now)
+    }
+
+    /// Total busy time accumulated since creation.
+    pub fn busy_accum(&self) -> Nanos {
+        self.busy_accum
+    }
+
+    /// Number of work items executed.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Captures a snapshot for windowed utilization measurement.
+    pub fn busy_snapshot(&self, now: Nanos) -> BusySnapshot {
+        BusySnapshot {
+            at: now,
+            busy_accum: self.busy_accum,
+            jobs: self.jobs,
+        }
+    }
+
+    /// Utilization (0..=1+) between a snapshot and `now`.
+    ///
+    /// Values above 1.0 indicate the context was offered more than a core's
+    /// worth of work during the window (the excess is queued backlog).
+    pub fn utilization_since(&self, snap: &BusySnapshot, now: Nanos) -> f64 {
+        let dt = now.saturating_sub(snap.at);
+        if dt.is_zero() {
+            return 0.0;
+        }
+        (self.busy_accum.saturating_sub(snap.busy_accum)).as_nanos() as f64
+            / dt.as_nanos() as f64
+    }
+}
+
+/// A point-in-time capture of a context's cumulative busy time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusySnapshot {
+    /// When the snapshot was taken.
+    pub at: Nanos,
+    /// Cumulative busy time at `at`.
+    pub busy_accum: Nanos,
+    /// Jobs executed by `at`.
+    pub jobs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_context_runs_immediately() {
+        let mut c = CpuContext::new("app");
+        let done = c.run(Nanos::from_micros(10), Nanos::from_micros(2));
+        assert_eq!(done, Nanos::from_micros(12));
+    }
+
+    #[test]
+    fn work_serializes() {
+        let mut c = CpuContext::new("app");
+        let d1 = c.run(Nanos::ZERO, Nanos::from_micros(5));
+        let d2 = c.run(Nanos::from_micros(1), Nanos::from_micros(5));
+        assert_eq!(d1, Nanos::from_micros(5));
+        assert_eq!(d2, Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn backlog_reflects_queued_work() {
+        let mut c = CpuContext::new("app");
+        c.run(Nanos::ZERO, Nanos::from_micros(8));
+        assert_eq!(c.backlog(Nanos::from_micros(3)), Nanos::from_micros(5));
+        assert_eq!(c.backlog(Nanos::from_micros(20)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn multiplier_scales_cost() {
+        let mut vm = CpuContext::with_multiplier("vm-app", 2.5);
+        let done = vm.run(Nanos::ZERO, Nanos::from_micros(4));
+        assert_eq!(done, Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn utilization_window() {
+        let mut c = CpuContext::new("app");
+        let snap = c.busy_snapshot(Nanos::ZERO);
+        // 4 µs of work offered over a 10 µs window → 40%.
+        c.run(Nanos::ZERO, Nanos::from_micros(4));
+        let u = c.utilization_since(&snap, Nanos::from_micros(10));
+        assert!((u - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscribed_utilization_exceeds_one() {
+        let mut c = CpuContext::new("softirq");
+        let snap = c.busy_snapshot(Nanos::ZERO);
+        for _ in 0..3 {
+            c.run(Nanos::ZERO, Nanos::from_micros(5));
+        }
+        let u = c.utilization_since(&snap, Nanos::from_micros(10));
+        assert!((u - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_utilization_is_zero() {
+        let c = CpuContext::new("app");
+        let snap = c.busy_snapshot(Nanos::ZERO);
+        assert_eq!(c.utilization_since(&snap, Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn job_count_tracks() {
+        let mut c = CpuContext::new("app");
+        c.run(Nanos::ZERO, Nanos::from_nanos(1));
+        c.run(Nanos::ZERO, Nanos::from_nanos(1));
+        assert_eq!(c.jobs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad multiplier")]
+    fn zero_multiplier_rejected() {
+        let _ = CpuContext::with_multiplier("x", 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Generic discrete-event engine.
+//!
+//! An [`EventQueue`] holds future events ordered by `(time, sequence)`; the
+//! sequence number breaks ties deterministically in insertion order. A
+//! simulation is a [`World`] — any state machine that consumes its own event
+//! type and schedules follow-ups — driven by [`run`] until a deadline or
+//! [`run_until_idle`] until the queue drains.
+//!
+//! Timers are events like any other; cancellation is supported through
+//! [`EventToken`]s with lazy removal (cancelled entries are skipped when
+//! popped), the standard technique for binary-heap schedulers.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use littles::Nanos;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered queue of future events.
+///
+/// The queue owns the simulated clock: [`EventQueue::now`] advances to each
+/// event's timestamp as it is popped. Scheduling in the past is a logic
+/// error (debug assertion) and is clamped to `now` in release builds.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{EventQueue, Nanos};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(Nanos::from_micros(2), "b");
+/// q.schedule(Nanos::from_micros(1), "a");
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(1), "a")));
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(2), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    now: Nanos,
+    next_seq: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            now: Nanos::ZERO,
+            next_seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` from now.
+    pub fn schedule(&mut self, delay: Nanos, event: E) -> EventToken {
+        self.schedule_at(self.now.saturating_add(delay), event)
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to `now`).
+    pub fn schedule_at(&mut self, at: Nanos, event: E) -> EventToken {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            at: at.max(self.now),
+            seq,
+            event,
+        }));
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.at;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A simulation state machine.
+///
+/// The world receives each event together with the queue, through which it
+/// may schedule (or cancel) follow-up events. Worlds must not depend on any
+/// source of nondeterminism other than their own seeded RNG.
+pub trait World {
+    /// The world's event alphabet.
+    type Event;
+
+    /// Handles one event at the time `queue.now()`.
+    fn handle(&mut self, queue: &mut EventQueue<Self::Event>, event: Self::Event);
+}
+
+/// Drives `world` until the queue is empty or the next event is past
+/// `until`. Returns the number of events processed.
+///
+/// Events with timestamps exactly equal to `until` are processed; later
+/// ones remain queued (and the clock does not advance past them).
+pub fn run<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, until: Nanos) -> u64 {
+    let mut n = 0;
+    while let Some(at) = queue.peek_time() {
+        if at > until {
+            break;
+        }
+        let (_, ev) = queue.pop().expect("peeked event exists");
+        world.handle(queue, ev);
+        n += 1;
+    }
+    n
+}
+
+/// Drives `world` until no events remain. Returns the number processed.
+///
+/// # Panics
+///
+/// Panics after `limit` events as a runaway guard (a self-perpetuating
+/// timer chain would otherwise never terminate).
+pub fn run_until_idle<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    limit: u64,
+) -> u64 {
+    let mut n = 0;
+    while let Some((_, ev)) = queue.pop() {
+        world.handle(queue, ev);
+        n += 1;
+        assert!(n <= limit, "event budget exhausted: runaway simulation?");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule(Nanos::from_nanos(30), 3);
+        q.schedule(Nanos::from_nanos(10), 1);
+        q.schedule(Nanos::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let t = Nanos::from_nanos(5);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(Nanos::from_micros(7), ());
+        assert_eq!(q.now(), Nanos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Nanos::from_micros(7));
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let tok = q.schedule(Nanos::from_nanos(1), 1);
+        q.schedule(Nanos::from_nanos(2), 2);
+        q.cancel(tok);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let tok = q.schedule(Nanos::from_nanos(1), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        q.cancel(tok);
+        q.schedule(Nanos::from_nanos(2), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let tok = q.schedule(Nanos::from_nanos(1), 1);
+        q.schedule(Nanos::from_nanos(9), 2);
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(9)));
+    }
+
+    struct Counter {
+        fired: Vec<(Nanos, u32)>,
+        chain: u32,
+    }
+
+    impl World for Counter {
+        type Event = u32;
+        fn handle(&mut self, q: &mut EventQueue<u32>, ev: u32) {
+            self.fired.push((q.now(), ev));
+            if ev < self.chain {
+                q.schedule(Nanos::from_nanos(10), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_respects_deadline_inclusive() {
+        let mut w = Counter {
+            fired: vec![],
+            chain: 100,
+        };
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(10), 1);
+        // Chain fires at t = 10, 20, 30, ...; deadline 30 → three events.
+        let n = run(&mut w, &mut q, Nanos::from_nanos(30));
+        assert_eq!(n, 3);
+        assert_eq!(w.fired.last(), Some(&(Nanos::from_nanos(30), 3)));
+        assert_eq!(q.len(), 1, "the t=40 event stays queued");
+    }
+
+    #[test]
+    fn run_until_idle_drains() {
+        let mut w = Counter {
+            fired: vec![],
+            chain: 5,
+        };
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::ZERO, 1);
+        let n = run_until_idle(&mut w, &mut q, 1000);
+        assert_eq!(n, 5);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn runaway_guard_trips() {
+        struct Forever;
+        impl World for Forever {
+            type Event = ();
+            fn handle(&mut self, q: &mut EventQueue<()>, _: ()) {
+                q.schedule(Nanos::from_nanos(1), ());
+            }
+        }
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::ZERO, ());
+        run_until_idle(&mut Forever, &mut q, 100);
+    }
+}

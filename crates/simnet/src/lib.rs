@@ -1,0 +1,39 @@
+//! Deterministic discrete-event simulation substrate.
+//!
+//! The paper's evaluation ran on two Xeon servers with 100 Gbps NICs and a
+//! patched Linux v6.3. This crate replaces that testbed with a
+//! deterministic, single-threaded discrete-event simulator over which the
+//! `tcpsim` stack and the `e2e-apps` workloads run. Determinism matters:
+//! every experiment in EXPERIMENTS.md reproduces bit-for-bit from a seed.
+//!
+//! Components:
+//!
+//! * [`engine`] — a generic event queue ([`EventQueue`]) with a total order
+//!   on `(time, sequence)`, cancellable timers, and a [`World`] trait plus
+//!   [`run`] driver.
+//! * [`rng`] — a tiny, seedable PCG32 generator with the distributions the
+//!   workloads need (uniform, exponential inter-arrivals, Bernoulli).
+//! * [`link`] — a point-to-point link with propagation delay, serialization
+//!   at a configured bandwidth, FIFO ordering, and optional loss.
+//! * [`cpu`] — serially-executing CPU contexts (application thread, softirq)
+//!   with cost accounting and utilization windows; this is what makes
+//!   per-packet overheads translate into saturation, reproducing the
+//!   paper's Figure 2 and the high-load side of Figure 4.
+//! * [`hist`] — log-bucketed latency histograms (mean/percentiles), the
+//!   simulator's analogue of Lancet's latency measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod engine;
+pub mod hist;
+pub mod link;
+pub mod rng;
+
+pub use cpu::{BusySnapshot, CpuContext};
+pub use engine::{run, run_until_idle, EventQueue, EventToken, World};
+pub use hist::Histogram;
+pub use link::{DuplexLink, Link, LinkConfig};
+pub use littles::Nanos;
+pub use rng::Pcg32;

@@ -1,0 +1,198 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! A self-contained PCG32 implementation (O'Neill's `pcg32_oneseq`) seeded
+//! through SplitMix64. Every source of randomness in a simulation flows from
+//! one [`Pcg32`] so that a `(seed, configuration)` pair fully determines the
+//! run. We deliberately avoid `rand`'s thread-local entropy here; the `rand`
+//! crate is still used by test-only code elsewhere in the workspace.
+
+use serde::{Deserialize, Serialize};
+
+use littles::Nanos;
+
+const PCG_MULT: u64 = 6364136223846793005;
+const PCG_INC: u64 = 1442695040888963407;
+
+/// A PCG32 pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::Pcg32;
+///
+/// let mut a = Pcg32::new(7);
+/// let mut b = Pcg32::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pcg32 {
+    state: u64,
+}
+
+impl Pcg32 {
+    /// Creates a generator from a seed (any value, including 0, is fine).
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 whitening so that nearby seeds give unrelated streams.
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        let mut rng = Pcg32 {
+            state: z ^ (z >> 31),
+        };
+        // Advance once so the first output already depends on the seed.
+        let _ = rng.next_u32();
+        rng
+    }
+
+    /// Derives an independent child generator; used to give each component
+    /// (load generator, link loss, policy exploration) its own stream.
+    pub fn fork(&mut self) -> Pcg32 {
+        Pcg32::new(self.next_u64())
+    }
+
+    /// Next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(PCG_INC);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire's multiply-shift with rejection for unbiased output.
+        loop {
+            let x = self.next_u64();
+            let m = x as u128 * bound as u128;
+            let lo = m as u64;
+            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed duration with the given mean, for Poisson
+    /// (open-loop) arrival processes à la Lancet.
+    pub fn exp_duration(&mut self, mean: Nanos) -> Nanos {
+        // Inverse-CDF; clamp the uniform away from 0 to avoid ln(0).
+        let u = self.next_f64().max(1e-300);
+        Nanos::from_secs_f64(-u.ln() * mean.as_secs_f64())
+    }
+
+    /// Fills a byte buffer with random data (for synthetic payloads).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Pcg32::new(42);
+        let mut b = Pcg32::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg32::new(1);
+        let mut b = Pcg32::new(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be unrelated, {same} collisions");
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = Pcg32::new(3);
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut r = Pcg32::new(4);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.gen_range(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of [0,8) should occur");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Pcg32::new(5);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_roughly_correct() {
+        let mut r = Pcg32::new(6);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let mut r = Pcg32::new(7);
+        let mean = Nanos::from_micros(50);
+        let n = 20_000u64;
+        let sum: Nanos = (0..n).map(|_| r.exp_duration(mean)).sum();
+        let measured = sum.as_nanos() / n;
+        let expect = mean.as_nanos();
+        assert!(
+            measured.abs_diff(expect) < expect / 20,
+            "measured {measured} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = Pcg32::new(8);
+        let mut child = a.fork();
+        let same = (0..64).filter(|_| a.next_u32() == child.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fill_bytes_fills_oddly_sized_buffers() {
+        let mut r = Pcg32::new(9);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,543 @@
+//! Socket send and receive buffers.
+//!
+//! Buffers work in 64-bit *stream offsets* (bytes since connection start);
+//! the socket maps these to wire sequence numbers. This keeps buffer logic
+//! free of 32-bit wrap concerns, exactly like the kernel's separation of
+//! `skb` byte queues from sequence arithmetic.
+//!
+//! Both buffers carry *message boundaries* — stream offsets at which an
+//! application `send` call (or an explicit hint) ended — so the instrumented
+//! queues can count in message units as well as bytes (paper §3.3).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bytes::Bytes;
+
+/// The sending half: bytes accepted from the application, split into
+/// unacknowledged (`una..nxt`) and unsent (`nxt..end`) regions.
+#[derive(Debug, Clone)]
+pub struct SendBuffer {
+    /// First unacknowledged stream offset.
+    una: u64,
+    /// Next stream offset to transmit.
+    nxt: u64,
+    /// End of buffered data.
+    end: u64,
+    /// Bytes from `una` to `end`.
+    data: VecDeque<u8>,
+    /// Capacity limit on `end − una`.
+    capacity: usize,
+    /// Message-end offsets not yet fully acknowledged.
+    boundaries: VecDeque<u64>,
+}
+
+impl SendBuffer {
+    /// Creates an empty buffer with the given byte capacity.
+    pub fn new(capacity: usize) -> Self {
+        SendBuffer {
+            una: 0,
+            nxt: 0,
+            end: 0,
+            data: VecDeque::new(),
+            capacity,
+            boundaries: VecDeque::new(),
+        }
+    }
+
+    /// Appends as much of `bytes` as capacity allows; returns the number of
+    /// bytes accepted.
+    pub fn push(&mut self, bytes: &[u8]) -> usize {
+        let room = self.capacity.saturating_sub((self.end - self.una) as usize);
+        let n = bytes.len().min(room);
+        self.data.extend(&bytes[..n]);
+        self.end += n as u64;
+        n
+    }
+
+    /// Records that an application message ends at the current write
+    /// position. No-op if no data is buffered at all (a zero-length send).
+    pub fn mark_boundary(&mut self) {
+        if self.boundaries.back() != Some(&self.end) && self.end > self.una {
+            self.boundaries.push_back(self.end);
+        }
+    }
+
+    /// First unacknowledged offset.
+    pub fn una(&self) -> u64 {
+        self.una
+    }
+
+    /// Next offset to send.
+    pub fn nxt(&self) -> u64 {
+        self.nxt
+    }
+
+    /// End of buffered data.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Bytes buffered but not yet transmitted.
+    pub fn unsent(&self) -> usize {
+        (self.end - self.nxt) as usize
+    }
+
+    /// Bytes transmitted but not yet acknowledged.
+    pub fn in_flight(&self) -> usize {
+        (self.nxt - self.una) as usize
+    }
+
+    /// Total buffered bytes (`sk_wmem_queued` analogue).
+    pub fn buffered(&self) -> usize {
+        (self.end - self.una) as usize
+    }
+
+    /// Remaining capacity for `push`.
+    pub fn room(&self) -> usize {
+        self.capacity.saturating_sub(self.buffered())
+    }
+
+    /// Copies out the next up-to-`max` unsent bytes (without consuming)
+    /// together with the message boundaries they contain, and advances
+    /// `nxt`. Returns `None` when nothing is unsent or `max == 0`.
+    pub fn take_chunk(&mut self, max: usize) -> Option<SendChunk> {
+        let n = self.unsent().min(max);
+        if n == 0 {
+            return None;
+        }
+        let start = self.nxt;
+        let from = (start - self.una) as usize;
+        let bytes: Bytes = self
+            .data
+            .iter()
+            .skip(from)
+            .take(n)
+            .copied()
+            .collect::<Vec<u8>>()
+            .into();
+        self.nxt += n as u64;
+        let boundaries: Vec<u64> = self
+            .boundaries
+            .iter()
+            .copied()
+            .filter(|&b| b > start && b <= self.nxt)
+            .collect();
+        Some(SendChunk {
+            offset: start,
+            bytes,
+            boundaries,
+        })
+    }
+
+    /// Re-reads already-transmitted bytes `[offset, offset+len)` for
+    /// retransmission (they remain buffered until acknowledged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not fully within `[una, nxt)`.
+    pub fn retransmit_chunk(&self, offset: u64, len: usize) -> SendChunk {
+        assert!(
+            offset >= self.una && offset + len as u64 <= self.nxt,
+            "retransmit range [{offset}, +{len}) outside [{}, {})",
+            self.una,
+            self.nxt
+        );
+        let from = (offset - self.una) as usize;
+        let bytes: Bytes = self
+            .data
+            .iter()
+            .skip(from)
+            .take(len)
+            .copied()
+            .collect::<Vec<u8>>()
+            .into();
+        let end = offset + len as u64;
+        let boundaries: Vec<u64> = self
+            .boundaries
+            .iter()
+            .copied()
+            .filter(|&b| b > offset && b <= end)
+            .collect();
+        SendChunk {
+            offset,
+            bytes,
+            boundaries,
+        }
+    }
+
+    /// Processes a cumulative acknowledgment up to stream offset `upto`.
+    /// Returns the freed byte count and the number of whole messages that
+    /// became fully acknowledged.
+    pub fn on_ack(&mut self, upto: u64) -> AckResult {
+        let upto = upto.min(self.end);
+        if upto <= self.una {
+            return AckResult {
+                bytes: 0,
+                messages: 0,
+            };
+        }
+        let n = (upto - self.una) as usize;
+        self.data.drain(..n);
+        self.una = upto;
+        if self.nxt < self.una {
+            self.nxt = self.una;
+        }
+        let mut messages = 0;
+        while self.boundaries.front().is_some_and(|&b| b <= upto) {
+            self.boundaries.pop_front();
+            messages += 1;
+        }
+        AckResult { bytes: n, messages }
+    }
+
+    /// Rewinds the send pointer to the first unacknowledged byte (go-back-N
+    /// after an RTO).
+    pub fn rewind_to_una(&mut self) {
+        self.nxt = self.una;
+    }
+}
+
+/// A chunk of stream data handed to the transmit path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendChunk {
+    /// Stream offset of the first byte.
+    pub offset: u64,
+    /// The payload.
+    pub bytes: Bytes,
+    /// Message-end offsets within `(offset, offset + len]`.
+    pub boundaries: Vec<u64>,
+}
+
+/// Result of processing a cumulative ACK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckResult {
+    /// Bytes newly acknowledged.
+    pub bytes: usize,
+    /// Whole application messages newly acknowledged.
+    pub messages: usize,
+}
+
+/// The receiving half: in-order reassembly plus an out-of-order store.
+#[derive(Debug, Clone)]
+pub struct RecvBuffer {
+    /// Next expected stream offset (`rcv_nxt` analogue).
+    rcv_nxt: u64,
+    /// Offset of the first unread byte (`copied_seq` analogue).
+    read_pos: u64,
+    /// In-order bytes from `read_pos` to `rcv_nxt`.
+    ready: VecDeque<u8>,
+    /// Out-of-order segments keyed by start offset.
+    ooo: BTreeMap<u64, Bytes>,
+    /// Message-end offsets within in-order data, not yet consumed.
+    boundaries: VecDeque<u64>,
+    /// Out-of-order message-end offsets waiting for in-order delivery.
+    ooo_boundaries: BTreeMap<u64, ()>,
+    capacity: usize,
+}
+
+/// Result of ingesting one data segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestResult {
+    /// Bytes that became in-order available (0 for pure out-of-order).
+    pub in_order_bytes: usize,
+    /// Whole messages that became in-order available.
+    pub in_order_messages: usize,
+    /// True if the segment was entirely duplicate data.
+    pub duplicate: bool,
+    /// True if the segment landed out of order.
+    pub out_of_order: bool,
+}
+
+impl RecvBuffer {
+    /// Creates an empty receive buffer with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        RecvBuffer {
+            rcv_nxt: 0,
+            read_pos: 0,
+            ready: VecDeque::new(),
+            ooo: BTreeMap::new(),
+            boundaries: VecDeque::new(),
+            ooo_boundaries: BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// Next expected offset.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Offset of the first unread byte.
+    pub fn read_pos(&self) -> u64 {
+        self.read_pos
+    }
+
+    /// Bytes available for the application to read (`sk_rmem_alloc`
+    /// analogue, ignoring out-of-order data).
+    pub fn available(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Whole messages available to read.
+    pub fn available_messages(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Receive window to advertise.
+    pub fn window(&self) -> usize {
+        self.capacity.saturating_sub(self.ready.len())
+    }
+
+    /// Ingests a segment at stream offset `offset` carrying `data` and the
+    /// message boundaries ending within it.
+    pub fn ingest(&mut self, offset: u64, data: &Bytes, boundaries: &[u64]) -> IngestResult {
+        let end = offset + data.len() as u64;
+        for &b in boundaries {
+            debug_assert!(b > offset && b <= end, "boundary {b} outside segment");
+            if b > self.rcv_nxt {
+                self.ooo_boundaries.insert(b, ());
+            }
+        }
+        if end <= self.rcv_nxt {
+            return IngestResult {
+                duplicate: true,
+                ..IngestResult::default()
+            };
+        }
+        if offset > self.rcv_nxt {
+            // Out of order: stash (trimming handled at assembly).
+            self.ooo.insert(offset, data.clone());
+            return IngestResult {
+                out_of_order: true,
+                ..IngestResult::default()
+            };
+        }
+        let rcv_nxt_before = self.rcv_nxt;
+        // Overlapping or exactly in order: take the new suffix.
+        let skip = (self.rcv_nxt - offset) as usize;
+        self.ready.extend(&data[skip..]);
+        self.rcv_nxt = end;
+        // Pull in any out-of-order data that is now contiguous.
+        while let Some((&start, _)) = self.ooo.first_key_value() {
+            if start > self.rcv_nxt {
+                break;
+            }
+            let (start, seg) = self.ooo.pop_first().expect("checked non-empty");
+            let seg_end = start + seg.len() as u64;
+            if seg_end <= self.rcv_nxt {
+                continue; // fully duplicate
+            }
+            let skip = (self.rcv_nxt - start) as usize;
+            self.ready.extend(&seg[skip..]);
+            self.rcv_nxt = seg_end;
+        }
+        // Promote boundaries that are now in order.
+        let mut in_order_messages = 0;
+        loop {
+            match self.ooo_boundaries.first_key_value() {
+                Some((&b, _)) if b <= self.rcv_nxt => {
+                    self.ooo_boundaries.pop_first();
+                    self.boundaries.push_back(b);
+                    in_order_messages += 1;
+                }
+                _ => break,
+            }
+        }
+        IngestResult {
+            in_order_bytes: (self.rcv_nxt - rcv_nxt_before) as usize,
+            in_order_messages,
+            duplicate: false,
+            out_of_order: false,
+        }
+    }
+
+    /// Reads up to `max` in-order bytes; returns the bytes and the number
+    /// of whole messages consumed.
+    pub fn read(&mut self, max: usize) -> (Bytes, usize) {
+        let n = self.ready.len().min(max);
+        let bytes: Bytes = self.ready.drain(..n).collect::<Vec<u8>>().into();
+        self.read_pos += n as u64;
+        let mut messages = 0;
+        while self.boundaries.front().is_some_and(|&b| b <= self.read_pos) {
+            self.boundaries.pop_front();
+            messages += 1;
+        }
+        (bytes, messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_push_respects_capacity() {
+        let mut b = SendBuffer::new(10);
+        assert_eq!(b.push(b"hello"), 5);
+        assert_eq!(b.push(b"worldxxx"), 5);
+        assert_eq!(b.push(b"y"), 0);
+        assert_eq!(b.buffered(), 10);
+        assert_eq!(b.room(), 0);
+    }
+
+    #[test]
+    fn send_chunks_advance_nxt() {
+        let mut b = SendBuffer::new(100);
+        b.push(b"abcdefgh");
+        let c1 = b.take_chunk(3).unwrap();
+        assert_eq!(&c1.bytes[..], b"abc");
+        assert_eq!(c1.offset, 0);
+        let c2 = b.take_chunk(100).unwrap();
+        assert_eq!(&c2.bytes[..], b"defgh");
+        assert_eq!(c2.offset, 3);
+        assert!(b.take_chunk(10).is_none());
+        assert_eq!(b.in_flight(), 8);
+    }
+
+    #[test]
+    fn send_boundaries_ride_chunks() {
+        let mut b = SendBuffer::new(100);
+        b.push(b"req1");
+        b.mark_boundary();
+        b.push(b"req2!");
+        b.mark_boundary();
+        let c = b.take_chunk(6).unwrap();
+        assert_eq!(c.boundaries, vec![4]);
+        let c2 = b.take_chunk(10).unwrap();
+        assert_eq!(c2.boundaries, vec![9]);
+    }
+
+    #[test]
+    fn ack_frees_bytes_and_messages() {
+        let mut b = SendBuffer::new(100);
+        b.push(b"req1");
+        b.mark_boundary();
+        b.push(b"req2");
+        b.mark_boundary();
+        b.take_chunk(100);
+        let r = b.on_ack(4);
+        assert_eq!(
+            r,
+            AckResult {
+                bytes: 4,
+                messages: 1
+            }
+        );
+        assert_eq!(b.buffered(), 4);
+        // Duplicate ack is a no-op.
+        let r2 = b.on_ack(4);
+        assert_eq!(r2.bytes, 0);
+        let r3 = b.on_ack(8);
+        assert_eq!(r3.messages, 1);
+        assert_eq!(b.buffered(), 0);
+    }
+
+    #[test]
+    fn retransmit_rereads_unacked_range() {
+        let mut b = SendBuffer::new(100);
+        b.push(b"abcdef");
+        b.take_chunk(6);
+        let c = b.retransmit_chunk(2, 3);
+        assert_eq!(&c.bytes[..], b"cde");
+        assert_eq!(c.offset, 2);
+    }
+
+    #[test]
+    fn rewind_resends_everything_unacked() {
+        let mut b = SendBuffer::new(100);
+        b.push(b"abcdef");
+        b.take_chunk(6);
+        b.on_ack(2);
+        b.rewind_to_una();
+        let c = b.take_chunk(100).unwrap();
+        assert_eq!(c.offset, 2);
+        assert_eq!(&c.bytes[..], b"cdef");
+    }
+
+    #[test]
+    #[should_panic(expected = "retransmit range")]
+    fn retransmit_outside_window_panics() {
+        let b = SendBuffer::new(100);
+        let _ = b.retransmit_chunk(0, 1);
+    }
+
+    #[test]
+    fn recv_in_order_delivery() {
+        let mut r = RecvBuffer::new(100);
+        let res = r.ingest(0, &Bytes::from_static(b"hello"), &[5]);
+        assert_eq!(res.in_order_bytes, 5);
+        assert_eq!(res.in_order_messages, 1);
+        assert_eq!(r.available(), 5);
+        let (bytes, msgs) = r.read(100);
+        assert_eq!(&bytes[..], b"hello");
+        assert_eq!(msgs, 1);
+    }
+
+    #[test]
+    fn recv_out_of_order_reassembly() {
+        let mut r = RecvBuffer::new(100);
+        let res1 = r.ingest(5, &Bytes::from_static(b"world"), &[10]);
+        assert!(res1.out_of_order);
+        assert_eq!(r.available(), 0);
+        let res2 = r.ingest(0, &Bytes::from_static(b"hello"), &[]);
+        assert_eq!(res2.in_order_bytes, 10);
+        assert_eq!(res2.in_order_messages, 1);
+        let (bytes, _) = r.read(100);
+        assert_eq!(&bytes[..], b"helloworld");
+    }
+
+    #[test]
+    fn recv_duplicate_detected() {
+        let mut r = RecvBuffer::new(100);
+        r.ingest(0, &Bytes::from_static(b"abc"), &[]);
+        let res = r.ingest(0, &Bytes::from_static(b"abc"), &[]);
+        assert!(res.duplicate);
+        assert_eq!(r.available(), 3);
+    }
+
+    #[test]
+    fn recv_partial_overlap_takes_suffix() {
+        let mut r = RecvBuffer::new(100);
+        r.ingest(0, &Bytes::from_static(b"abc"), &[]);
+        let res = r.ingest(1, &Bytes::from_static(b"bcdef"), &[]);
+        assert!(!res.duplicate);
+        assert_eq!(r.rcv_nxt(), 6);
+        let (bytes, _) = r.read(100);
+        assert_eq!(&bytes[..], b"abcdef");
+    }
+
+    #[test]
+    fn recv_partial_read_consumes_messages_lazily() {
+        let mut r = RecvBuffer::new(100);
+        r.ingest(0, &Bytes::from_static(b"req1req2"), &[4, 8]);
+        assert_eq!(r.available_messages(), 2);
+        let (_, msgs) = r.read(3);
+        assert_eq!(msgs, 0, "message 1 not fully consumed yet");
+        let (_, msgs) = r.read(1);
+        assert_eq!(msgs, 1);
+        let (_, msgs) = r.read(100);
+        assert_eq!(msgs, 1);
+    }
+
+    #[test]
+    fn recv_window_shrinks_with_unread_data() {
+        let mut r = RecvBuffer::new(10);
+        r.ingest(0, &Bytes::from_static(b"abcde"), &[]);
+        assert_eq!(r.window(), 5);
+        r.read(5);
+        assert_eq!(r.window(), 10);
+    }
+
+    #[test]
+    fn ooo_chain_reassembles_fully() {
+        let mut r = RecvBuffer::new(100);
+        r.ingest(6, &Bytes::from_static(b"ghi"), &[9]);
+        r.ingest(3, &Bytes::from_static(b"def"), &[]);
+        let res = r.ingest(0, &Bytes::from_static(b"abc"), &[]);
+        assert_eq!(res.in_order_bytes, 9);
+        assert_eq!(res.in_order_messages, 1);
+        let (bytes, msgs) = r.read(100);
+        assert_eq!(&bytes[..], b"abcdefghi");
+        assert_eq!(msgs, 1);
+    }
+}

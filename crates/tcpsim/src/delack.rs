@@ -1,0 +1,246 @@
+//! Delayed-acknowledgment state machine (RFC 1122 §4.2.3.2).
+//!
+//! ACKs are delayed hoping to (a) piggyback on reverse-direction data and
+//! (b) acknowledge every second full-sized segment with one ACK. The
+//! machine answers one question per received data segment: acknowledge
+//! *now*, or arm (keep) a timer? The paper treats the set of
+//! received-but-unacked messages as a queue (*ackdelay*) whose Little's-law
+//! delay enters the end-to-end latency decomposition with a *negative*
+//! sign — see `e2e-core`.
+
+use littles::Nanos;
+use serde::{Deserialize, Serialize};
+
+use crate::config::DelAckConfig;
+
+/// What the receive path should do about acknowledging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckDecision {
+    /// Send an ACK immediately (threshold reached or quick-ack forced).
+    SendNow,
+    /// Delay: arm the delack timer for the given delay (only returned when
+    /// no timer is already pending).
+    Arm(Nanos),
+    /// Delay: a timer is already pending, nothing to do.
+    AlreadyArmed,
+}
+
+/// Per-connection delayed-ACK state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelAck {
+    config: DelAckConfig,
+    /// Full-sized segments received since the last ACK was sent.
+    pending_full: u32,
+    /// Any segments (of any size) pending acknowledgment?
+    pending_any: bool,
+    /// Is the delack timer armed (as far as this machine knows)?
+    timer_armed: bool,
+    /// Statistics: ACKs sent immediately by threshold.
+    immediate_acks: u64,
+    /// Statistics: delack timers that actually fired.
+    timeout_acks: u64,
+    /// Statistics: ACKs that piggybacked on outgoing data.
+    piggybacked_acks: u64,
+}
+
+impl DelAck {
+    /// Creates an idle machine.
+    pub fn new(config: DelAckConfig) -> Self {
+        DelAck {
+            config,
+            pending_full: 0,
+            pending_any: false,
+            timer_armed: false,
+            immediate_acks: 0,
+            timeout_acks: 0,
+            piggybacked_acks: 0,
+        }
+    }
+
+    /// Called for each received in-order data segment. `full_sized` is
+    /// true when the segment carries ≥ 1 MSS of payload (TSO
+    /// super-segments count their wire packets via `packets`).
+    /// `force_quick` requests an immediate ACK (out-of-order data, window
+    /// pressure).
+    pub fn on_data(&mut self, full_sized: bool, packets: u32, force_quick: bool) -> AckDecision {
+        self.pending_any = true;
+        if full_sized {
+            self.pending_full += packets;
+        }
+        if force_quick || self.pending_full >= self.config.ack_every_segments {
+            self.immediate_acks += 1;
+            self.note_ack_sent_inner();
+            AckDecision::SendNow
+        } else if self.timer_armed {
+            AckDecision::AlreadyArmed
+        } else {
+            self.timer_armed = true;
+            AckDecision::Arm(self.config.timeout)
+        }
+    }
+
+    /// The delack timer fired. Returns true if an ACK must be sent (it may
+    /// have been cleared by a piggyback racing the timer).
+    pub fn on_timer(&mut self) -> bool {
+        self.timer_armed = false;
+        if self.pending_any {
+            self.timeout_acks += 1;
+            self.note_ack_sent_inner();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// An ACK is riding an outgoing data segment (piggyback). Returns true
+    /// if this cleared a pending delayed ACK (caller should cancel the
+    /// timer).
+    pub fn on_piggyback(&mut self) -> bool {
+        if !self.config.piggyback {
+            return false;
+        }
+        let had = self.pending_any;
+        if had {
+            self.piggybacked_acks += 1;
+        }
+        self.note_ack_sent_inner()
+    }
+
+    fn note_ack_sent_inner(&mut self) -> bool {
+        let timer_was_armed = self.timer_armed;
+        self.pending_full = 0;
+        self.pending_any = false;
+        self.timer_armed = false;
+        timer_was_armed
+    }
+
+    /// Whether any received data awaits acknowledgment.
+    pub fn has_pending(&self) -> bool {
+        self.pending_any
+    }
+
+    /// Whether the machine believes its timer is armed.
+    pub fn timer_armed(&self) -> bool {
+        self.timer_armed
+    }
+
+    /// ACKs sent immediately due to the segment-count threshold.
+    pub fn immediate_acks(&self) -> u64 {
+        self.immediate_acks
+    }
+
+    /// ACKs sent because the delack timer expired.
+    pub fn timeout_acks(&self) -> u64 {
+        self.timeout_acks
+    }
+
+    /// ACKs that rode outgoing data.
+    pub fn piggybacked_acks(&self) -> u64 {
+        self.piggybacked_acks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn da() -> DelAck {
+        DelAck::new(DelAckConfig {
+            ack_every_segments: 2,
+            timeout: Nanos::from_millis(40),
+            piggyback: true,
+        })
+    }
+
+    #[test]
+    fn first_small_segment_arms_timer() {
+        let mut d = da();
+        assert_eq!(
+            d.on_data(false, 1, false),
+            AckDecision::Arm(Nanos::from_millis(40))
+        );
+        assert!(d.has_pending());
+        assert!(d.timer_armed());
+    }
+
+    #[test]
+    fn second_full_segment_acks_immediately() {
+        let mut d = da();
+        assert!(matches!(d.on_data(true, 1, false), AckDecision::Arm(_)));
+        assert_eq!(d.on_data(true, 1, false), AckDecision::SendNow);
+        assert!(!d.has_pending());
+        assert!(!d.timer_armed());
+    }
+
+    #[test]
+    fn tso_packets_count_toward_threshold() {
+        let mut d = da();
+        // One super-segment worth 4 wire packets crosses the threshold.
+        assert_eq!(d.on_data(true, 4, false), AckDecision::SendNow);
+    }
+
+    #[test]
+    fn small_segments_never_hit_threshold() {
+        let mut d = da();
+        assert!(matches!(d.on_data(false, 1, false), AckDecision::Arm(_)));
+        for _ in 0..10 {
+            assert_eq!(d.on_data(false, 1, false), AckDecision::AlreadyArmed);
+        }
+    }
+
+    #[test]
+    fn force_quick_overrides_delay() {
+        let mut d = da();
+        assert_eq!(d.on_data(false, 1, true), AckDecision::SendNow);
+    }
+
+    #[test]
+    fn timer_fire_sends_pending_ack() {
+        let mut d = da();
+        d.on_data(false, 1, false);
+        assert!(d.on_timer());
+        assert_eq!(d.timeout_acks(), 1);
+        assert!(!d.has_pending());
+    }
+
+    #[test]
+    fn timer_fire_without_pending_is_noop() {
+        let mut d = da();
+        assert!(!d.on_timer());
+        assert_eq!(d.timeout_acks(), 0);
+    }
+
+    #[test]
+    fn piggyback_clears_pending_and_reports_armed_timer() {
+        let mut d = da();
+        d.on_data(false, 1, false);
+        assert!(d.on_piggyback(), "timer was armed, caller must cancel");
+        assert!(!d.has_pending());
+        assert_eq!(d.piggybacked_acks(), 1);
+        // Subsequent timer fire must not send a stale ACK.
+        assert!(!d.on_timer());
+    }
+
+    #[test]
+    fn piggyback_disabled_keeps_pending() {
+        let mut d = DelAck::new(DelAckConfig {
+            ack_every_segments: 2,
+            timeout: Nanos::from_millis(40),
+            piggyback: false,
+        });
+        d.on_data(false, 1, false);
+        assert!(!d.on_piggyback());
+        assert!(d.has_pending());
+    }
+
+    #[test]
+    fn threshold_one_acks_every_segment() {
+        let mut d = DelAck::new(DelAckConfig {
+            ack_every_segments: 1,
+            timeout: Nanos::from_millis(40),
+            piggyback: true,
+        });
+        assert_eq!(d.on_data(true, 1, false), AckDecision::SendNow);
+        assert_eq!(d.on_data(true, 1, false), AckDecision::SendNow);
+    }
+}

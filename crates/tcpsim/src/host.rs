@@ -1,0 +1,227 @@
+//! A simulated host: CPU contexts, NIC transmit ring, and a socket table.
+//!
+//! Each host mirrors the paper's experimental machines: one pinned
+//! application context and one pinned softirq context ([`CpuContext`]s),
+//! plus a NIC whose transmit ring is what auto-corking watches. The host
+//! owns its sockets and the per-(socket, timer) generation counters used to
+//! cancel timers scheduled in the global event queue.
+
+use std::collections::HashMap;
+
+use simnet::{CpuContext, Nanos};
+
+use crate::config::{CostConfig, TcpConfig};
+use crate::segment::{FlowId, Segment};
+use crate::socket::{SocketId, TcpSocket, TimerKind};
+
+/// Index of a host in the simulation (0 = client, 1 = server by
+/// convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostId(pub usize);
+
+/// One simulated machine.
+#[derive(Debug)]
+pub struct Host {
+    /// The host's id.
+    pub id: HostId,
+    /// The pinned application thread.
+    pub app_cpu: CpuContext,
+    /// The pinned softirq (network receive/transmit) context.
+    pub softirq_cpu: CpuContext,
+    /// CPU cost parameters.
+    pub costs: CostConfig,
+    /// Configuration used for passively accepted sockets.
+    pub accept_config: TcpConfig,
+    sockets: Vec<TcpSocket>,
+    flows: HashMap<FlowId, SocketId>,
+    /// Packets handed to the NIC, not yet completed.
+    nic_in_flight: u32,
+    /// Per-(socket, timer) generation counters for cancellation.
+    timer_gens: HashMap<(SocketId, TimerKind), u64>,
+    /// Total doorbells rung (one per transmit batch).
+    pub doorbells: u64,
+}
+
+impl Host {
+    /// Creates a host with the given CPU contexts and costs.
+    pub fn new(
+        id: HostId,
+        app_cpu: CpuContext,
+        softirq_cpu: CpuContext,
+        costs: CostConfig,
+        accept_config: TcpConfig,
+    ) -> Self {
+        Host {
+            id,
+            app_cpu,
+            softirq_cpu,
+            costs,
+            accept_config,
+            sockets: Vec::new(),
+            flows: HashMap::new(),
+            nic_in_flight: 0,
+            timer_gens: HashMap::new(),
+            doorbells: 0,
+        }
+    }
+
+    /// Registers a socket, returning its id.
+    pub fn add_socket(&mut self, sock: TcpSocket) -> SocketId {
+        let id = SocketId(self.sockets.len());
+        self.flows.insert(sock.flow(), id);
+        self.sockets.push(sock);
+        id
+    }
+
+    /// Looks up the socket serving `flow`.
+    pub fn socket_for_flow(&self, flow: FlowId) -> Option<SocketId> {
+        self.flows.get(&flow).copied()
+    }
+
+    /// Immutable access to a socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn socket(&self, id: SocketId) -> &TcpSocket {
+        &self.sockets[id.0]
+    }
+
+    /// Mutable access to a socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn socket_mut(&mut self, id: SocketId) -> &mut TcpSocket {
+        &mut self.sockets[id.0]
+    }
+
+    /// All socket ids on this host.
+    pub fn socket_ids(&self) -> impl Iterator<Item = SocketId> {
+        (0..self.sockets.len()).map(SocketId)
+    }
+
+    /// Number of sockets.
+    pub fn socket_count(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Current NIC ring occupancy in packets.
+    pub fn nic_in_flight(&self) -> u32 {
+        self.nic_in_flight
+    }
+
+    /// Adds packets to the NIC ring (at transmit).
+    pub fn nic_enqueue(&mut self, packets: u32) {
+        self.nic_in_flight += packets;
+    }
+
+    /// Removes packets from the NIC ring (at completion interrupt).
+    pub fn nic_complete(&mut self, packets: u32) {
+        self.nic_in_flight = self.nic_in_flight.saturating_sub(packets);
+    }
+
+    /// Bumps and returns the generation for a timer, invalidating any
+    /// previously scheduled instance.
+    pub fn bump_timer(&mut self, sock: SocketId, kind: TimerKind) -> u64 {
+        let gen = self.timer_gens.entry((sock, kind)).or_insert(0);
+        *gen += 1;
+        *gen
+    }
+
+    /// Current generation for a timer.
+    pub fn timer_gen(&self, sock: SocketId, kind: TimerKind) -> u64 {
+        self.timer_gens.get(&(sock, kind)).copied().unwrap_or(0)
+    }
+
+    /// Softirq receive cost for a segment: one per-delivery charge (the
+    /// post-GRO skb) plus per-wire-packet and per-payload terms.
+    pub fn rx_cost(&self, seg: &Segment) -> Nanos {
+        self.costs.rx_per_delivery
+            + self.costs.rx_per_packet * seg.wire_packets as u64
+            + Nanos::from_nanos(
+                self.costs.rx_per_kib.as_nanos() * seg.payload.len() as u64 / 1024,
+            )
+    }
+
+    /// Transmit cost for a segment (excluding the doorbell). Pure ACKs use
+    /// the flat [`CostConfig::tx_ack`] cost.
+    pub fn tx_cost(&self, seg: &Segment) -> Nanos {
+        if seg.is_pure_ack() {
+            return self.costs.tx_ack;
+        }
+        self.costs.tx_per_segment
+            + Nanos::from_nanos(self.costs.tx_per_kib.as_nanos() * seg.payload.len() as u64 / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::socket::Action;
+    use bytes::Bytes;
+    use littles::Nanos;
+
+    fn host() -> Host {
+        Host::new(
+            HostId(0),
+            CpuContext::new("app"),
+            CpuContext::new("softirq"),
+            CostConfig::default(),
+            TcpConfig::default(),
+        )
+    }
+
+    #[test]
+    fn socket_registration_and_flow_lookup() {
+        let mut h = host();
+        let mut actions: Vec<Action> = Vec::new();
+        let sock = TcpSocket::client(FlowId(7), TcpConfig::default(), Nanos::ZERO, &mut actions);
+        let id = h.add_socket(sock);
+        assert_eq!(h.socket_for_flow(FlowId(7)), Some(id));
+        assert_eq!(h.socket_for_flow(FlowId(8)), None);
+        assert_eq!(h.socket_count(), 1);
+    }
+
+    #[test]
+    fn nic_ring_accounting() {
+        let mut h = host();
+        h.nic_enqueue(5);
+        assert_eq!(h.nic_in_flight(), 5);
+        h.nic_complete(3);
+        assert_eq!(h.nic_in_flight(), 2);
+        h.nic_complete(10);
+        assert_eq!(h.nic_in_flight(), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn timer_generations_invalidate() {
+        let mut h = host();
+        let s = SocketId(0);
+        assert_eq!(h.timer_gen(s, TimerKind::Rto), 0);
+        let g1 = h.bump_timer(s, TimerKind::Rto);
+        assert_eq!(g1, 1);
+        let g2 = h.bump_timer(s, TimerKind::Rto);
+        assert_eq!(g2, 2);
+        assert_eq!(h.timer_gen(s, TimerKind::Rto), 2);
+        // Independent per timer kind.
+        assert_eq!(h.timer_gen(s, TimerKind::Delack), 0);
+    }
+
+    #[test]
+    fn rx_cost_scales_with_packets_and_bytes() {
+        let h = host();
+        let mut small = Segment::control(
+            FlowId(1),
+            crate::seq::SeqNum::new(0),
+            crate::seq::SeqNum::new(0),
+            crate::segment::Flags::default(),
+            0,
+        );
+        small.payload = Bytes::from(vec![0u8; 100]);
+        let mut big = small.clone();
+        big.payload = Bytes::from(vec![0u8; 10_000]);
+        big.wire_packets = 7;
+        assert!(h.rx_cost(&big) > h.rx_cost(&small));
+    }
+}

@@ -1,0 +1,50 @@
+//! A from-scratch userspace TCP stack over a deterministic simulator.
+//!
+//! This crate is the substrate for reproducing *Batching with End-to-End
+//! Performance Estimation* (HotOS'25). The paper patched Linux v6.3; here
+//! the relevant slice of a kernel TCP/IP stack is reimplemented so that
+//! every batching mechanism the paper discusses exists and is togglable:
+//!
+//! * **Nagle's algorithm** ([`gates`]) — including a `Dynamic` mode driven
+//!   at runtime by a batching policy, which is the paper's proposal;
+//! * **delayed ACKs** ([`delack`]) — the 2-segment rule, the timeout, and
+//!   piggybacking, whose interaction with Nagle drives the motivating
+//!   pathology;
+//! * **auto-corking** ([`gates`], NIC ring in [`host`]);
+//! * **TSO aggregation** (transmit path in [`socket`]);
+//! * **doorbell batching** (per-flush charging in [`sim`]);
+//! * plus the supporting machinery a TCP needs: sequence arithmetic
+//!   ([`seq`]), socket buffers ([`buffer`]), SRTT/RTO ([`rtt`]), and
+//!   AIMD congestion control ([`cc`]).
+//!
+//! The paper's measurement machinery lives in [`queues`]: the three
+//! instrumented queues (*unacked*, *unread*, *ackdelay*) tracked in bytes,
+//! packets, and message units simultaneously, and exchanged between peers
+//! through a TCP option ([`segment::E2eOption`], 36 bytes of counters).
+//!
+//! [`sim::NetSim`] assembles two [`host::Host`]s (each with pinned app and
+//! softirq CPU contexts, mirroring the paper's core pinning) around a
+//! duplex link and runs [`sim::App`] implementations over the socket API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod cc;
+pub mod config;
+pub mod delack;
+pub mod gates;
+pub mod host;
+pub mod queues;
+pub mod rtt;
+pub mod segment;
+pub mod seq;
+pub mod sim;
+pub mod socket;
+
+pub use config::{CostConfig, NagleMode, TcpConfig};
+pub use host::{Host, HostId};
+pub use queues::{QueueSnapshots, SocketQueues, Unit};
+pub use segment::{FlowId, Segment};
+pub use sim::{App, Event, HostCtx, NetSim};
+pub use socket::{Action, SocketId, TcpSocket, TcpState, TimerKind, TxEnv, WakeReason};

@@ -1,0 +1,320 @@
+//! TCP segments and header options.
+//!
+//! A [`Segment`] is what travels the simulated link. Payload bytes are
+//! carried verbatim (the applications speak a real protocol over the
+//! stream). A segment may be a TSO *super-segment* representing several
+//! wire packets ([`Segment::wire_packets`]); link serialization and
+//! receive-side per-packet costs are charged per wire packet, while
+//! transmit-side per-segment costs are charged once — that asymmetry is
+//! precisely the benefit of segmentation offload.
+//!
+//! Options model the two header extensions the stack uses: RFC 7323
+//! timestamps (for RTT sampling) and the paper's end-to-end queue-state
+//! exchange ([`E2eOption`], §5 "Metadata Exchange": 36 bytes of counters in
+//! a TCP option). Option bytes count toward the wire length so the overhead
+//! benchmarks can quantify the exchange's cost.
+
+use bytes::Bytes;
+use littles::wire::{WireExchange, EXCHANGE_WIRE_BYTES};
+use serde::{Deserialize, Serialize};
+
+use crate::queues::Unit;
+use crate::seq::SeqNum;
+
+/// Ethernet + IP + TCP fixed header bytes per wire packet (14 + 20 + 20),
+/// plus minimal framing overhead.
+pub const HEADER_BYTES: usize = 58;
+
+/// Wire bytes of the timestamps option (10, padded to 12).
+pub const TIMESTAMP_OPTION_BYTES: usize = 12;
+
+/// Wire bytes of the end-to-end exchange option carrying `n` units'
+/// counters: kind + length + unit bitmap + 36 bytes per unit, padded to a
+/// 4-byte boundary. One unit — the paper's configuration — is 40 bytes.
+pub const fn e2e_option_bytes(units: usize) -> usize {
+    (2 + 1 + EXCHANGE_WIRE_BYTES * units).div_ceil(4) * 4
+}
+
+/// Wire bytes of the single-unit exchange option (the paper's 36 bytes of
+/// counters plus option framing).
+pub const E2E_OPTION_BYTES: usize = e2e_option_bytes(1);
+
+/// Wire bytes of the application-hint option: kind + length + one 12-byte
+/// queue snapshot, padded to a 4-byte boundary.
+pub const HINT_OPTION_BYTES: usize = 16;
+
+/// Identifies one TCP connection (both endpoints use the same id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+/// TCP header flags (the subset the simulator uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Flags {
+    /// Connection request.
+    pub syn: bool,
+    /// Acknowledgment field is valid.
+    pub ack: bool,
+    /// Sender has finished sending.
+    pub fin: bool,
+    /// Push: a send-call boundary ends in this segment.
+    pub psh: bool,
+}
+
+/// RFC 7323 timestamps option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimestampOption {
+    /// Sender's clock at transmit (ns truncated to 32 bits in simulation).
+    pub tsval: u32,
+    /// Echo of the most recent tsval received from the peer.
+    pub tsecr: u32,
+}
+
+/// The paper's end-to-end queue-state exchange option.
+///
+/// The paper exchanges counters in a single unit (36 bytes); this
+/// implementation can carry several units side by side so one experiment
+/// run can compare the §3.3 bridging strategies. Wire size grows
+/// accordingly and is accounted per unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct E2eOption {
+    /// Per-unit exchanges, indexed by [`Unit::index`].
+    pub exchanges: [Option<WireExchange>; 3],
+}
+
+impl E2eOption {
+    /// An option carrying a single unit's counters.
+    pub fn single(unit: Unit, exchange: WireExchange) -> Self {
+        let mut opt = E2eOption::default();
+        opt.exchanges[unit.index()] = Some(exchange);
+        opt
+    }
+
+    /// The exchange for a unit, if carried.
+    pub fn get(&self, unit: Unit) -> Option<WireExchange> {
+        self.exchanges[unit.index()]
+    }
+
+    /// Number of units carried.
+    pub fn count(&self) -> usize {
+        self.exchanges.iter().flatten().count()
+    }
+}
+
+/// The cooperative-application hint option (paper §3.3): a userspace-
+/// maintained queue state for the single logical request queue, passed to
+/// `send` via ancillary data and forwarded to the peer. When present, the
+/// peer can estimate end-to-end performance from this one queue alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HintOption {
+    /// The application's request-queue snapshot.
+    pub snapshot: littles::wire::WireSnapshot,
+}
+
+/// Header options attached to a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Options {
+    /// RTT-sampling timestamps.
+    pub timestamps: Option<TimestampOption>,
+    /// End-to-end queue-state exchange (attached occasionally; see
+    /// [`ExchangeConfig`](crate::config::ExchangeConfig)).
+    pub e2e: Option<E2eOption>,
+    /// Application request-queue hint (client side only).
+    pub hint: Option<HintOption>,
+}
+
+impl Options {
+    /// Wire bytes these options occupy in each packet's header.
+    pub fn wire_bytes(&self) -> usize {
+        let mut n = 0;
+        if self.timestamps.is_some() {
+            n += TIMESTAMP_OPTION_BYTES;
+        }
+        if let Some(e2e) = &self.e2e {
+            n += e2e_option_bytes(e2e.count());
+        }
+        if self.hint.is_some() {
+            n += HINT_OPTION_BYTES;
+        }
+        n
+    }
+}
+
+/// One TCP segment (possibly a TSO super-segment).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The connection this segment belongs to.
+    pub flow: FlowId,
+    /// Sequence number of the first payload byte.
+    pub seq: SeqNum,
+    /// Cumulative acknowledgment (valid when `flags.ack`).
+    pub ack: SeqNum,
+    /// Header flags.
+    pub flags: Flags,
+    /// Advertised receive window in bytes.
+    pub window: u32,
+    /// Payload carried by this segment.
+    #[serde(skip, default)]
+    pub payload: Bytes,
+    /// Absolute stream offsets (in bytes, from stream start) at which
+    /// application messages *end* within this segment's payload. This is
+    /// simulator metadata standing in for the kernel marking send-call
+    /// boundaries on skbs (§3.3's system-call approximation); it occupies
+    /// no wire bytes.
+    pub boundaries: Vec<u64>,
+    /// Header options.
+    pub options: Options,
+    /// Number of wire packets this segment represents (1 unless TSO
+    /// aggregated).
+    pub wire_packets: u32,
+}
+
+impl Segment {
+    /// A bare control segment (SYN/ACK/FIN) with no payload.
+    pub fn control(flow: FlowId, seq: SeqNum, ack: SeqNum, flags: Flags, window: u32) -> Self {
+        Segment {
+            flow,
+            seq,
+            ack,
+            flags,
+            window,
+            payload: Bytes::new(),
+            boundaries: Vec::new(),
+            options: Options::default(),
+            wire_packets: 1,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the segment carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Sequence number one past the last byte this segment occupies
+    /// (SYN and FIN each consume one sequence number).
+    pub fn end_seq(&self) -> SeqNum {
+        let mut consumed = self.payload.len() as u32;
+        if self.flags.syn {
+            consumed += 1;
+        }
+        if self.flags.fin {
+            consumed += 1;
+        }
+        self.seq + consumed
+    }
+
+    /// Total bytes on the wire: per-packet headers (with options) plus
+    /// payload.
+    pub fn wire_len(&self) -> usize {
+        (HEADER_BYTES + self.options.wire_bytes()) * self.wire_packets as usize
+            + self.payload.len()
+    }
+
+    /// True if this is a pure acknowledgment (no payload, no SYN/FIN).
+    pub fn is_pure_ack(&self) -> bool {
+        self.is_empty() && self.flags.ack && !self.flags.syn && !self.flags.fin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_segment(len: usize, wire_packets: u32) -> Segment {
+        Segment {
+            flow: FlowId(1),
+            seq: SeqNum::new(100),
+            ack: SeqNum::new(0),
+            flags: Flags {
+                ack: true,
+                ..Flags::default()
+            },
+            window: 65_535,
+            payload: Bytes::from(vec![0u8; len]),
+            boundaries: Vec::new(),
+            options: Options::default(),
+            wire_packets,
+        }
+    }
+
+    #[test]
+    fn control_segment_is_empty() {
+        let s = Segment::control(
+            FlowId(1),
+            SeqNum::new(0),
+            SeqNum::new(0),
+            Flags {
+                syn: true,
+                ..Flags::default()
+            },
+            65_535,
+        );
+        assert!(s.is_empty());
+        assert_eq!(s.wire_len(), HEADER_BYTES);
+        assert!(!s.is_pure_ack());
+    }
+
+    #[test]
+    fn end_seq_counts_payload() {
+        let s = data_segment(100, 1);
+        assert_eq!(s.end_seq(), SeqNum::new(200));
+    }
+
+    #[test]
+    fn end_seq_counts_syn_and_fin() {
+        let mut s = Segment::control(
+            FlowId(1),
+            SeqNum::new(5),
+            SeqNum::new(0),
+            Flags {
+                syn: true,
+                fin: true,
+                ..Flags::default()
+            },
+            0,
+        );
+        assert_eq!(s.end_seq(), SeqNum::new(7));
+        s.flags.fin = false;
+        assert_eq!(s.end_seq(), SeqNum::new(6));
+    }
+
+    #[test]
+    fn tso_super_segment_charges_headers_per_packet() {
+        let one = data_segment(1448, 1);
+        let tso = data_segment(1448 * 4, 4);
+        assert_eq!(tso.wire_len(), one.wire_len() * 4);
+    }
+
+    #[test]
+    fn options_add_wire_bytes() {
+        let mut s = data_segment(10, 1);
+        let base = s.wire_len();
+        s.options.timestamps = Some(TimestampOption { tsval: 1, tsecr: 2 });
+        assert_eq!(s.wire_len(), base + TIMESTAMP_OPTION_BYTES);
+        s.options.e2e = Some(E2eOption::single(Unit::Bytes, WireExchange::default()));
+        assert_eq!(
+            s.wire_len(),
+            base + TIMESTAMP_OPTION_BYTES + E2E_OPTION_BYTES
+        );
+    }
+
+    #[test]
+    fn e2e_option_is_40_bytes() {
+        // 2 (kind+len) + 1 (unit bitmap) + 36 (counters) = 39, padded to
+        // 40.
+        assert_eq!(E2E_OPTION_BYTES, 40);
+        assert_eq!(e2e_option_bytes(3), 112);
+    }
+
+    #[test]
+    fn pure_ack_detection() {
+        let mut s = data_segment(0, 1);
+        assert!(s.is_pure_ack());
+        s.flags.fin = true;
+        assert!(!s.is_pure_ack());
+    }
+}

@@ -1,0 +1,616 @@
+//! The two-host network simulation.
+//!
+//! [`NetSim`] wires two [`Host`]s through a [`DuplexLink`] and drives their
+//! [`TcpSocket`]s and applications as a [`World`] over the discrete-event
+//! queue. Applications implement [`App`] and interact with the stack only
+//! through [`HostCtx`] — the simulated socket API.
+//!
+//! ## Execution-context convention
+//!
+//! `on_wake` is invoked from *softirq context* (the moment the stack learns
+//! data is available); applications must only set flags or schedule work
+//! there. Real work — `recv`, request processing, `send` — happens in
+//! `on_call`, which applications schedule onto the *application thread* via
+//! [`HostCtx::wake_app_thread`] / [`HostCtx::call_at`], charging CPU as they
+//! go. This mirrors how an epoll-driven server actually runs and is what
+//! makes application batching (one wakeup amortized over several requests)
+//! emerge naturally under load, as in the paper's Figure 1.
+
+use bytes::Bytes;
+use littles::{Nanos, Snapshot};
+use simnet::{DuplexLink, EventQueue, LinkConfig, Pcg32, World};
+
+use crate::host::{Host, HostId};
+use crate::segment::{FlowId, Segment};
+use crate::socket::{Action, SocketId, TcpSocket, TimerKind, TxEnv, WakeReason};
+use crate::config::TcpConfig;
+
+/// Delay between a packet leaving the NIC and the transmit-completion
+/// interrupt that frees its ring slot (what auto-corking waits for).
+const NIC_COMPLETION_DELAY: Nanos = Nanos::from_micros(2);
+
+/// The simulation's event alphabet.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A segment finished traversing the link and reached `dst`'s NIC.
+    Deliver {
+        /// Destination host index.
+        dst: usize,
+        /// The segment.
+        seg: Segment,
+    },
+    /// Softirq finished processing a received segment; run TCP input.
+    SoftirqRx {
+        /// Host index.
+        host: usize,
+        /// The segment.
+        seg: Segment,
+    },
+    /// A socket timer fired.
+    Timer {
+        /// Host index.
+        host: usize,
+        /// Socket the timer belongs to.
+        sock: SocketId,
+        /// Which timer.
+        kind: TimerKind,
+        /// Generation at scheduling time (stale generations are ignored).
+        gen: u64,
+    },
+    /// The stack wants the application's attention (softirq context).
+    AppWake {
+        /// Host index.
+        host: usize,
+        /// Socket the wake concerns.
+        sock: SocketId,
+        /// Why.
+        reason: WakeReason,
+    },
+    /// An application-scheduled continuation (application context).
+    AppCall {
+        /// Host index.
+        host: usize,
+        /// Opaque token the application chose.
+        token: u64,
+    },
+    /// NIC transmit-completion interrupt.
+    NicComplete {
+        /// Host index.
+        host: usize,
+        /// Ring slots freed.
+        packets: u32,
+    },
+}
+
+/// Which CPU context pays for transmit work triggered by socket actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Charge {
+    /// Application thread (send/connect/close syscalls).
+    App,
+    /// Softirq (ACKs, retransmissions, timer-driven sends).
+    Softirq,
+}
+
+/// A simulated application.
+///
+/// See the module docs for the execution-context convention.
+pub trait App {
+    /// Called once at simulation start (application context).
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>);
+    /// Called from softirq context when a socket event occurs.
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId, reason: WakeReason);
+    /// Called when an application-scheduled continuation fires.
+    fn on_call(&mut self, ctx: &mut HostCtx<'_>, token: u64);
+}
+
+/// The application's view of its host: the socket API plus CPU-time
+/// accounting.
+pub struct HostCtx<'a> {
+    /// Index of this host (0 = client, 1 = server).
+    pub host_idx: usize,
+    /// The host (CPU contexts, sockets, NIC).
+    pub host: &'a mut Host,
+    /// Deterministic per-simulation randomness.
+    pub rng: &'a mut Pcg32,
+    queue: &'a mut EventQueue<Event>,
+    link: &'a mut DuplexLink,
+    next_flow: &'a mut u64,
+}
+
+impl HostCtx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.queue.now()
+    }
+
+    /// Opens a connection to the peer host; completion is signalled by a
+    /// [`WakeReason::Connected`] wake. Charged to the application thread.
+    pub fn connect(&mut self, config: TcpConfig) -> SocketId {
+        let now = self.now();
+        let flow = FlowId(*self.next_flow);
+        *self.next_flow += 1;
+        let mut actions = Vec::new();
+        let sock = TcpSocket::client(flow, config, now, &mut actions);
+        let id = self.host.add_socket(sock);
+        let syscall = self.host.costs.syscall;
+        self.host.app_cpu.run(now, syscall);
+        apply_actions(
+            self.host,
+            self.link,
+            self.queue,
+            self.rng,
+            id,
+            actions,
+            Charge::App,
+        );
+        id
+    }
+
+    /// Sends application data (one message boundary per call — the
+    /// send-syscall approximation). Returns bytes accepted. Charged to the
+    /// application thread.
+    pub fn send(&mut self, sock: SocketId, data: &[u8]) -> usize {
+        let now = self.now();
+        let syscall = self.host.costs.syscall;
+        self.host.app_cpu.run(now, syscall);
+        let env = TxEnv {
+            nic_in_flight: self.host.nic_in_flight(),
+        };
+        let mut actions = Vec::new();
+        let accepted = self
+            .host
+            .socket_mut(sock)
+            .send(now, data, env, &mut actions);
+        apply_actions(
+            self.host,
+            self.link,
+            self.queue,
+            self.rng,
+            sock,
+            actions,
+            Charge::App,
+        );
+        accepted
+    }
+
+    /// Like [`send`](Self::send), but first installs the application's
+    /// request-queue hint (the ancillary-data path of §3.3).
+    pub fn send_with_hint(&mut self, sock: SocketId, data: &[u8], hint: Snapshot) -> usize {
+        self.host.socket_mut(sock).set_hint(hint);
+        self.send(sock, data)
+    }
+
+    /// Reads up to `max` in-order bytes; returns the bytes and the number
+    /// of whole messages consumed. Charged to the application thread.
+    pub fn recv(&mut self, sock: SocketId, max: usize) -> (Bytes, usize) {
+        let now = self.now();
+        let syscall = self.host.costs.syscall;
+        self.host.app_cpu.run(now, syscall);
+        let mut actions = Vec::new();
+        let out = self.host.socket_mut(sock).recv(now, max, &mut actions);
+        apply_actions(
+            self.host,
+            self.link,
+            self.queue,
+            self.rng,
+            sock,
+            actions,
+            Charge::App,
+        );
+        out
+    }
+
+    /// Initiates a graceful close.
+    pub fn close(&mut self, sock: SocketId) {
+        let now = self.now();
+        let env = TxEnv {
+            nic_in_flight: self.host.nic_in_flight(),
+        };
+        let mut actions = Vec::new();
+        self.host.socket_mut(sock).close(now, env, &mut actions);
+        apply_actions(
+            self.host,
+            self.link,
+            self.queue,
+            self.rng,
+            sock,
+            actions,
+            Charge::App,
+        );
+    }
+
+    /// Charges `cost` of work to the application thread; returns the time
+    /// the work completes (serialized behind earlier app work).
+    pub fn charge_app(&mut self, cost: Nanos) -> Nanos {
+        let now = self.now();
+        self.host.app_cpu.run(now, cost)
+    }
+
+    /// When the application thread becomes free.
+    pub fn app_free_at(&self) -> Nanos {
+        self.host.app_cpu.busy_until().max(self.now())
+    }
+
+    /// Schedules `on_call(token)` at an absolute time.
+    pub fn call_at(&mut self, at: Nanos, token: u64) {
+        self.queue.schedule_at(
+            at,
+            Event::AppCall {
+                host: self.host_idx,
+                token,
+            },
+        );
+    }
+
+    /// Schedules `on_call(token)` after a delay.
+    pub fn call_after(&mut self, delay: Nanos, token: u64) {
+        self.call_at(self.now().saturating_add(delay), token);
+    }
+
+    /// Standard wakeup path: charges the wakeup cost to the application
+    /// thread and schedules `on_call(token)` at its completion. Call this
+    /// from `on_wake` to transfer control to application context.
+    pub fn wake_app_thread(&mut self, token: u64) {
+        let cost = self.host.costs.app_wakeup;
+        let done = self.charge_app(cost);
+        self.call_at(done, token);
+    }
+
+    /// Flips the dynamic-Nagle switch on a socket (the paper's toggling
+    /// actuator) and immediately re-runs the transmit path so a held tail
+    /// flushes when batching turns off.
+    pub fn set_nagle(&mut self, sock: SocketId, on: bool) {
+        self.host.socket_mut(sock).set_nagle_enabled(on);
+        self.repoll(sock);
+    }
+
+    /// Sets the gradual batching limit on a socket (the §5 AIMD
+    /// actuator) and re-runs the transmit path so a lowered limit
+    /// releases held data immediately.
+    pub fn set_batch_limit(&mut self, sock: SocketId, limit: Option<usize>) {
+        self.host.socket_mut(sock).set_batch_limit(limit);
+        self.repoll(sock);
+    }
+
+    /// Re-runs a socket's transmit path after an actuator changed its
+    /// gating state, applying any resulting actions in app context.
+    fn repoll(&mut self, sock: SocketId) {
+        let now = self.now();
+        let env = TxEnv {
+            nic_in_flight: self.host.nic_in_flight(),
+        };
+        let mut actions = Vec::new();
+        self.host
+            .socket_mut(sock)
+            .poll_transmit(now, env, &mut actions);
+        apply_actions(
+            self.host,
+            self.link,
+            self.queue,
+            self.rng,
+            sock,
+            actions,
+            Charge::App,
+        );
+    }
+
+    /// Immutable access to a socket (for estimators and policies).
+    pub fn socket(&self, sock: SocketId) -> &TcpSocket {
+        self.host.socket(sock)
+    }
+}
+
+/// Executes socket actions: transmits segments (charging CPU, ringing the
+/// doorbell, driving the link), manages timers, and queues app wakes.
+fn apply_actions(
+    host: &mut Host,
+    link: &mut DuplexLink,
+    queue: &mut EventQueue<Event>,
+    rng: &mut Pcg32,
+    sock: SocketId,
+    actions: Vec<Action>,
+    charge: Charge,
+) {
+    let now = queue.now();
+    let host_idx = host.id.0;
+    let mut transmitted = false;
+    for action in actions {
+        match action {
+            Action::Transmit(seg) => {
+                let cost = host.tx_cost(&seg);
+                let cpu = match charge {
+                    Charge::App => &mut host.app_cpu,
+                    Charge::Softirq => &mut host.softirq_cpu,
+                };
+                cpu.run(now, cost);
+                // Pure ACKs ride a prebuilt skb with no doorbell of their
+                // own; data segments pay one doorbell per flush batch.
+                transmitted |= !seg.is_pure_ack();
+                host.nic_enqueue(seg.wire_packets);
+                let depart = match charge {
+                    Charge::App => host.app_cpu.busy_until(),
+                    Charge::Softirq => host.softirq_cpu.busy_until(),
+                };
+                let wire_len = seg.wire_len();
+                let arrival = link
+                    .from_endpoint(host_idx)
+                    .transmit_lossy(depart, wire_len, rng);
+                let serialized_at = link
+                    .from_endpoint(host_idx)
+                    .busy_until()
+                    .max(depart);
+                queue.schedule_at(
+                    serialized_at + NIC_COMPLETION_DELAY,
+                    Event::NicComplete {
+                        host: host_idx,
+                        packets: seg.wire_packets,
+                    },
+                );
+                if let Some(arrival) = arrival {
+                    queue.schedule_at(
+                        arrival,
+                        Event::Deliver {
+                            dst: 1 - host_idx,
+                            seg,
+                        },
+                    );
+                }
+            }
+            Action::ArmTimer(kind, delay) => {
+                let gen = host.bump_timer(sock, kind);
+                queue.schedule(
+                    delay,
+                    Event::Timer {
+                        host: host_idx,
+                        sock,
+                        kind,
+                        gen,
+                    },
+                );
+            }
+            Action::CancelTimer(kind) => {
+                host.bump_timer(sock, kind);
+            }
+            Action::Wake(reason) => {
+                queue.schedule(
+                    Nanos::ZERO,
+                    Event::AppWake {
+                        host: host_idx,
+                        sock,
+                        reason,
+                    },
+                );
+            }
+        }
+    }
+    if transmitted {
+        // One doorbell per action batch (xmit_more-style amortization).
+        let cpu = match charge {
+            Charge::App => &mut host.app_cpu,
+            Charge::Softirq => &mut host.softirq_cpu,
+        };
+        cpu.run(now, host.costs.tx_doorbell);
+        host.doorbells += 1;
+    }
+}
+
+/// A complete two-host simulation: client app, server app, their hosts,
+/// and the link.
+pub struct NetSim<C: App, S: App> {
+    /// The client application (runs on host 0).
+    pub client: C,
+    /// The server application (runs on host 1).
+    pub server: S,
+    hosts: [Host; 2],
+    link: DuplexLink,
+    rng: Pcg32,
+    next_flow: u64,
+}
+
+impl<C: App, S: App> NetSim<C, S> {
+    /// Assembles a simulation.
+    pub fn new(
+        client: C,
+        server: S,
+        client_host: Host,
+        server_host: Host,
+        link_config: LinkConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(client_host.id, HostId(0), "client host must be id 0");
+        assert_eq!(server_host.id, HostId(1), "server host must be id 1");
+        NetSim {
+            client,
+            server,
+            hosts: [client_host, server_host],
+            link: DuplexLink::new(link_config),
+            rng: Pcg32::new(seed),
+            next_flow: 1,
+        }
+    }
+
+    /// Invokes both applications' `on_start` (server first, so it is
+    /// listening before the client connects).
+    pub fn start(&mut self, queue: &mut EventQueue<Event>) {
+        let NetSim {
+            client,
+            server,
+            hosts,
+            link,
+            rng,
+            next_flow,
+        } = self;
+        let (h0, h1) = hosts.split_at_mut(1);
+        server.on_start(&mut HostCtx {
+            host_idx: 1,
+            host: &mut h1[0],
+            rng,
+            queue,
+            link,
+            next_flow,
+        });
+        client.on_start(&mut HostCtx {
+            host_idx: 0,
+            host: &mut h0[0],
+            rng,
+            queue,
+            link,
+            next_flow,
+        });
+    }
+
+    /// Access a host by index.
+    pub fn host(&self, idx: usize) -> &Host {
+        &self.hosts[idx]
+    }
+
+    /// Mutable access to a host by index.
+    pub fn host_mut(&mut self, idx: usize) -> &mut Host {
+        &mut self.hosts[idx]
+    }
+
+    /// The link between the hosts.
+    pub fn link(&self) -> &DuplexLink {
+        &self.link
+    }
+
+    fn dispatch_app(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        host: usize,
+        call: impl FnOnce(&mut C, &mut S, &mut HostCtx<'_>),
+    ) {
+        let NetSim {
+            client,
+            server,
+            hosts,
+            link,
+            rng,
+            next_flow,
+        } = self;
+        let (h0, h1) = hosts.split_at_mut(1);
+        let host_ref = if host == 0 { &mut h0[0] } else { &mut h1[0] };
+        let mut ctx = HostCtx {
+            host_idx: host,
+            host: host_ref,
+            rng,
+            queue,
+            link,
+            next_flow,
+        };
+        call(client, server, &mut ctx);
+    }
+}
+
+impl<C: App, S: App> World for NetSim<C, S> {
+    type Event = Event;
+
+    fn handle(&mut self, queue: &mut EventQueue<Event>, event: Event) {
+        let now = queue.now();
+        match event {
+            Event::Deliver { dst, seg } => {
+                let host = &mut self.hosts[dst];
+                let cost = host.rx_cost(&seg);
+                let done = host.softirq_cpu.run(now, cost);
+                queue.schedule_at(done, Event::SoftirqRx { host: dst, seg });
+            }
+            Event::SoftirqRx { host: h, seg } => {
+                let host = &mut self.hosts[h];
+                let env = TxEnv {
+                    nic_in_flight: host.nic_in_flight(),
+                };
+                let mut actions = Vec::new();
+                let sock_id = match host.socket_for_flow(seg.flow) {
+                    Some(id) => {
+                        host.socket_mut(id).on_segment(now, &seg, env, &mut actions);
+                        id
+                    }
+                    None if seg.flags.syn && !seg.flags.ack => {
+                        let config = host.accept_config;
+                        let sock =
+                            TcpSocket::server_on_syn(seg.flow, config, now, &seg, &mut actions);
+                        host.add_socket(sock)
+                    }
+                    None => return, // stray segment for an unknown flow
+                };
+                apply_actions(
+                    host,
+                    &mut self.link,
+                    queue,
+                    &mut self.rng,
+                    sock_id,
+                    actions,
+                    Charge::Softirq,
+                );
+            }
+            Event::Timer {
+                host: h,
+                sock,
+                kind,
+                gen,
+            } => {
+                let host = &mut self.hosts[h];
+                if host.timer_gen(sock, kind) != gen {
+                    return; // cancelled or superseded
+                }
+                let env = TxEnv {
+                    nic_in_flight: host.nic_in_flight(),
+                };
+                let mut actions = Vec::new();
+                host.socket_mut(sock).on_timer(now, kind, env, &mut actions);
+                apply_actions(
+                    host,
+                    &mut self.link,
+                    queue,
+                    &mut self.rng,
+                    sock,
+                    actions,
+                    Charge::Softirq,
+                );
+            }
+            Event::NicComplete { host: h, packets } => {
+                let host = &mut self.hosts[h];
+                host.nic_complete(packets);
+                let env = TxEnv {
+                    nic_in_flight: host.nic_in_flight(),
+                };
+                let ids: Vec<SocketId> = host.socket_ids().collect();
+                for id in ids {
+                    let mut actions = Vec::new();
+                    host.socket_mut(id).on_nic_drained(now, env, &mut actions);
+                    apply_actions(
+                        host,
+                        &mut self.link,
+                        queue,
+                        &mut self.rng,
+                        id,
+                        actions,
+                        Charge::Softirq,
+                    );
+                }
+            }
+            Event::AppWake {
+                host: h,
+                sock,
+                reason,
+            } => {
+                self.dispatch_app(queue, h, |client, server, ctx| {
+                    if h == 0 {
+                        client.on_wake(ctx, sock, reason);
+                    } else {
+                        server.on_wake(ctx, sock, reason);
+                    }
+                });
+            }
+            Event::AppCall { host: h, token } => {
+                self.dispatch_app(queue, h, |client, server, ctx| {
+                    if h == 0 {
+                        client.on_call(ctx, token);
+                    } else {
+                        server.on_call(ctx, token);
+                    }
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Dynamic Nagle toggling (the paper's §5 proposal, end to end).
+//!
+//! At each offered load, compares the two static configurations against
+//! per-endpoint ε-greedy togglers driven by live end-to-end estimates.
+//! The dynamic policy should track — and thanks to per-endpoint asymmetry
+//! sometimes beat — the better static setting at every load, which is the
+//! paper's core claim.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_toggle
+//! ```
+
+use e2e_apps::experiments::dynamic_toggle;
+use littles::Nanos;
+
+fn main() {
+    let rates = [10_000.0, 30_000.0, 50_000.0, 70_000.0, 80_000.0, 90_000.0, 100_000.0];
+    let sweep = dynamic_toggle(
+        &rates,
+        Nanos::from_millis(200),
+        Nanos::from_millis(800),
+        0xD74,
+    );
+
+    println!("Dynamic on/off toggling vs static (mean latency, µs)\n");
+    println!(
+        "{:>8} | {:>10} {:>10} {:>10} | {:>8} {:>8} | winner",
+        "rate", "off", "on", "dynamic", "cli-on%", "srv-on%"
+    );
+    println!("{}", "-".repeat(76));
+    for row in &sweep.rows {
+        let us = |o: Option<Nanos>| o.map(|n| n.as_micros_f64()).unwrap_or(f64::NAN);
+        let dynamic = row.dynamic.as_ref().expect("dynamic included");
+        let (off, on, dy) = (
+            us(row.off.measured_mean),
+            us(row.on.measured_mean),
+            us(dynamic.measured_mean),
+        );
+        let winner = if dy <= off.min(on) {
+            "dynamic"
+        } else if off < on {
+            "static off"
+        } else {
+            "static on"
+        };
+        println!(
+            "{:>8.0} | {:>10.1} {:>10.1} {:>10.1} | {:>7.0}% {:>7.0}% | {}",
+            row.rate_rps,
+            off,
+            on,
+            dy,
+            dynamic.client_on_fraction.unwrap_or(0.0) * 100.0,
+            dynamic.server_on_fraction.unwrap_or(0.0) * 100.0,
+            winner
+        );
+    }
+    println!(
+        "\nEach endpoint runs its own ε-greedy bandit over its own estimates, so\n\
+         the client and server can settle on different (asymmetric) settings."
+    );
+}

@@ -1,0 +1,77 @@
+//! Figure 2: bare-metal vs. VM client at a fixed load.
+//!
+//! Runs the fixed-rate workload with the client on "bare metal" and
+//! "inside a VM" (application-CPU multiplier), Nagle on and off, and
+//! prints the three panels: (a) client CPU, (b) server CPU, (c) the
+//! batching outcome per platform.
+//!
+//! ```sh
+//! cargo run --release --example figure2 [rate_rps]
+//! ```
+
+use e2e_apps::experiments::figure2;
+use littles::Nanos;
+
+fn main() {
+    let rate: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("rate"))
+        .unwrap_or(20_000.0);
+    let data = figure2(rate, Nanos::from_millis(200), Nanos::from_millis(800), 0xF16);
+
+    println!("Figure 2 — fixed {rate:.0} req/s, 4 KiB SETs\n");
+    println!(
+        "{:>5} {:>6} | {:>10} {:>12} {:>12} | {:>12} {:>12}",
+        "plat", "nagle", "latency", "cli app cpu", "cli sirq cpu", "srv app cpu", "srv sirq cpu"
+    );
+    println!("{}", "-".repeat(88));
+    for cell in &data.cells {
+        let r = &cell.result;
+        println!(
+            "{:>5} {:>6} | {:>10} {:>11.0}% {:>11.0}% | {:>11.0}% {:>11.0}%",
+            cell.platform,
+            if cell.nagle_on { "on" } else { "off" },
+            r.measured_mean
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "n/a".into()),
+            r.client_cpu.app * 100.0,
+            r.client_cpu.softirq * 100.0,
+            r.server_cpu.app * 100.0,
+            r.server_cpu.softirq * 100.0,
+        );
+    }
+    println!();
+    println!(
+        "(a) client CPU ratio vm/bare: {:.2}x  (paper: VM uses significantly more)",
+        data.client_cpu_ratio()
+    );
+    println!(
+        "(b) server CPU ratio vm/bare: {:.2}x  (paper: unchanged — same workload)",
+        data.server_cpu_ratio()
+    );
+    println!(
+        "(c) Nagle helps on bare: {} / on VM: {}",
+        data.nagle_helps("bare"),
+        data.nagle_helps("vm"),
+    );
+    println!(
+        "    Nagle penalty (on − off): bare {} vs VM {} — the client's cost shifts\n\
+         the batching tradeoff even though the server sees the same load.",
+        delta(&data, "bare"),
+        delta(&data, "vm"),
+    );
+}
+
+fn delta(data: &e2e_apps::experiments::Figure2Data, platform: &str) -> String {
+    let get = |on| {
+        data.cells
+            .iter()
+            .find(|c| c.platform == platform && c.nagle_on == on)
+            .and_then(|c| c.result.measured_mean)
+    };
+    match (get(true), get(false)) {
+        (Some(on), Some(off)) if on >= off => format!("+{}", on - off),
+        (Some(on), Some(off)) => format!("-{}", off - on),
+        _ => "n/a".into(),
+    }
+}

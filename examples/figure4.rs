@@ -1,0 +1,95 @@
+//! Figure 4: measured vs. estimated latency across a load sweep.
+//!
+//! Regenerates Figure 4a (SET-only) or 4b (95:5 SET:GET), printing per
+//! rate the measured mean latency under Nagle off/on next to the
+//! byte-unit estimates (the paper's prototype), the message-unit
+//! estimates, and the hint-based estimates — then the headline numbers:
+//! SLO-sustainable range per configuration, extension factor, and whether
+//! the estimated cutoff coincides with the measured one.
+//!
+//! Writes the full series as JSON for plotting.
+//!
+//! ```sh
+//! cargo run --release --example figure4 -- a      # Figure 4a
+//! cargo run --release --example figure4 -- b      # Figure 4b
+//! cargo run --release --example figure4 -- a quick  # coarse fast grid
+//! ```
+
+use e2e_apps::experiments::{default_rates, figure4a, figure4b, Figure4Data};
+use littles::Nanos;
+
+fn fmt_us(n: Option<Nanos>) -> String {
+    n.map(|v| format!("{:.1}", v.as_micros_f64()))
+        .unwrap_or_else(|| "n/a".into())
+}
+
+fn main() {
+    let variant = std::env::args().nth(1).unwrap_or_else(|| "a".into());
+    let quick = std::env::args().nth(2).is_some_and(|a| a == "quick");
+    let rates = if quick {
+        vec![10_000.0, 40_000.0, 70_000.0, 85_000.0, 105_000.0]
+    } else {
+        default_rates()
+    };
+    let (warmup, measure) = if quick {
+        (Nanos::from_millis(100), Nanos::from_millis(300))
+    } else {
+        (Nanos::from_millis(200), Nanos::from_millis(800))
+    };
+
+    let data: Figure4Data = match variant.as_str() {
+        "a" => figure4a(&rates, warmup, measure, 0xF4A),
+        "b" => figure4b(&rates, warmup, measure, 0xF4B),
+        other => panic!("unknown variant {other:?}; use 'a' or 'b'"),
+    };
+
+    println!("Figure 4{variant} — latency (µs) vs offered load\n");
+    println!(
+        "{:>8} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+        "rate",
+        "off-meas",
+        "off-byte",
+        "off-msg",
+        "off-hint",
+        "on-meas",
+        "on-byte",
+        "on-msg",
+        "on-hint"
+    );
+    println!("{}", "-".repeat(96));
+    for row in &data.sweep.rows {
+        println!(
+            "{:>8.0} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+            row.rate_rps,
+            fmt_us(row.off.measured_mean),
+            fmt_us(row.off.estimated_bytes),
+            fmt_us(row.off.estimated_messages),
+            fmt_us(row.off.estimated_hint),
+            fmt_us(row.on.measured_mean),
+            fmt_us(row.on.estimated_bytes),
+            fmt_us(row.on.estimated_messages),
+            fmt_us(row.on.estimated_hint),
+        );
+    }
+
+    println!();
+    println!("SLO (500 µs) sustainable:  off = {:?}  on = {:?}  extension = {:.2}x",
+        data.sustainable_off,
+        data.sustainable_on,
+        data.extension_factor.unwrap_or(f64::NAN));
+    println!(
+        "cutoff (Nagle starts winning): measured = {:?}, byte-estimated = {:?} ({})",
+        data.cutoff_measured,
+        data.cutoff_estimated,
+        if variant == "a" {
+            "paper 4a: these coincide"
+        } else {
+            "paper 4b: these diverge — bytes mislead on mixed sizes"
+        }
+    );
+
+    let out = format!("figure4{variant}.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&data).expect("serialize"))
+        .expect("write json");
+    println!("\nfull series written to {out}");
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the HotOS'25 *Batching with End-to-End Performance
+//! Estimation* reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! * [`littles`] — Little's-law queue-state tracking (Algorithms 1–2).
+//! * [`simnet`] — the deterministic discrete-event substrate.
+//! * [`tcpsim`] — the simulated TCP stack (Nagle, delayed ACKs, corking,
+//!   TSO, instrumented queues, metadata exchange).
+//! * [`e2e_core`] — the end-to-end estimator and the hint API (the paper's
+//!   contribution).
+//! * [`batchpolicy`] — dynamic batching policies (ε-greedy toggling, SLO
+//!   objectives, AIMD batch limits).
+//! * [`e2e_apps`] — the Redis-like server, Lancet-like load generator, and
+//!   the experiment harnesses that regenerate every figure.
+
+#![forbid(unsafe_code)]
+
+pub use batchpolicy;
+pub use e2e_apps;
+pub use e2e_core;
+pub use littles;
+pub use simnet;
+pub use tcpsim;

@@ -1,0 +1,72 @@
+//! Mechanics of the metadata exchange (paper §3.2, §5).
+//!
+//! Verifies the 36-byte-per-unit accounting on the wire, that disabling
+//! the exchange removes both the overhead and the estimates, and that the
+//! overhead is negligible relative to payload traffic.
+
+use e2e_batching::e2e_apps::{run_point, NagleSetting, RunConfig, WorkloadSpec};
+use e2e_batching::littles::Nanos;
+use e2e_batching::tcpsim::segment::{e2e_option_bytes, E2E_OPTION_BYTES, HINT_OPTION_BYTES};
+
+fn cfg(rate: f64) -> RunConfig {
+    RunConfig {
+        warmup: Nanos::from_millis(100),
+        measure: Nanos::from_millis(300),
+        ..RunConfig::new(WorkloadSpec::fig4a(rate), NagleSetting::Off)
+    }
+}
+
+#[test]
+fn single_unit_option_is_40_wire_bytes() {
+    // 2 framing + 1 unit bitmap + 36 counter bytes, padded: the paper's
+    // "36 bytes with its peer per exchange" plus option framing.
+    assert_eq!(E2E_OPTION_BYTES, 40);
+    assert_eq!(e2e_option_bytes(1), 40);
+    assert_eq!(e2e_option_bytes(2), 76);
+    assert_eq!(e2e_option_bytes(3), 112);
+    assert_eq!(HINT_OPTION_BYTES, 16);
+}
+
+#[test]
+fn exchanges_flow_and_estimates_exist() {
+    let r = run_point(&cfg(30_000.0));
+    assert!(r.exchanges_received > 50, "got {}", r.exchanges_received);
+    assert!(r.estimated_bytes.is_some());
+    assert!(r.estimated_messages.is_some());
+    assert!(r.estimated_hint.is_some());
+}
+
+#[test]
+fn exchange_overhead_is_negligible() {
+    // The exchange interval is 500 µs; at 30 kRPS with ~16.5 KiB requests
+    // the metadata is a vanishing fraction of traffic. Compare wire bytes
+    // against a run with the exchange disabled.
+    let with = run_point(&cfg(30_000.0));
+
+    let mut quiet = cfg(30_000.0);
+    quiet.use_hints = false;
+    let without = run_point(&quiet);
+
+    // Hints ride requests; disabling them trims client→server bytes.
+    // (Exchanges are bounded by the min_interval in both runs.)
+    assert!(with.packets_to_server >= without.packets_to_server);
+    let ratio = with.packets_to_server as f64 / without.packets_to_server as f64;
+    assert!(
+        ratio < 1.02,
+        "hint overhead should be <2% in packets, got {ratio:.4}"
+    );
+    // Both runs still served the same load.
+    assert!((with.achieved_rps - without.achieved_rps).abs() / with.achieved_rps < 0.02);
+}
+
+#[test]
+fn disabling_hints_removes_hint_estimates_only() {
+    let mut c = cfg(30_000.0);
+    c.use_hints = false;
+    let r = run_point(&c);
+    assert!(r.estimated_hint.is_none(), "no hints → no hint estimate");
+    assert!(
+        r.estimated_bytes.is_some(),
+        "queue-state exchange is independent of hints"
+    );
+}

@@ -1,0 +1,137 @@
+//! Figure 3: the latency decomposition, validated on a deterministic
+//! timeline.
+//!
+//! The paper derives `L ≈ L_unacked^local − L_ackdelay^remote +
+//! L_unread^local + L_unread^remote` from the event timeline of one
+//! request/response exchange. This test rebuilds that timeline with exact
+//! queue tracking — every event at a hand-chosen instant — and checks that
+//! the combined estimate matches the true end-to-end latency.
+
+use e2e_batching::e2e_core::combine::{combine_delays, EndpointSnapshots, EndpointWindows};
+use e2e_batching::littles::{Nanos, QueueState};
+
+/// The timeline (all times in µs), mirroring Figure 3's numbered events:
+///
+/// * 0   — client `send` (request enters client unacked)          (1)
+/// * 25  — request reaches server stack (enters server unread and
+///   server ackdelay)                                             (4)
+/// * 35  — server app reads the request (leaves server unread)    (5)
+/// * 50  — server `send`s the response (enters server unacked);
+///   the response piggybacks the request's ACK (leaves server
+///   ackdelay)                                                    (6)
+/// * 75  — response reaches the client stack (enters client unread,
+///   client ackdelay); the ACK it carries clears the client's
+///   unacked queue                                                (9)
+/// * 90  — client app reads the response (leaves client unread)   (10)
+/// * 100 — client's delayed ACK goes out (leaves client ackdelay);
+///   it reaches the server at 125 (leaves server unacked)         (11→14)
+///
+/// True end-to-end latency: client send (0) → server read (35) plus
+/// server send (50) → client read (90): 35 + 40 = 75 µs.
+struct Timeline {
+    client: [QueueState; 3], // unacked, unread, ackdelay
+    server: [QueueState; 3],
+}
+
+fn run_timeline(periods: u64, period_us: u64) -> (Timeline, Nanos) {
+    let us = Nanos::from_micros;
+    let mut t = Timeline {
+        client: [QueueState::new(Nanos::ZERO); 3],
+        server: [QueueState::new(Nanos::ZERO); 3],
+    };
+    for p in 0..periods {
+        let base = p * period_us;
+        let at = |off: u64| us(base + off);
+        // (1) client send.
+        t.client[0].track(at(0), 1);
+        // (4) request at server.
+        t.server[1].track(at(25), 1);
+        t.server[2].track(at(25), 1);
+        // (5) server app read.
+        t.server[1].track(at(35), -1);
+        // (6) server send; piggybacked ACK clears server ackdelay.
+        t.server[0].track(at(50), 1);
+        t.server[2].track(at(50), -1);
+        // (9) response at client; its ACK clears client unacked.
+        t.client[1].track(at(75), 1);
+        t.client[2].track(at(75), 1);
+        t.client[0].track(at(75), -1);
+        // (10) client app read.
+        t.client[1].track(at(90), -1);
+        // (11) client delayed ACK sent; (14) it clears server unacked.
+        t.client[2].track(at(100), -1);
+        debug_assert!(period_us > 125, "periods must not overlap");
+        t.server[0].track(at(125), -1);
+    }
+    let end = us(periods * period_us);
+    (t, end)
+}
+
+fn snapshots(q: &[QueueState; 3], at: Nanos) -> EndpointSnapshots {
+    EndpointSnapshots {
+        unacked: q[0].peek(at),
+        unread: q[1].peek(at),
+        ackdelay: q[2].peek(at),
+    }
+}
+
+#[test]
+fn decomposition_recovers_true_latency() {
+    let period = 200u64; // request every 200 µs, no overlap
+    let (t, end) = run_timeline(40, period);
+
+    let zero = EndpointSnapshots::default();
+    let client = EndpointWindows::between(&zero, &snapshots(&t.client, end)).unwrap();
+    let server = EndpointWindows::between(&zero, &snapshots(&t.server, end)).unwrap();
+
+    // Client-perspective decomposition.
+    let set = combine_delays(&client, &server);
+    // Components, as the derivation predicts:
+    //   unacked(client)  = 75 µs (send → ACK arrives with response)
+    //   ackdelay(server) = 25 µs (request arrival → piggybacked ACK)
+    //   unread(client)   = 15 µs, unread(server) = 10 µs
+    assert_eq!(set.unacked_near, Nanos::from_micros(75));
+    assert_eq!(set.ackdelay_far, Nanos::from_micros(25));
+    assert_eq!(set.unread_near, Nanos::from_micros(15));
+    assert_eq!(set.unread_far, Nanos::from_micros(10));
+
+    // L = 75 − 25 + 15 + 10 = 75 µs = true end-to-end latency.
+    let true_latency = Nanos::from_micros(75);
+    assert_eq!(set.latency(), true_latency);
+}
+
+#[test]
+fn both_perspectives_bracket_truth_and_max_is_safe() {
+    let (t, end) = run_timeline(40, 200);
+    let zero = EndpointSnapshots::default();
+    let client = EndpointWindows::between(&zero, &snapshots(&t.client, end)).unwrap();
+    let server = EndpointWindows::between(&zero, &snapshots(&t.server, end)).unwrap();
+
+    let from_client = combine_delays(&client, &server).latency();
+    let from_server = combine_delays(&server, &client).latency();
+    let best = from_client.max(from_server);
+
+    let true_latency = Nanos::from_micros(75);
+    // The max rule must not underestimate (the paper's rationale for it).
+    assert!(best >= true_latency - Nanos::from_micros(1));
+    // And it should stay close on this clean timeline.
+    assert!(best <= true_latency + Nanos::from_micros(50));
+}
+
+#[test]
+fn ackdelay_subtraction_matters() {
+    // Without subtracting the remote ackdelay, the estimate would
+    // overshoot by exactly that delay — quantify it.
+    let (t, end) = run_timeline(40, 200);
+    let zero = EndpointSnapshots::default();
+    let client = EndpointWindows::between(&zero, &snapshots(&t.client, end)).unwrap();
+    let server = EndpointWindows::between(&zero, &snapshots(&t.server, end)).unwrap();
+    let set = combine_delays(&client, &server);
+
+    let naive = set.unacked_near + set.unread_near + set.unread_far;
+    assert_eq!(
+        naive - set.latency(),
+        Nanos::from_micros(25),
+        "the delayed-ACK inflation the subtraction removes"
+    );
+}
