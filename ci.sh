@@ -1,0 +1,16 @@
+#!/bin/sh
+# CI sequence: lint, build, test — in that order, failing fast.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> xtask lint"
+cargo run -q -p xtask -- lint
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> ci.sh: all green"

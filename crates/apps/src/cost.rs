@@ -21,12 +21,11 @@
 //! are (see EXPERIMENTS.md).
 
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 use tcpsim::CostConfig;
 
 /// Application-level processing costs (charged by the apps themselves, on
 /// top of the stack costs in [`CostConfig`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AppCosts {
     /// Server: fixed cost per processing pass (epoll return, dispatch) —
     /// the paper's amortizable per-batch cost β from Figure 1.
@@ -81,7 +80,7 @@ impl AppCosts {
 }
 
 /// A complete cost profile for one experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostProfile {
     /// Stack costs on the client host.
     pub client_stack: CostConfig,

@@ -12,11 +12,10 @@ use e2e_core::hints::{HintEstimate, HintEstimator};
 use e2e_core::{E2eEstimator, Estimate};
 use littles::wire::WireScale;
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 use tcpsim::{HostCtx, SocketId, Unit};
 
 /// One recorded estimate sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EstimateSample {
     /// Sample time.
     pub at: Nanos,

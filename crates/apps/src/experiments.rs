@@ -6,7 +6,6 @@
 
 use batchpolicy::{figure1_model, BatchOutcome, Figure1Params, Objective};
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 
 use crate::runner::{run_point, NagleSetting, PointResult, RunConfig};
 use crate::sweep::{run_sweep, SweepResult};
@@ -25,7 +24,7 @@ pub fn figure1() -> Vec<BatchOutcome> {
 
 /// One cell of Figure 2: a fixed-load run on one client platform with one
 /// Nagle setting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure2Cell {
     /// Human-readable platform label.
     pub platform: String,
@@ -36,7 +35,7 @@ pub struct Figure2Cell {
 }
 
 /// Figure 2: bare-metal vs. VM client at a fixed 20 kRPS.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure2Data {
     /// The four cells: (bare, off), (bare, on), (vm, off), (vm, on).
     pub cells: Vec<Figure2Cell>,
@@ -109,7 +108,7 @@ pub fn figure2(rate_rps: f64, warmup: Nanos, measure: Nanos, seed: u64) -> Figur
 }
 
 /// Figure 4 data: the sweep plus the derived headline quantities.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure4Data {
     /// Which variant ("4a" or "4b").
     pub variant: String,

@@ -2,14 +2,14 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use tcpsim::Payload;
 
 use crate::resp::{Command, Response};
 
 /// A trivially simple hash-map KV store.
 #[derive(Debug, Default)]
 pub struct KvStore {
-    map: HashMap<Bytes, Bytes>,
+    map: HashMap<Payload, Payload>,
     sets: u64,
     gets: u64,
     hits: u64,
@@ -77,16 +77,16 @@ mod tests {
         let mut kv = KvStore::new();
         assert_eq!(
             kv.execute(Command::Set {
-                key: Bytes::from_static(b"a"),
-                value: Bytes::from_static(b"1"),
+                key: Payload::from_static(b"a"),
+                value: Payload::from_static(b"1"),
             }),
             Response::Ok
         );
         assert_eq!(
             kv.execute(Command::Get {
-                key: Bytes::from_static(b"a")
+                key: Payload::from_static(b"a")
             }),
-            Response::Value(Bytes::from_static(b"1"))
+            Response::Value(Payload::from_static(b"1"))
         );
         assert_eq!(kv.hits(), 1);
     }
@@ -96,7 +96,7 @@ mod tests {
         let mut kv = KvStore::new();
         assert_eq!(
             kv.execute(Command::Get {
-                key: Bytes::from_static(b"nope")
+                key: Payload::from_static(b"nope")
             }),
             Response::Nil
         );
@@ -109,16 +109,16 @@ mod tests {
         let mut kv = KvStore::new();
         for v in [b"1".as_ref(), b"2".as_ref()] {
             kv.execute(Command::Set {
-                key: Bytes::from_static(b"k"),
-                value: Bytes::copy_from_slice(v),
+                key: Payload::from_static(b"k"),
+                value: Payload::copy_from_slice(v),
             });
         }
         assert_eq!(kv.len(), 1);
         assert_eq!(
             kv.execute(Command::Get {
-                key: Bytes::from_static(b"k")
+                key: Payload::from_static(b"k")
             }),
-            Response::Value(Bytes::from_static(b"2"))
+            Response::Value(Payload::from_static(b"2"))
         );
     }
 }

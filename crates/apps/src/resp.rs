@@ -7,7 +7,7 @@
 //! stream fed in arbitrary chunks, exactly as the server's read loop sees
 //! it.
 
-use bytes::Bytes;
+use tcpsim::Payload;
 
 /// A client command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,14 +15,14 @@ pub enum Command {
     /// `SET key value`.
     Set {
         /// The key.
-        key: Bytes,
+        key: Payload,
         /// The value.
-        value: Bytes,
+        value: Payload,
     },
     /// `GET key`.
     Get {
         /// The key.
-        key: Bytes,
+        key: Payload,
     },
 }
 
@@ -32,7 +32,7 @@ pub enum Response {
     /// `+OK\r\n` (successful SET).
     Ok,
     /// A bulk string (GET hit).
-    Value(Bytes),
+    Value(Payload),
     /// The null bulk string (GET miss).
     Nil,
 }
@@ -168,10 +168,10 @@ impl CommandParser {
         let (header, mut used) = read_line(data)?;
         assert_eq!(header.first(), Some(&b'*'), "expected array header");
         let nargs = parse_usize(&header[1..]).expect("array length");
-        let mut args: Vec<Bytes> = Vec::with_capacity(nargs);
+        let mut args: Vec<Payload> = Vec::with_capacity(nargs);
         for _ in 0..nargs {
             let (bulk, n) = read_bulk(&data[used..])?;
-            args.push(Bytes::copy_from_slice(bulk.expect("commands have no null args")));
+            args.push(Payload::copy_from_slice(bulk.expect("commands have no null args")));
             used += n;
         }
         self.stream.advance(used);
@@ -228,7 +228,7 @@ impl ResponseParser {
             b'$' => {
                 let (bulk, used) = read_bulk(data)?;
                 let resp = match bulk {
-                    Some(v) => Response::Value(Bytes::copy_from_slice(v)),
+                    Some(v) => Response::Value(Payload::copy_from_slice(v)),
                     None => Response::Nil,
                 };
                 self.stream.advance(used);
@@ -251,8 +251,8 @@ mod tests {
         assert_eq!(
             p.next_command(),
             Some(Command::Set {
-                key: Bytes::from_static(b"key:0001"),
-                value: Bytes::from_static(b"hello"),
+                key: Payload::from_static(b"key:0001"),
+                value: Payload::from_static(b"hello"),
             })
         );
         assert_eq!(p.next_command(), None);
@@ -266,7 +266,7 @@ mod tests {
         assert_eq!(
             p.next_command(),
             Some(Command::Get {
-                key: Bytes::from_static(b"k")
+                key: Payload::from_static(b"k")
             })
         );
     }
@@ -325,7 +325,7 @@ mod tests {
     #[test]
     fn interleaved_response_stream() {
         let mut wire = encode_response(&Response::Ok);
-        wire.extend(encode_response(&Response::Value(Bytes::from_static(b"xy"))));
+        wire.extend(encode_response(&Response::Value(Payload::from_static(b"xy"))));
         wire.extend(encode_response(&Response::Ok));
         let mut p = ResponseParser::new();
         // Split mid-bulk.
@@ -335,7 +335,7 @@ mod tests {
         p.feed(&wire[8..]);
         assert_eq!(
             p.next_response(),
-            Some(Response::Value(Bytes::from_static(b"xy")))
+            Some(Response::Value(Payload::from_static(b"xy")))
         );
         assert_eq!(p.next_response(), Some(Response::Ok));
     }

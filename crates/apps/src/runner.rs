@@ -9,7 +9,6 @@
 
 use batchpolicy::{AimdBatchLimit, EpsilonGreedy, Objective, TickController};
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 use simnet::{run, CpuContext, EventQueue, LinkConfig};
 use tcpsim::config::ExchangeConfig;
 use tcpsim::{Host, HostId, NagleMode, NetSim, SocketId, TcpConfig, Unit};
@@ -21,7 +20,7 @@ use crate::server::RedisServer;
 use crate::workload::WorkloadSpec;
 
 /// How batching is controlled during a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum NagleSetting {
     /// `TCP_NODELAY` everywhere (the Redis default).
     Off,
@@ -47,7 +46,7 @@ pub enum NagleSetting {
 
 /// Optional stack/policy overrides for ablation studies (§5 knobs). All
 /// `None` means the calibrated defaults.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Overrides {
     /// Metadata-exchange minimum interval.
     pub exchange_interval: Option<Nanos>,
@@ -64,7 +63,7 @@ pub struct Overrides {
 }
 
 /// Everything that defines one experiment point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
     /// The workload.
     pub workload: WorkloadSpec,
@@ -101,7 +100,7 @@ impl RunConfig {
 }
 
 /// One side's CPU utilizations over the measurement window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuUtil {
     /// Application-thread utilization (may exceed 1.0 when oversubscribed).
     pub app: f64,
@@ -110,7 +109,7 @@ pub struct CpuUtil {
 }
 
 /// The result of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PointResult {
     /// Offered load (requests/second).
     pub offered_rps: f64,

@@ -8,13 +8,12 @@
 //! at a given rate.
 
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 
 use crate::runner::{run_point, NagleSetting, PointResult, RunConfig};
 use crate::workload::WorkloadSpec;
 
 /// One sweep row: the same rate under each configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Offered rate (requests/second).
     pub rate_rps: f64,
@@ -27,7 +26,7 @@ pub struct SweepRow {
 }
 
 /// A full sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// The swept rows, ascending by rate.
     pub rows: Vec<SweepRow>,

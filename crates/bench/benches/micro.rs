@@ -1,124 +1,143 @@
-//! Criterion micro-benchmarks for the measurement primitives.
+//! Micro-benchmarks for the measurement primitives.
 //!
 //! The paper's premise is that the counters are "easily maintained" —
 //! cheap enough to update on every socket-buffer change. This suite
 //! quantifies that: TRACK, snapshotting, GETAVGS, the 36-byte wire
 //! encode/decode, a full estimator update, and RESP parsing.
 //!
+//! Uses a small hand-rolled harness (median of timed batches) instead of
+//! criterion: the workspace builds with no registry dependencies. Wall-
+//! clock timing is fine here — benches are excluded from the determinism
+//! lint, which covers only the simulation crates.
+//!
 //! ```sh
 //! cargo bench -p bench --bench micro
 //! ```
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use e2e_core::combine::EndpointSnapshots;
 use e2e_core::E2eEstimator;
 use littles::wire::{WireExchange, WireScale, WireSnapshot};
 use littles::{Ewma, Nanos, QueueState, Snapshot};
 
-fn bench_track(c: &mut Criterion) {
-    c.bench_function("track_one_update", |b| {
-        let mut q = QueueState::new(Nanos::ZERO);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 100;
-            q.track(Nanos::from_nanos(t), 1);
-            q.track(Nanos::from_nanos(t + 50), -1);
-        });
+/// Times `f` over batches of `iters` calls and prints the median ns/iter.
+fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
+    // Warmup.
+    for _ in 0..iters / 4 {
+        f();
+    }
+    const BATCHES: usize = 9;
+    let mut per_iter = [0f64; BATCHES];
+    for slot in per_iter.iter_mut() {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        *slot = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    println!("{name:<28} {:>10.1} ns/iter (median of {BATCHES} batches x {iters})",
+        per_iter[BATCHES / 2]);
+}
+
+fn bench_track() {
+    let mut q = QueueState::new(Nanos::ZERO);
+    let mut t = 0u64;
+    bench("track_one_update", 1_000_000, || {
+        t += 100;
+        q.track(Nanos::from_nanos(t), 1);
+        q.track(Nanos::from_nanos(t + 50), -1);
     });
 }
 
-fn bench_snapshot_and_averages(c: &mut Criterion) {
-    c.bench_function("peek_snapshot", |b| {
-        let mut q = QueueState::new(Nanos::ZERO);
-        q.track(Nanos::from_micros(1), 10);
-        b.iter(|| black_box(q.peek(Nanos::from_micros(2))));
+fn bench_snapshot_and_averages() {
+    let mut q = QueueState::new(Nanos::ZERO);
+    q.track(Nanos::from_micros(1), 10);
+    bench("peek_snapshot", 1_000_000, || {
+        black_box(q.peek(Nanos::from_micros(2)));
     });
-    c.bench_function("getavgs", |b| {
-        let prev = Snapshot {
-            time: Nanos::from_micros(100),
-            total: 1_000,
-            integral: 5_000_000,
-        };
-        let cur = Snapshot {
-            time: Nanos::from_micros(1_100),
-            total: 2_000,
-            integral: 9_000_000,
-        };
-        b.iter(|| black_box(cur.averages_since(&prev)));
+    let prev = Snapshot {
+        time: Nanos::from_micros(100),
+        total: 1_000,
+        integral: 5_000_000,
+    };
+    let cur = Snapshot {
+        time: Nanos::from_micros(1_100),
+        total: 2_000,
+        integral: 9_000_000,
+    };
+    bench("getavgs", 1_000_000, || {
+        black_box(cur.averages_since(&prev));
     });
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire() {
     let snap = Snapshot {
         time: Nanos::from_micros(12_345),
         total: 777,
         integral: 123_456_789,
     };
     let ex = WireExchange::pack(&snap, &snap, &snap, WireScale::default());
-    c.bench_function("wire_encode_36B", |b| b.iter(|| black_box(ex.encode())));
+    bench("wire_encode_36B", 1_000_000, || {
+        black_box(ex.encode());
+    });
     let bytes = ex.encode();
-    c.bench_function("wire_decode_36B", |b| {
-        b.iter(|| black_box(WireExchange::decode(&bytes)))
+    bench("wire_decode_36B", 1_000_000, || {
+        black_box(WireExchange::decode(&bytes));
     });
-    c.bench_function("wire_pack_snapshot", |b| {
-        b.iter(|| black_box(WireSnapshot::pack(&snap, WireScale::default())))
-    });
-}
-
-fn bench_estimator(c: &mut Criterion) {
-    c.bench_function("estimator_update", |b| {
-        let mut est = E2eEstimator::new(WireScale::UNSCALED, 0.3);
-        let mut t = 0u64;
-        let mut total = 0u64;
-        b.iter(|| {
-            t += 1_000_000;
-            total += 50;
-            let snap = Snapshot {
-                time: Nanos::from_nanos(t),
-                total,
-                integral: (t as u128) * 3,
-            };
-            let local = EndpointSnapshots {
-                unacked: snap,
-                unread: snap,
-                ackdelay: snap,
-            };
-            let remote = WireExchange::pack(&snap, &snap, &snap, WireScale::UNSCALED);
-            black_box(est.update(Nanos::from_nanos(t), local, Some(remote)))
-        });
+    bench("wire_pack_snapshot", 1_000_000, || {
+        black_box(WireSnapshot::pack(&snap, WireScale::default()));
     });
 }
 
-fn bench_ewma(c: &mut Criterion) {
-    c.bench_function("ewma_update", |b| {
-        let mut e = Ewma::new(0.3);
-        let mut x = 1.0;
-        b.iter(|| {
-            x += 0.1;
-            black_box(e.update(x))
-        });
+fn bench_estimator() {
+    let mut est = E2eEstimator::new(WireScale::UNSCALED, 0.3);
+    let mut t = 0u64;
+    let mut total = 0u64;
+    bench("estimator_update", 200_000, || {
+        t += 1_000_000;
+        total += 50;
+        let snap = Snapshot {
+            time: Nanos::from_nanos(t),
+            total,
+            integral: (t as u128) * 3,
+        };
+        let local = EndpointSnapshots {
+            unacked: snap,
+            unread: snap,
+            ackdelay: snap,
+        };
+        let remote = WireExchange::pack(&snap, &snap, &snap, WireScale::UNSCALED);
+        black_box(est.update(Nanos::from_nanos(t), local, Some(remote)));
     });
 }
 
-fn bench_resp(c: &mut Criterion) {
+fn bench_ewma() {
+    let mut e = Ewma::new(0.3);
+    let mut x = 1.0;
+    bench("ewma_update", 1_000_000, || {
+        x += 0.1;
+        black_box(e.update(x));
+    });
+}
+
+fn bench_resp() {
     use e2e_apps::resp::{encode_set, CommandParser};
     let wire = encode_set(&[b'k'; 16], &vec![7u8; 16 * 1024]);
-    c.bench_function("resp_parse_16KiB_set", |b| {
-        b.iter(|| {
-            let mut p = CommandParser::new();
-            p.feed(&wire);
-            black_box(p.next_command())
-        });
+    bench("resp_parse_16KiB_set", 50_000, || {
+        let mut p = CommandParser::new();
+        p.feed(&wire);
+        black_box(p.next_command());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_track,
-    bench_snapshot_and_averages,
-    bench_wire,
-    bench_estimator,
-    bench_ewma,
-    bench_resp
-);
-criterion_main!(benches);
+fn main() {
+    bench_track();
+    bench_snapshot_and_averages();
+    bench_wire();
+    bench_estimator();
+    bench_ewma();
+    bench_resp();
+}

@@ -20,10 +20,9 @@
 
 use littles::wire::{WireExchange, WireScale, WireSnapshot};
 use littles::{Nanos, Snapshot};
-use serde::{Deserialize, Serialize};
 
 /// One endpoint's three queue snapshots at a single instant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EndpointSnapshots {
     /// Sent-but-unacknowledged queue.
     pub unacked: Snapshot,
@@ -35,7 +34,7 @@ pub struct EndpointSnapshots {
 
 /// The averages of one queue over a window: occupancy integral and
 /// departures over elapsed time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QueueWindow {
     /// Window length.
     pub dt: Nanos,
@@ -108,7 +107,7 @@ impl QueueWindow {
 }
 
 /// One endpoint's three queue windows over the same measurement interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EndpointWindows {
     /// Sent-but-unacknowledged queue window.
     pub unacked: QueueWindow,
@@ -143,7 +142,7 @@ impl EndpointWindows {
 }
 
 /// The four delays entering the decomposition, for inspection/debugging.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DelaySet {
     /// `L_unacked` at the side whose perspective we compute.
     pub unacked_near: Nanos,

@@ -10,12 +10,11 @@
 
 use littles::wire::{WireExchange, WireScale};
 use littles::{Ewma, Nanos};
-use serde::{Deserialize, Serialize};
 
 use crate::combine::{combine_delays, EndpointSnapshots, EndpointWindows};
 
 /// One end-to-end performance estimate over a measurement window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// When the estimate was formed.
     pub at: Nanos,

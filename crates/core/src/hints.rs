@@ -14,7 +14,6 @@
 
 use littles::wire::{WireScale, WireSnapshot};
 use littles::{Nanos, QueueState, Snapshot};
-use serde::{Deserialize, Serialize};
 
 /// The userspace request tracker: one logical queue of in-flight requests.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// t.complete(Nanos::from_micros(80), 1); // response received
 /// assert_eq!(t.in_flight(), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestTracker {
     state: QueueState,
 }
@@ -84,7 +83,7 @@ pub struct HintEstimator {
 }
 
 /// An estimate derived from the hint queue alone.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HintEstimate {
     /// Average end-to-end latency of the client's requests.
     pub latency: Option<Nanos>,

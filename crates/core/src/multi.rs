@@ -8,7 +8,6 @@
 //! requests should dominate the policy's view of latency.
 
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 
 use crate::estimator::Estimate;
 
@@ -19,7 +18,7 @@ pub struct MultiConnectionAggregator {
 }
 
 /// The aggregate result.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AggregateEstimate {
     /// Throughput-weighted mean latency.
     pub latency: Nanos,

@@ -17,10 +17,9 @@
 //! measured and Little's-law-estimated latency.
 
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// An SRTT-style latency baseline (RFC 6298 smoothing, α = 1/8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RttBaseline {
     srtt: Option<Nanos>,
     samples: u64,

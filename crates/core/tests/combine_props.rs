@@ -1,70 +1,114 @@
-//! Property-based tests for the latency decomposition.
+//! Property-style tests for the latency decomposition.
+//!
+//! Formerly proptest-based; rewritten as seeded SplitMix64 sweeps because
+//! the workspace builds with no registry dependencies. A fixed seed keeps
+//! every run identical.
 
 use e2e_core::combine::{combine_delays, EndpointWindows, QueueWindow};
 use e2e_core::{E2eEstimator, RequestTracker};
 use littles::wire::{WireExchange, WireScale};
 use littles::{Nanos, QueueState, Snapshot};
-use proptest::prelude::*;
 
-fn window() -> impl Strategy<Value = QueueWindow> {
-    (1u64..10_000_000, 0u64..10_000, 0u128..1u128 << 40).prop_map(|(dt, total, integral)| {
-        QueueWindow {
-            dt: Nanos::from_nanos(dt),
-            d_total: total,
-            d_integral: integral,
-        }
-    })
-}
+/// Deterministic SplitMix64 case generator (e2e-core cannot depend on
+/// simnet — that would invert the crate layering).
+struct SplitMix64(u64);
 
-fn endpoint() -> impl Strategy<Value = EndpointWindows> {
-    (window(), window(), window()).prop_map(|(unacked, unread, ackdelay)| EndpointWindows {
-        unacked,
-        unread,
-        ackdelay,
-    })
-}
-
-proptest! {
-    /// The decomposition never panics and never returns a negative
-    /// latency (the subtraction clamps).
-    #[test]
-    fn latency_is_total_and_nonnegative(near in endpoint(), far in endpoint()) {
-        let set = combine_delays(&near, &far);
-        let _ = set.latency(); // must not panic; Nanos is unsigned by type
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
     }
 
-    /// Monotonicity: growing any *added* component cannot lower the
-    /// combined latency; growing the subtracted one cannot raise it.
-    #[test]
-    fn latency_monotone_in_components(near in endpoint(), far in endpoint(), extra in 1u128..1u128 << 30) {
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+fn window(rng: &mut SplitMix64) -> QueueWindow {
+    QueueWindow {
+        dt: Nanos::from_nanos(rng.range(1, 10_000_000)),
+        d_total: rng.range(0, 10_000),
+        d_integral: (rng.next() as u128) & ((1u128 << 40) - 1),
+    }
+}
+
+fn endpoint(rng: &mut SplitMix64) -> EndpointWindows {
+    EndpointWindows {
+        unacked: window(rng),
+        unread: window(rng),
+        ackdelay: window(rng),
+    }
+}
+
+/// The decomposition never panics and never returns a negative latency
+/// (the subtraction clamps; `Nanos` is unsigned by type).
+#[test]
+fn latency_is_total_and_nonnegative() {
+    let mut rng = SplitMix64(0x1A7E);
+    for _ in 0..500 {
+        let near = endpoint(&mut rng);
+        let far = endpoint(&mut rng);
+        let set = combine_delays(&near, &far);
+        let _ = set.latency();
+    }
+}
+
+/// Monotonicity: growing any *added* component cannot lower the combined
+/// latency; growing the subtracted one cannot raise it.
+#[test]
+fn latency_monotone_in_components() {
+    let mut rng = SplitMix64(0x300E);
+    for _ in 0..500 {
+        let near = endpoint(&mut rng);
+        let far = endpoint(&mut rng);
+        let extra = (rng.next() as u128) & ((1u128 << 30) - 1) | 1;
         let base = combine_delays(&near, &far).latency();
 
         let mut more_unread = near;
         more_unread.unread.d_integral += extra * more_unread.unread.d_total.max(1) as u128;
         let grown = combine_delays(&more_unread, &far).latency();
-        prop_assert!(grown >= base, "adding unread delay lowered L");
+        assert!(grown >= base, "adding unread delay lowered L");
 
         let mut more_ackdelay = far;
         more_ackdelay.ackdelay.d_integral += extra * more_ackdelay.ackdelay.d_total.max(1) as u128;
         let shrunk = combine_delays(&near, &more_ackdelay).latency();
-        prop_assert!(shrunk <= base, "adding remote ackdelay raised L");
+        assert!(shrunk <= base, "adding remote ackdelay raised L");
     }
+}
 
-    /// The delay fallbacks: idle → 0, stalled → window length.
-    #[test]
-    fn delay_fallbacks(dt in 1u64..1_000_000) {
-        let idle = QueueWindow { dt: Nanos::from_nanos(dt), d_total: 0, d_integral: 0 };
-        prop_assert_eq!(idle.delay(), Nanos::ZERO);
-        let stalled = QueueWindow { dt: Nanos::from_nanos(dt), d_total: 0, d_integral: 1 };
-        prop_assert_eq!(stalled.delay(), Nanos::from_nanos(dt));
+/// The delay fallbacks: idle → 0, stalled → window length.
+#[test]
+fn delay_fallbacks() {
+    let mut rng = SplitMix64(0xFA11);
+    for _ in 0..500 {
+        let dt = rng.range(1, 1_000_000);
+        let idle = QueueWindow {
+            dt: Nanos::from_nanos(dt),
+            d_total: 0,
+            d_integral: 0,
+        };
+        assert_eq!(idle.delay(), Nanos::ZERO);
+        let stalled = QueueWindow {
+            dt: Nanos::from_nanos(dt),
+            d_total: 0,
+            d_integral: 1,
+        };
+        assert_eq!(stalled.delay(), Nanos::from_nanos(dt));
     }
+}
 
-    /// The estimator is insensitive to tick cadence: feeding the same
-    /// queue activity with twice as many intermediate local snapshots
-    /// yields the same final-window estimate family (every produced
-    /// estimate stays within the envelope of the true per-period delays).
-    #[test]
-    fn estimator_outputs_bounded_by_activity(period_us in 50u64..500, residency_us in 1u64..40) {
+/// The estimator is insensitive to tick cadence: feeding the same queue
+/// activity with intermediate local snapshots yields estimates bounded by
+/// the true per-period residency.
+#[test]
+fn estimator_outputs_bounded_by_activity() {
+    let mut rng = SplitMix64(0xE571);
+    for _ in 0..100 {
+        let period_us = rng.range(50, 500);
+        let residency_us = rng.range(1, 40);
         let us = Nanos::from_micros;
         let mut unacked = QueueState::new(Nanos::ZERO);
         let mut est = E2eEstimator::new(WireScale::UNSCALED, 1.0);
@@ -77,8 +121,14 @@ proptest! {
             let snap = unacked.peek(tick);
             let local = e2e_core::combine::EndpointSnapshots {
                 unacked: snap,
-                unread: Snapshot { time: tick, ..Snapshot::default() },
-                ackdelay: Snapshot { time: tick, ..Snapshot::default() },
+                unread: Snapshot {
+                    time: tick,
+                    ..Snapshot::default()
+                },
+                ackdelay: Snapshot {
+                    time: tick,
+                    ..Snapshot::default()
+                },
             };
             let idle = QueueState::new(Nanos::ZERO).peek(tick);
             let remote = WireExchange::pack(&idle, &idle, &idle, WireScale::UNSCALED);
@@ -87,18 +137,22 @@ proptest! {
             }
         }
         // All estimates bounded by the true residency (± rounding).
-        prop_assert!(max_seen <= us(residency_us) + Nanos::from_nanos(1),
-            "estimate {max_seen} exceeds true residency {}us", residency_us);
+        assert!(
+            max_seen <= us(residency_us) + Nanos::from_nanos(1),
+            "estimate {max_seen} exceeds true residency {residency_us}us"
+        );
     }
+}
 
-    /// Tracker round-trip: create/complete pairs in FIFO order recover the
-    /// exact mean residency through the hint path.
-    #[test]
-    fn tracker_mean_exact_for_uniform_residency(
-        n in 1u64..50,
-        gap_us in 1u64..100,
-        residency_us in 1u64..2_000,
-    ) {
+/// Tracker round-trip: create/complete pairs in FIFO order recover the
+/// exact mean residency through the hint path.
+#[test]
+fn tracker_mean_exact_for_uniform_residency() {
+    let mut rng = SplitMix64(0x7247);
+    for _ in 0..300 {
+        let n = rng.range(1, 50);
+        let gap_us = rng.range(1, 100);
+        let residency_us = rng.range(1, 2_000);
         let us = Nanos::from_micros;
         let mut t = RequestTracker::new(Nanos::ZERO);
         let s0 = t.snapshot(Nanos::ZERO);
@@ -115,6 +169,6 @@ proptest! {
         }
         let s1 = t.snapshot(us(n * gap_us + residency_us + 1));
         let avgs = RequestTracker::averages(&s0, &s1).unwrap();
-        prop_assert_eq!(avgs.delay.unwrap(), us(residency_us));
+        assert_eq!(avgs.delay.unwrap(), us(residency_us));
     }
 }

@@ -10,7 +10,6 @@
 //!   derived from the elapsed time and a time constant, so sparse and dense
 //!   sample streams decay identically.
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::Nanos;
 
@@ -29,7 +28,7 @@ use crate::time::Nanos;
 /// e.update(20.0);
 /// assert_eq!(e.value(), Some(15.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,
@@ -78,7 +77,7 @@ impl Ewma {
 /// constant, so the average is insensitive to the sampling cadence: two
 /// quick samples move it no more than one sample carrying the same
 /// information over the same span.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeDecayEwma {
     tau: Nanos,
     value: Option<f64>,

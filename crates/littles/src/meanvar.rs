@@ -9,7 +9,6 @@
 //! Policies use the variance to distinguish "estimate moved because load
 //! changed" from "estimate moved because of noise" (paper §5, granularity).
 
-use serde::{Deserialize, Serialize};
 
 /// Exponentially-weighted running mean and variance.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.mean() - 4.0).abs() < 1e-9);
 /// assert!(s.variance() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightedMeanVar {
     alpha: f64,
     mean: f64,

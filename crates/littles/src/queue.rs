@@ -10,7 +10,6 @@
 //! ([`Snapshot::averages_since`]) yields [`Averages`]: average occupancy,
 //! throughput, and Little's-law queueing delay for the window between them.
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::Nanos;
 
@@ -35,7 +34,7 @@ use crate::time::Nanos;
 /// assert_eq!(q.size(), 1);
 /// assert_eq!(q.total(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueState {
     time: Nanos,
     size: i64,
@@ -136,7 +135,7 @@ impl QueueState {
 /// `GETAVGS` never reads the instantaneous `size`, so snapshots omit it
 /// (paper §3.1). Two snapshots of the same queue delimit a measurement
 /// window; see [`Snapshot::averages_since`].
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Snapshot {
     /// Time the snapshot was taken.
     pub time: Nanos,
@@ -180,7 +179,7 @@ impl Snapshot {
 }
 
 /// Window averages returned by `GETAVGS`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Averages {
     /// Window length.
     pub window: Nanos,

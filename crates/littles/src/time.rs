@@ -11,7 +11,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// A point in simulated time (or a span of it), in nanoseconds.
 ///
@@ -30,9 +29,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t * 2, Nanos::from_nanos(7_000));
 /// ```
 #[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
-#[serde(transparent)]
 pub struct Nanos(u64);
 
 impl Nanos {

@@ -16,7 +16,6 @@
 //! quantization error is bounded by one scaled unit per counter and is
 //! analyzed in the tests.
 
-use serde::{Deserialize, Serialize};
 
 use crate::queue::Snapshot;
 use crate::time::Nanos;
@@ -31,7 +30,7 @@ pub const EXCHANGE_WIRE_BYTES: usize = 3 * SNAPSHOT_WIRE_BYTES;
 ///
 /// Values are right-shifted by the configured number of bits; shifts are
 /// powers of two so encoding stays branch-free integer arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireScale {
     /// Right-shift applied to nanosecond timestamps. The default of 10 makes
     /// the time unit ~1.024 µs, wrapping every ~73 minutes.
@@ -63,7 +62,7 @@ impl WireScale {
 ///
 /// This is the unit the paper's metadata exchange ships: `(time, total,
 /// integral)`, each 32 bits, wrapping.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct WireSnapshot {
     /// Scaled, wrapped timestamp.
     pub time: u32,
@@ -94,7 +93,8 @@ impl WireSnapshot {
 
     /// Deserializes from 12 big-endian bytes.
     pub fn decode(buf: &[u8; SNAPSHOT_WIRE_BYTES]) -> Self {
-        let u32_at = |i: usize| u32::from_be_bytes(buf[i..i + 4].try_into().expect("4 bytes"));
+        let u32_at =
+            |i: usize| u32::from_be_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]);
         WireSnapshot {
             time: u32_at(0),
             total: u32_at(4),
@@ -158,7 +158,7 @@ impl WireWindow {
 /// The three per-queue snapshots one endpoint shares with its peer.
 ///
 /// Field order matches the latency decomposition of §3.2.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct WireExchange {
     /// Messages sent but not yet acknowledged.
     pub unacked: WireSnapshot,
@@ -181,9 +181,8 @@ impl WireExchange {
     /// Deserializes a 36-byte exchange payload.
     pub fn decode(buf: &[u8; EXCHANGE_WIRE_BYTES]) -> Self {
         let part = |lo: usize| {
-            let arr: [u8; SNAPSHOT_WIRE_BYTES] = buf[lo..lo + SNAPSHOT_WIRE_BYTES]
-                .try_into()
-                .expect("12 bytes");
+            let mut arr = [0u8; SNAPSHOT_WIRE_BYTES];
+            arr.copy_from_slice(&buf[lo..lo + SNAPSHOT_WIRE_BYTES]);
             WireSnapshot::decode(&arr)
         };
         WireExchange {

@@ -9,12 +9,11 @@
 //! multiplicatively when performance regresses.
 
 use e2e_core::Estimate;
-use serde::{Deserialize, Serialize};
 
 use crate::objective::Objective;
 
 /// Additive-increase/multiplicative-decrease controller for a batch limit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AimdBatchLimit {
     objective: Objective,
     limit: u64,

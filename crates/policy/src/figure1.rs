@@ -22,10 +22,9 @@
 //! differs, and the server cannot observe it without an end-to-end
 //! exchange.
 
-use serde::{Deserialize, Serialize};
 
 /// Model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Figure1Params {
     /// Number of requests queued at time 0.
     pub n: u32,
@@ -50,7 +49,7 @@ impl Figure1Params {
 }
 
 /// Average performance of one processing discipline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
     /// Mean request latency (request issue → client finishes processing
     /// the response), in model time units.
@@ -64,7 +63,7 @@ pub struct Metrics {
 }
 
 /// Side-by-side outcome of batched vs. unbatched processing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchOutcome {
     /// Model inputs.
     pub params: Figure1Params,

@@ -9,10 +9,9 @@
 
 use e2e_core::Estimate;
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// A scoring rule over `(latency, throughput)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Objective {
     /// Prefer the lowest latency, ignoring throughput.
     MinLatency,

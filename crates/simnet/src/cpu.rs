@@ -12,7 +12,6 @@
 //! saturation knee in Figure 4, and the VM client of Figure 2 is a context
 //! whose costs carry a multiplier.
 
-use serde::{Deserialize, Serialize};
 
 use littles::Nanos;
 
@@ -29,7 +28,7 @@ use littles::Nanos;
 /// assert_eq!(done1, Nanos::from_micros(3));
 /// assert_eq!(done2, Nanos::from_micros(5)); // queued behind the first
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpuContext {
     name: &'static str,
     busy_until: Nanos,
@@ -136,7 +135,7 @@ impl CpuContext {
 }
 
 /// A point-in-time capture of a context's cumulative busy time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusySnapshot {
     /// When the snapshot was taken.
     pub at: Nanos,

@@ -7,7 +7,6 @@
 //! giving a bounded relative error (≤ 1/32 ≈ 3% here) at O(1) record cost
 //! and a few KiB of memory regardless of sample count.
 
-use serde::{Deserialize, Serialize};
 
 use littles::Nanos;
 
@@ -34,7 +33,7 @@ const NUM_BUCKETS: usize = (OCTAVES + 1) * SUB_BUCKETS as usize;
 /// let p50 = h.quantile(0.5).unwrap();
 /// assert!(p50 >= Nanos::from_micros(190) && p50 <= Nanos::from_micros(210));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     counts: Vec<u64>,
     count: u64,

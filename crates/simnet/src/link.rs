@@ -11,13 +11,12 @@
 //! Optional uniform random loss supports the stack's retransmission tests;
 //! the figure experiments run lossless, as did the paper's testbed.
 
-use serde::{Deserialize, Serialize};
 
 use crate::rng::Pcg32;
 use littles::Nanos;
 
 /// Static link parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// One-way propagation delay.
     pub propagation: Nanos,

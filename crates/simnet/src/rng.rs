@@ -6,7 +6,6 @@
 //! run. We deliberately avoid `rand`'s thread-local entropy here; the `rand`
 //! crate is still used by test-only code elsewhere in the workspace.
 
-use serde::{Deserialize, Serialize};
 
 use littles::Nanos;
 
@@ -24,7 +23,7 @@ const PCG_INC: u64 = 1442695040888963407;
 /// let mut b = Pcg32::new(7);
 /// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pcg32 {
     state: u64,
 }

@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use bytes::Bytes;
+use crate::payload::Payload;
 
 /// The sending half: bytes accepted from the application, split into
 /// unacknowledged (`una..nxt`) and unsent (`nxt..end`) regions.
@@ -107,7 +107,7 @@ impl SendBuffer {
         }
         let start = self.nxt;
         let from = (start - self.una) as usize;
-        let bytes: Bytes = self
+        let bytes: Payload = self
             .data
             .iter()
             .skip(from)
@@ -143,7 +143,7 @@ impl SendBuffer {
             self.nxt
         );
         let from = (offset - self.una) as usize;
-        let bytes: Bytes = self
+        let bytes: Payload = self
             .data
             .iter()
             .skip(from)
@@ -203,7 +203,7 @@ pub struct SendChunk {
     /// Stream offset of the first byte.
     pub offset: u64,
     /// The payload.
-    pub bytes: Bytes,
+    pub bytes: Payload,
     /// Message-end offsets within `(offset, offset + len]`.
     pub boundaries: Vec<u64>,
 }
@@ -227,7 +227,7 @@ pub struct RecvBuffer {
     /// In-order bytes from `read_pos` to `rcv_nxt`.
     ready: VecDeque<u8>,
     /// Out-of-order segments keyed by start offset.
-    ooo: BTreeMap<u64, Bytes>,
+    ooo: BTreeMap<u64, Payload>,
     /// Message-end offsets within in-order data, not yet consumed.
     boundaries: VecDeque<u64>,
     /// Out-of-order message-end offsets waiting for in-order delivery.
@@ -290,7 +290,7 @@ impl RecvBuffer {
 
     /// Ingests a segment at stream offset `offset` carrying `data` and the
     /// message boundaries ending within it.
-    pub fn ingest(&mut self, offset: u64, data: &Bytes, boundaries: &[u64]) -> IngestResult {
+    pub fn ingest(&mut self, offset: u64, data: &Payload, boundaries: &[u64]) -> IngestResult {
         let end = offset + data.len() as u64;
         for &b in boundaries {
             debug_assert!(b > offset && b <= end, "boundary {b} outside segment");
@@ -353,9 +353,9 @@ impl RecvBuffer {
 
     /// Reads up to `max` in-order bytes; returns the bytes and the number
     /// of whole messages consumed.
-    pub fn read(&mut self, max: usize) -> (Bytes, usize) {
+    pub fn read(&mut self, max: usize) -> (Payload, usize) {
         let n = self.ready.len().min(max);
-        let bytes: Bytes = self.ready.drain(..n).collect::<Vec<u8>>().into();
+        let bytes: Payload = self.ready.drain(..n).collect::<Vec<u8>>().into();
         self.read_pos += n as u64;
         let mut messages = 0;
         while self.boundaries.front().is_some_and(|&b| b <= self.read_pos) {
@@ -464,7 +464,7 @@ mod tests {
     #[test]
     fn recv_in_order_delivery() {
         let mut r = RecvBuffer::new(100);
-        let res = r.ingest(0, &Bytes::from_static(b"hello"), &[5]);
+        let res = r.ingest(0, &Payload::from_static(b"hello"), &[5]);
         assert_eq!(res.in_order_bytes, 5);
         assert_eq!(res.in_order_messages, 1);
         assert_eq!(r.available(), 5);
@@ -476,10 +476,10 @@ mod tests {
     #[test]
     fn recv_out_of_order_reassembly() {
         let mut r = RecvBuffer::new(100);
-        let res1 = r.ingest(5, &Bytes::from_static(b"world"), &[10]);
+        let res1 = r.ingest(5, &Payload::from_static(b"world"), &[10]);
         assert!(res1.out_of_order);
         assert_eq!(r.available(), 0);
-        let res2 = r.ingest(0, &Bytes::from_static(b"hello"), &[]);
+        let res2 = r.ingest(0, &Payload::from_static(b"hello"), &[]);
         assert_eq!(res2.in_order_bytes, 10);
         assert_eq!(res2.in_order_messages, 1);
         let (bytes, _) = r.read(100);
@@ -489,8 +489,8 @@ mod tests {
     #[test]
     fn recv_duplicate_detected() {
         let mut r = RecvBuffer::new(100);
-        r.ingest(0, &Bytes::from_static(b"abc"), &[]);
-        let res = r.ingest(0, &Bytes::from_static(b"abc"), &[]);
+        r.ingest(0, &Payload::from_static(b"abc"), &[]);
+        let res = r.ingest(0, &Payload::from_static(b"abc"), &[]);
         assert!(res.duplicate);
         assert_eq!(r.available(), 3);
     }
@@ -498,8 +498,8 @@ mod tests {
     #[test]
     fn recv_partial_overlap_takes_suffix() {
         let mut r = RecvBuffer::new(100);
-        r.ingest(0, &Bytes::from_static(b"abc"), &[]);
-        let res = r.ingest(1, &Bytes::from_static(b"bcdef"), &[]);
+        r.ingest(0, &Payload::from_static(b"abc"), &[]);
+        let res = r.ingest(1, &Payload::from_static(b"bcdef"), &[]);
         assert!(!res.duplicate);
         assert_eq!(r.rcv_nxt(), 6);
         let (bytes, _) = r.read(100);
@@ -509,7 +509,7 @@ mod tests {
     #[test]
     fn recv_partial_read_consumes_messages_lazily() {
         let mut r = RecvBuffer::new(100);
-        r.ingest(0, &Bytes::from_static(b"req1req2"), &[4, 8]);
+        r.ingest(0, &Payload::from_static(b"req1req2"), &[4, 8]);
         assert_eq!(r.available_messages(), 2);
         let (_, msgs) = r.read(3);
         assert_eq!(msgs, 0, "message 1 not fully consumed yet");
@@ -522,7 +522,7 @@ mod tests {
     #[test]
     fn recv_window_shrinks_with_unread_data() {
         let mut r = RecvBuffer::new(10);
-        r.ingest(0, &Bytes::from_static(b"abcde"), &[]);
+        r.ingest(0, &Payload::from_static(b"abcde"), &[]);
         assert_eq!(r.window(), 5);
         r.read(5);
         assert_eq!(r.window(), 10);
@@ -531,9 +531,9 @@ mod tests {
     #[test]
     fn ooo_chain_reassembles_fully() {
         let mut r = RecvBuffer::new(100);
-        r.ingest(6, &Bytes::from_static(b"ghi"), &[9]);
-        r.ingest(3, &Bytes::from_static(b"def"), &[]);
-        let res = r.ingest(0, &Bytes::from_static(b"abc"), &[]);
+        r.ingest(6, &Payload::from_static(b"ghi"), &[9]);
+        r.ingest(3, &Payload::from_static(b"def"), &[]);
+        let res = r.ingest(0, &Payload::from_static(b"abc"), &[]);
         assert_eq!(res.in_order_bytes, 9);
         assert_eq!(res.in_order_messages, 1);
         let (bytes, msgs) = r.read(100);

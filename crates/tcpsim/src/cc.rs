@@ -6,12 +6,11 @@
 //! points at AIMD as the principled template for *batch-limit* adaptation
 //! (implemented separately in `batchpolicy::aimd`).
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::CcConfig;
 
 /// Congestion-window state machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CongestionControl {
     cwnd: usize,
     ssthresh: usize,

@@ -9,10 +9,9 @@
 //! operating regime (saturation in the tens of kRPS for 16 KiB SETs).
 
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// Nagle's algorithm setting for a socket.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NagleMode {
     /// Nagle enabled (the kernel default): a sub-MSS segment is held while
     /// any previously sent data remains unacknowledged.
@@ -27,7 +26,7 @@ pub enum NagleMode {
 }
 
 /// Delayed-acknowledgment parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DelAckConfig {
     /// Acknowledge immediately once this many full-sized segments are
     /// pending an ACK (RFC 1122's "every second segment").
@@ -51,7 +50,7 @@ impl Default for DelAckConfig {
 }
 
 /// Auto-corking parameters (Linux `tcp_autocorking`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CorkConfig {
     /// Master switch (on by default in Linux).
     pub enabled: bool,
@@ -75,7 +74,7 @@ impl Default for CorkConfig {
 }
 
 /// TCP segmentation offload parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TsoConfig {
     /// Master switch.
     pub enabled: bool,
@@ -99,7 +98,7 @@ impl Default for TsoConfig {
 }
 
 /// End-to-end metadata exchange parameters (paper §3.2, §5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExchangeConfig {
     /// Master switch for attaching the 36-byte queue-state option.
     pub enabled: bool,
@@ -133,7 +132,7 @@ impl Default for ExchangeConfig {
 }
 
 /// Retransmission parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RtoConfig {
     /// Lower bound on the retransmission timeout (Linux: 200 ms).
     pub min_rto: Nanos,
@@ -154,7 +153,7 @@ impl Default for RtoConfig {
 }
 
 /// Congestion-control parameters (Reno-style slow start + AIMD).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CcConfig {
     /// Initial congestion window in MSS units (RFC 6928: 10).
     pub initial_window_mss: u32,
@@ -172,7 +171,7 @@ impl Default for CcConfig {
 }
 
 /// Full per-socket TCP configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcpConfig {
     /// Maximum segment size (payload bytes per wire packet).
     pub mss: usize,
@@ -218,7 +217,7 @@ impl Default for TcpConfig {
 /// Two contexts exist per host, mirroring the paper's pinning: the
 /// application thread and the network softirq context. Costs are charged in
 /// simulated nanoseconds; see `e2e-apps::cost` for the calibrated profiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostConfig {
     /// Softirq: fixed cost per received *delivery* — one skb after
     /// GRO-style aggregation (socket lookup, TCP input, wakeup dispatch).
@@ -284,11 +283,16 @@ mod tests {
     }
 
     #[test]
-    fn config_roundtrips_through_serde() {
+    fn config_is_plain_copyable_data() {
+        // The config must stay `Copy` + `PartialEq` plain data so sweeps
+        // can clone and mutate it freely (serde was dropped with the
+        // offline-build change; equality is the roundtrip guarantee now).
         let c = TcpConfig::default();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: TcpConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, c);
+        let copy = c;
+        assert_eq!(copy, c);
+        let mut ablated = c;
+        ablated.nagle = NagleMode::On;
+        assert_ne!(ablated, c);
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! sign — see `e2e-core`.
 
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 
 use crate::config::DelAckConfig;
 
@@ -26,7 +25,7 @@ pub enum AckDecision {
 }
 
 /// Per-connection delayed-ACK state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DelAck {
     config: DelAckConfig,
     /// Full-sized segments received since the last ACK was sent.

@@ -159,7 +159,7 @@ impl Host {
 mod tests {
     use super::*;
     use crate::socket::Action;
-    use bytes::Bytes;
+use crate::payload::Payload;
     use littles::Nanos;
 
     fn host() -> Host {
@@ -218,9 +218,9 @@ mod tests {
             crate::segment::Flags::default(),
             0,
         );
-        small.payload = Bytes::from(vec![0u8; 100]);
+        small.payload = Payload::from(vec![0u8; 100]);
         let mut big = small.clone();
-        big.payload = Bytes::from(vec![0u8; 10_000]);
+        big.payload = Payload::from(vec![0u8; 10_000]);
         big.wire_packets = 7;
         assert!(h.rx_cost(&big) > h.rx_cost(&small));
     }

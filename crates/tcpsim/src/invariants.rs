@@ -1,0 +1,454 @@
+//! Runtime conservation gates for the three monitored queues.
+//!
+//! Every number the estimator produces is derived from the *unacked*,
+//! *unread*, and *ackdelay* queue counters, so those counters must obey
+//! conservation laws or the Little's-law averages silently drift. This
+//! module is the runtime half of the repo's correctness story (the static
+//! half is `cargo run -p xtask -- lint`): an independent ledger per queue
+//! double-books every enter/leave event and a set of gate functions checks
+//!
+//! * **conservation** — bytes entered minus bytes left equals the current
+//!   occupancy reported by the instrumented queue, and is never negative;
+//! * **monotonicity** — a queue's `total` and `integral` never decrease and
+//!   snapshot time never runs backwards (the discrete-event clock is
+//!   strictly non-decreasing);
+//! * **continuity** — freshly transmitted stream data starts exactly where
+//!   the previous transmission ended, and the receiver's `rcv_nxt` /
+//!   `read_pos` cursors advance without gaps.
+//!
+//! Gates return `Result` so tests can prove they fire on corrupted state;
+//! the socket wraps them in `debug_assert!`-style checks ([`gate`]) that
+//! vanish in release builds, mirroring how `QueueState::track` treats
+//! negative occupancy.
+
+use std::fmt;
+
+use littles::{Nanos, Snapshot};
+
+use crate::queues::{SocketQueues, Unit};
+
+/// A violated queue invariant: which gate fired and the numbers that
+/// contradict it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// `entered − left` disagrees with the queue's reported occupancy.
+    ConservationBroken {
+        /// Which queue ("unacked", "unread", "ackdelay").
+        queue: &'static str,
+        /// Cumulative units entered.
+        entered: u64,
+        /// Cumulative units left.
+        left: u64,
+        /// Occupancy the instrumented queue reports.
+        reported_size: i64,
+    },
+    /// More units left a queue than ever entered it.
+    NegativeBalance {
+        /// Which queue.
+        queue: &'static str,
+        /// Cumulative units entered.
+        entered: u64,
+        /// Cumulative units left.
+        left: u64,
+    },
+    /// A snapshot's `total` or `integral` decreased, or its time ran
+    /// backwards.
+    MonotonicityBroken {
+        /// Which queue.
+        queue: &'static str,
+        /// Which field regressed ("time", "total", "integral").
+        field: &'static str,
+        /// Value at the previous check.
+        prev: u128,
+        /// Value now (smaller — the violation).
+        cur: u128,
+    },
+    /// Newly transmitted data does not start where the last transmission
+    /// ended.
+    TxDiscontinuity {
+        /// Expected next stream offset.
+        expected: u64,
+        /// Offset actually transmitted.
+        actual: u64,
+    },
+    /// The receive cursors regressed or crossed (`read_pos > rcv_nxt`).
+    RxCursorBroken {
+        /// Which cursor ("rcv_nxt", "read_pos").
+        cursor: &'static str,
+        /// Previous (or bounding) value.
+        prev: u64,
+        /// Offending value.
+        cur: u64,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::ConservationBroken {
+                queue,
+                entered,
+                left,
+                reported_size,
+            } => write!(
+                f,
+                "{queue}: conservation broken: entered {entered} − left {left} ≠ reported size {reported_size}"
+            ),
+            InvariantViolation::NegativeBalance {
+                queue,
+                entered,
+                left,
+            } => write!(
+                f,
+                "{queue}: negative balance: left {left} exceeds entered {entered}"
+            ),
+            InvariantViolation::MonotonicityBroken {
+                queue,
+                field,
+                prev,
+                cur,
+            } => write!(
+                f,
+                "{queue}: {field} went backwards: {prev} → {cur}"
+            ),
+            InvariantViolation::TxDiscontinuity { expected, actual } => write!(
+                f,
+                "tx stream discontinuity: expected offset {expected}, transmitted {actual}"
+            ),
+            InvariantViolation::RxCursorBroken { cursor, prev, cur } => write!(
+                f,
+                "rx cursor {cursor} broken: {prev} → {cur}"
+            ),
+        }
+    }
+}
+
+/// Debug-assert wrapper: panics with the violation message in builds with
+/// debug assertions (tests, dev), does nothing in release.
+#[inline]
+pub fn gate(result: Result<(), InvariantViolation>) {
+    if cfg!(debug_assertions) {
+        if let Err(v) = result {
+            panic!("queue invariant violated: {v}");
+        }
+    }
+}
+
+/// An independent double-entry ledger for one queue, in one unit.
+///
+/// The socket books every enter/leave into the ledger *and* into the
+/// instrumented queue through separate code paths; [`QueueLedger::check`]
+/// then cross-validates the two. A bug that forgets one side (e.g. acking
+/// bytes out of `unacked` without tracking the departure) breaks the
+/// balance and fires the gate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueLedger {
+    entered: u64,
+    left: u64,
+}
+
+impl QueueLedger {
+    /// Books `n` units entering the queue.
+    pub fn enter(&mut self, n: u64) {
+        self.entered += n;
+    }
+
+    /// Books `n` units leaving the queue.
+    pub fn leave(&mut self, n: u64) {
+        self.left += n;
+    }
+
+    /// Cumulative units entered.
+    pub fn entered(&self) -> u64 {
+        self.entered
+    }
+
+    /// Cumulative units left.
+    pub fn left(&self) -> u64 {
+        self.left
+    }
+
+    /// Net occupancy implied by the ledger (`entered − left`), or a
+    /// [`InvariantViolation::NegativeBalance`] if departures outran
+    /// arrivals.
+    pub fn balance(&self, queue: &'static str) -> Result<u64, InvariantViolation> {
+        self.entered
+            .checked_sub(self.left)
+            .ok_or(InvariantViolation::NegativeBalance {
+                queue,
+                entered: self.entered,
+                left: self.left,
+            })
+    }
+
+    /// Conservation gate: the ledger balance must equal the occupancy the
+    /// instrumented queue reports.
+    pub fn check(
+        &self,
+        queue: &'static str,
+        reported_size: i64,
+    ) -> Result<(), InvariantViolation> {
+        let balance = self.balance(queue)?;
+        if reported_size < 0 || balance != reported_size as u64 {
+            return Err(InvariantViolation::ConservationBroken {
+                queue,
+                entered: self.entered,
+                left: self.left,
+                reported_size,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Monotonicity gate for one queue's byte-unit snapshots: time, `total`,
+/// and `integral` must all be non-decreasing between checks.
+pub fn check_snapshot_monotone(
+    queue: &'static str,
+    prev: &Snapshot,
+    cur: &Snapshot,
+) -> Result<(), InvariantViolation> {
+    if cur.time < prev.time {
+        return Err(InvariantViolation::MonotonicityBroken {
+            queue,
+            field: "time",
+            prev: prev.time.as_nanos() as u128,
+            cur: cur.time.as_nanos() as u128,
+        });
+    }
+    if cur.total < prev.total {
+        return Err(InvariantViolation::MonotonicityBroken {
+            queue,
+            field: "total",
+            prev: prev.total as u128,
+            cur: cur.total as u128,
+        });
+    }
+    if cur.integral < prev.integral {
+        return Err(InvariantViolation::MonotonicityBroken {
+            queue,
+            field: "integral",
+            prev: prev.integral,
+            cur: cur.integral,
+        });
+    }
+    Ok(())
+}
+
+/// The full per-socket invariant state: one ledger per monitored queue
+/// (byte units), the last verified snapshots for monotonicity, and the
+/// stream-continuity cursors.
+#[derive(Debug, Clone, Default)]
+pub struct SocketInvariants {
+    /// Ledger for the sent-but-unacked queue (bytes).
+    pub unacked: QueueLedger,
+    /// Ledger for the received-but-unread queue (bytes).
+    pub unread: QueueLedger,
+    /// Ledger for the delayed-ACK queue (bytes).
+    pub ackdelay: QueueLedger,
+    last_snapshots: Option<[Snapshot; 3]>,
+    next_tx_offset: u64,
+    last_rcv_nxt: u64,
+    last_read_pos: u64,
+}
+
+impl SocketInvariants {
+    /// Fresh invariant state for a new socket.
+    pub fn new() -> Self {
+        SocketInvariants::default()
+    }
+
+    /// Continuity gate for freshly transmitted data: a non-retransmitted
+    /// chunk must start exactly at the end of the previous one.
+    pub fn on_transmit(
+        &mut self,
+        offset: u64,
+        len: usize,
+        retransmit: bool,
+    ) -> Result<(), InvariantViolation> {
+        if retransmit {
+            // Retransmissions replay old offsets; they only may not run
+            // past the continuity point.
+            if offset + len as u64 > self.next_tx_offset {
+                return Err(InvariantViolation::TxDiscontinuity {
+                    expected: self.next_tx_offset,
+                    actual: offset + len as u64,
+                });
+            }
+            return Ok(());
+        }
+        if offset != self.next_tx_offset {
+            return Err(InvariantViolation::TxDiscontinuity {
+                expected: self.next_tx_offset,
+                actual: offset,
+            });
+        }
+        self.next_tx_offset = offset + len as u64;
+        Ok(())
+    }
+
+    /// Runs every stateful gate against the socket's instrumented queues
+    /// and receive cursors at `now`.
+    ///
+    /// Checks conservation for all three queues, snapshot monotonicity
+    /// against the previous call, and receive-cursor sanity. Updates the
+    /// remembered snapshots on success.
+    pub fn verify(
+        &mut self,
+        queues: &SocketQueues,
+        rcv_nxt: u64,
+        read_pos: u64,
+        now: Nanos,
+    ) -> Result<(), InvariantViolation> {
+        self.unacked
+            .check("unacked", queues.unacked.size(Unit::Bytes))?;
+        self.unread.check("unread", queues.unread.size(Unit::Bytes))?;
+        self.ackdelay
+            .check("ackdelay", queues.ackdelay.size(Unit::Bytes))?;
+
+        let cur = [
+            queues.unacked.peek(now, Unit::Bytes),
+            queues.unread.peek(now, Unit::Bytes),
+            queues.ackdelay.peek(now, Unit::Bytes),
+        ];
+        if let Some(prev) = &self.last_snapshots {
+            for (name, (p, c)) in ["unacked", "unread", "ackdelay"]
+                .into_iter()
+                .zip(prev.iter().zip(cur.iter()))
+            {
+                check_snapshot_monotone(name, p, c)?;
+            }
+        }
+        self.last_snapshots = Some(cur);
+
+        if rcv_nxt < self.last_rcv_nxt {
+            return Err(InvariantViolation::RxCursorBroken {
+                cursor: "rcv_nxt",
+                prev: self.last_rcv_nxt,
+                cur: rcv_nxt,
+            });
+        }
+        if read_pos < self.last_read_pos || read_pos > rcv_nxt {
+            return Err(InvariantViolation::RxCursorBroken {
+                cursor: "read_pos",
+                prev: self.last_read_pos.max(rcv_nxt),
+                cur: read_pos,
+            });
+        }
+        self.last_rcv_nxt = rcv_nxt;
+        self.last_read_pos = read_pos;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queues::SocketQueues;
+
+    #[test]
+    fn balanced_ledger_passes() {
+        let mut l = QueueLedger::default();
+        l.enter(100);
+        l.leave(40);
+        assert_eq!(l.check("unacked", 60), Ok(()));
+    }
+
+    #[test]
+    fn imbalanced_ledger_fires() {
+        let mut l = QueueLedger::default();
+        l.enter(100);
+        l.leave(40);
+        assert!(matches!(
+            l.check("unacked", 61),
+            Err(InvariantViolation::ConservationBroken { .. })
+        ));
+    }
+
+    #[test]
+    fn overdrawn_ledger_fires() {
+        let mut l = QueueLedger::default();
+        l.enter(10);
+        l.leave(11);
+        assert!(matches!(
+            l.check("unread", -1),
+            Err(InvariantViolation::NegativeBalance { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_regression_fires() {
+        let a = Snapshot {
+            time: Nanos::from_micros(10),
+            total: 5,
+            integral: 100,
+        };
+        let mut b = a;
+        b.total = 4;
+        b.time = Nanos::from_micros(11);
+        assert!(matches!(
+            check_snapshot_monotone("unacked", &a, &b),
+            Err(InvariantViolation::MonotonicityBroken { field: "total", .. })
+        ));
+        let mut c = a;
+        c.time = Nanos::from_micros(9);
+        assert!(matches!(
+            check_snapshot_monotone("unacked", &a, &c),
+            Err(InvariantViolation::MonotonicityBroken { field: "time", .. })
+        ));
+    }
+
+    #[test]
+    fn tx_continuity_tracks_stream() {
+        let mut inv = SocketInvariants::new();
+        assert_eq!(inv.on_transmit(0, 100, false), Ok(()));
+        assert_eq!(inv.on_transmit(100, 50, false), Ok(()));
+        // Retransmitting the old range is fine.
+        assert_eq!(inv.on_transmit(0, 150, true), Ok(()));
+        // Skipping ahead is not.
+        assert!(matches!(
+            inv.on_transmit(200, 10, false),
+            Err(InvariantViolation::TxDiscontinuity { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_passes_on_consistent_socket_state() {
+        let now = Nanos::from_micros(5);
+        let mut queues = SocketQueues::new(Nanos::ZERO);
+        queues.unacked.track_bytes(Nanos::ZERO, 100);
+        let mut inv = SocketInvariants::new();
+        inv.unacked.enter(100);
+        assert_eq!(inv.verify(&queues, 0, 0, now), Ok(()));
+    }
+
+    #[test]
+    fn verify_catches_corrupted_queue() {
+        // The ledger saw 100 bytes enter, but the instrumented queue was
+        // (incorrectly) told only 90: the conservation gate fires.
+        let now = Nanos::from_micros(5);
+        let mut queues = SocketQueues::new(Nanos::ZERO);
+        queues.unacked.track_bytes(Nanos::ZERO, 90);
+        let mut inv = SocketInvariants::new();
+        inv.unacked.enter(100);
+        assert!(matches!(
+            inv.verify(&queues, 0, 0, now),
+            Err(InvariantViolation::ConservationBroken { .. })
+        ));
+    }
+
+    #[test]
+    fn gate_panics_on_violation_in_debug() {
+        let result = std::panic::catch_unwind(|| {
+            gate(Err(InvariantViolation::TxDiscontinuity {
+                expected: 1,
+                actual: 2,
+            }));
+        });
+        if cfg!(debug_assertions) {
+            assert!(result.is_err(), "gate must panic under debug assertions");
+        } else {
+            assert!(result.is_ok());
+        }
+    }
+}

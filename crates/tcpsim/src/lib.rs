@@ -35,6 +35,8 @@ pub mod config;
 pub mod delack;
 pub mod gates;
 pub mod host;
+pub mod invariants;
+pub mod payload;
 pub mod queues;
 pub mod rtt;
 pub mod segment;
@@ -44,6 +46,7 @@ pub mod socket;
 
 pub use config::{CostConfig, NagleMode, TcpConfig};
 pub use host::{Host, HostId};
+pub use payload::Payload;
 pub use queues::{QueueSnapshots, SocketQueues, Unit};
 pub use segment::{FlowId, Segment};
 pub use sim::{App, Event, HostCtx, NetSim};

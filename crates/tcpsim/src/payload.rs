@@ -1,0 +1,128 @@
+//! Immutable, cheaply cloneable payload buffers.
+//!
+//! [`Payload`] replaces the `bytes::Bytes` dependency with a thin wrapper
+//! around `Arc<[u8]>`: the workspace must build with no registry access, and
+//! the simulator only ever needs immutable payloads that clone in O(1) as
+//! segments are retransmitted, duplicated by the lossy link, or stashed in
+//! the out-of-order store.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// Dereferences to `&[u8]`, so all slice operations (`len`, indexing,
+/// iteration, range slicing) work directly.
+///
+/// # Examples
+///
+/// ```
+/// use tcpsim::Payload;
+///
+/// let p = Payload::copy_from_slice(b"hello");
+/// assert_eq!(&p[..], b"hello");
+/// let q = p.clone(); // O(1): shares the allocation
+/// assert_eq!(p, q);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Payload(Arc::from(&[][..]))
+    }
+
+    /// Wraps a static byte slice (copies once into the shared allocation).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Payload(Arc::from(bytes))
+    }
+
+    /// Copies a slice into a new payload.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Payload(Arc::from(bytes))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the payload holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::new()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload::copy_from_slice(v)
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_default_agree() {
+        assert_eq!(Payload::new(), Payload::default());
+        assert!(Payload::new().is_empty());
+        assert_eq!(Payload::new().len(), 0);
+    }
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Payload::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn deref_supports_slicing() {
+        let p = Payload::copy_from_slice(b"abcdef");
+        assert_eq!(&p[2..4], b"cd");
+        assert_eq!(p.iter().copied().collect::<Vec<u8>>(), b"abcdef");
+    }
+
+    #[test]
+    fn usable_as_hash_map_key() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Payload, u32> = HashMap::new();
+        m.insert(Payload::from_static(b"k"), 7);
+        assert_eq!(m.get(&Payload::copy_from_slice(b"k")), Some(&7));
+    }
+}

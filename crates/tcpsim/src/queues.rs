@@ -16,10 +16,9 @@
 
 use littles::wire::{WireExchange, WireScale};
 use littles::{Nanos, QueueState, Snapshot};
-use serde::{Deserialize, Serialize};
 
 /// The message unit used to count queue occupancy (paper §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Unit {
     /// Plain bytes — what the paper's Linux prototype used (the queue sizes
     /// already exist as socket byte counters). Accurate only when requests
@@ -50,7 +49,7 @@ impl Unit {
 }
 
 /// One logical queue tracked in all three units at once.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InstrumentedQueue {
     bytes: QueueState,
     packets: QueueState,
@@ -102,7 +101,7 @@ impl InstrumentedQueue {
 }
 
 /// The full per-socket queue instrumentation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SocketQueues {
     /// Sent-but-unacknowledged queue.
     pub unacked: InstrumentedQueue,
@@ -138,10 +137,24 @@ impl SocketQueues {
         let s = self.snapshots(now, unit);
         WireExchange::pack(&s.unacked, &s.unread, &s.ackdelay, scale)
     }
+
+    /// Monotonicity gate ([`crate::invariants`]): checks that none of the
+    /// three queues' counters regressed between `prev` and a fresh snapshot
+    /// at `now` in the same unit. Returns the first violation found.
+    pub fn check_monotone_since(
+        &self,
+        prev: &QueueSnapshots,
+        now: Nanos,
+    ) -> Result<(), crate::invariants::InvariantViolation> {
+        let cur = self.snapshots(now, prev.unit);
+        crate::invariants::check_snapshot_monotone("unacked", &prev.unacked, &cur.unacked)?;
+        crate::invariants::check_snapshot_monotone("unread", &prev.unread, &cur.unread)?;
+        crate::invariants::check_snapshot_monotone("ackdelay", &prev.ackdelay, &cur.ackdelay)
+    }
 }
 
 /// The three full-resolution snapshots of one endpoint at one instant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueSnapshots {
     /// The unit the snapshots are counted in.
     pub unit: Unit,

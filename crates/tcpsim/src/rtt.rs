@@ -7,12 +7,11 @@
 //! RTT-based latency baseline precisely to demonstrate that inadequacy.
 
 use littles::Nanos;
-use serde::{Deserialize, Serialize};
 
 use crate::config::RtoConfig;
 
 /// Smoothed RTT state: `SRTT`, `RTTVAR`, and the derived `RTO`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RttEstimator {
     srtt: Option<Nanos>,
     rttvar: Nanos,

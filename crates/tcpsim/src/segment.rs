@@ -14,9 +14,8 @@
 //! a TCP option). Option bytes count toward the wire length so the overhead
 //! benchmarks can quantify the exchange's cost.
 
-use bytes::Bytes;
+use crate::payload::Payload;
 use littles::wire::{WireExchange, EXCHANGE_WIRE_BYTES};
-use serde::{Deserialize, Serialize};
 
 use crate::queues::Unit;
 use crate::seq::SeqNum;
@@ -44,11 +43,11 @@ pub const E2E_OPTION_BYTES: usize = e2e_option_bytes(1);
 pub const HINT_OPTION_BYTES: usize = 16;
 
 /// Identifies one TCP connection (both endpoints use the same id).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowId(pub u64);
 
 /// TCP header flags (the subset the simulator uses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Flags {
     /// Connection request.
     pub syn: bool,
@@ -61,7 +60,7 @@ pub struct Flags {
 }
 
 /// RFC 7323 timestamps option.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimestampOption {
     /// Sender's clock at transmit (ns truncated to 32 bits in simulation).
     pub tsval: u32,
@@ -75,7 +74,7 @@ pub struct TimestampOption {
 /// implementation can carry several units side by side so one experiment
 /// run can compare the §3.3 bridging strategies. Wire size grows
 /// accordingly and is accounted per unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct E2eOption {
     /// Per-unit exchanges, indexed by [`Unit::index`].
     pub exchanges: [Option<WireExchange>; 3],
@@ -104,14 +103,14 @@ impl E2eOption {
 /// maintained queue state for the single logical request queue, passed to
 /// `send` via ancillary data and forwarded to the peer. When present, the
 /// peer can estimate end-to-end performance from this one queue alone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HintOption {
     /// The application's request-queue snapshot.
     pub snapshot: littles::wire::WireSnapshot,
 }
 
 /// Header options attached to a segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Options {
     /// RTT-sampling timestamps.
     pub timestamps: Option<TimestampOption>,
@@ -140,7 +139,7 @@ impl Options {
 }
 
 /// One TCP segment (possibly a TSO super-segment).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Segment {
     /// The connection this segment belongs to.
     pub flow: FlowId,
@@ -153,8 +152,7 @@ pub struct Segment {
     /// Advertised receive window in bytes.
     pub window: u32,
     /// Payload carried by this segment.
-    #[serde(skip, default)]
-    pub payload: Bytes,
+    pub payload: Payload,
     /// Absolute stream offsets (in bytes, from stream start) at which
     /// application messages *end* within this segment's payload. This is
     /// simulator metadata standing in for the kernel marking send-call
@@ -177,7 +175,7 @@ impl Segment {
             ack,
             flags,
             window,
-            payload: Bytes::new(),
+            payload: Payload::new(),
             boundaries: Vec::new(),
             options: Options::default(),
             wire_packets: 1,
@@ -234,7 +232,7 @@ mod tests {
                 ..Flags::default()
             },
             window: 65_535,
-            payload: Bytes::from(vec![0u8; len]),
+            payload: Payload::from(vec![0u8; len]),
             boundaries: Vec::new(),
             options: Options::default(),
             wire_packets,

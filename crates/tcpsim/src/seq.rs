@@ -4,7 +4,6 @@
 //! meaningful between numbers less than 2³¹ apart. [`SeqNum`] mirrors the
 //! kernel's `before()`/`after()` helpers with wrapping add/sub.
 
-use serde::{Deserialize, Serialize};
 
 /// A 32-bit wrapping TCP sequence number.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(near_wrap.before(wrapped));
 /// assert_eq!(wrapped - near_wrap, 10);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SeqNum(u32);
 
 impl SeqNum {

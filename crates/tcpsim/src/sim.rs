@@ -16,7 +16,7 @@
 //! makes application batching (one wakeup amortized over several requests)
 //! emerge naturally under load, as in the paper's Figure 1.
 
-use bytes::Bytes;
+use crate::payload::Payload;
 use littles::{Nanos, Snapshot};
 use simnet::{DuplexLink, EventQueue, LinkConfig, Pcg32, World};
 
@@ -182,7 +182,7 @@ impl HostCtx<'_> {
 
     /// Reads up to `max` in-order bytes; returns the bytes and the number
     /// of whole messages consumed. Charged to the application thread.
-    pub fn recv(&mut self, sock: SocketId, max: usize) -> (Bytes, usize) {
+    pub fn recv(&mut self, sock: SocketId, max: usize) -> (Payload, usize) {
         let now = self.now();
         let syscall = self.host.costs.syscall;
         self.host.app_cpu.run(now, syscall);
@@ -522,7 +522,11 @@ impl<C: App, S: App> World for NetSim<C, S> {
                 let mut actions = Vec::new();
                 let sock_id = match host.socket_for_flow(seg.flow) {
                     Some(id) => {
-                        host.socket_mut(id).on_segment(now, &seg, env, &mut actions);
+                        let sock = host.socket_mut(id);
+                        sock.on_segment(now, &seg, env, &mut actions);
+                        // Conservation gates run after every stack entry
+                        // point (debug builds only; see tcpsim::invariants).
+                        crate::invariants::gate(sock.check_invariants(now));
                         id
                     }
                     None if seg.flags.syn && !seg.flags.ack => {
@@ -557,7 +561,11 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     nic_in_flight: host.nic_in_flight(),
                 };
                 let mut actions = Vec::new();
-                host.socket_mut(sock).on_timer(now, kind, env, &mut actions);
+                {
+                    let s = host.socket_mut(sock);
+                    s.on_timer(now, kind, env, &mut actions);
+                    crate::invariants::gate(s.check_invariants(now));
+                }
                 apply_actions(
                     host,
                     &mut self.link,

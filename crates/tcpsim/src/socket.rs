@@ -14,13 +14,13 @@
 
 use std::collections::VecDeque;
 
-use bytes::Bytes;
+use crate::payload::Payload;
 use littles::wire::{WireExchange, WireScale, WireSnapshot};
 use littles::{Nanos, Snapshot};
-use serde::{Deserialize, Serialize};
 
 use crate::buffer::{RecvBuffer, SendBuffer};
 use crate::config::{NagleMode, TcpConfig};
+use crate::invariants::{gate, SocketInvariants};
 use crate::delack::{AckDecision, DelAck};
 use crate::gates::{cork_holds, nagle_allows};
 use crate::queues::{QueueSnapshots, SocketQueues, Unit};
@@ -30,11 +30,11 @@ use crate::segment::{E2eOption, Flags, FlowId, HintOption, Options, Segment, Tim
 use crate::cc::CongestionControl;
 
 /// Index of a socket within its host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SocketId(pub usize);
 
 /// Connection state (the subset of RFC 793 this stack uses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TcpState {
     /// Active open sent, awaiting SYN-ACK.
     SynSent,
@@ -55,7 +55,7 @@ pub enum TcpState {
 }
 
 /// Socket timers, armed and cancelled through [`Action`]s.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TimerKind {
     /// Retransmission timeout.
     Rto,
@@ -66,7 +66,7 @@ pub enum TimerKind {
 }
 
 /// Why the application is being woken.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WakeReason {
     /// Active open completed.
     Connected,
@@ -121,7 +121,7 @@ struct InFlight {
 /// A two-deep history of peer-shared values: the previous and current
 /// exchange, exactly as the paper's §5 describes ("we maintain two states
 /// per connection: previous and current").
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ShareWindow<T> {
     /// The exchange before the current one.
     pub prev: Option<T>,
@@ -143,7 +143,7 @@ impl<T: Copy> ShareWindow<T> {
 }
 
 /// Everything the peer has shared with us.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RemoteStore {
     /// Queue-state exchanges in byte units.
     pub bytes: ShareWindow<WireExchange>,
@@ -177,7 +177,7 @@ impl RemoteStore {
 }
 
 /// Transmit/receive statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SocketStats {
     /// Data segments transmitted (TSO super-segments count once).
     pub data_segments_sent: u64,
@@ -221,6 +221,10 @@ pub struct TcpSocket {
     cc: CongestionControl,
     delack: DelAck,
     queues: SocketQueues,
+    /// Runtime conservation gates (see [`crate::invariants`]); checks are
+    /// debug-only but the ledgers are always booked so tests can inspect
+    /// them in any profile.
+    invariants: SocketInvariants,
     remote: RemoteStore,
     stats: SocketStats,
     /// Dynamic-Nagle switch (used only in [`NagleMode::Dynamic`]).
@@ -283,6 +287,7 @@ impl TcpSocket {
             cc: CongestionControl::new(config.cc, config.mss),
             delack: DelAck::new(config.delack),
             queues: SocketQueues::new(now),
+            invariants: SocketInvariants::new(),
             remote: RemoteStore::default(),
             stats: SocketStats::default(),
             nagle_dynamic_on: false,
@@ -396,6 +401,34 @@ impl TcpSocket {
         &self.stats
     }
 
+    /// The runtime invariant ledgers and gates.
+    pub fn invariants(&self) -> &SocketInvariants {
+        &self.invariants
+    }
+
+    /// Mutable access to the instrumented queues — fault injection for
+    /// invariant-gate tests. Production code never mutates the queues
+    /// directly; the stack's own bookkeeping goes through the tracked
+    /// send/receive paths so the ledgers stay in balance.
+    pub fn queues_mut(&mut self) -> &mut SocketQueues {
+        &mut self.queues
+    }
+
+    /// Runs every stateful invariant gate against the current queue and
+    /// cursor state, returning the first violation. The host calls this
+    /// (wrapped in [`gate`]) after each event; tests may call it directly.
+    pub fn check_invariants(&mut self, now: Nanos) -> Result<(), crate::invariants::InvariantViolation> {
+        let rcv_nxt = self.rcv.rcv_nxt();
+        let read_pos = self.rcv.read_pos();
+        self.invariants.verify(&self.queues, rcv_nxt, read_pos, now)
+    }
+
+    fn verify_invariants(&mut self, now: Nanos) {
+        if cfg!(debug_assertions) {
+            gate(self.check_invariants(now));
+        }
+    }
+
     /// Smoothed RTT, if measured.
     pub fn srtt(&self) -> Option<Nanos> {
         self.rtt.srtt()
@@ -469,19 +502,22 @@ impl TcpSocket {
         let accepted = self.snd.push(data);
         if accepted > 0 {
             self.snd.mark_boundary();
+            self.invariants.unacked.enter(accepted as u64);
             self.queues.unacked.track_bytes(now, accepted as i64);
             self.queues.unacked.track_messages(now, 1);
         }
         self.poll_transmit(now, env, actions);
+        self.verify_invariants(now);
         accepted
     }
 
     /// Reads up to `max` bytes of in-order data; returns the bytes and the
     /// number of whole messages consumed, updating the unread queue.
-    pub fn recv(&mut self, now: Nanos, max: usize, actions: &mut Vec<Action>) -> (Bytes, usize) {
+    pub fn recv(&mut self, now: Nanos, max: usize, actions: &mut Vec<Action>) -> (Payload, usize) {
         let window_before = self.rcv.window();
         let (bytes, messages) = self.rcv.read(max);
         if !bytes.is_empty() {
+            self.invariants.unread.leave(bytes.len() as u64);
             self.queues.unread.track_bytes(now, -(bytes.len() as i64));
             if messages > 0 {
                 self.queues.unread.track_messages(now, -(messages as i64));
@@ -504,6 +540,7 @@ impl TcpSocket {
                 self.emit_pure_ack(now, actions);
             }
         }
+        self.verify_invariants(now);
         (bytes, messages)
     }
 
@@ -695,12 +732,13 @@ impl TcpSocket {
         &mut self,
         now: Nanos,
         offset: u64,
-        payload: Bytes,
+        payload: Payload,
         boundaries: Vec<u64>,
         retransmit: bool,
         actions: &mut Vec<Action>,
     ) {
         let len = payload.len();
+        gate(self.invariants.on_transmit(offset, len, retransmit));
         let wire_packets = len.div_ceil(self.config.mss).max(1) as u32;
         let psh = boundaries.last() == Some(&(offset + len as u64));
         let mut options = Options {
@@ -756,6 +794,7 @@ impl TcpSocket {
     /// received is about to leave, either pure or piggybacked).
     fn flush_ackdelay(&mut self, now: Nanos) {
         if self.pending_ack_bytes > 0 {
+            self.invariants.ackdelay.leave(self.pending_ack_bytes as u64);
             self.queues.ackdelay.track_bytes(now, -self.pending_ack_bytes);
         }
         if self.pending_ack_packets > 0 {
@@ -870,6 +909,7 @@ impl TcpSocket {
                     let data_upto = if fin_acked { ack_offset - 1 } else { ack_offset };
                     let res = self.snd.on_ack(data_upto);
                     if res.bytes > 0 {
+                        self.invariants.unacked.leave(res.bytes as u64);
                         self.queues.unacked.track_bytes(now, -(res.bytes as i64));
                         if res.messages > 0 {
                             self.queues
@@ -942,6 +982,7 @@ impl TcpSocket {
                 }
                 if res.in_order_bytes > 0 {
                     self.stats.bytes_received += res.in_order_bytes as u64;
+                    self.invariants.unread.enter(res.in_order_bytes as u64);
                     self.queues
                         .unread
                         .track_bytes(now, res.in_order_bytes as i64);
@@ -957,6 +998,7 @@ impl TcpSocket {
                     self.pending_ack_bytes += res.in_order_bytes as i64;
                     self.pending_ack_packets += seg.wire_packets as i64;
                     self.pending_ack_messages += res.in_order_messages as i64;
+                    self.invariants.ackdelay.enter(res.in_order_bytes as u64);
                     self.queues
                         .ackdelay
                         .track_bytes(now, res.in_order_bytes as i64);
@@ -1007,6 +1049,7 @@ impl TcpSocket {
 
         // New ACKs or window may unblock the transmit path.
         self.poll_transmit(now, env, actions);
+        self.verify_invariants(now);
     }
 
     /// Handles a fired timer. The host guarantees stale (cancelled) timers
@@ -1081,6 +1124,7 @@ impl TcpSocket {
                 }
             }
         }
+        self.verify_invariants(now);
     }
 
     /// Called by the host when the NIC ring drains: corked data may now be

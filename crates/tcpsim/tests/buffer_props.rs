@@ -1,47 +1,70 @@
-//! Property-based tests for the socket buffers and sequence arithmetic.
+//! Property-style tests for the socket buffers and sequence arithmetic.
 //!
 //! The stream invariant under test: any interleaving of pushes, chunked
 //! transmissions, arbitrary segmentations, reorderings, duplications, and
 //! partial reads must deliver exactly the pushed byte stream, in order,
 //! with message boundaries preserved.
+//!
+//! Formerly proptest-based; cases are now generated with the workspace's
+//! own deterministic [`Pcg32`] so the suite needs no registry dependencies
+//! and every run is identical.
 
-use bytes::Bytes;
-use proptest::prelude::*;
+use simnet::Pcg32;
 use tcpsim::buffer::{RecvBuffer, SendBuffer};
 use tcpsim::seq::SeqNum;
+use tcpsim::Payload;
 
-proptest! {
-    /// Bytes pushed through a SendBuffer in arbitrary chunk sizes come out
-    /// of take_chunk in order and complete.
-    #[test]
-    fn send_buffer_preserves_stream(
-        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..200), 1..20),
-        chunk_sizes in proptest::collection::vec(1usize..300, 1..200),
-    ) {
+fn range(rng: &mut Pcg32, lo: usize, hi: usize) -> usize {
+    lo + rng.gen_range((hi - lo) as u64) as usize
+}
+
+/// Bytes pushed through a SendBuffer in arbitrary chunk sizes come out of
+/// take_chunk in order and complete.
+#[test]
+fn send_buffer_preserves_stream() {
+    let mut rng = Pcg32::new(0x5EED_0001);
+    for _ in 0..200 {
+        let n_msgs = range(&mut rng, 1, 20);
+        let msgs: Vec<Vec<u8>> = (0..n_msgs)
+            .map(|_| {
+                let len = range(&mut rng, 1, 200);
+                (0..len).map(|_| rng.next_u32() as u8).collect()
+            })
+            .collect();
+        let n_chunks = range(&mut rng, 1, 200);
+        let chunk_sizes: Vec<usize> = (0..n_chunks).map(|_| range(&mut rng, 1, 300)).collect();
+
         let mut buf = SendBuffer::new(1 << 20);
         let mut expected = Vec::new();
         for m in &msgs {
-            prop_assert_eq!(buf.push(m), m.len());
+            assert_eq!(buf.push(m), m.len());
             buf.mark_boundary();
             expected.extend_from_slice(m);
         }
         let mut out = Vec::new();
         let mut sizes = chunk_sizes.iter().cycle();
         while buf.unsent() > 0 {
-            let chunk = buf.take_chunk(*sizes.next().expect("cycle")).expect("unsent");
-            prop_assert_eq!(chunk.offset as usize, out.len());
+            let chunk = buf
+                .take_chunk(*sizes.next().expect("cycle"))
+                .expect("unsent");
+            assert_eq!(chunk.offset as usize, out.len());
             out.extend_from_slice(&chunk.bytes);
         }
-        prop_assert_eq!(out, expected);
+        assert_eq!(out, expected);
     }
+}
 
-    /// Cumulative ACKs free exactly the acked prefix; message accounting
-    /// matches boundary positions.
-    #[test]
-    fn send_buffer_ack_accounting(
-        msg_lens in proptest::collection::vec(1usize..100, 1..20),
-        ack_steps in proptest::collection::vec(1usize..150, 1..40),
-    ) {
+/// Cumulative ACKs free exactly the acked prefix; message accounting
+/// matches boundary positions.
+#[test]
+fn send_buffer_ack_accounting() {
+    let mut rng = Pcg32::new(0x5EED_0002);
+    for _ in 0..200 {
+        let n_msgs = range(&mut rng, 1, 20);
+        let msg_lens: Vec<usize> = (0..n_msgs).map(|_| range(&mut rng, 1, 100)).collect();
+        let n_steps = range(&mut rng, 1, 40);
+        let ack_steps: Vec<usize> = (0..n_steps).map(|_| range(&mut rng, 1, 150)).collect();
+
         let mut buf = SendBuffer::new(1 << 20);
         let mut ends = Vec::new();
         let mut total = 0usize;
@@ -60,41 +83,42 @@ proptest! {
             let res = buf.on_ack(acked);
             freed_bytes += res.bytes;
             freed_msgs += res.messages;
-            prop_assert_eq!(freed_bytes as u64, acked);
+            assert_eq!(freed_bytes as u64, acked);
             let expect_msgs = ends.iter().filter(|&&e| e <= acked).count();
-            prop_assert_eq!(freed_msgs, expect_msgs);
+            assert_eq!(freed_msgs, expect_msgs);
             if acked == total as u64 {
                 break;
             }
         }
     }
+}
 
-    /// A RecvBuffer reassembles any permutation of segments (with
-    /// duplicates) into the original stream, and boundary counts survive.
-    #[test]
-    fn recv_buffer_reassembles_any_order(
-        data in proptest::collection::vec(any::<u8>(), 1..2000),
-        cuts in proptest::collection::vec(1usize..2000, 0..10),
-        order_seed in any::<u64>(),
-        dup_first in any::<bool>(),
-        read_sizes in proptest::collection::vec(1usize..500, 1..50),
-    ) {
+/// A RecvBuffer reassembles any permutation of segments (with duplicates)
+/// into the original stream, and boundary counts survive.
+#[test]
+fn recv_buffer_reassembles_any_order() {
+    let mut rng = Pcg32::new(0x5EED_0003);
+    for _ in 0..200 {
+        let data_len = range(&mut rng, 1, 2000);
+        let data: Vec<u8> = (0..data_len).map(|_| rng.next_u32() as u8).collect();
+        let n_cuts = range(&mut rng, 0, 10);
+        let dup_first = rng.gen_bool(0.5);
+
         // Split [0, len) into segments at the cut points.
-        let mut points: Vec<usize> = cuts.into_iter().map(|c| c % data.len()).collect();
+        let mut points: Vec<usize> = (0..n_cuts).map(|_| range(&mut rng, 0, data.len())).collect();
         points.push(0);
         points.push(data.len());
         points.sort_unstable();
         points.dedup();
-        let mut segments: Vec<(u64, Bytes)> = points
+        let mut segments: Vec<(u64, Payload)> = points
             .windows(2)
             .filter(|w| w[1] > w[0])
-            .map(|w| (w[0] as u64, Bytes::copy_from_slice(&data[w[0]..w[1]])))
+            .map(|w| (w[0] as u64, Payload::copy_from_slice(&data[w[0]..w[1]])))
             .collect();
-        // Deterministic shuffle.
-        let mut s = order_seed;
+        // Fisher–Yates shuffle driven by the same deterministic stream.
         for i in (1..segments.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            segments.swap(i, (s as usize) % (i + 1));
+            let j = rng.gen_range((i + 1) as u64) as usize;
+            segments.swap(i, j);
         }
         if dup_first && !segments.is_empty() {
             segments.push(segments[0].clone());
@@ -105,32 +129,37 @@ proptest! {
         for (off, seg) in &segments {
             rcv.ingest(*off, seg, &[(*off + seg.len() as u64).min(end)]);
         }
-        prop_assert_eq!(rcv.rcv_nxt(), end);
+        assert_eq!(rcv.rcv_nxt(), end);
 
         let mut out = Vec::new();
         let mut msgs = 0usize;
-        let mut sizes = read_sizes.iter().cycle();
         while rcv.available() > 0 {
-            let (bytes, m) = rcv.read(*sizes.next().expect("cycle"));
+            let read_size = range(&mut rng, 1, 500);
+            let (bytes, m) = rcv.read(read_size);
             out.extend_from_slice(&bytes);
             msgs += m;
         }
-        prop_assert_eq!(out, data);
-        prop_assert!(msgs >= 1, "at least the final boundary is consumed");
+        assert_eq!(out, data);
+        assert!(msgs >= 1, "at least the final boundary is consumed");
     }
+}
 
-    /// Sequence-number ordering is antisymmetric and consistent with
-    /// wrapping distance for deltas below 2^31.
-    #[test]
-    fn seqnum_ordering_laws(base in any::<u32>(), delta in 1u32..(1 << 31) - 1) {
+/// Sequence-number ordering is antisymmetric and consistent with wrapping
+/// distance for deltas below 2^31.
+#[test]
+fn seqnum_ordering_laws() {
+    let mut rng = Pcg32::new(0x5EED_0004);
+    for _ in 0..1000 {
+        let base = rng.next_u32();
+        let delta = 1 + rng.gen_range(((1u64 << 31) - 2) as u64) as u32;
         let a = SeqNum::new(base);
         let b = a + delta;
-        prop_assert!(a.before(b));
-        prop_assert!(b.after(a));
-        prop_assert!(!b.before(a));
-        prop_assert!(!a.after(b));
-        prop_assert_eq!(b - a, delta);
-        prop_assert!(a.in_range(a, b));
-        prop_assert!(!b.in_range(a, b));
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert!(!b.before(a));
+        assert!(!a.after(b));
+        assert_eq!(b - a, delta);
+        assert!(a.in_range(a, b));
+        assert!(!b.in_range(a, b));
     }
 }

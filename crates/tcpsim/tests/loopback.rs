@@ -440,6 +440,81 @@ fn e2e_exchange_reaches_peer() {
 }
 
 #[test]
+fn invariant_gates_clean_after_loopback_traffic() {
+    // The event loop already runs every gate after each segment/timer in
+    // debug builds; this asserts the final state explicitly on both ends.
+    let (mut sim, q) = run_echo(
+        TcpConfig::default(),
+        LinkConfig::default(),
+        vec![
+            (Nanos::from_millis(1), vec![1u8; 5000]),
+            (Nanos::from_millis(2), vec![2u8; 300]),
+        ],
+        Nanos::from_secs(1),
+    );
+    let now = q.now();
+    for h in [0, 1] {
+        let sock = sim.host_mut(h).socket_mut(SocketId(0));
+        assert!(sock.check_invariants(now).is_ok(), "host {h} gates clean");
+        // The ledgers saw real traffic — this is not a vacuous pass.
+        assert!(sock.invariants().unacked.entered() > 0, "host {h} unacked flow");
+        assert!(sock.invariants().unread.entered() > 0, "host {h} unread flow");
+    }
+}
+
+#[test]
+fn invariant_gate_fires_on_corrupted_queue_state() {
+    use tcpsim::invariants::InvariantViolation;
+
+    let (mut sim, q) = run_echo(
+        TcpConfig::default(),
+        LinkConfig::default(),
+        vec![(Nanos::from_millis(1), vec![7u8; 1000])],
+        Nanos::from_secs(1),
+    );
+    let now = q.now();
+    let sock = sim.host_mut(0).socket_mut(SocketId(0));
+    assert!(sock.check_invariants(now).is_ok(), "clean before corruption");
+
+    // Ten phantom bytes appear in the unacked queue without ever passing
+    // through `send`: the double-entry ledger no longer balances against
+    // the reported occupancy and the conservation gate must fire.
+    sock.queues_mut().unacked.track_bytes(now, 10);
+    let err = sock
+        .check_invariants(now)
+        .expect_err("conservation gate must fire on corrupted state");
+    match err {
+        InvariantViolation::ConservationBroken { queue, .. } => assert_eq!(queue, "unacked"),
+        other => panic!("expected ConservationBroken, got {other}"),
+    }
+}
+
+#[test]
+fn invariant_gate_panics_in_debug_on_corruption() {
+    // `gate` is exactly what the event loop wraps around check_invariants;
+    // under debug assertions (the tier-1 test profile) it must panic.
+    use tcpsim::invariants::gate;
+
+    let (mut sim, q) = run_echo(
+        TcpConfig::default(),
+        LinkConfig::default(),
+        vec![(Nanos::from_millis(1), vec![3u8; 200])],
+        Nanos::from_secs(1),
+    );
+    let now = q.now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let sock = sim.host_mut(0).socket_mut(SocketId(0));
+        sock.queues_mut().unread.track_bytes(now, 42);
+        gate(sock.check_invariants(now));
+    }));
+    if cfg!(debug_assertions) {
+        assert!(result.is_err(), "gate must panic in debug builds");
+    } else {
+        assert!(result.is_ok(), "gate is a no-op in release builds");
+    }
+}
+
+#[test]
 fn deterministic_across_runs() {
     let mk = || {
         run_echo(

@@ -1,0 +1,10 @@
+// Fixture: non-simulation crate — wall clocks allowed, float-eq applies.
+
+fn timing() -> f64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+fn compare(x: f64) -> bool {
+    x != 1.5
+}

@@ -1,0 +1,15 @@
+//! Fixture: strict-library (littles) violations.
+
+/// Documented, but panics.
+pub fn documented(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Documented, but expects.
+pub fn with_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn undocumented(y: f64) -> bool {
+    y == 0.25
+}

@@ -1,0 +1,9 @@
+// Fixture: test-like file in a simulation crate.
+
+fn helper(x: Option<f64>) -> bool {
+    x.unwrap() == 0.5
+}
+
+fn clocky() {
+    let _ = std::time::Instant::now();
+}

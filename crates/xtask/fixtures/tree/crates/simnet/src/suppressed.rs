@@ -1,0 +1,16 @@
+//! Fixture: suppression markers.
+
+fn calibrate() -> u128 {
+    // lint:allow(determinism): host-time calibration before the sim starts
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}
+
+fn inline_marker() {
+    let _ = std::time::Instant::now(); // lint:allow(determinism): same-line marker form
+}
+
+fn unjustified() {
+    // lint:allow(determinism)
+    let _ = std::time::Instant::now();
+}

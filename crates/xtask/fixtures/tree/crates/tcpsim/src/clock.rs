@@ -1,0 +1,12 @@
+// Fixture: determinism violations in a simulation crate (tcpsim).
+
+fn wall_clock() -> u128 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t.elapsed().as_nanos()
+}
+
+fn entropy() -> u32 {
+    rand::thread_rng().gen()
+}

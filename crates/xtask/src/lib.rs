@@ -1,0 +1,53 @@
+//! Repo-specific static analysis (`cargo run -p xtask -- lint`).
+//!
+//! A zero-dependency, token-level scanner (no `syn`, no registry crates)
+//! enforcing the properties this repository's simulation depends on:
+//!
+//! * **determinism** — the simulation crates (`littles`, `simnet`,
+//!   `tcpsim`, `e2e-core`, `batchpolicy`) must not read wall clocks, OS
+//!   entropy, or sleep: all time comes from the discrete-event clock and
+//!   all randomness from the seeded [`Pcg32`](../simnet/rng) stream.
+//! * **float-eq** — `==`/`!=` on floating-point values outside tests.
+//! * **panic-hygiene** — `.unwrap()`/`.expect(` in the library code of
+//!   `littles` and `e2e-core` (the crates meant to be embeddable).
+//! * **pub-docs** — doc comments required on `pub` items in `littles`
+//!   and `e2e-core`.
+//!
+//! Violations can be suppressed with a justified marker on the same or
+//! the preceding line:
+//!
+//! ```text
+//! // lint:allow(determinism): bench harness measures real time on purpose
+//! ```
+//!
+//! A marker with no justification (or an unknown rule) is itself a
+//! violation (`bad-suppression`).
+
+pub mod diag;
+pub mod mask;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use diag::Diagnostic;
+pub use rules::FileContext;
+
+/// Lints every Rust file under `root`, returning all diagnostics sorted
+/// by file, line, column.
+pub fn lint_root(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let files = walk::collect_rust_files(root)?;
+    let mut diags = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(file)?;
+        let ctx = walk::classify(root, file);
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .into_owned();
+        diags.extend(rules::lint_source(&rel, &source, &ctx));
+    }
+    diags.sort();
+    Ok(diags)
+}

@@ -1,0 +1,257 @@
+//! Source masking: blank out comments and string/char literals so the
+//! rule scanners can match tokens without tripping on prose, while the
+//! comment text itself is collected for `lint:allow` parsing.
+
+/// The result of masking one source file.
+#[derive(Debug)]
+pub struct Masked {
+    /// The source with every comment and string/char literal replaced by
+    /// spaces (newlines preserved), byte-for-byte the same length.
+    pub text: String,
+    /// `(line, text)` of every comment, 1-based line of the comment start.
+    /// Block comments contribute one entry containing the full body.
+    pub comments: Vec<(u32, String)>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Returns true when a `'` at `i` starts a lifetime (or loop label), not
+/// a char literal: `'a`, `'static`, `'_` followed by no closing quote.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&next) = bytes.get(i + 1) else {
+        return true;
+    };
+    if !(next.is_ascii_alphabetic() || next == b'_') {
+        return false;
+    }
+    // `'a'` is a char literal; `'a,`/`'a>`/`'a ` is a lifetime.
+    bytes.get(i + 2) != Some(&b'\'')
+}
+
+/// Masks comments and literals out of `source`.
+pub fn mask(source: &str) -> Masked {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = bytes.to_vec();
+    let mut comments = Vec::new();
+
+    let mut state = State::Normal;
+    let mut line: u32 = 1;
+    let mut comment_start: usize = 0;
+    let mut comment_line: u32 = 1;
+    let mut i = 0;
+
+    macro_rules! blank {
+        ($idx:expr) => {
+            if out[$idx] != b'\n' {
+                out[$idx] = b' ';
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Normal => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    comment_start = i;
+                    comment_line = line;
+                    blank!(i);
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    comment_start = i;
+                    comment_line = line;
+                    blank!(i);
+                    blank!(i + 1);
+                    i += 1;
+                } else if b == b'"' {
+                    // Check for raw/byte string prefixes ending here.
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    while j > 0 && bytes[j - 1] == b'#' {
+                        hashes += 1;
+                        j -= 1;
+                    }
+                    let is_raw = j > 0 && (bytes[j - 1] == b'r')
+                        || (j > 1 && bytes[j - 1] == b'r' && bytes[j - 2] == b'b');
+                    if is_raw {
+                        state = State::RawStr(hashes as u32);
+                    } else {
+                        state = State::Str;
+                    }
+                    blank!(i);
+                } else if b == b'\'' && !is_lifetime(bytes, i) {
+                    state = State::Char;
+                    blank!(i);
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    comments.push((
+                        comment_line,
+                        source[comment_start..i].trim().to_string(),
+                    ));
+                    state = State::Normal;
+                } else {
+                    blank!(i);
+                }
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    blank!(i);
+                    blank!(i + 1);
+                    i += 1;
+                    if depth == 1 {
+                        comments.push((
+                            comment_line,
+                            source[comment_start..=i].trim().to_string(),
+                        ));
+                        state = State::Normal;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    blank!(i);
+                    blank!(i + 1);
+                    i += 1;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    blank!(i);
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    blank!(i);
+                    if i + 1 < bytes.len() {
+                        blank!(i + 1);
+                        i += 1;
+                    }
+                } else if b == b'"' {
+                    blank!(i);
+                    state = State::Normal;
+                } else {
+                    blank!(i);
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let n = hashes as usize;
+                    let closes = (1..=n).all(|k| bytes.get(i + k) == Some(&b'#'));
+                    blank!(i);
+                    if closes {
+                        for k in 1..=n {
+                            blank!(i + k);
+                        }
+                        i += n;
+                        state = State::Normal;
+                    }
+                } else {
+                    blank!(i);
+                }
+            }
+            State::Char => {
+                if b == b'\\' {
+                    blank!(i);
+                    if i + 1 < bytes.len() {
+                        blank!(i + 1);
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    blank!(i);
+                    state = State::Normal;
+                } else {
+                    blank!(i);
+                }
+            }
+        }
+        if bytes[i] == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    if state == State::LineComment {
+        comments.push((comment_line, source[comment_start..].trim().to_string()));
+    }
+
+    Masked {
+        // Only ASCII bytes were overwritten (with spaces), and multi-byte
+        // UTF-8 sequences are either untouched or blanked whole, so this
+        // cannot produce invalid UTF-8.
+        text: String::from_utf8(out).expect("masking preserves UTF-8"),
+        comments,
+    }
+}
+
+/// 1-based `(line, col)` of byte `offset` in `text`.
+pub fn line_col(text: &str, offset: usize) -> (u32, u32) {
+    let mut line = 1u32;
+    let mut line_start = 0usize;
+    for (i, b) in text.bytes().enumerate() {
+        if i >= offset {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    (line, (offset - line_start) as u32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments_and_collects_text() {
+        let m = mask("let x = 1; // Instant::now here\nlet y = 2;\n");
+        assert!(!m.text.contains("Instant"));
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].0, 1);
+        assert!(m.comments[0].1.contains("Instant::now"));
+        assert_eq!(m.text.len(), 43);
+    }
+
+    #[test]
+    fn masks_strings_but_not_code() {
+        let m = mask("call(\"Instant::now\"); Instant::now();");
+        let first = m.text.find("Instant").expect("code occurrence kept");
+        assert_eq!(first, 22);
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let m = mask("a /* x /* y */ z */ b");
+        assert_eq!(m.text, "a                   b");
+        assert_eq!(m.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_masked() {
+        let m = mask(r###"let s = r#"Instant::now"#; x()"###);
+        assert!(!m.text.contains("Instant"));
+        assert!(m.text.contains("x()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let m = mask("fn f<'a>(x: &'a str, c: char) { let y = 'q'; g(x, c, y) }");
+        assert!(m.text.contains("&'a str"));
+        assert!(!m.text.contains("'q'"));
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let text = "ab\ncde\n";
+        assert_eq!(line_col(text, 0), (1, 1));
+        assert_eq!(line_col(text, 4), (2, 2));
+    }
+}

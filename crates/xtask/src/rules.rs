@@ -1,0 +1,542 @@
+//! The lint rules and the per-file driver.
+
+use crate::diag::Diagnostic;
+use crate::mask::{self, line_col, Masked};
+
+/// Rule identifiers, as accepted by `lint:allow(...)`.
+pub const RULES: [&str; 4] = ["determinism", "float-eq", "panic-hygiene", "pub-docs"];
+
+/// Calls into wall clocks, sleeps, or OS entropy that break simulation
+/// determinism. Matched as whole tokens against masked source.
+const DETERMINISM_BANNED: [(&str, &str); 7] = [
+    ("SystemTime::now", "wall-clock read"),
+    ("Instant::now", "wall-clock read"),
+    ("thread::sleep", "real-time sleep"),
+    ("thread_rng", "OS-seeded RNG"),
+    ("OsRng", "OS entropy source"),
+    ("from_entropy", "OS entropy seeding"),
+    ("getrandom", "OS entropy syscall"),
+];
+
+/// How a file relates to the rule scopes, derived from its path.
+#[derive(Debug, Clone, Default)]
+pub struct FileContext {
+    /// File belongs to a simulation crate (littles, simnet, tcpsim,
+    /// e2e-core, batchpolicy) → `determinism` applies.
+    pub simulation_crate: bool,
+    /// File is library code of littles or e2e-core → `panic-hygiene`
+    /// and `pub-docs` apply.
+    pub strict_library: bool,
+    /// File is test-like by location (`tests/`, `benches/`, `examples/`)
+    /// → `float-eq` and `panic-hygiene` do not apply.
+    pub testlike: bool,
+}
+
+/// A parsed `lint:allow` marker.
+struct Allow {
+    line: u32,
+    rule: String,
+}
+
+/// Byte ranges of `#[cfg(test)]` / `#[test]` items in masked text.
+fn test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut regions = Vec::new();
+    let mut search = 0usize;
+    while let Some(pos) = masked[search..].find("#[") {
+        let attr_start = search + pos;
+        // Find the matching `]` (attributes can nest brackets).
+        let mut depth = 0i32;
+        let mut j = attr_start;
+        let mut attr_end = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        attr_end = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(attr_end) = attr_end else { break };
+        let attr = &masked[attr_start..=attr_end];
+        let is_test_attr = attr.contains("cfg(test") || attr.contains("#[test]")
+            || attr.trim_end_matches(']').trim_start_matches("#[").trim() == "test";
+        search = attr_end + 1;
+        if !is_test_attr {
+            continue;
+        }
+        // Skip whitespace and further attributes, then bracket-match the
+        // item body. A `;` first means a declaration without a body.
+        let mut k = attr_end + 1;
+        let mut body_start = None;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => {
+                    body_start = Some(k);
+                    break;
+                }
+                b';' => break,
+                _ => k += 1,
+            }
+        }
+        let Some(body_start) = body_start else { continue };
+        let mut depth = 0i32;
+        let mut end = bytes.len();
+        let mut m = body_start;
+        while m < bytes.len() {
+            match bytes[m] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = m;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        regions.push((attr_start, end));
+        search = attr_end + 1;
+    }
+    regions
+}
+
+fn in_test_region(regions: &[(usize, usize)], offset: usize) -> bool {
+    regions.iter().any(|&(s, e)| offset >= s && offset <= e)
+}
+
+/// Parses `lint:allow(rule): justification` markers out of the comment
+/// list; malformed markers become `bad-suppression` diagnostics.
+fn parse_allows(file: &str, masked: &Masked, diags: &mut Vec<Diagnostic>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (line, text) in &masked.comments {
+        // Markers live in plain `//` comments only; doc comments merely
+        // *describing* the syntax are not suppressions.
+        if text.starts_with("///") || text.starts_with("//!") || text.starts_with("/**") {
+            continue;
+        }
+        let Some(pos) = text.find("lint:allow") else {
+            continue;
+        };
+        let rest = &text[pos + "lint:allow".len()..];
+        let parsed = rest.strip_prefix('(').and_then(|r| {
+            let close = r.find(')')?;
+            let rule = r[..close].trim().to_string();
+            let after = r[close + 1..].trim_start();
+            let justification = after.strip_prefix(':')?.trim();
+            Some((rule, justification.to_string()))
+        });
+        match parsed {
+            Some((rule, justification))
+                if RULES.contains(&rule.as_str()) && !justification.is_empty() =>
+            {
+                allows.push(Allow { line: *line, rule });
+            }
+            Some((rule, justification)) => {
+                let why = if !RULES.contains(&rule.as_str()) {
+                    format!("unknown rule `{rule}`")
+                } else if justification.is_empty() {
+                    "missing justification".to_string()
+                } else {
+                    unreachable!("well-formed markers are accepted above")
+                };
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: *line,
+                    col: 1,
+                    rule: "bad-suppression",
+                    message: format!(
+                        "{why}; use `lint:allow(<rule>): <justification>` with a rule from {RULES:?}"
+                    ),
+                });
+            }
+            None => diags.push(Diagnostic {
+                file: file.to_string(),
+                line: *line,
+                col: 1,
+                rule: "bad-suppression",
+                message: "malformed marker; use `lint:allow(<rule>): <justification>`"
+                    .to_string(),
+            }),
+        }
+    }
+    allows
+}
+
+fn allowed(allows: &[Allow], rule: &str, line: u32) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whole-token occurrences of `needle` in `haystack`.
+fn token_matches(haystack: &str, needle: &str) -> Vec<usize> {
+    let bytes = haystack.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0usize;
+    while let Some(pos) = haystack[search..].find(needle) {
+        let start = search + pos;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            out.push(start);
+        }
+        search = start + 1;
+    }
+    out
+}
+
+/// The token immediately left of `offset` (skipping spaces), as a string
+/// of identifier/number characters.
+fn token_left(bytes: &[u8], mut offset: usize) -> String {
+    while offset > 0 && bytes[offset - 1] == b' ' {
+        offset -= 1;
+    }
+    let end = offset;
+    while offset > 0 && (is_ident_byte(bytes[offset - 1]) || bytes[offset - 1] == b'.') {
+        offset -= 1;
+    }
+    String::from_utf8_lossy(&bytes[offset..end]).into_owned()
+}
+
+/// The token immediately right of `offset` (skipping spaces and a sign).
+fn token_right(bytes: &[u8], mut offset: usize) -> String {
+    while offset < bytes.len() && bytes[offset] == b' ' {
+        offset += 1;
+    }
+    if offset < bytes.len() && bytes[offset] == b'-' {
+        offset += 1;
+    }
+    let start = offset;
+    while offset < bytes.len() && (is_ident_byte(bytes[offset]) || bytes[offset] == b'.') {
+        offset += 1;
+    }
+    String::from_utf8_lossy(&bytes[start..offset]).into_owned()
+}
+
+/// Token-level "is this a float operand" test: a literal with a decimal
+/// point or exponent (`1.0`, `2.`, `1e-3`, `1.5f64`) or an explicit
+/// float-typed cast/constant (`f32`/`f64` path segments).
+fn is_float_token(tok: &str) -> bool {
+    if tok == "f32" || tok == "f64" {
+        return true; // `x as f64 == y`, `f64::NAN == x`
+    }
+    if !tok.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    if tok.starts_with("0x") || tok.starts_with("0b") || tok.starts_with("0o") {
+        return false; // hex/binary/octal integers can contain `e`/`E`
+    }
+    tok.contains('.')
+        || tok.contains('e')
+        || tok.contains('E')
+        || tok.ends_with("f64")
+        || tok.ends_with("f32")
+}
+
+/// Runs every applicable rule over one file's source.
+pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    let masked = mask::mask(source);
+    let mut diags = Vec::new();
+    let allows = parse_allows(file, &masked, &mut diags);
+    let regions = test_regions(&masked.text);
+    let text = &masked.text;
+    let bytes = text.as_bytes();
+
+    let push = |diags: &mut Vec<Diagnostic>, rule: &'static str, offset: usize, message: String| {
+        let (line, col) = line_col(text, offset);
+        if !allowed(&allows, rule, line) {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                col,
+                rule,
+                message,
+            });
+        }
+    };
+
+    // determinism: banned calls anywhere in a simulation crate (tests
+    // included — a nondeterministic test is still a flaky test).
+    if ctx.simulation_crate {
+        for (needle, what) in DETERMINISM_BANNED {
+            for offset in token_matches(text, needle) {
+                push(
+                    &mut diags,
+                    "determinism",
+                    offset,
+                    format!(
+                        "`{needle}` ({what}) in a simulation crate; use the \
+                         event-loop clock / seeded Pcg32 instead"
+                    ),
+                );
+            }
+        }
+    }
+
+    // float-eq: `==` / `!=` with a float operand, outside tests.
+    if !ctx.testlike {
+        for op in ["==", "!="] {
+            let mut search = 0usize;
+            while let Some(pos) = text[search..].find(op) {
+                let offset = search + pos;
+                search = offset + op.len();
+                // Not part of `<=`, `>=`, `=>`, `===`-like runs.
+                if offset > 0 && matches!(bytes[offset - 1], b'<' | b'>' | b'=' | b'!') {
+                    continue;
+                }
+                if offset + op.len() < bytes.len() && bytes[offset + op.len()] == b'=' {
+                    continue;
+                }
+                if in_test_region(&regions, offset) {
+                    continue;
+                }
+                let left = token_left(bytes, offset);
+                let right = token_right(bytes, offset + op.len());
+                if is_float_token(&left) || is_float_token(&right) {
+                    push(
+                        &mut diags,
+                        "float-eq",
+                        offset,
+                        format!(
+                            "`{op}` on a floating-point value; compare with an \
+                             epsilon or restructure to integers"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // panic-hygiene: unwrap/expect in strict library code, outside tests.
+    if ctx.strict_library && !ctx.testlike {
+        for needle in [".unwrap()", ".expect("] {
+            let mut search = 0usize;
+            while let Some(pos) = text[search..].find(needle) {
+                let offset = search + pos;
+                search = offset + needle.len();
+                if in_test_region(&regions, offset) {
+                    continue;
+                }
+                push(
+                    &mut diags,
+                    "panic-hygiene",
+                    offset,
+                    format!(
+                        "`{}` in library code; return an error or document an \
+                         invariant with a lint:allow",
+                        needle.trim_end_matches('(')
+                    ),
+                );
+            }
+        }
+    }
+
+    // pub-docs: doc comment required above pub items.
+    if ctx.strict_library && !ctx.testlike {
+        check_pub_docs(file, source, text, &regions, &allows, &mut diags);
+    }
+
+    diags
+}
+
+/// Items that `pub-docs` recognises after the `pub` keyword.
+const PUB_ITEMS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union",
+];
+
+fn check_pub_docs(
+    file: &str,
+    source: &str,
+    masked_text: &str,
+    regions: &[(usize, usize)],
+    allows: &[Allow],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let source_lines: Vec<&str> = source.lines().collect();
+    let mut offset = 0usize;
+    for (idx, line) in masked_text.lines().enumerate() {
+        let line_start = offset;
+        offset += line.len() + 1;
+        let trimmed = line.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        // `pub(crate)` / `pub(super)` items are not public API.
+        let first = rest.split_whitespace().next().unwrap_or("");
+        let second = rest.split_whitespace().nth(1).unwrap_or("");
+        let item = if first == "unsafe" || first == "async" {
+            second
+        } else {
+            first
+        };
+        if !PUB_ITEMS.contains(&item) {
+            continue;
+        }
+        // `pub mod x;` declarations are documented by the module file's
+        // own `//!` inner docs (which rustc's missing_docs enforces).
+        if item == "mod" && trimmed.trim_end().ends_with(';') {
+            continue;
+        }
+        if in_test_region(regions, line_start) {
+            continue;
+        }
+        // Walk upward over attributes (including multi-line ones, whose
+        // trailing line ends with `)]`) to the expected doc position.
+        let mut prev = idx;
+        while prev > 0 {
+            let p = source_lines[prev - 1].trim();
+            if p.starts_with("#[") || p.starts_with("#![") {
+                prev -= 1;
+            } else if p.ends_with(")]") && !p.starts_with("//") {
+                // Closing line of a multi-line attribute: skip up to and
+                // including the line that opened it.
+                let mut j = prev - 1;
+                while j > 0 && !source_lines[j].trim_start().starts_with("#[") {
+                    j -= 1;
+                }
+                prev = j;
+            } else {
+                break;
+            }
+        }
+        let documented = prev > 0 && {
+            let p = source_lines[prev - 1].trim_start();
+            p.starts_with("///") || p.starts_with("/**") || p.ends_with("*/")
+        };
+        if !documented {
+            let line_no = idx as u32 + 1;
+            let col = (line.len() - trimmed.len()) as u32 + 1;
+            if !allowed(allows, "pub-docs", line_no) {
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: line_no,
+                    col,
+                    rule: "pub-docs",
+                    message: format!("missing doc comment on `pub {item}`"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_ctx() -> FileContext {
+        FileContext {
+            simulation_crate: true,
+            strict_library: false,
+            testlike: false,
+        }
+    }
+
+    #[test]
+    fn determinism_catches_instant_now() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let d = lint_source("x.rs", src, &sim_ctx());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "determinism");
+        assert_eq!((d[0].line, d[0].col), (1, 29));
+    }
+
+    #[test]
+    fn determinism_ignores_strings_and_comments() {
+        let src = "// Instant::now is banned\nfn f() { log(\"Instant::now\"); }\n";
+        assert!(lint_source("x.rs", src, &sim_ctx()).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_justification_accepted() {
+        let src = "// lint:allow(determinism): calibration shim measures host time\n\
+                   fn f() { let t = Instant::now(); }\n";
+        assert!(lint_source("x.rs", src, &sim_ctx()).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_justification_rejected() {
+        let src = "// lint:allow(determinism)\nfn f() { let t = Instant::now(); }\n";
+        let d = lint_source("x.rs", src, &sim_ctx());
+        let rules: Vec<&str> = d.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"bad-suppression"), "{rules:?}");
+        assert!(rules.contains(&"determinism"), "unjustified marker must not suppress");
+    }
+
+    #[test]
+    fn float_eq_outside_tests_only() {
+        let ctx = FileContext::default();
+        let src = "fn f(x: f64) -> bool { x == 1.0 }\n\
+                   #[cfg(test)]\nmod tests { fn g(x: f64) -> bool { x == 1.0 } }\n";
+        let d = lint_source("x.rs", src, &ctx);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "float-eq");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn float_eq_ignores_integer_comparison() {
+        let src = "fn f(x: u64) -> bool { x == 10 && x != 3 }\n";
+        assert!(lint_source("x.rs", src, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn panic_hygiene_in_strict_library() {
+        let ctx = FileContext {
+            strict_library: true,
+            ..FileContext::default()
+        };
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[test]\nfn t() { Some(1).unwrap(); }\n";
+        let d = lint_source("x.rs", src, &ctx);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "panic-hygiene");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn pub_docs_requires_doc_comment() {
+        let ctx = FileContext {
+            strict_library: true,
+            ..FileContext::default()
+        };
+        let src = "/// Documented.\npub fn a() {}\n\npub fn b() {}\n";
+        let d = lint_source("x.rs", src, &ctx);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "pub-docs");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn pub_docs_sees_through_attributes() {
+        let ctx = FileContext {
+            strict_library: true,
+            ..FileContext::default()
+        };
+        let src = "/// Documented.\n#[derive(Debug)]\npub struct A;\n";
+        assert!(lint_source("x.rs", src, &ctx).is_empty());
+    }
+
+    #[test]
+    fn pub_crate_is_exempt() {
+        let ctx = FileContext {
+            strict_library: true,
+            ..FileContext::default()
+        };
+        let src = "pub(crate) fn helper() {}\n";
+        assert!(lint_source("x.rs", src, &ctx).is_empty());
+    }
+}

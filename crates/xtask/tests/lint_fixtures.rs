@@ -1,0 +1,160 @@
+//! End-to-end tests of the linter over the fixture tree.
+//!
+//! `fixtures/tree/` is laid out as a miniature workspace (`crates/<name>/
+//! src|tests/...`) so these tests exercise the full path: file discovery,
+//! path-based rule scoping, scanning, suppression handling, and both
+//! output formats via the real binary. The fixture directory is excluded
+//! from normal `xtask lint` runs by the walker.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use xtask::{lint_root, Diagnostic};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree")
+}
+
+fn fixture_diags() -> Vec<Diagnostic> {
+    lint_root(&fixtures_root()).expect("fixture tree lints")
+}
+
+fn for_file<'a>(diags: &'a [Diagnostic], suffix: &str) -> Vec<&'a Diagnostic> {
+    diags.iter().filter(|d| d.file.ends_with(suffix)).collect()
+}
+
+#[test]
+fn determinism_rule_positions() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "tcpsim/src/clock.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("determinism", 4, 24), // Instant::now
+            ("determinism", 5, 24), // SystemTime::now
+            ("determinism", 6, 10), // thread::sleep
+            ("determinism", 11, 11), // thread_rng
+        ]
+    );
+}
+
+#[test]
+fn strict_library_rules_and_positions() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "littles/src/lib_code.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("panic-hygiene", 5, 6),  // .unwrap()
+            ("panic-hygiene", 10, 6), // .expect(
+            ("pub-docs", 13, 1),      // undocumented pub fn
+            ("float-eq", 14, 7),      // y == 0.25
+        ]
+    );
+}
+
+#[test]
+fn testlike_files_keep_determinism_but_drop_hygiene_rules() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "littles/tests/test_code.rs");
+    let got: Vec<(&str, u32)> = d.iter().map(|d| (d.rule, d.line)).collect();
+    // unwrap() and float == on lines 3-4 are fine in tests; the wall-clock
+    // read on line 8 is not — nondeterministic tests are flaky tests.
+    assert_eq!(got, vec![("determinism", 8)]);
+}
+
+#[test]
+fn suppressions_require_justification() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "simnet/src/suppressed.rs");
+    let got: Vec<(&str, u32)> = d.iter().map(|d| (d.rule, d.line)).collect();
+    // Lines 5 and 10 are suppressed by justified markers; the bare marker
+    // on line 14 is itself flagged and does NOT suppress line 15.
+    assert_eq!(got, vec![("bad-suppression", 14), ("determinism", 15)]);
+}
+
+#[test]
+fn non_simulation_crates_may_read_clocks() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "apps/src/app.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    assert_eq!(got, vec![("float-eq", 9, 7)]);
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixtures_and_zero_on_clean_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint"])
+        .arg(fixtures_root())
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(1), "fixtures must fail the lint");
+
+    // A tree with no Rust files is trivially clean.
+    let empty = fixtures_root().join("crates/empty");
+    std::fs::create_dir_all(&empty).expect("mkdir");
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint"])
+        .arg(&empty)
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(0), "empty tree must pass");
+}
+
+#[test]
+fn json_output_schema_is_stable() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--json"])
+        .arg(fixtures_root())
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8(out.stdout).expect("utf-8 json");
+
+    // Top-level document shape.
+    assert!(json.starts_with("{\n  \"version\": 1,\n"), "{json}");
+    let expected = fixture_diags().len();
+    assert!(
+        json.contains(&format!("\"count\": {expected},")),
+        "count field matches diagnostics: {json}"
+    );
+
+    // Every diagnostic row carries exactly the five stable keys, in order.
+    let rows: Vec<&str> = json
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"file\""))
+        .collect();
+    assert_eq!(rows.len(), expected);
+    for row in rows {
+        for key in ["\"file\": ", "\"line\": ", "\"col\": ", "\"rule\": ", "\"message\": "] {
+            assert!(row.contains(key), "row missing {key}: {row}");
+        }
+        let order_ok = row.find("\"file\"").unwrap() < row.find("\"line\"").unwrap()
+            && row.find("\"line\"").unwrap() < row.find("\"col\"").unwrap()
+            && row.find("\"col\"").unwrap() < row.find("\"rule\"").unwrap()
+            && row.find("\"rule\"").unwrap() < row.find("\"message\"").unwrap();
+        assert!(order_ok, "key order changed: {row}");
+    }
+}
+
+#[test]
+fn repository_tree_is_clean() {
+    // The acceptance bar for the whole PR: the real tree lints clean.
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("workspace root");
+    let diags = lint_root(&repo_root).expect("repo lints");
+    assert!(
+        diags.is_empty(),
+        "repository must lint clean:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -89,7 +89,53 @@ fn main() {
     );
 
     let out = format!("figure4{variant}.json");
-    std::fs::write(&out, serde_json::to_string_pretty(&data).expect("serialize"))
-        .expect("write json");
+    std::fs::write(&out, to_json(&data)).expect("write json");
     println!("\nfull series written to {out}");
+}
+
+/// Hand-rolled JSON emission (the workspace builds with no registry
+/// dependencies, so there is no serde): the plotting fields of
+/// [`Figure4Data`], one row object per swept rate.
+fn to_json(data: &Figure4Data) -> String {
+    fn num(v: Option<f64>) -> String {
+        match v {
+            Some(x) if x.is_finite() => format!("{x}"),
+            _ => "null".into(),
+        }
+    }
+    fn us(v: Option<Nanos>) -> String {
+        num(v.map(|n| n.as_micros_f64()))
+    }
+    let mut rows = Vec::new();
+    for row in &data.sweep.rows {
+        rows.push(format!(
+            concat!(
+                "    {{\"rate_rps\": {}, ",
+                "\"off\": {{\"measured_us\": {}, \"est_bytes_us\": {}, \"est_messages_us\": {}, \"est_hint_us\": {}}}, ",
+                "\"on\": {{\"measured_us\": {}, \"est_bytes_us\": {}, \"est_messages_us\": {}, \"est_hint_us\": {}}}}}"
+            ),
+            row.rate_rps,
+            us(row.off.measured_mean),
+            us(row.off.estimated_bytes),
+            us(row.off.estimated_messages),
+            us(row.off.estimated_hint),
+            us(row.on.measured_mean),
+            us(row.on.estimated_bytes),
+            us(row.on.estimated_messages),
+            us(row.on.estimated_hint),
+        ));
+    }
+    format!(
+        "{{\n  \"variant\": \"{}\",\n  \"slo_us\": {},\n  \"sustainable_off_rps\": {},\n  \
+         \"sustainable_on_rps\": {},\n  \"extension_factor\": {},\n  \"cutoff_measured_rps\": {},\n  \
+         \"cutoff_estimated_rps\": {},\n  \"sweep\": {{\"rows\": [\n{}\n  ]}}\n}}\n",
+        data.variant,
+        data.slo.as_micros_f64(),
+        num(data.sustainable_off),
+        num(data.sustainable_on),
+        num(data.extension_factor),
+        num(data.cutoff_measured),
+        num(data.cutoff_estimated),
+        rows.join(",\n")
+    )
 }
