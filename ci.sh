@@ -13,4 +13,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fanin smoke (N=4, short run)"
+cargo run -q --release --example fanin -- --smoke
+
 echo "==> ci.sh: all green"

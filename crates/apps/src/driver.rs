@@ -9,7 +9,7 @@
 use batchpolicy::{AimdBatchLimit, EpsilonGreedy, TickController};
 use e2e_core::combine::EndpointSnapshots;
 use e2e_core::hints::{HintEstimate, HintEstimator};
-use e2e_core::{E2eEstimator, Estimate};
+use e2e_core::{AggregateEstimate, E2eEstimator, Estimate, EstimatorRegistry};
 use littles::wire::WireScale;
 use littles::Nanos;
 use tcpsim::{HostCtx, SocketId, Unit};
@@ -172,6 +172,93 @@ impl AimdDriver {
             .map(|(_, l)| *l)
             .collect();
         (!vals.is_empty()).then(|| vals.iter().sum::<u64>() as f64 / vals.len() as f64)
+    }
+}
+
+/// Listener-wide estimation plus actuation (paper §3.2, last paragraph).
+///
+/// Where a [`PolicyDriver`] watches one connection, a `ListenerDriver`
+/// runs one [`E2eEstimator`] per accepted connection inside an
+/// [`EstimatorRegistry`], folds their latest estimates into a
+/// throughput-weighted [`AggregateEstimate`] each tick, makes a *single*
+/// ε-greedy decision on the aggregate, and applies it to every
+/// connection — the listener-wide Nagle default a server actually toggles.
+/// With one connection the aggregate degenerates to that connection's
+/// estimate, so the two-host experiments behave identically.
+#[derive(Debug)]
+pub struct ListenerDriver {
+    /// The message unit the per-connection estimators use.
+    pub unit: Unit,
+    registry: EstimatorRegistry,
+    controller: TickController<EpsilonGreedy>,
+    /// Recorded toggle decisions (time, batching-on).
+    pub toggles: Vec<(Nanos, bool)>,
+    /// Recorded aggregate series.
+    pub series: Vec<(Nanos, AggregateEstimate)>,
+}
+
+impl ListenerDriver {
+    /// Creates a driver estimating in `unit` and deciding with the given
+    /// ε-greedy controller. The registry's estimators are unsmoothed,
+    /// matching [`EstimateRecorder`].
+    pub fn new(unit: Unit, controller: TickController<EpsilonGreedy>) -> Self {
+        ListenerDriver {
+            unit,
+            registry: EstimatorRegistry::new(WireScale::default(), 1.0),
+            controller,
+            toggles: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Runs one tick over every live connection: update each estimator,
+    /// aggregate, decide once, actuate everywhere.
+    pub fn tick(&mut self, ctx: &mut HostCtx<'_>, socks: &[SocketId]) {
+        let now = ctx.now();
+        for &sock in socks {
+            let snaps = ctx.socket(sock).local_snapshots(now, self.unit);
+            let local = EndpointSnapshots {
+                unacked: snaps.unacked,
+                unread: snaps.unread,
+                ackdelay: snaps.ackdelay,
+            };
+            let remote = ctx.socket(sock).remote().unit(self.unit).cur;
+            self.registry.update(sock.0 as u64, now, local, remote);
+        }
+        if let Some(agg) = self.registry.aggregate() {
+            let on = self.controller.offer_aggregate(now, &agg);
+            self.series.push((now, agg));
+            self.toggles.push((now, on));
+            for &sock in socks {
+                ctx.set_nagle(sock, on);
+            }
+        }
+    }
+
+    /// Connections the registry has seen.
+    pub fn connections(&self) -> usize {
+        self.registry.connections()
+    }
+
+    /// Fraction of ticks with batching on.
+    pub fn on_fraction(&self) -> f64 {
+        if self.toggles.is_empty() {
+            return 0.0;
+        }
+        self.toggles.iter().filter(|(_, on)| *on).count() as f64 / self.toggles.len() as f64
+    }
+
+    /// Mean aggregate estimated latency over `[from, to)`.
+    pub fn mean_aggregate_latency_in(&self, from: Nanos, to: Nanos) -> Option<Nanos> {
+        let mut sum = 0u128;
+        let mut n = 0u64;
+        for (at, agg) in &self.series {
+            if *at >= from && *at < to {
+                sum += agg.latency.as_nanos() as u128;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| Nanos::from_nanos((sum / n as u128) as u64))
     }
 }
 

@@ -95,6 +95,7 @@ pub fn figure2(rate_rps: f64, warmup: Nanos, measure: Nanos, seed: u64) -> Figur
                 warmup,
                 measure,
                 seed,
+                num_clients: 1,
                 overrides: crate::runner::Overrides::default(),
             };
             cells.push(Figure2Cell {
@@ -179,6 +180,79 @@ pub fn figure4a(rates: &[f64], warmup: Nanos, measure: Nanos, seed: u64) -> Figu
 /// Figure 4b: SET:GET = 95:5 — the byte-unit estimate degrades.
 pub fn figure4b(rates: &[f64], warmup: Nanos, measure: Nanos, seed: u64) -> Figure4Data {
     figure4("4b", rates, WorkloadSpec::fig4b, warmup, measure, seed)
+}
+
+/// One fan-in row: the same aggregate load split across `num_clients`
+/// connections.
+#[derive(Debug, Clone)]
+pub struct FaninRow {
+    /// Concurrent client connections.
+    pub num_clients: usize,
+    /// The load sweep at this fan-in.
+    pub sweep: SweepResult,
+    /// Measured cutoff rate (where Nagle starts winning) at this fan-in.
+    pub cutoff_measured: Option<f64>,
+    /// Byte-estimate cutoff rate at this fan-in.
+    pub cutoff_estimated: Option<f64>,
+}
+
+/// The fan-in experiment: how the Nagle cutoff moves as one aggregate
+/// load spreads over more connections.
+#[derive(Debug, Clone)]
+pub struct FaninData {
+    /// One row per fan-in width, ascending.
+    pub rows: Vec<FaninRow>,
+}
+
+impl FaninData {
+    /// The measured cutoff at a given fan-in width.
+    pub fn cutoff_for(&self, num_clients: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.num_clients == num_clients)
+            .and_then(|r| r.cutoff_measured)
+    }
+}
+
+/// Runs the fan-in experiment: for each `N ∈ ns`, sweep the *aggregate*
+/// offered rate over `rates` with the load split across N connections
+/// into one shared server.
+///
+/// Per-connection rates shrink as N grows, so each connection's Nagle
+/// hold waits longer for enough bytes (or the ACK) to flush — the
+/// batching-on latency penalty grows with N while the no-Nagle curve
+/// stays nearly N-independent until the shared server CPU collapses.
+/// The cutoff where batching starts winning therefore moves *right*
+/// (to higher aggregate rates) as N grows, converging on the collapse
+/// point itself; the throughput-weighted aggregate estimate identifies
+/// it at every width.
+pub fn fanin(
+    ns: &[usize],
+    rates: &[f64],
+    warmup: Nanos,
+    measure: Nanos,
+    seed: u64,
+) -> FaninData {
+    let rows = ns
+        .iter()
+        .map(|&n| {
+            let base = RunConfig {
+                warmup,
+                measure,
+                seed,
+                num_clients: n,
+                ..RunConfig::new(WorkloadSpec::fig4a(rates[0]), NagleSetting::Off)
+            };
+            let sweep = run_sweep(rates, WorkloadSpec::fig4a, &base, false);
+            FaninRow {
+                num_clients: n,
+                cutoff_measured: sweep.cutoff_rate(),
+                cutoff_estimated: sweep.estimated_cutoff_rate(),
+                sweep,
+            }
+        })
+        .collect();
+    FaninData { rows }
 }
 
 /// The §5 dynamic-toggling experiment: off vs. on vs. ε-greedy dynamic at

@@ -8,13 +8,14 @@
 //! thin wrappers over this.
 
 use batchpolicy::{AimdBatchLimit, EpsilonGreedy, Objective, TickController};
+use e2e_core::{Estimate, MultiConnectionAggregator};
 use littles::Nanos;
-use simnet::{run, CpuContext, EventQueue, LinkConfig};
+use simnet::{run, CpuContext, EventQueue, Histogram, LinkConfig};
 use tcpsim::config::ExchangeConfig;
-use tcpsim::{Host, HostId, NagleMode, NetSim, SocketId, TcpConfig, Unit};
+use tcpsim::{Host, HostId, NagleMode, NetSim, TcpConfig, Unit};
 
 use crate::cost::CostProfile;
-use crate::driver::{AimdDriver, EstimateRecorder, PolicyDriver};
+use crate::driver::{AimdDriver, EstimateRecorder, ListenerDriver, PolicyDriver};
 use crate::loadgen::LancetClient;
 use crate::server::RedisServer;
 use crate::workload::WorkloadSpec;
@@ -79,6 +80,10 @@ pub struct RunConfig {
     pub measure: Nanos,
     /// RNG seed.
     pub seed: u64,
+    /// Concurrent client connections fanning into the server. The offered
+    /// rate is split evenly: each client runs an independent open-loop
+    /// arrival stream at `workload.rate_rps / num_clients`.
+    pub num_clients: usize,
     /// Ablation overrides.
     pub overrides: Overrides,
 }
@@ -94,6 +99,7 @@ impl RunConfig {
             warmup: Nanos::from_millis(200),
             measure: Nanos::from_millis(800),
             seed: 0xE2E,
+            num_clients: 1,
             overrides: Overrides::default(),
         }
     }
@@ -108,7 +114,35 @@ pub struct CpuUtil {
     pub softirq: f64,
 }
 
+/// One connection's slice of a multi-connection run.
+#[derive(Debug, Clone)]
+pub struct ClientResult {
+    /// Offered load on this connection (requests/second).
+    pub offered_rps: f64,
+    /// Achieved goodput on this connection.
+    pub achieved_rps: f64,
+    /// Latency samples this connection recorded in the window.
+    pub samples: u64,
+    /// Measured mean latency on this connection.
+    pub measured_mean: Option<Nanos>,
+    /// Measured 99th-percentile latency on this connection.
+    pub measured_p99: Option<Nanos>,
+    /// Byte-unit Little's-law estimate on this connection.
+    pub estimated_bytes: Option<Nanos>,
+    /// Exchanges received by this connection.
+    pub exchanges_received: u64,
+}
+
 /// The result of one run.
+///
+/// With `num_clients > 1` the measured latency fields and the achieved
+/// rate aggregate over every connection (merged histograms, summed
+/// goodput), the `estimated_*` fields are throughput-weighted aggregates
+/// across the per-connection estimators, and [`per_client`]
+/// (PointResult::per_client) holds each connection's slice. Fields that
+/// describe a single client host (`client_cpu`, `srtt`,
+/// `client_on_fraction`, `tracker_mean`, `aimd_mean_limit`) report
+/// client 0.
 #[derive(Debug, Clone)]
 pub struct PointResult {
     /// Offered load (requests/second).
@@ -152,8 +186,15 @@ pub struct PointResult {
     pub server_on_fraction: Option<f64>,
     /// Mean AIMD batch limit over the window (AimdLimit runs only).
     pub aimd_mean_limit: Option<f64>,
-    /// Exchanges received by the client (metadata-exchange health).
+    /// Exchanges received across all clients (metadata-exchange health).
     pub exchanges_received: u64,
+    /// Concurrent client connections in this run.
+    pub num_clients: usize,
+    /// Per-connection results, indexed by client.
+    pub per_client: Vec<ClientResult>,
+    /// Mean server-side listener aggregate estimate over the window
+    /// (Dynamic runs only — the `L` the listener-wide policy acted on).
+    pub server_aggregate_latency: Option<Nanos>,
 }
 
 fn tcp_config(nagle: NagleMode, ov: &Overrides) -> TcpConfig {
@@ -182,6 +223,8 @@ fn tcp_config(nagle: NagleMode, ov: &Overrides) -> TcpConfig {
 
 /// Executes one experiment point.
 pub fn run_point(cfg: &RunConfig) -> PointResult {
+    let n = cfg.num_clients;
+    assert!(n > 0, "a run needs at least one client");
     let (client_mode, server_mode) = match cfg.nagle {
         NagleSetting::Off | NagleSetting::AimdLimit { .. } => (NagleMode::Off, NagleMode::Off),
         NagleSetting::On => (NagleMode::On, NagleMode::On),
@@ -191,57 +234,85 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
     let tcp = tcp_config(client_mode, &cfg.overrides);
     let tcp_server = tcp_config(server_mode, &cfg.overrides);
 
-    let mut client = LancetClient::new(
-        cfg.workload,
-        cfg.profile.app,
-        tcp,
-        cfg.warmup,
-        cfg.warmup + cfg.measure,
-    )
-    .with_recorder(EstimateRecorder::new(Unit::Bytes))
-    .with_recorder(EstimateRecorder::new(Unit::Packets))
-    .with_recorder(EstimateRecorder::new(Unit::Messages));
-    if cfg.use_hints {
-        client = client.with_hints();
-    }
-    let mut server = RedisServer::new(cfg.profile.app).with_hint_recorder();
-    if let NagleSetting::AimdLimit { objective } = cfg.nagle {
-        // Limit range: one byte (≈ NODELAY) up to the TSO maximum; additive
-        // step of one MSS, as the congestion-control precedent suggests.
-        client = client.with_aimd(AimdDriver::new(
-            Unit::Bytes,
-            AimdBatchLimit::new(objective, 1, 1, 65_536, 1_448),
-        ));
-    }
-    if let NagleSetting::Dynamic { objective } = cfg.nagle {
-        let tick = cfg.overrides.policy_tick.unwrap_or(Nanos::from_millis(1));
-        let alpha = cfg.overrides.score_alpha.unwrap_or(0.4);
-        let mk = |seed: u64| {
-            TickController::new(EpsilonGreedy::new(objective, 0.05, 4, alpha, seed), tick)
-        };
-        client = client.with_policy(PolicyDriver::new(Unit::Bytes, mk(cfg.seed ^ 0xC)));
-        server = server.with_policy(PolicyDriver::new(Unit::Bytes, mk(cfg.seed ^ 0x5)));
+    // The aggregate load splits evenly across independent arrival streams.
+    let mut spec = cfg.workload;
+    spec.rate_rps = cfg.workload.rate_rps / n as f64;
+
+    let tick = cfg.overrides.policy_tick.unwrap_or(Nanos::from_millis(1));
+    let alpha = cfg.overrides.score_alpha.unwrap_or(0.4);
+
+    let mut clients = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut client = LancetClient::new(
+            spec,
+            cfg.profile.app,
+            tcp,
+            cfg.warmup,
+            cfg.warmup + cfg.measure,
+        )
+        .with_recorder(EstimateRecorder::new(Unit::Bytes))
+        .with_recorder(EstimateRecorder::new(Unit::Packets))
+        .with_recorder(EstimateRecorder::new(Unit::Messages));
+        if cfg.use_hints {
+            client = client.with_hints();
+        }
+        if let NagleSetting::AimdLimit { objective } = cfg.nagle {
+            // Limit range: one byte (≈ NODELAY) up to the TSO maximum;
+            // additive step of one MSS, as the congestion-control
+            // precedent suggests.
+            client = client.with_aimd(AimdDriver::new(
+                Unit::Bytes,
+                AimdBatchLimit::new(objective, 1, 1, 65_536, 1_448),
+            ));
+        }
+        if let NagleSetting::Dynamic { objective } = cfg.nagle {
+            // Client 0 keeps the legacy policy seed; the golden-gamma
+            // spread gives every further client an independent stream.
+            let seed = cfg.seed ^ 0xC ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            client = client.with_policy(PolicyDriver::new(
+                Unit::Bytes,
+                TickController::new(EpsilonGreedy::new(objective, 0.05, 4, alpha, seed), tick),
+            ));
+        }
+        clients.push(client);
     }
 
-    let client_host = Host::new(
-        HostId(0),
-        CpuContext::with_multiplier("client-app", cfg.profile.client_app_multiplier),
-        CpuContext::new("client-softirq"),
-        cfg.profile.client_stack,
-        tcp,
-    );
+    let mut server = RedisServer::new(cfg.profile.app).with_hint_recorder();
+    if let NagleSetting::Dynamic { objective } = cfg.nagle {
+        // One listener-wide ε-greedy toggler fed the throughput-weighted
+        // aggregate over every accepted connection.
+        server = server.with_policy(ListenerDriver::new(
+            Unit::Bytes,
+            TickController::new(
+                EpsilonGreedy::new(objective, 0.05, 4, alpha, cfg.seed ^ 0x5),
+                tick,
+            ),
+        ));
+    }
+
+    let client_hosts: Vec<Host> = (0..n)
+        .map(|i| {
+            Host::new(
+                HostId(i),
+                CpuContext::with_multiplier("client-app", cfg.profile.client_app_multiplier),
+                CpuContext::new("client-softirq"),
+                cfg.profile.client_stack,
+                tcp,
+            )
+        })
+        .collect();
     let server_host = Host::new(
-        HostId(1),
+        HostId(n),
         CpuContext::new("server-app"),
         CpuContext::new("server-softirq"),
         cfg.profile.server_stack,
         tcp_server, // accept config
     );
 
-    let mut sim = NetSim::new(
-        client,
+    let mut sim = NetSim::star(
+        clients,
         server,
-        client_host,
+        client_hosts,
         server_host,
         LinkConfig::default(),
         cfg.seed,
@@ -251,7 +322,7 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
 
     // Run warmup, snapshot CPU accounting, run the measurement window.
     run(&mut sim, &mut queue, cfg.warmup);
-    let snaps: Vec<_> = (0..2)
+    let snaps: Vec<_> = (0..=n)
         .map(|h| {
             (
                 sim.host(h).app_cpu.busy_snapshot(queue.now()),
@@ -271,48 +342,102 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         softirq: sim.host(h).softirq_cpu.utilization_since(&snaps[h].1, to),
     };
     let client_cpu = util(0);
-    let server_cpu = util(1);
+    let server_cpu = util(n);
 
-    let lg = &sim.client;
-    let rec = |unit: Unit| {
-        lg.recorders
-            .iter()
-            .find(|r| r.unit == unit)
-            .and_then(|r| r.mean_latency_in(from, to))
+    // Per-connection slices.
+    let per_client: Vec<ClientResult> = (0..n)
+        .map(|i| {
+            let lg = &sim.clients[i];
+            let sock = lg.sock.expect("client connected");
+            ClientResult {
+                offered_rps: spec.rate_rps,
+                achieved_rps: lg.achieved_rps(),
+                samples: lg.hist.count(),
+                measured_mean: lg.hist.mean(),
+                measured_p99: lg.hist.p99(),
+                estimated_bytes: lg
+                    .recorders
+                    .iter()
+                    .find(|r| r.unit == Unit::Bytes)
+                    .and_then(|r| r.mean_latency_in(from, to)),
+                exchanges_received: sim.host(i).socket(sock).remote().received,
+            }
+        })
+        .collect();
+
+    // Aggregate measured latency: one merged histogram over every
+    // connection's samples.
+    let mut hist = Histogram::new();
+    for lg in &sim.clients {
+        hist.merge(&lg.hist);
+    }
+
+    // Aggregate estimates: throughput-weighted across the per-connection
+    // estimators (§3.2's multi-connection averaging). With one client this
+    // is exactly that client's estimate.
+    let rec = |unit: Unit| -> Option<Nanos> {
+        let mut agg = MultiConnectionAggregator::new();
+        for lg in &sim.clients {
+            let r = lg.recorders.iter().find(|r| r.unit == unit);
+            let lat = r.and_then(|r| r.mean_latency_in(from, to));
+            let tput = r.and_then(|r| r.mean_throughput_in(from, to));
+            if let (Some(lat), Some(tput)) = (lat, tput) {
+                agg.add(Estimate {
+                    at: to,
+                    latency: lat,
+                    smoothed_latency: lat,
+                    throughput: tput,
+                    local_view: lat,
+                    remote_view: lat,
+                });
+            }
+        }
+        agg.aggregate().map(|a| a.latency)
     };
-    let client_sock = lg.sock.expect("client connected");
+
+    let lg0 = &sim.clients[0];
+    let sock0 = lg0.sock.expect("client connected");
+    let client_nagle_holds: u64 = (0..n)
+        .map(|i| {
+            let sock = sim.clients[i].sock.expect("client connected");
+            sim.host(i).socket(sock).stats().nagle_holds
+        })
+        .sum();
+    let server_nagle_holds: u64 = sim
+        .server_host()
+        .socket_ids()
+        .map(|s| sim.server_host().socket(s).stats().nagle_holds)
+        .sum();
 
     PointResult {
         offered_rps: cfg.workload.rate_rps,
-        achieved_rps: lg.achieved_rps(),
-        measured_mean: lg.hist.mean(),
-        measured_p50: lg.hist.p50(),
-        measured_p99: lg.hist.p99(),
-        samples: lg.hist.count(),
+        achieved_rps: per_client.iter().map(|c| c.achieved_rps).sum(),
+        measured_mean: hist.mean(),
+        measured_p50: hist.p50(),
+        measured_p99: hist.p99(),
+        samples: hist.count(),
         estimated_bytes: rec(Unit::Bytes),
         estimated_packets: rec(Unit::Packets),
         estimated_messages: rec(Unit::Messages),
-        estimated_hint: sim
-            .server
-            .hint_recorder
-            .as_ref()
-            .and_then(|h| h.mean_latency_in(from, to)),
-        tracker_mean: lg.tracker_averages().and_then(|a| a.delay),
-        srtt: sim.host(0).socket(client_sock).srtt(),
+        estimated_hint: sim.server.hint_mean_latency_in(from, to),
+        tracker_mean: lg0.tracker_averages().and_then(|a| a.delay),
+        srtt: sim.host(0).socket(sock0).srtt(),
         client_cpu,
         server_cpu,
-        packets_to_server: sim.link().a_to_b.packets_sent(),
-        packets_to_client: sim.link().b_to_a.packets_sent(),
-        nagle_holds: sim.host(0).socket(client_sock).stats().nagle_holds
-            + sim
-                .host(1)
-                .socket(SocketId(0))
-                .stats()
-                .nagle_holds,
-        client_on_fraction: lg.policy.as_ref().map(|p| p.on_fraction()),
-        aimd_mean_limit: lg.aimd.as_ref().and_then(|a| a.mean_limit_in(from, to)),
+        packets_to_server: (0..n).map(|i| sim.link_for(i).a_to_b.packets_sent()).sum(),
+        packets_to_client: (0..n).map(|i| sim.link_for(i).b_to_a.packets_sent()).sum(),
+        nagle_holds: client_nagle_holds + server_nagle_holds,
+        client_on_fraction: lg0.policy.as_ref().map(|p| p.on_fraction()),
+        aimd_mean_limit: lg0.aimd.as_ref().and_then(|a| a.mean_limit_in(from, to)),
         server_on_fraction: sim.server.policy.as_ref().map(|p| p.on_fraction()),
-        exchanges_received: sim.host(0).socket(client_sock).remote().received,
+        exchanges_received: per_client.iter().map(|c| c.exchanges_received).sum(),
+        num_clients: n,
+        server_aggregate_latency: sim
+            .server
+            .policy
+            .as_ref()
+            .and_then(|p| p.mean_aggregate_latency_in(from, to)),
+        per_client,
     }
 }
 

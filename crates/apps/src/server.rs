@@ -12,14 +12,14 @@
 //! configuration, including the `Dynamic` mode driven by an attached
 //! [`PolicyDriver`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use littles::Nanos;
 use simnet::Histogram;
 use tcpsim::{App, HostCtx, SocketId, Unit, WakeReason};
 
 use crate::cost::AppCosts;
-use crate::driver::{HintRecorder, PolicyDriver};
+use crate::driver::{HintRecorder, ListenerDriver};
 use crate::kv::KvStore;
 use crate::resp::{encode_response, Command, CommandParser};
 
@@ -66,15 +66,21 @@ pub struct ServerStats {
 pub struct RedisServer {
     costs: AppCosts,
     kv: KvStore,
-    conns: HashMap<usize, Conn>,
+    /// Live connections, keyed by socket id. BTreeMap, not HashMap: the
+    /// tick path iterates connections, and simulation state must iterate
+    /// in a deterministic order.
+    conns: BTreeMap<usize, Conn>,
     /// Request-batch size distribution (requests per processing pass).
     pub batch_hist: Histogram,
     /// Aggregate statistics.
     pub stats: ServerStats,
-    /// Optional dynamic-batching policy (server side).
-    pub policy: Option<PolicyDriver>,
-    /// Optional hint-based estimate recording (paper §3.3).
-    pub hint_recorder: Option<HintRecorder>,
+    /// Optional listener-wide dynamic-batching policy: one aggregate
+    /// decision per tick, applied to every connection.
+    pub policy: Option<ListenerDriver>,
+    /// Per-connection hint-based estimate recording (paper §3.3), when
+    /// enabled via [`with_hint_recorder`](RedisServer::with_hint_recorder).
+    pub hint_recorders: BTreeMap<usize, HintRecorder>,
+    hints_enabled: bool,
     tick_period: Nanos,
 }
 
@@ -84,25 +90,27 @@ impl RedisServer {
         RedisServer {
             costs,
             kv: KvStore::new(),
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             batch_hist: Histogram::new(),
             stats: ServerStats::default(),
             policy: None,
-            hint_recorder: None,
+            hint_recorders: BTreeMap::new(),
+            hints_enabled: false,
             tick_period: Nanos::from_micros(500),
         }
     }
 
-    /// Attaches a dynamic-Nagle policy (requires the accept configuration
-    /// to use [`NagleMode::Dynamic`](tcpsim::NagleMode)).
-    pub fn with_policy(mut self, policy: PolicyDriver) -> Self {
+    /// Attaches a listener-wide dynamic-Nagle policy (requires the accept
+    /// configuration to use [`NagleMode::Dynamic`](tcpsim::NagleMode)).
+    pub fn with_policy(mut self, policy: ListenerDriver) -> Self {
         self.policy = Some(policy);
         self
     }
 
-    /// Enables hint-based estimation recording.
+    /// Enables hint-based estimation recording (one recorder per
+    /// connection, created on accept).
     pub fn with_hint_recorder(mut self) -> Self {
-        self.hint_recorder = Some(HintRecorder::new());
+        self.hints_enabled = true;
         self
     }
 
@@ -113,7 +121,21 @@ impl RedisServer {
 
     /// Estimate unit used by the attached policy, if any.
     pub fn policy_unit(&self) -> Option<Unit> {
-        self.policy.as_ref().map(|p| p.recorder.unit)
+        self.policy.as_ref().map(|p| p.unit)
+    }
+
+    /// Mean hint-estimated latency pooled over every connection's
+    /// recorder in `[from, to)`.
+    pub fn hint_mean_latency_in(&self, from: Nanos, to: Nanos) -> Option<Nanos> {
+        let vals: Vec<u64> = self
+            .hint_recorders
+            .values()
+            .flat_map(|r| r.series.iter())
+            .filter(|(at, e)| *at >= from && *at < to && e.latency.is_some())
+            .map(|(_, e)| e.latency.expect("filtered").as_nanos())
+            .collect();
+        (!vals.is_empty())
+            .then(|| Nanos::from_nanos(vals.iter().sum::<u64>() / vals.len() as u64))
     }
 
     /// Writes a response, stashing whatever the send buffer rejects so
@@ -187,7 +209,7 @@ impl RedisServer {
 
 impl App for RedisServer {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-        if self.policy.is_some() || self.hint_recorder.is_some() {
+        if self.policy.is_some() || self.hints_enabled {
             ctx.call_after(self.tick_period, token(KIND_TICK, 0));
         }
     }
@@ -223,15 +245,21 @@ impl App for RedisServer {
             KIND_PROCESS => self.process(ctx, sock),
             KIND_FLUSH => self.flush(ctx, sock),
             KIND_TICK => {
-                // Tick every connection (the figure experiments use one).
-                let socks: Vec<usize> = self.conns.keys().copied().collect();
-                for s in socks {
-                    if let Some(policy) = self.policy.as_mut() {
-                        policy.tick(ctx, SocketId(s));
+                // Sorted connection order (BTreeMap) keeps the tick path
+                // deterministic however many connections fan in.
+                let socks: Vec<SocketId> = self.conns.keys().map(|&s| SocketId(s)).collect();
+                if self.hints_enabled {
+                    for &s in &socks {
+                        self.hint_recorders
+                            .entry(s.0)
+                            .or_default()
+                            .tick(ctx, s);
                     }
-                    if let Some(rec) = self.hint_recorder.as_mut() {
-                        rec.tick(ctx, SocketId(s));
-                    }
+                }
+                if let Some(policy) = self.policy.as_mut() {
+                    // One listener-wide decision over the aggregate, not
+                    // one per connection.
+                    policy.tick(ctx, &socks);
                 }
                 ctx.call_after(self.tick_period, token(KIND_TICK, 0));
             }

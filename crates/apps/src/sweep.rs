@@ -149,6 +149,9 @@ mod tests {
             server_on_fraction: None,
             aimd_mean_limit: None,
             exchanges_received: 0,
+            num_clients: 1,
+            per_client: Vec::new(),
+            server_aggregate_latency: None,
         }
     }
 

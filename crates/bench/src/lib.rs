@@ -14,6 +14,8 @@
 //! | `dynamic_toggle` | §5 dynamic on/off toggling vs static          |
 //! | `ablations`      | §5 knobs: granularity, smoothing, exchange    |
 //! |                  | interval, AIMD limits, mechanism on/off       |
+//! | `fanin`          | Fan-in: N ∈ {1,4,16,64} connections, cutoff   |
+//! |                  | shift + aggregate estimate (BENCH_fanin.json) |
 //! | `micro`          | Criterion: TRACK/GETAVGS/wire/estimator costs |
 
 /// Shared quick-run parameters so every figure bench uses the same

@@ -47,5 +47,5 @@ pub mod rtt_baseline;
 pub use combine::{combine_delays, DelaySet, EndpointSnapshots, EndpointWindows, QueueWindow};
 pub use estimator::{E2eEstimator, Estimate};
 pub use hints::{HintEstimator, RequestTracker};
-pub use multi::MultiConnectionAggregator;
+pub use multi::{AggregateEstimate, EstimatorRegistry, MultiConnectionAggregator};
 pub use rtt_baseline::RttBaseline;

@@ -7,9 +7,13 @@
 //! average is throughput-weighted — a connection carrying 100× the
 //! requests should dominate the policy's view of latency.
 
+use std::collections::BTreeMap;
+
+use littles::wire::{WireExchange, WireScale};
 use littles::Nanos;
 
-use crate::estimator::Estimate;
+use crate::combine::EndpointSnapshots;
+use crate::estimator::{E2eEstimator, Estimate};
 
 /// Throughput-weighted aggregate over per-connection estimates.
 #[derive(Debug, Clone, Default)]
@@ -20,12 +24,32 @@ pub struct MultiConnectionAggregator {
 /// The aggregate result.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AggregateEstimate {
+    /// When the newest contributing estimate was formed.
+    pub at: Nanos,
     /// Throughput-weighted mean latency.
     pub latency: Nanos,
+    /// Throughput-weighted mean of the per-connection smoothed latencies.
+    pub smoothed_latency: Nanos,
     /// Total throughput across connections (items/second).
     pub throughput: f64,
     /// Number of connections that contributed.
     pub connections: usize,
+}
+
+impl AggregateEstimate {
+    /// Views the aggregate as a single connection-shaped [`Estimate`], so
+    /// policy code written against one connection accepts a listener-wide
+    /// view unchanged.
+    pub fn to_estimate(&self) -> Estimate {
+        Estimate {
+            at: self.at,
+            latency: self.latency,
+            smoothed_latency: self.smoothed_latency,
+            throughput: self.throughput,
+            local_view: self.latency,
+            remote_view: self.latency,
+        }
+    }
 }
 
 impl MultiConnectionAggregator {
@@ -48,24 +72,115 @@ impl MultiConnectionAggregator {
         }
         let total_tput: f64 = self.estimates.iter().map(|e| e.throughput).sum();
         let n = self.estimates.len();
-        let latency_ns = if total_tput > 0.0 {
-            self.estimates
-                .iter()
-                .map(|e| e.latency.as_nanos() as f64 * (e.throughput / total_tput))
-                .sum::<f64>()
-        } else {
-            self.estimates
-                .iter()
-                .map(|e| e.latency.as_nanos() as f64)
-                .sum::<f64>()
-                / n as f64
+        let weighted = |field: fn(&Estimate) -> Nanos| -> Nanos {
+            let ns = if total_tput > 0.0 {
+                self.estimates
+                    .iter()
+                    .map(|e| field(e).as_nanos() as f64 * (e.throughput / total_tput))
+                    .sum::<f64>()
+            } else {
+                self.estimates
+                    .iter()
+                    .map(|e| field(e).as_nanos() as f64)
+                    .sum::<f64>()
+                    / n as f64
+            };
+            Nanos::from_nanos(ns.round() as u64)
         };
+        let latency = weighted(|e| e.latency);
+        let smoothed_latency = weighted(|e| e.smoothed_latency);
+        let at = self
+            .estimates
+            .iter()
+            .map(|e| e.at)
+            .max()
+            .unwrap_or(Nanos::ZERO);
         self.estimates.clear();
         Some(AggregateEstimate {
-            latency: Nanos::from_nanos(latency_ns.round() as u64),
+            at,
+            latency,
+            smoothed_latency,
             throughput: total_tput,
             connections: n,
         })
+    }
+}
+
+/// Per-host registry of per-connection estimators.
+///
+/// A listener-wide batching policy needs one `L` for the whole host, not
+/// one per connection. The registry owns an [`E2eEstimator`] per
+/// connection id (created lazily on first update), remembers each
+/// connection's latest estimate, and folds them through a
+/// [`MultiConnectionAggregator`] on demand — so a policy written against a
+/// single connection's [`Estimate`] sees the throughput-weighted
+/// aggregate instead.
+///
+/// Keyed by a `BTreeMap`: registry state is iterated during aggregation,
+/// and simulation code must iterate in a deterministic order.
+#[derive(Debug, Clone)]
+pub struct EstimatorRegistry {
+    scale: WireScale,
+    smoothing_alpha: f64,
+    estimators: BTreeMap<u64, E2eEstimator>,
+}
+
+impl EstimatorRegistry {
+    /// Creates a registry whose estimators use the given wire scale and
+    /// per-connection smoothing weight.
+    pub fn new(scale: WireScale, smoothing_alpha: f64) -> Self {
+        EstimatorRegistry {
+            scale,
+            smoothing_alpha,
+            estimators: BTreeMap::new(),
+        }
+    }
+
+    /// Defaults matching [`E2eEstimator::with_defaults`].
+    pub fn with_defaults() -> Self {
+        Self::new(WireScale::default(), 0.3)
+    }
+
+    /// Feeds one tick of one connection's data, creating the estimator on
+    /// first sight of `conn`. Returns that connection's estimate when one
+    /// can be formed (see [`E2eEstimator::update`]).
+    pub fn update(
+        &mut self,
+        conn: u64,
+        now: Nanos,
+        local: EndpointSnapshots,
+        remote_latest: Option<WireExchange>,
+    ) -> Option<Estimate> {
+        let (scale, alpha) = (self.scale, self.smoothing_alpha);
+        self.estimators
+            .entry(conn)
+            .or_insert_with(|| E2eEstimator::new(scale, alpha))
+            .update(now, local, remote_latest)
+    }
+
+    /// Number of registered connections.
+    pub fn connections(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// The latest estimate of one connection, if it has produced any.
+    pub fn last(&self, conn: u64) -> Option<Estimate> {
+        self.estimators.get(&conn).and_then(|e| e.last())
+    }
+
+    /// Drops a closed connection's estimator.
+    pub fn remove(&mut self, conn: u64) {
+        self.estimators.remove(&conn);
+    }
+
+    /// Throughput-weighted aggregate over every connection's latest
+    /// estimate. `None` until at least one connection has estimated.
+    pub fn aggregate(&self) -> Option<AggregateEstimate> {
+        let mut agg = MultiConnectionAggregator::new();
+        for est in self.estimators.values().filter_map(|e| e.last()) {
+            agg.add(est);
+        }
+        agg.aggregate()
     }
 }
 
@@ -126,5 +241,53 @@ mod tests {
         a.add(est(100, 1.0));
         a.aggregate();
         assert!(a.aggregate().is_none());
+    }
+
+    #[test]
+    fn aggregate_views_as_a_connection_estimate() {
+        let mut a = MultiConnectionAggregator::new();
+        a.add(est(100, 9_000.0));
+        a.add(est(1_000, 1_000.0));
+        let e = a.aggregate().unwrap().to_estimate();
+        assert_eq!(e.latency, Nanos::from_micros(190));
+        assert_eq!(e.smoothed_latency, Nanos::from_micros(190));
+        assert!((e.throughput - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_timestamp_is_the_newest_contribution() {
+        let mut a = MultiConnectionAggregator::new();
+        let mut early = est(100, 1.0);
+        early.at = Nanos::from_micros(10);
+        let mut late = est(100, 1.0);
+        late.at = Nanos::from_micros(30);
+        a.add(early);
+        a.add(late);
+        assert_eq!(a.aggregate().unwrap().at, Nanos::from_micros(30));
+    }
+
+    #[test]
+    fn registry_is_empty_until_connections_estimate() {
+        let reg = EstimatorRegistry::with_defaults();
+        assert_eq!(reg.connections(), 0);
+        assert!(reg.aggregate().is_none());
+    }
+
+    #[test]
+    fn registry_creates_estimators_lazily_and_removes_them() {
+        let mut reg = EstimatorRegistry::with_defaults();
+        let s = EndpointSnapshots {
+            unacked: littles::Snapshot::default(),
+            unread: littles::Snapshot::default(),
+            ackdelay: littles::Snapshot::default(),
+        };
+        reg.update(7, Nanos::ZERO, s, None);
+        reg.update(3, Nanos::ZERO, s, None);
+        assert_eq!(reg.connections(), 2);
+        // Default snapshots never produce an estimate.
+        assert!(reg.last(7).is_none());
+        assert!(reg.aggregate().is_none());
+        reg.remove(7);
+        assert_eq!(reg.connections(), 1);
     }
 }

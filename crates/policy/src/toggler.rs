@@ -7,7 +7,7 @@
 //! otherwise exploits the better arm — "a light method \[that\] will
 //! suffice", as the paper speculates.
 
-use e2e_core::Estimate;
+use e2e_core::{AggregateEstimate, Estimate};
 use littles::Ewma;
 use simnet::Pcg32;
 
@@ -18,6 +18,14 @@ pub trait BatchToggler {
     /// Feeds the latest estimate; returns whether batching should be
     /// enabled until the next tick.
     fn decide(&mut self, estimate: &Estimate) -> bool;
+
+    /// Feeds a listener-wide aggregate (paper §3.2: per-connection
+    /// estimates "can be averaged if a batching policy simultaneously
+    /// affects multiple connections"). The default folds the aggregate
+    /// into its connection-shaped view and decides as usual.
+    fn decide_aggregate(&mut self, aggregate: &AggregateEstimate) -> bool {
+        self.decide(&aggregate.to_estimate())
+    }
 
     /// The current setting without feeding new data.
     fn current(&self) -> bool;
@@ -265,5 +273,32 @@ mod tests {
     #[should_panic(expected = "epsilon out of range")]
     fn bad_epsilon_rejected() {
         let _ = EpsilonGreedy::new(Objective::MinLatency, 1.5, 1, 0.5, 0);
+    }
+
+    fn agg(latency_us: u64, tput: f64, connections: usize) -> AggregateEstimate {
+        AggregateEstimate {
+            at: Nanos::ZERO,
+            latency: Nanos::from_micros(latency_us),
+            smoothed_latency: Nanos::from_micros(latency_us),
+            throughput: tput,
+            connections,
+        }
+    }
+
+    /// Fed an aggregate instead of a single-connection estimate, the
+    /// bandit converges exactly the same way.
+    #[test]
+    fn converges_on_aggregates_like_on_estimates() {
+        let mut single = EpsilonGreedy::new(Objective::MinLatency, 0.05, 2, 0.5, 1);
+        let mut multi = EpsilonGreedy::new(Objective::MinLatency, 0.05, 2, 0.5, 1);
+        for _ in 0..2_000 {
+            let s_lat = if single.current() { 100 } else { 500 };
+            single.decide(&est(s_lat, 10_000.0));
+            let m_lat = if multi.current() { 100 } else { 500 };
+            multi.decide_aggregate(&agg(m_lat, 10_000.0, 16));
+        }
+        assert!(multi.current(), "aggregate-fed bandit settles on 'on'");
+        assert_eq!(single.current(), multi.current());
+        assert_eq!(single.switches(), multi.switches());
     }
 }

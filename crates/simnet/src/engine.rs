@@ -11,7 +11,7 @@
 //! popped), the standard technique for binary-heap schedulers.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use littles::Nanos;
 
@@ -66,7 +66,12 @@ pub struct EventQueue<E> {
     now: Nanos,
     next_seq: u64,
     heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<u64>,
+    /// Seqs issued and not yet popped. Guards [`cancel`](Self::cancel)
+    /// against tokens that already fired (or were cancelled before), so the
+    /// `cancelled` set only ever names entries still in the heap and
+    /// [`len`](Self::len) stays exact.
+    pending: BTreeSet<u64>,
+    cancelled: BTreeSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -82,7 +87,8 @@ impl<E> EventQueue<E> {
             now: Nanos::ZERO,
             next_seq: 0,
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            pending: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
         }
     }
 
@@ -102,6 +108,7 @@ impl<E> EventQueue<E> {
         debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pending.insert(seq);
         self.heap.push(Reverse(Entry {
             at: at.max(self.now),
             seq,
@@ -111,9 +118,12 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a no-op.
+    /// already fired (or was already cancelled) is a true no-op: only
+    /// tokens still pending in the heap enter the lazy-removal set.
     pub fn cancel(&mut self, token: EventToken) {
-        self.cancelled.insert(token.0);
+        if self.pending.remove(&token.0) {
+            self.cancelled.insert(token.0);
+        }
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
@@ -122,6 +132,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&entry.seq) {
                 continue;
             }
+            self.pending.remove(&entry.seq);
             self.now = entry.at;
             return Some((entry.at, entry.event));
         }
@@ -254,8 +265,37 @@ mod tests {
         let tok = q.schedule(Nanos::from_nanos(1), 1);
         assert_eq!(q.pop().map(|(_, e)| e), Some(1));
         q.cancel(tok);
+        // Regression: the stale cancel must not leak into the lazy-removal
+        // set — `len` stays exact and later events still fire.
+        assert_eq!(q.len(), 0);
         q.schedule(Nanos::from_nanos(2), 2);
+        assert_eq!(q.len(), 1);
         assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn stale_cancels_do_not_underflow_len() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let tok = q.schedule(Nanos::from_nanos(1), 1);
+        q.pop();
+        // Before the fix, each stale cancel grew `cancelled` while the heap
+        // stayed empty, so `heap.len() - cancelled.len()` underflowed.
+        q.cancel(tok);
+        q.cancel(tok);
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn double_cancel_counts_once() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let tok = q.schedule(Nanos::from_nanos(1), 1);
+        q.schedule(Nanos::from_nanos(2), 2);
+        q.cancel(tok);
+        q.cancel(tok);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(q.len(), 0);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   workloads need (uniform, exponential inter-arrivals, Bernoulli).
 //! * [`link`] — a point-to-point link with propagation delay, serialization
 //!   at a configured bandwidth, FIFO ordering, and optional loss.
+//! * [`topology`] — multi-host wiring over links; a [`StarTopology`] joins
+//!   N clients to one server (the fan-in shape), with the two-host pair as
+//!   its N = 1 special case.
 //! * [`cpu`] — serially-executing CPU contexts (application thread, softirq)
 //!   with cost accounting and utilization windows; this is what makes
 //!   per-packet overheads translate into saturation, reproducing the
@@ -30,6 +33,7 @@ pub mod engine;
 pub mod hist;
 pub mod link;
 pub mod rng;
+pub mod topology;
 
 pub use cpu::{BusySnapshot, CpuContext};
 pub use engine::{run, run_until_idle, EventQueue, EventToken, World};
@@ -37,3 +41,4 @@ pub use hist::Histogram;
 pub use link::{DuplexLink, Link, LinkConfig};
 pub use littles::Nanos;
 pub use rng::Pcg32;
+pub use topology::StarTopology;

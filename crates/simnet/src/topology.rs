@@ -1,0 +1,140 @@
+//! Multi-host topologies.
+//!
+//! A [`StarTopology`] connects N client hosts to one server host through N
+//! independent [`DuplexLink`]s — the fan-in shape of a key-value service
+//! (many load generators, one Redis). Hosts are identified by index: the
+//! clients occupy `0..num_clients` and the server sits at
+//! [`server_index`](StarTopology::server_index)` == num_clients`, so the
+//! classic two-host pair is exactly the `N = 1` special case (client 0,
+//! server 1).
+//!
+//! The topology owns only the links; host state and flow routing stay with
+//! the protocol layer. All events still flow through one global
+//! `(time, seq)`-ordered [`EventQueue`](crate::EventQueue), so adding hosts
+//! never perturbs the deterministic event order of an existing pair.
+
+use crate::link::{DuplexLink, Link, LinkConfig};
+
+/// N client hosts, one server host, N duplex links.
+#[derive(Debug, Clone)]
+pub struct StarTopology {
+    /// Link `i` joins client `i` (endpoint 0) to the server (endpoint 1).
+    links: Vec<DuplexLink>,
+}
+
+impl StarTopology {
+    /// Creates a star of `num_clients` clients with identical link
+    /// parameters on every spoke.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_clients` is zero (a star needs at least one spoke).
+    pub fn new(num_clients: usize, config: LinkConfig) -> Self {
+        assert!(num_clients > 0, "star topology needs at least one client");
+        StarTopology {
+            links: (0..num_clients).map(|_| DuplexLink::new(config)).collect(),
+        }
+    }
+
+    /// Number of client hosts.
+    pub fn num_clients(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Index of the server host (always `num_clients`).
+    pub fn server_index(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total hosts in the topology (clients plus the server).
+    pub fn num_hosts(&self) -> usize {
+        self.links.len() + 1
+    }
+
+    /// Whether `host` is the server.
+    pub fn is_server(&self, host: usize) -> bool {
+        host == self.server_index()
+    }
+
+    /// The duplex link serving client `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range client index.
+    pub fn link(&self, client: usize) -> &DuplexLink {
+        &self.links[client]
+    }
+
+    /// Mutable access to the duplex link serving client `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range client index.
+    pub fn link_mut(&mut self, client: usize) -> &mut DuplexLink {
+        &mut self.links[client]
+    }
+
+    /// The directional link a transmission from host `from` to host `to`
+    /// enters. Exactly one endpoint must be the server — clients have no
+    /// client-to-client links in a star.
+    ///
+    /// # Panics
+    ///
+    /// Panics when neither (or both) of `from`/`to` is the server, or on an
+    /// out-of-range client index.
+    pub fn hop_mut(&mut self, from: usize, to: usize) -> &mut Link {
+        let server = self.server_index();
+        if from == server {
+            assert!(to < server, "server-to-server hop in a star: {from} -> {to}");
+            &mut self.links[to].b_to_a
+        } else {
+            assert!(
+                to == server,
+                "client-to-client hop in a star: {from} -> {to}"
+            );
+            &mut self.links[from].a_to_b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use littles::Nanos;
+
+    #[test]
+    fn indices_follow_the_two_host_convention_at_n1() {
+        let t = StarTopology::new(1, LinkConfig::default());
+        assert_eq!(t.num_clients(), 1);
+        assert_eq!(t.server_index(), 1);
+        assert_eq!(t.num_hosts(), 2);
+        assert!(t.is_server(1));
+        assert!(!t.is_server(0));
+    }
+
+    #[test]
+    fn hops_route_through_the_right_direction() {
+        let mut t = StarTopology::new(3, LinkConfig::default());
+        t.hop_mut(2, 3).transmit(Nanos::ZERO, 100);
+        assert_eq!(t.link(2).a_to_b.packets_sent(), 1);
+        assert_eq!(t.link(2).b_to_a.packets_sent(), 0);
+        t.hop_mut(3, 0).transmit(Nanos::ZERO, 100);
+        assert_eq!(t.link(0).b_to_a.packets_sent(), 1);
+        // Spokes are independent pipes.
+        assert_eq!(t.link(1).a_to_b.packets_sent(), 0);
+        assert_eq!(t.link(1).b_to_a.packets_sent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "client-to-client")]
+    fn client_to_client_hop_panics() {
+        let mut t = StarTopology::new(2, LinkConfig::default());
+        t.hop_mut(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_star_panics() {
+        let _ = StarTopology::new(0, LinkConfig::default());
+    }
+}

@@ -6,7 +6,7 @@
 //! owns its sockets and the per-(socket, timer) generation counters used to
 //! cancel timers scheduled in the global event queue.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simnet::{CpuContext, Nanos};
 
@@ -33,11 +33,13 @@ pub struct Host {
     /// Configuration used for passively accepted sockets.
     pub accept_config: TcpConfig,
     sockets: Vec<TcpSocket>,
-    flows: HashMap<FlowId, SocketId>,
+    // BTreeMap, not HashMap: host state is iterated (or may become so) and
+    // std HashMap's iteration order is seeded from OS entropy.
+    flows: BTreeMap<FlowId, SocketId>,
     /// Packets handed to the NIC, not yet completed.
     nic_in_flight: u32,
     /// Per-(socket, timer) generation counters for cancellation.
-    timer_gens: HashMap<(SocketId, TimerKind), u64>,
+    timer_gens: BTreeMap<(SocketId, TimerKind), u64>,
     /// Total doorbells rung (one per transmit batch).
     pub doorbells: u64,
 }
@@ -58,9 +60,9 @@ impl Host {
             costs,
             accept_config,
             sockets: Vec::new(),
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             nic_in_flight: 0,
-            timer_gens: HashMap::new(),
+            timer_gens: BTreeMap::new(),
             doorbells: 0,
         }
     }

@@ -120,7 +120,9 @@ mod tests {
 
     #[test]
     fn usable_as_hash_map_key() {
+        // lint:allow(determinism): exercises the Hash impl; lookup-only
         use std::collections::HashMap;
+        // lint:allow(determinism): lookup-only map, never iterated
         let mut m: HashMap<Payload, u32> = HashMap::new();
         m.insert(Payload::from_static(b"k"), 7);
         assert_eq!(m.get(&Payload::copy_from_slice(b"k")), Some(&7));

@@ -43,7 +43,7 @@ pub const E2E_OPTION_BYTES: usize = e2e_option_bytes(1);
 pub const HINT_OPTION_BYTES: usize = 16;
 
 /// Identifies one TCP connection (both endpoints use the same id).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u64);
 
 /// TCP header flags (the subset the simulator uses).

@@ -1,9 +1,19 @@
-//! The two-host network simulation.
+//! The network simulation: N client hosts and one server host on a star.
 //!
-//! [`NetSim`] wires two [`Host`]s through a [`DuplexLink`] and drives their
-//! [`TcpSocket`]s and applications as a [`World`] over the discrete-event
-//! queue. Applications implement [`App`] and interact with the stack only
-//! through [`HostCtx`] — the simulated socket API.
+//! [`NetSim`] wires client [`Host`]s to a server host through a
+//! [`StarTopology`] and drives their [`TcpSocket`]s and applications as a
+//! [`World`] over one global discrete-event queue. Applications implement
+//! [`App`] and interact with the stack only through [`HostCtx`] — the
+//! simulated socket API. The classic two-host pair is the `N = 1` special
+//! case (client host 0, server host 1) and reproduces bit-identically.
+//!
+//! Fan-in contention is modelled faithfully: every connection terminating
+//! at the server shares the *same* server [`Host`] and therefore the same
+//! application-thread and softirq [`CpuContext`](simnet::CpuContext)s —
+//! exactly the regime where per-packet costs and batching policies have a
+//! listener-wide blast radius. Each client host keeps its own independent
+//! seeded RNG, split from the simulation seed, so arrival streams are
+//! independent across clients yet deterministic as a whole.
 //!
 //! ## Execution-context convention
 //!
@@ -16,14 +26,16 @@
 //! makes application batching (one wakeup amortized over several requests)
 //! emerge naturally under load, as in the paper's Figure 1.
 
+use std::collections::BTreeMap;
+
 use crate::payload::Payload;
 use littles::{Nanos, Snapshot};
-use simnet::{DuplexLink, EventQueue, LinkConfig, Pcg32, World};
+use simnet::{DuplexLink, EventQueue, LinkConfig, Pcg32, StarTopology, World};
 
+use crate::config::TcpConfig;
 use crate::host::{Host, HostId};
 use crate::segment::{FlowId, Segment};
 use crate::socket::{Action, SocketId, TcpSocket, TimerKind, TxEnv, WakeReason};
-use crate::config::TcpConfig;
 
 /// Delay between a packet leaving the NIC and the transmit-completion
 /// interrupt that frees its ring slot (what auto-corking waits for).
@@ -32,7 +44,7 @@ const NIC_COMPLETION_DELAY: Nanos = Nanos::from_micros(2);
 /// The simulation's event alphabet.
 #[derive(Debug, Clone)]
 pub enum Event {
-    /// A segment finished traversing the link and reached `dst`'s NIC.
+    /// A segment finished traversing a link and reached `dst`'s NIC.
     Deliver {
         /// Destination host index.
         dst: usize,
@@ -106,14 +118,15 @@ pub trait App {
 /// The application's view of its host: the socket API plus CPU-time
 /// accounting.
 pub struct HostCtx<'a> {
-    /// Index of this host (0 = client, 1 = server).
+    /// Index of this host (clients at `0..N`, the server at `N`).
     pub host_idx: usize,
     /// The host (CPU contexts, sockets, NIC).
     pub host: &'a mut Host,
-    /// Deterministic per-simulation randomness.
+    /// This host's deterministic randomness stream.
     pub rng: &'a mut Pcg32,
     queue: &'a mut EventQueue<Event>,
-    link: &'a mut DuplexLink,
+    topology: &'a mut StarTopology,
+    routes: &'a mut BTreeMap<FlowId, usize>,
     next_flow: &'a mut u64,
 }
 
@@ -123,12 +136,14 @@ impl HostCtx<'_> {
         self.queue.now()
     }
 
-    /// Opens a connection to the peer host; completion is signalled by a
+    /// Opens a connection to the server host; completion is signalled by a
     /// [`WakeReason::Connected`] wake. Charged to the application thread.
     pub fn connect(&mut self, config: TcpConfig) -> SocketId {
         let now = self.now();
         let flow = FlowId(*self.next_flow);
         *self.next_flow += 1;
+        // Flows are routed back to the client host that opened them.
+        self.routes.insert(flow, self.host_idx);
         let mut actions = Vec::new();
         let sock = TcpSocket::client(flow, config, now, &mut actions);
         let id = self.host.add_socket(sock);
@@ -136,7 +151,8 @@ impl HostCtx<'_> {
         self.host.app_cpu.run(now, syscall);
         apply_actions(
             self.host,
-            self.link,
+            self.topology,
+            self.routes,
             self.queue,
             self.rng,
             id,
@@ -163,7 +179,8 @@ impl HostCtx<'_> {
             .send(now, data, env, &mut actions);
         apply_actions(
             self.host,
-            self.link,
+            self.topology,
+            self.routes,
             self.queue,
             self.rng,
             sock,
@@ -190,7 +207,8 @@ impl HostCtx<'_> {
         let out = self.host.socket_mut(sock).recv(now, max, &mut actions);
         apply_actions(
             self.host,
-            self.link,
+            self.topology,
+            self.routes,
             self.queue,
             self.rng,
             sock,
@@ -210,7 +228,8 @@ impl HostCtx<'_> {
         self.host.socket_mut(sock).close(now, env, &mut actions);
         apply_actions(
             self.host,
-            self.link,
+            self.topology,
+            self.routes,
             self.queue,
             self.rng,
             sock,
@@ -285,7 +304,8 @@ impl HostCtx<'_> {
             .poll_transmit(now, env, &mut actions);
         apply_actions(
             self.host,
-            self.link,
+            self.topology,
+            self.routes,
             self.queue,
             self.rng,
             sock,
@@ -301,10 +321,15 @@ impl HostCtx<'_> {
 }
 
 /// Executes socket actions: transmits segments (charging CPU, ringing the
-/// doorbell, driving the link), manages timers, and queues app wakes.
+/// doorbell, driving the right star spoke), manages timers, and queues app
+/// wakes. The destination host is derived from the topology: clients
+/// always transmit toward the server; the server routes by the segment's
+/// flow (registered at `connect` time).
+#[allow(clippy::too_many_arguments)]
 fn apply_actions(
     host: &mut Host,
-    link: &mut DuplexLink,
+    topology: &mut StarTopology,
+    routes: &BTreeMap<FlowId, usize>,
     queue: &mut EventQueue<Event>,
     rng: &mut Pcg32,
     sock: SocketId,
@@ -313,6 +338,7 @@ fn apply_actions(
 ) {
     let now = queue.now();
     let host_idx = host.id.0;
+    let server_idx = topology.server_index();
     let mut transmitted = false;
     for action in actions {
         match action {
@@ -331,14 +357,17 @@ fn apply_actions(
                     Charge::App => host.app_cpu.busy_until(),
                     Charge::Softirq => host.softirq_cpu.busy_until(),
                 };
+                let dst = if host_idx == server_idx {
+                    *routes
+                        .get(&seg.flow)
+                        .expect("server transmit on an unrouted flow")
+                } else {
+                    server_idx
+                };
                 let wire_len = seg.wire_len();
-                let arrival = link
-                    .from_endpoint(host_idx)
-                    .transmit_lossy(depart, wire_len, rng);
-                let serialized_at = link
-                    .from_endpoint(host_idx)
-                    .busy_until()
-                    .max(depart);
+                let link = topology.hop_mut(host_idx, dst);
+                let arrival = link.transmit_lossy(depart, wire_len, rng);
+                let serialized_at = link.busy_until().max(depart);
                 queue.schedule_at(
                     serialized_at + NIC_COMPLETION_DELAY,
                     Event::NicComplete {
@@ -347,13 +376,7 @@ fn apply_actions(
                     },
                 );
                 if let Some(arrival) = arrival {
-                    queue.schedule_at(
-                        arrival,
-                        Event::Deliver {
-                            dst: 1 - host_idx,
-                            seg,
-                        },
-                    );
+                    queue.schedule_at(arrival, Event::Deliver { dst, seg });
                 }
             }
             Action::ArmTimer(kind, delay) => {
@@ -394,21 +417,26 @@ fn apply_actions(
     }
 }
 
-/// A complete two-host simulation: client app, server app, their hosts,
-/// and the link.
+/// A complete star simulation: N client apps, one server app, their hosts,
+/// and the topology joining them.
 pub struct NetSim<C: App, S: App> {
-    /// The client application (runs on host 0).
-    pub client: C,
-    /// The server application (runs on host 1).
+    /// The client applications (client `i` runs on host `i`).
+    pub clients: Vec<C>,
+    /// The server application (runs on host `num_clients`).
     pub server: S,
-    hosts: [Host; 2],
-    link: DuplexLink,
-    rng: Pcg32,
+    hosts: Vec<Host>,
+    topology: StarTopology,
+    /// Flow → owning-client-host routing, registered at `connect`.
+    routes: BTreeMap<FlowId, usize>,
+    /// Per-host RNG streams. Host 0 carries the legacy stream
+    /// `Pcg32::new(seed)` (so N = 1 replays the two-host pair bit-for-bit);
+    /// the rest are independent children forked from one splitter.
+    rngs: Vec<Pcg32>,
     next_flow: u64,
 }
 
 impl<C: App, S: App> NetSim<C, S> {
-    /// Assembles a simulation.
+    /// Assembles the classic two-host simulation (the N = 1 star).
     pub fn new(
         client: C,
         server: S,
@@ -417,46 +445,118 @@ impl<C: App, S: App> NetSim<C, S> {
         link_config: LinkConfig,
         seed: u64,
     ) -> Self {
-        assert_eq!(client_host.id, HostId(0), "client host must be id 0");
-        assert_eq!(server_host.id, HostId(1), "server host must be id 1");
+        Self::star(vec![client], server, vec![client_host], server_host, link_config, seed)
+    }
+
+    /// Assembles an N-client star simulation. Client host `i` must carry
+    /// `HostId(i)`; the server host must carry `HostId(num_clients)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clients` is empty, the lengths disagree, or a host id
+    /// does not match its topology index.
+    pub fn star(
+        clients: Vec<C>,
+        server: S,
+        client_hosts: Vec<Host>,
+        server_host: Host,
+        link_config: LinkConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(!clients.is_empty(), "star simulation needs at least one client");
+        assert_eq!(
+            clients.len(),
+            client_hosts.len(),
+            "one host per client app"
+        );
+        for (i, h) in client_hosts.iter().enumerate() {
+            assert_eq!(h.id, HostId(i), "client host {i} must carry HostId({i})");
+        }
+        let n = clients.len();
+        assert_eq!(
+            server_host.id,
+            HostId(n),
+            "server host must carry HostId({n})"
+        );
+        let mut hosts = client_hosts;
+        hosts.push(server_host);
+        // Host 0 keeps the exact legacy stream; the remaining hosts get
+        // independent children split from one seeded splitter, so client
+        // arrival processes never share draws.
+        let mut splitter = Pcg32::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let rngs = (0..hosts.len())
+            .map(|i| {
+                if i == 0 {
+                    Pcg32::new(seed)
+                } else {
+                    splitter.fork()
+                }
+            })
+            .collect();
         NetSim {
-            client,
+            clients,
             server,
-            hosts: [client_host, server_host],
-            link: DuplexLink::new(link_config),
-            rng: Pcg32::new(seed),
+            hosts,
+            topology: StarTopology::new(n, link_config),
+            routes: BTreeMap::new(),
+            rngs,
             next_flow: 1,
         }
     }
 
-    /// Invokes both applications' `on_start` (server first, so it is
-    /// listening before the client connects).
+    /// Invokes every application's `on_start` — the server first (so it is
+    /// listening before any client connects), then clients in host order.
     pub fn start(&mut self, queue: &mut EventQueue<Event>) {
+        let server_idx = self.topology.server_index();
         let NetSim {
-            client,
+            clients,
             server,
             hosts,
-            link,
-            rng,
+            topology,
+            routes,
+            rngs,
             next_flow,
         } = self;
-        let (h0, h1) = hosts.split_at_mut(1);
         server.on_start(&mut HostCtx {
-            host_idx: 1,
-            host: &mut h1[0],
-            rng,
+            host_idx: server_idx,
+            host: &mut hosts[server_idx],
+            rng: &mut rngs[server_idx],
             queue,
-            link,
+            topology,
+            routes,
             next_flow,
         });
-        client.on_start(&mut HostCtx {
-            host_idx: 0,
-            host: &mut h0[0],
-            rng,
-            queue,
-            link,
-            next_flow,
-        });
+        for (i, client) in clients.iter_mut().enumerate() {
+            client.on_start(&mut HostCtx {
+                host_idx: i,
+                host: &mut hosts[i],
+                rng: &mut rngs[i],
+                queue,
+                topology,
+                routes,
+                next_flow,
+            });
+        }
+    }
+
+    /// Number of client hosts.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Index of the server host.
+    pub fn server_index(&self) -> usize {
+        self.topology.server_index()
+    }
+
+    /// The first client application (convenience for the N = 1 case).
+    pub fn client(&self) -> &C {
+        &self.clients[0]
+    }
+
+    /// Mutable access to the first client application.
+    pub fn client_mut(&mut self) -> &mut C {
+        &mut self.clients[0]
     }
 
     /// Access a host by index.
@@ -469,36 +569,24 @@ impl<C: App, S: App> NetSim<C, S> {
         &mut self.hosts[idx]
     }
 
-    /// The link between the hosts.
-    pub fn link(&self) -> &DuplexLink {
-        &self.link
+    /// The server host (shared by every connection).
+    pub fn server_host(&self) -> &Host {
+        &self.hosts[self.topology.server_index()]
     }
 
-    fn dispatch_app(
-        &mut self,
-        queue: &mut EventQueue<Event>,
-        host: usize,
-        call: impl FnOnce(&mut C, &mut S, &mut HostCtx<'_>),
-    ) {
-        let NetSim {
-            client,
-            server,
-            hosts,
-            link,
-            rng,
-            next_flow,
-        } = self;
-        let (h0, h1) = hosts.split_at_mut(1);
-        let host_ref = if host == 0 { &mut h0[0] } else { &mut h1[0] };
-        let mut ctx = HostCtx {
-            host_idx: host,
-            host: host_ref,
-            rng,
-            queue,
-            link,
-            next_flow,
-        };
-        call(client, server, &mut ctx);
+    /// The link serving client 0 (the two-host pair's only link).
+    pub fn link(&self) -> &DuplexLink {
+        self.topology.link(0)
+    }
+
+    /// The link serving client `i`.
+    pub fn link_for(&self, client: usize) -> &DuplexLink {
+        self.topology.link(client)
+    }
+
+    /// The topology (for inspection).
+    pub fn topology(&self) -> &StarTopology {
+        &self.topology
     }
 }
 
@@ -539,9 +627,10 @@ impl<C: App, S: App> World for NetSim<C, S> {
                 };
                 apply_actions(
                     host,
-                    &mut self.link,
+                    &mut self.topology,
+                    &self.routes,
                     queue,
-                    &mut self.rng,
+                    &mut self.rngs[h],
                     sock_id,
                     actions,
                     Charge::Softirq,
@@ -568,9 +657,10 @@ impl<C: App, S: App> World for NetSim<C, S> {
                 }
                 apply_actions(
                     host,
-                    &mut self.link,
+                    &mut self.topology,
+                    &self.routes,
                     queue,
-                    &mut self.rng,
+                    &mut self.rngs[h],
                     sock,
                     actions,
                     Charge::Softirq,
@@ -588,9 +678,10 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     host.socket_mut(id).on_nic_drained(now, env, &mut actions);
                     apply_actions(
                         host,
-                        &mut self.link,
+                        &mut self.topology,
+                        &self.routes,
                         queue,
-                        &mut self.rng,
+                        &mut self.rngs[h],
                         id,
                         actions,
                         Charge::Softirq,
@@ -602,22 +693,56 @@ impl<C: App, S: App> World for NetSim<C, S> {
                 sock,
                 reason,
             } => {
-                self.dispatch_app(queue, h, |client, server, ctx| {
-                    if h == 0 {
-                        client.on_wake(ctx, sock, reason);
-                    } else {
-                        server.on_wake(ctx, sock, reason);
-                    }
-                });
+                let server_idx = self.topology.server_index();
+                let NetSim {
+                    clients,
+                    server,
+                    hosts,
+                    topology,
+                    routes,
+                    rngs,
+                    next_flow,
+                } = self;
+                let mut ctx = HostCtx {
+                    host_idx: h,
+                    host: &mut hosts[h],
+                    rng: &mut rngs[h],
+                    queue,
+                    topology,
+                    routes,
+                    next_flow,
+                };
+                if h == server_idx {
+                    server.on_wake(&mut ctx, sock, reason);
+                } else {
+                    clients[h].on_wake(&mut ctx, sock, reason);
+                }
             }
             Event::AppCall { host: h, token } => {
-                self.dispatch_app(queue, h, |client, server, ctx| {
-                    if h == 0 {
-                        client.on_call(ctx, token);
-                    } else {
-                        server.on_call(ctx, token);
-                    }
-                });
+                let server_idx = self.topology.server_index();
+                let NetSim {
+                    clients,
+                    server,
+                    hosts,
+                    topology,
+                    routes,
+                    rngs,
+                    next_flow,
+                } = self;
+                let mut ctx = HostCtx {
+                    host_idx: h,
+                    host: &mut hosts[h],
+                    rng: &mut rngs[h],
+                    queue,
+                    topology,
+                    routes,
+                    next_flow,
+                };
+                if h == server_idx {
+                    server.on_call(&mut ctx, token);
+                } else {
+                    clients[h].on_call(&mut ctx, token);
+                }
             }
         }
     }

@@ -30,7 +30,7 @@ use crate::segment::{E2eOption, Flags, FlowId, HintOption, Options, Segment, Tim
 use crate::cc::CongestionControl;
 
 /// Index of a socket within its host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SocketId(pub usize);
 
 /// Connection state (the subset of RFC 793 this stack uses).
@@ -55,7 +55,7 @@ pub enum TcpState {
 }
 
 /// Socket timers, armed and cancelled through [`Action`]s.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TimerKind {
     /// Retransmission timeout.
     Rto,
@@ -650,6 +650,17 @@ impl TcpSocket {
                         actions.push(Action::ArmTimer(TimerKind::Cork, self.config.cork.max_delay));
                     }
                     break;
+                }
+            }
+            // A segment is either entirely a go-back-N retransmission (it
+            // ends at or before the pre-rewind high-water mark) or entirely
+            // new data — never a merge of the two. Split at the recovery
+            // point; the remainder goes through the gates again next
+            // iteration.
+            if let Some(rp) = self.recovery_point {
+                let nxt = self.snd.nxt();
+                if nxt < rp {
+                    chunk_len = chunk_len.min((rp - nxt) as usize);
                 }
             }
             let chunk = self.snd.take_chunk(chunk_len).expect("unsent data exists");

@@ -141,7 +141,7 @@ fn handshake_establishes_both_ends() {
     assert_eq!(client_sock.state(), TcpState::Established);
     assert_eq!(sim.host(1).socket_count(), 1);
     assert_eq!(sim.host(1).socket(SocketId(0)).state(), TcpState::Established);
-    assert!(sim.client.connected_at.is_some());
+    assert!(sim.client().connected_at.is_some());
 }
 
 #[test]
@@ -152,7 +152,7 @@ fn small_message_echoes_intact() {
         vec![(Nanos::from_millis(1), b"hello, stack!".to_vec())],
         Nanos::from_millis(100),
     );
-    assert_eq!(sim.client.received, b"hello, stack!");
+    assert_eq!(sim.client().received, b"hello, stack!");
     assert_eq!(sim.server.echoed, 13);
 }
 
@@ -166,8 +166,8 @@ fn large_message_spans_segments_and_echoes_intact() {
         vec![(Nanos::from_millis(1), payload.clone())],
         Nanos::from_secs(2),
     );
-    assert_eq!(sim.client.received.len(), payload.len());
-    assert_eq!(sim.client.received, payload);
+    assert_eq!(sim.client().received.len(), payload.len());
+    assert_eq!(sim.client().received, payload);
     // TSO super-segments: fewer data segments than MSS-sized packets.
     let stats = sim.host(0).socket(SocketId(0)).stats();
     assert!(stats.wire_packets_sent > stats.data_segments_sent);
@@ -190,7 +190,7 @@ fn nagle_holds_back_to_back_small_writes() {
     let stats = sim.host(0).socket(SocketId(0)).stats();
     assert!(stats.nagle_holds > 0, "Nagle should have held the tail");
     // Data still arrives intact, just batched.
-    assert_eq!(sim.client.received.len(), 300);
+    assert_eq!(sim.client().received.len(), 300);
     // Coalescing: fewer data segments than writes.
     assert!(
         stats.data_segments_sent < 3,
@@ -215,7 +215,7 @@ fn nodelay_sends_each_write_immediately() {
     let stats = sim.host(0).socket(SocketId(0)).stats();
     assert_eq!(stats.nagle_holds, 0);
     assert_eq!(stats.data_segments_sent, 3);
-    assert_eq!(sim.client.received.len(), 300);
+    assert_eq!(sim.client().received.len(), 300);
 }
 
 #[test]
@@ -256,7 +256,10 @@ fn lossy_link_recovers_via_retransmission() {
     let link = LinkConfig {
         propagation: Nanos::from_micros(5),
         bandwidth_bps: 10_000_000_000,
-        loss_probability: 0.05,
+        // High enough that every plausible RNG stream sees several drops
+        // over the few dozen per-segment loss draws (TSO batches wire
+        // packets into far fewer segments).
+        loss_probability: 0.12,
     };
     let mut config = TcpConfig::default();
     config.rto.min_rto = Nanos::from_millis(5); // keep the test fast
@@ -267,12 +270,12 @@ fn lossy_link_recovers_via_retransmission() {
         vec![(Nanos::from_millis(1), payload.clone())],
         Nanos::from_secs(30),
     );
-    assert_eq!(sim.client.received, payload, "stream must survive loss");
+    assert_eq!(sim.client().received, payload, "stream must survive loss");
     let retx: u64 = [0, 1]
         .iter()
         .map(|&h| sim.host(h).socket(SocketId(0)).stats().retransmissions)
         .sum();
-    assert!(retx > 0, "5% loss on ~85 packets should retransmit");
+    assert!(retx > 0, "12% segment loss should retransmit");
 }
 
 #[test]
@@ -538,5 +541,5 @@ fn deterministic_across_runs() {
         a.host(1).socket(SocketId(0)).stats(),
         b.host(1).socket(SocketId(0)).stats()
     );
-    assert_eq!(a.client.received, b.client.received);
+    assert_eq!(a.client().received, b.client().received);
 }

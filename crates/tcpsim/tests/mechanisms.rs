@@ -170,11 +170,11 @@ fn toggling_off_flushes_a_held_tail() {
 
     // Toggle off: the flush happens inside set_nagle.
     sim.host_mut(0); // (no direct ctx here; emulate via another call)
-    let client_writes_done = sim.client.writes.len();
+    let client_writes_done = sim.client().writes.len();
     assert_eq!(client_writes_done, 2);
     // Drive a toggle through the app path.
     queue.schedule(Nanos::ZERO, Event::AppCall { host: 0, token: u64::MAX });
-    sim.client.toggle_at = Some((Nanos::from_millis(8), false));
+    sim.client_mut().toggle_at = Some((Nanos::from_millis(8), false));
     run(&mut sim, &mut queue, Nanos::from_millis(20));
     assert_eq!(
         sim.server.received, 2_050,

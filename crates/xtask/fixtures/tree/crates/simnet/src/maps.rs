@@ -1,0 +1,11 @@
+// Fixture: hash-based collections inside a simulation crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn tally() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    // lint:allow(determinism): lookup-only set in a fixture, never iterated
+    let mut s: HashSet<u32> = HashSet::new();
+    s.insert(3);
+}

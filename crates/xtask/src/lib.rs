@@ -6,7 +6,10 @@
 //! * **determinism** — the simulation crates (`littles`, `simnet`,
 //!   `tcpsim`, `e2e-core`, `batchpolicy`) must not read wall clocks, OS
 //!   entropy, or sleep: all time comes from the discrete-event clock and
-//!   all randomness from the seeded [`Pcg32`](../simnet/rng) stream.
+//!   all randomness from the seeded [`Pcg32`](../simnet/rng) stream. The
+//!   same rule bans `HashMap`/`HashSet` there — their iteration order is
+//!   seeded from OS entropy, so iterated state must use the B-tree
+//!   variants (justify lookup-only uses with a `lint:allow`).
 //! * **float-eq** — `==`/`!=` on floating-point values outside tests.
 //! * **panic-hygiene** — `.unwrap()`/`.expect(` in the library code of
 //!   `littles` and `e2e-core` (the crates meant to be embeddable).

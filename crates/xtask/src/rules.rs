@@ -18,6 +18,16 @@ const DETERMINISM_BANNED: [(&str, &str); 7] = [
     ("getrandom", "OS entropy syscall"),
 ];
 
+/// Hash-based collections whose iteration order is seeded from OS entropy
+/// (`RandomState`): iterating one anywhere in the simulation makes event
+/// order depend on the process, so simulation crates must use the ordered
+/// B-tree variants. Lookup-only uses that provably never iterate may carry
+/// a justified `lint:allow(determinism)`.
+const DETERMINISM_BANNED_COLLECTIONS: [(&str, &str); 2] = [
+    ("HashMap", "BTreeMap"),
+    ("HashSet", "BTreeSet"),
+];
+
 /// How a file relates to the rule scopes, derived from its path.
 #[derive(Debug, Clone, Default)]
 pub struct FileContext {
@@ -285,6 +295,20 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
                 );
             }
         }
+        for (needle, replacement) in DETERMINISM_BANNED_COLLECTIONS {
+            for offset in token_matches(text, needle) {
+                push(
+                    &mut diags,
+                    "determinism",
+                    offset,
+                    format!(
+                        "`{needle}` in a simulation crate: its iteration order is \
+                         seeded from OS entropy; use `{replacement}`, or justify a \
+                         lookup-only use with a lint:allow"
+                    ),
+                );
+            }
+        }
     }
 
     // float-eq: `==` / `!=` with a float operand, outside tests.
@@ -452,6 +476,28 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "determinism");
         assert_eq!((d[0].line, d[0].col), (1, 29));
+    }
+
+    #[test]
+    fn determinism_catches_hash_collections() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() { let s = std::collections::HashSet::<u8>::new(); }\n";
+        let d = lint_source("x.rs", src, &sim_ctx());
+        let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+        assert_eq!(got, vec![("determinism", 1, 23), ("determinism", 2, 36)]);
+    }
+
+    #[test]
+    fn hash_collections_fine_outside_simulation_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_source("x.rs", src, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn justified_lookup_only_hash_map_suppressed() {
+        let src = "// lint:allow(determinism): lookup-only map, never iterated\n\
+                   fn f() { let m = std::collections::HashMap::<u8, u8>::new(); drop(m); }\n";
+        assert!(lint_source("x.rs", src, &sim_ctx()).is_empty());
     }
 
     #[test]

@@ -40,6 +40,24 @@ fn determinism_rule_positions() {
 }
 
 #[test]
+fn hash_collections_banned_in_simulation_crates() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "simnet/src/maps.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    // The justified lookup-only HashSet on line 9 is suppressed by the
+    // marker on line 8; everything else is flagged.
+    assert_eq!(
+        got,
+        vec![
+            ("determinism", 2, 23), // use ... HashMap
+            ("determinism", 3, 23), // use ... HashSet
+            ("determinism", 6, 16), // HashMap type annotation
+            ("determinism", 6, 36), // HashMap::new()
+        ]
+    );
+}
+
+#[test]
 fn strict_library_rules_and_positions() {
     let diags = fixture_diags();
     let d = for_file(&diags, "littles/src/lib_code.rs");

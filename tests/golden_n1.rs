@@ -1,0 +1,114 @@
+//! N=1 golden-trace equivalence.
+//!
+//! The topology refactor (two-host pair → N-client star) must leave the
+//! single-client path *bit-identical*: same seed, same event order, same
+//! RNG stream, same results. This test pins a digest of short N=1 runs
+//! covering the figure-1/2/4a/4b machinery against a golden file generated
+//! on the pre-refactor code.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```sh
+//! BLESS_GOLDEN=1 cargo test --test golden_n1
+//! ```
+
+use e2e_batching::e2e_apps::experiments::figure2;
+use e2e_batching::e2e_apps::runner::{run_point, NagleSetting, PointResult, RunConfig};
+use e2e_batching::e2e_apps::workload::WorkloadSpec;
+use e2e_batching::littles::Nanos;
+
+const GOLDEN_PATH: &str = "tests/golden/n1_digest.txt";
+
+fn fmt_ns(v: Option<Nanos>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| n.as_nanos().to_string())
+}
+
+fn fmt_f64(v: f64) -> String {
+    // Bit-exact float representation: the whole point is bit-identity.
+    format!("{:016x}", v.to_bits())
+}
+
+fn digest_point(label: &str, r: &PointResult) -> String {
+    format!(
+        "{label} samples={} achieved={} mean={} p50={} p99={} est_b={} est_p={} est_m={} \
+         est_h={} tracker={} srtt={} ccpu={}/{} scpu={}/{} pkts={}+{} holds={} exch={}",
+        r.samples,
+        fmt_f64(r.achieved_rps),
+        fmt_ns(r.measured_mean),
+        fmt_ns(r.measured_p50),
+        fmt_ns(r.measured_p99),
+        fmt_ns(r.estimated_bytes),
+        fmt_ns(r.estimated_packets),
+        fmt_ns(r.estimated_messages),
+        fmt_ns(r.estimated_hint),
+        fmt_ns(r.tracker_mean),
+        fmt_ns(r.srtt),
+        fmt_f64(r.client_cpu.app),
+        fmt_f64(r.client_cpu.softirq),
+        fmt_f64(r.server_cpu.app),
+        fmt_f64(r.server_cpu.softirq),
+        r.packets_to_server,
+        r.packets_to_client,
+        r.nagle_holds,
+        r.exchanges_received,
+    )
+}
+
+/// Short windows keep the test fast while still exercising warmup
+/// snapshots, estimator ticks, exchanges, and the drain phase.
+fn quick(workload: WorkloadSpec, nagle: NagleSetting) -> RunConfig {
+    RunConfig {
+        warmup: Nanos::from_millis(20),
+        measure: Nanos::from_millis(60),
+        ..RunConfig::new(workload, nagle)
+    }
+}
+
+fn compute_digest() -> String {
+    let mut lines = Vec::new();
+
+    // Figure 4a machinery: SET-only 16 KiB values, below and near the knee.
+    for (tag, rate) in [("fig4a@20k", 20_000.0), ("fig4a@60k", 60_000.0)] {
+        for (mode_tag, mode) in [("off", NagleSetting::Off), ("on", NagleSetting::On)] {
+            let r = run_point(&quick(WorkloadSpec::fig4a(rate), mode));
+            lines.push(digest_point(&format!("{tag}/{mode_tag}"), &r));
+        }
+    }
+
+    // Figure 4b machinery: mixed SET:GET, byte-unit estimate degrades.
+    let r = run_point(&quick(WorkloadSpec::fig4b(40_000.0), NagleSetting::Off));
+    lines.push(digest_point("fig4b@40k/off", &r));
+
+    // Figure 2 machinery: bare-metal vs VM client cells at a fixed rate.
+    let f2 = figure2(
+        20_000.0,
+        Nanos::from_millis(20),
+        Nanos::from_millis(60),
+        0xE2E,
+    );
+    for cell in &f2.cells {
+        lines.push(digest_point(
+            &format!("fig2/{}/{}", cell.platform, if cell.nagle_on { "on" } else { "off" }),
+            &cell.result,
+        ));
+    }
+
+    lines.join("\n") + "\n"
+}
+
+#[test]
+fn n1_runs_match_pre_refactor_golden() {
+    let digest = compute_digest();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var("BLESS_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&path, &digest).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — run `BLESS_GOLDEN=1 cargo test --test golden_n1`");
+    assert_eq!(
+        digest, golden,
+        "N=1 runs diverged from the pre-refactor golden trace"
+    );
+}
