@@ -16,4 +16,7 @@ cargo test -q
 echo "==> fanin smoke (N=4, short run)"
 cargo run -q --release --example fanin -- --smoke
 
+echo "==> chaos smoke (loss + blackout, N=4, bounded degradation)"
+cargo run -q --release --example chaos -- --smoke
+
 echo "==> ci.sh: all green"

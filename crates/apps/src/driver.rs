@@ -6,7 +6,7 @@
 //! "estimated" curves of Figure 4), and — when a toggler is attached —
 //! actuates the socket's dynamic-Nagle switch.
 
-use batchpolicy::{AimdBatchLimit, EpsilonGreedy, TickController};
+use batchpolicy::{AimdBatchLimit, CircuitBreaker, EpsilonGreedy, TickController};
 use e2e_core::combine::EndpointSnapshots;
 use e2e_core::hints::{HintEstimate, HintEstimator};
 use e2e_core::{AggregateEstimate, E2eEstimator, Estimate, EstimatorRegistry};
@@ -45,6 +45,13 @@ impl EstimateRecorder {
             estimator: E2eEstimator::new(WireScale::default(), 1.0),
             series: Vec::new(),
         }
+    }
+
+    /// Bounds how long the estimator trusts a cached remote window (see
+    /// [`E2eEstimator::with_staleness_bound`]).
+    pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
+        self.estimator = E2eEstimator::new(WireScale::default(), 1.0).with_staleness_bound(bound);
+        self
     }
 
     /// Runs one tick against `sock`.
@@ -190,7 +197,7 @@ pub struct ListenerDriver {
     /// The message unit the per-connection estimators use.
     pub unit: Unit,
     registry: EstimatorRegistry,
-    controller: TickController<EpsilonGreedy>,
+    controller: TickController<CircuitBreaker<EpsilonGreedy>>,
     /// Recorded toggle decisions (time, batching-on).
     pub toggles: Vec<(Nanos, bool)>,
     /// Recorded aggregate series.
@@ -199,9 +206,10 @@ pub struct ListenerDriver {
 
 impl ListenerDriver {
     /// Creates a driver estimating in `unit` and deciding with the given
-    /// ε-greedy controller. The registry's estimators are unsmoothed,
-    /// matching [`EstimateRecorder`].
-    pub fn new(unit: Unit, controller: TickController<EpsilonGreedy>) -> Self {
+    /// ε-greedy controller (wrapped in a — possibly disabled — circuit
+    /// breaker). The registry's estimators are unsmoothed, matching
+    /// [`EstimateRecorder`].
+    pub fn new(unit: Unit, controller: TickController<CircuitBreaker<EpsilonGreedy>>) -> Self {
         ListenerDriver {
             unit,
             registry: EstimatorRegistry::new(WireScale::default(), 1.0),
@@ -209,6 +217,19 @@ impl ListenerDriver {
             toggles: Vec::new(),
             series: Vec::new(),
         }
+    }
+
+    /// Applies a staleness bound to every per-connection estimator the
+    /// registry creates (see [`EstimatorRegistry::with_staleness_bound`]).
+    pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
+        self.registry =
+            EstimatorRegistry::new(WireScale::default(), 1.0).with_staleness_bound(bound);
+        self
+    }
+
+    /// The circuit breaker around the listener-wide toggler.
+    pub fn breaker(&self) -> &CircuitBreaker<EpsilonGreedy> {
+        self.controller.inner()
     }
 
     /// Runs one tick over every live connection: update each estimator,
@@ -267,20 +288,33 @@ impl ListenerDriver {
 pub struct PolicyDriver {
     /// The estimate source.
     pub recorder: EstimateRecorder,
-    controller: TickController<EpsilonGreedy>,
+    controller: TickController<CircuitBreaker<EpsilonGreedy>>,
     /// Recorded toggle decisions (time, batching-on).
     pub toggles: Vec<(Nanos, bool)>,
 }
 
 impl PolicyDriver {
     /// Creates a driver estimating in `unit` and deciding with the given
-    /// ε-greedy controller.
-    pub fn new(unit: Unit, controller: TickController<EpsilonGreedy>) -> Self {
+    /// ε-greedy controller (wrapped in a — possibly disabled — circuit
+    /// breaker).
+    pub fn new(unit: Unit, controller: TickController<CircuitBreaker<EpsilonGreedy>>) -> Self {
         PolicyDriver {
             recorder: EstimateRecorder::new(unit),
             controller,
             toggles: Vec::new(),
         }
+    }
+
+    /// Bounds how long this driver's estimator trusts a cached remote
+    /// window.
+    pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
+        self.recorder = EstimateRecorder::new(self.recorder.unit).with_staleness_bound(bound);
+        self
+    }
+
+    /// The circuit breaker around the toggler.
+    pub fn breaker(&self) -> &CircuitBreaker<EpsilonGreedy> {
+        self.controller.inner()
     }
 
     /// Runs one tick: estimate, decide, actuate.

@@ -4,10 +4,13 @@
 //! and returns a serializable structure the examples and benches print.
 //! See EXPERIMENTS.md for the paper-vs-measured comparison.
 
-use batchpolicy::{figure1_model, BatchOutcome, Figure1Params, Objective};
+use batchpolicy::{figure1_model, BatchOutcome, BreakerConfig, Figure1Params, Objective};
 use littles::Nanos;
+use simnet::{
+    DuplicateConfig, FaultConfig, GilbertElliott, JitterConfig, ReorderConfig, WindowSchedule,
+};
 
-use crate::runner::{run_point, NagleSetting, PointResult, RunConfig};
+use crate::runner::{run_point, NagleSetting, Overrides, PointResult, RunConfig};
 use crate::sweep::{run_sweep, SweepResult};
 use crate::workload::WorkloadSpec;
 use crate::cost::CostProfile;
@@ -97,6 +100,9 @@ pub fn figure2(rate_rps: f64, warmup: Nanos, measure: Nanos, seed: u64) -> Figur
                 seed,
                 num_clients: 1,
                 overrides: crate::runner::Overrides::default(),
+                fault: simnet::FaultConfig::default(),
+                staleness_bound: None,
+                breaker: None,
             };
             cells.push(Figure2Cell {
                 platform: platform.to_string(),
@@ -268,4 +274,271 @@ pub fn dynamic_toggle(rates: &[f64], warmup: Nanos, measure: Nanos, seed: u64) -
         ..RunConfig::new(WorkloadSpec::fig4a(rates[0]), NagleSetting::Off)
     };
     run_sweep(rates, WorkloadSpec::fig4a, &base, true)
+}
+
+/// Staleness bound used by the adaptive chaos profile: a peer snapshot
+/// older than this stops being trusted and the estimator falls back to
+/// local-only estimation with zero confidence. Four exchange intervals
+/// (500 µs each) of headroom keeps healthy runs comfortably fresh while a
+/// blackout or server stall trips the fallback within two policy ticks.
+pub const CHAOS_STALENESS_BOUND: Nanos = Nanos::from_millis(2);
+
+/// The stated degradation bound the adaptive policy must satisfy in every
+/// chaos cell: P99 within `CHAOS_BOUND_FACTOR × oracle +
+/// CHAOS_BOUND_SLACK`, where the oracle is the better static mode for
+/// that cell. The factor absorbs ε-greedy exploration (a few percent of
+/// decisions deliberately sample the worse mode) plus run-to-run
+/// divergence in which packets a fault episode hits; the slack keeps
+/// cells whose oracle P99 is tiny from gating on scheduler noise.
+pub const CHAOS_BOUND_FACTOR: f64 = 3.0;
+/// Additive slack for the chaos degradation bound.
+pub const CHAOS_BOUND_SLACK: Nanos = Nanos::from_micros(300);
+
+/// The fault classes the chaos experiment sweeps. Each maps one intensity
+/// knob in `(0, 1]` onto a single-dimension [`FaultConfig`], so a cell
+/// isolates the policy stack's response to one impairment at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosClass {
+    /// Gilbert–Elliott bursty loss, up to a 4% stationary rate in bursts
+    /// of ~8 packets.
+    Loss,
+    /// Bounded reordering: up to 30% of packets held back ≤ 150 µs.
+    Reorder,
+    /// Packet duplication, up to 10% of packets delivered twice.
+    Duplicate,
+    /// Uniform per-packet delay jitter, up to 100 µs.
+    Jitter,
+    /// Periodic link blackouts (switch flap): up to 2 ms dark every 25 ms.
+    Blackout,
+    /// Periodic server application-thread stalls (GC pause): up to 2 ms
+    /// every 25 ms.
+    ServerStall,
+}
+
+impl ChaosClass {
+    /// Every class, in sweep order.
+    pub const ALL: [ChaosClass; 6] = [
+        ChaosClass::Loss,
+        ChaosClass::Reorder,
+        ChaosClass::Duplicate,
+        ChaosClass::Jitter,
+        ChaosClass::Blackout,
+        ChaosClass::ServerStall,
+    ];
+
+    /// Stable label used in tables and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosClass::Loss => "loss",
+            ChaosClass::Reorder => "reorder",
+            ChaosClass::Duplicate => "duplicate",
+            ChaosClass::Jitter => "jitter",
+            ChaosClass::Blackout => "blackout",
+            ChaosClass::ServerStall => "server_stall",
+        }
+    }
+
+    /// The fault configuration for this class at `intensity ∈ (0, 1]`.
+    ///
+    /// All faults start at 10 ms — past the handshake, inside any
+    /// realistic warmup — and scheduled windows repeat every 25 ms so
+    /// even a short measurement window sees several episodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is outside `(0, 1]`.
+    pub fn fault_at(&self, intensity: f64) -> FaultConfig {
+        assert!(
+            intensity > 0.0 && intensity <= 1.0,
+            "chaos intensity must be in (0, 1], got {intensity}"
+        );
+        let scaled_us = |max_us: f64| Nanos::from_nanos((1_000.0 * max_us * intensity) as u64);
+        let start = Nanos::from_millis(10);
+        let window = |duration: Nanos| WindowSchedule {
+            first_at: start,
+            period: Nanos::from_millis(25),
+            duration,
+        };
+        let mut fault = FaultConfig {
+            start_at: start,
+            ..FaultConfig::default()
+        };
+        match self {
+            ChaosClass::Loss => {
+                // Bursty, but not a total outage inside a burst: dropping
+                // only half the packets in the bad state leaves fast
+                // retransmissions a fighting chance, which is the regime
+                // where the policies differ rather than everything
+                // reducing to RTO waits. Stationary loss rate is
+                // π_bad · loss_bad = 4% · intensity.
+                let pi_bad = 2.0 * 0.04 * intensity;
+                fault.loss = Some(GilbertElliott {
+                    p_bad_to_good: 1.0 / 8.0,
+                    p_good_to_bad: pi_bad / (1.0 - pi_bad) / 8.0,
+                    loss_good: 0.0,
+                    loss_bad: 0.5,
+                });
+            }
+            ChaosClass::Reorder => {
+                fault.reorder = Some(ReorderConfig {
+                    probability: 0.3 * intensity,
+                    max_extra: Nanos::from_micros(150),
+                });
+            }
+            ChaosClass::Duplicate => {
+                fault.duplicate = Some(DuplicateConfig {
+                    probability: 0.10 * intensity,
+                });
+            }
+            ChaosClass::Jitter => {
+                fault.jitter = Some(JitterConfig {
+                    max: scaled_us(100.0),
+                });
+            }
+            ChaosClass::Blackout => {
+                fault.blackout = Some(window(scaled_us(2_000.0)));
+            }
+            ChaosClass::ServerStall => {
+                fault.server_stall = Some(window(scaled_us(2_000.0)));
+            }
+        }
+        fault
+    }
+}
+
+/// One chaos cell: a fault class at one intensity and fan-in width, run
+/// under both static baselines and the adaptive (breaker-guarded,
+/// staleness-aware) dynamic policy.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// The injected fault class.
+    pub class: ChaosClass,
+    /// The class intensity knob in `(0, 1]`.
+    pub intensity: f64,
+    /// Concurrent client connections.
+    pub num_clients: usize,
+    /// Static Nagle-off baseline under this fault.
+    pub off: PointResult,
+    /// Static Nagle-on baseline under this fault.
+    pub on: PointResult,
+    /// Adaptive policy (Dynamic + staleness bound + circuit breaker).
+    pub adaptive: PointResult,
+}
+
+impl ChaosCell {
+    /// The static oracle: the better (lower) of the two static P99s —
+    /// what an omniscient operator would have picked for this cell.
+    pub fn oracle_p99(&self) -> Option<Nanos> {
+        match (self.off.measured_p99, self.on.measured_p99) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Adaptive-vs-oracle P99 ratio (> 1 means the adaptive policy was
+    /// worse than the best static choice).
+    pub fn regression(&self) -> Option<f64> {
+        let oracle = self.oracle_p99()?;
+        let adaptive = self.adaptive.measured_p99?;
+        Some(adaptive.as_nanos() as f64 / oracle.as_nanos().max(1) as f64)
+    }
+
+    /// True if the adaptive P99 stays within `factor × oracle + slack`.
+    /// The additive slack absorbs oracle P99s so small that a fixed ratio
+    /// would gate on scheduling noise.
+    pub fn within_bound(&self, factor: f64, slack: Nanos) -> bool {
+        match (self.oracle_p99(), self.adaptive.measured_p99) {
+            (Some(oracle), Some(adaptive)) => {
+                let bound = Nanos::from_nanos((oracle.as_nanos() as f64 * factor) as u64) + slack;
+                adaptive <= bound
+            }
+            // A cell where either side produced no samples is a failed
+            // run, not a pass.
+            _ => false,
+        }
+    }
+}
+
+/// The chaos experiment's full grid.
+#[derive(Debug, Clone)]
+pub struct ChaosData {
+    /// One cell per (fan-in, class, intensity), in sweep order.
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosData {
+    /// The worst adaptive-vs-oracle P99 ratio across the grid.
+    pub fn worst_regression(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.regression())
+            .max_by(|a, b| a.total_cmp(b))
+    }
+}
+
+/// Runs the chaos grid: for each fan-in width in `ns`, each fault class,
+/// and each intensity, one cell of three runs (static off, static on,
+/// adaptive) at the same aggregate `rate_rps`.
+///
+/// The adaptive run is the graceful-degradation configuration under test:
+/// ε-greedy dynamic toggling behind a [`CircuitBreaker`]
+/// (batchpolicy::CircuitBreaker) with the default trip/backoff profile,
+/// with estimator confidence driven by [`CHAOS_STALENESS_BOUND`].
+pub fn chaos(
+    classes: &[ChaosClass],
+    intensities: &[f64],
+    ns: &[usize],
+    rate_rps: f64,
+    warmup: Nanos,
+    measure: Nanos,
+    seed: u64,
+) -> ChaosData {
+    let mut cells = Vec::new();
+    for &n in ns {
+        for &class in classes {
+            for &intensity in intensities {
+                let base = RunConfig {
+                    warmup,
+                    measure,
+                    seed,
+                    num_clients: n,
+                    fault: class.fault_at(intensity),
+                    overrides: Overrides {
+                        // The Linux-default 200 ms RTO floor exceeds the
+                        // whole measure window, and exponential backoff
+                        // toward the 60 s cap can park a lossy connection
+                        // past it entirely; clamp both (identically in
+                        // all three arms) so loss episodes recover at
+                        // simulation timescales.
+                        min_rto: Some(Nanos::from_millis(5)),
+                        max_rto: Some(Nanos::from_millis(40)),
+                        ..Overrides::default()
+                    },
+                    ..RunConfig::new(WorkloadSpec::fig4a(rate_rps), NagleSetting::Off)
+                };
+                let off = run_point(&base);
+                let on = run_point(&RunConfig {
+                    nagle: NagleSetting::On,
+                    ..base
+                });
+                let adaptive = run_point(&RunConfig {
+                    nagle: NagleSetting::Dynamic {
+                        objective: Objective::MinLatency,
+                    },
+                    staleness_bound: Some(CHAOS_STALENESS_BOUND),
+                    breaker: Some(BreakerConfig::default()),
+                    ..base
+                });
+                cells.push(ChaosCell {
+                    class,
+                    intensity,
+                    num_clients: n,
+                    off,
+                    on,
+                    adaptive,
+                });
+            }
+        }
+    }
+    ChaosData { cells }
 }

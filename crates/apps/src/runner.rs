@@ -7,10 +7,12 @@
 //! packet counts. All figure experiments and many integration tests are
 //! thin wrappers over this.
 
-use batchpolicy::{AimdBatchLimit, EpsilonGreedy, Objective, TickController};
+use batchpolicy::{
+    AimdBatchLimit, BreakerConfig, CircuitBreaker, EpsilonGreedy, Objective, TickController,
+};
 use e2e_core::{Estimate, MultiConnectionAggregator};
 use littles::Nanos;
-use simnet::{run, CpuContext, EventQueue, Histogram, LinkConfig};
+use simnet::{run, CpuContext, EventQueue, FaultConfig, FaultCounters, Histogram, LinkConfig};
 use tcpsim::config::ExchangeConfig;
 use tcpsim::{Host, HostId, NagleMode, NetSim, TcpConfig, Unit};
 
@@ -47,7 +49,7 @@ pub enum NagleSetting {
 
 /// Optional stack/policy overrides for ablation studies (§5 knobs). All
 /// `None` means the calibrated defaults.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
 pub struct Overrides {
     /// Metadata-exchange minimum interval.
     pub exchange_interval: Option<Nanos>,
@@ -61,10 +63,18 @@ pub struct Overrides {
     pub autocork: Option<bool>,
     /// Delayed-ACK timeout.
     pub delack_timeout: Option<Nanos>,
+    /// RTO floor. The Linux-default 200 ms floor dwarfs simulated RTTs, so
+    /// chaos runs lower it to keep loss recovery inside the measure
+    /// window — uniformly across the compared arms.
+    pub min_rto: Option<Nanos>,
+    /// RTO ceiling. Exponential backoff against the 60 s default cap can
+    /// park a faulted connection for longer than the whole measure
+    /// window; chaos runs cap it — uniformly across the compared arms.
+    pub max_rto: Option<Nanos>,
 }
 
 /// Everything that defines one experiment point.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
     /// The workload.
     pub workload: WorkloadSpec,
@@ -86,6 +96,16 @@ pub struct RunConfig {
     pub num_clients: usize,
     /// Ablation overrides.
     pub overrides: Overrides,
+    /// Fault injection over the star topology (disabled by default, in
+    /// which case the run is bit-identical to a fault-free one).
+    pub fault: FaultConfig,
+    /// Estimator staleness bound: remote windows older than this decay
+    /// confidence and eventually trip local-only fallback. `None` trusts
+    /// cached windows forever (the pre-fault behaviour).
+    pub staleness_bound: Option<Nanos>,
+    /// Circuit breaker around the dynamic policies; `None` runs them
+    /// unprotected.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl RunConfig {
@@ -101,12 +121,15 @@ impl RunConfig {
             seed: 0xE2E,
             num_clients: 1,
             overrides: Overrides::default(),
+            fault: FaultConfig::default(),
+            staleness_bound: None,
+            breaker: None,
         }
     }
 }
 
 /// One side's CPU utilizations over the measurement window.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
 pub struct CpuUtil {
     /// Application-thread utilization (may exceed 1.0 when oversubscribed).
     pub app: f64,
@@ -195,6 +218,15 @@ pub struct PointResult {
     /// Mean server-side listener aggregate estimate over the window
     /// (Dynamic runs only — the `L` the listener-wide policy acted on).
     pub server_aggregate_latency: Option<Nanos>,
+    /// Per-link fault-injection counters, indexed like `per_client`
+    /// (empty when the run had no fault plan).
+    pub link_faults: Vec<FaultCounters>,
+    /// Total scheduled link-blackout time overlapping the run.
+    pub fault_blackout_time: Nanos,
+    /// Circuit-breaker trips at client 0 (Dynamic runs only).
+    pub client_breaker_trips: Option<u64>,
+    /// Circuit-breaker trips at the server listener (Dynamic runs only).
+    pub server_breaker_trips: Option<u64>,
 }
 
 fn tcp_config(nagle: NagleMode, ov: &Overrides) -> TcpConfig {
@@ -217,6 +249,12 @@ fn tcp_config(nagle: NagleMode, ov: &Overrides) -> TcpConfig {
     }
     if let Some(timeout) = ov.delack_timeout {
         config.delack.timeout = timeout;
+    }
+    if let Some(floor) = ov.min_rto {
+        config.rto.min_rto = floor;
+    }
+    if let Some(ceiling) = ov.max_rto {
+        config.rto.max_rto = ceiling;
     }
     config
 }
@@ -241,6 +279,22 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
     let tick = cfg.overrides.policy_tick.unwrap_or(Nanos::from_millis(1));
     let alpha = cfg.overrides.score_alpha.unwrap_or(0.4);
 
+    // A staleness bound degrades estimator confidence when the peer's
+    // shared state ages out; the breaker (when configured) acts on that.
+    let recorder = |unit: Unit| -> EstimateRecorder {
+        let r = EstimateRecorder::new(unit);
+        match cfg.staleness_bound {
+            Some(bound) => r.with_staleness_bound(bound),
+            None => r,
+        }
+    };
+    let shield = |inner: EpsilonGreedy| -> CircuitBreaker<EpsilonGreedy> {
+        match cfg.breaker {
+            Some(bc) => CircuitBreaker::new(inner, bc),
+            None => CircuitBreaker::disabled(inner),
+        }
+    };
+
     let mut clients = Vec::with_capacity(n);
     for i in 0..n {
         let mut client = LancetClient::new(
@@ -250,9 +304,9 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
             cfg.warmup,
             cfg.warmup + cfg.measure,
         )
-        .with_recorder(EstimateRecorder::new(Unit::Bytes))
-        .with_recorder(EstimateRecorder::new(Unit::Packets))
-        .with_recorder(EstimateRecorder::new(Unit::Messages));
+        .with_recorder(recorder(Unit::Bytes))
+        .with_recorder(recorder(Unit::Packets))
+        .with_recorder(recorder(Unit::Messages));
         if cfg.use_hints {
             client = client.with_hints();
         }
@@ -269,10 +323,17 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
             // Client 0 keeps the legacy policy seed; the golden-gamma
             // spread gives every further client an independent stream.
             let seed = cfg.seed ^ 0xC ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            client = client.with_policy(PolicyDriver::new(
+            let mut driver = PolicyDriver::new(
                 Unit::Bytes,
-                TickController::new(EpsilonGreedy::new(objective, 0.05, 4, alpha, seed), tick),
-            ));
+                TickController::new(
+                    shield(EpsilonGreedy::new(objective, 0.05, 4, alpha, seed)),
+                    tick,
+                ),
+            );
+            if let Some(bound) = cfg.staleness_bound {
+                driver = driver.with_staleness_bound(bound);
+            }
+            client = client.with_policy(driver);
         }
         clients.push(client);
     }
@@ -281,13 +342,17 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
     if let NagleSetting::Dynamic { objective } = cfg.nagle {
         // One listener-wide ε-greedy toggler fed the throughput-weighted
         // aggregate over every accepted connection.
-        server = server.with_policy(ListenerDriver::new(
+        let mut driver = ListenerDriver::new(
             Unit::Bytes,
             TickController::new(
-                EpsilonGreedy::new(objective, 0.05, 4, alpha, cfg.seed ^ 0x5),
+                shield(EpsilonGreedy::new(objective, 0.05, 4, alpha, cfg.seed ^ 0x5)),
                 tick,
             ),
-        ));
+        );
+        if let Some(bound) = cfg.staleness_bound {
+            driver = driver.with_staleness_bound(bound);
+        }
+        server = server.with_policy(driver);
     }
 
     let client_hosts: Vec<Host> = (0..n)
@@ -309,13 +374,14 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         tcp_server, // accept config
     );
 
-    let mut sim = NetSim::star(
+    let mut sim = NetSim::star_with_faults(
         clients,
         server,
         client_hosts,
         server_host,
         LinkConfig::default(),
         cfg.seed,
+        cfg.fault,
     );
     let mut queue = EventQueue::new();
     sim.start(&mut queue);
@@ -389,6 +455,8 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
                     throughput: tput,
                     local_view: lat,
                     remote_view: lat,
+                    confidence: 1.0,
+                    remote_stale: false,
                 });
             }
         }
@@ -438,6 +506,16 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
             .as_ref()
             .and_then(|p| p.mean_aggregate_latency_in(from, to)),
         per_client,
+        link_faults: sim
+            .fault_plan()
+            .map(|p| p.per_link_counters())
+            .unwrap_or_default(),
+        fault_blackout_time: sim
+            .fault_plan()
+            .map(|p| p.blackout_time_until(to))
+            .unwrap_or(Nanos::ZERO),
+        client_breaker_trips: lg0.policy.as_ref().map(|p| p.breaker().trips()),
+        server_breaker_trips: sim.server.policy.as_ref().map(|p| p.breaker().trips()),
     }
 }
 

@@ -152,6 +152,10 @@ mod tests {
             num_clients: 1,
             per_client: Vec::new(),
             server_aggregate_latency: None,
+            link_faults: Vec::new(),
+            fault_blackout_time: Nanos::ZERO,
+            client_breaker_trips: None,
+            server_breaker_trips: None,
         }
     }
 

@@ -161,6 +161,8 @@ fn main() {
             throughput: RATE,
             local_view: Nanos::ZERO,
             remote_view: Nanos::ZERO,
+            confidence: 1.0,
+            remote_stale: false,
         };
         trajectory.push(aimd.update(&est));
     }

@@ -16,6 +16,8 @@
 //! |                  | interval, AIMD limits, mechanism on/off       |
 //! | `fanin`          | Fan-in: N ∈ {1,4,16,64} connections, cutoff   |
 //! |                  | shift + aggregate estimate (BENCH_fanin.json) |
+//! | `chaos`          | Fault classes × intensity × fan-in: adaptive  |
+//! |                  | vs static-oracle P99 bound (BENCH_chaos.json) |
 //! | `micro`          | Criterion: TRACK/GETAVGS/wire/estimator costs |
 
 /// Shared quick-run parameters so every figure bench uses the same

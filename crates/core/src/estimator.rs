@@ -14,7 +14,7 @@ use littles::{Ewma, Nanos};
 use crate::combine::{combine_delays, EndpointSnapshots, EndpointWindows};
 
 /// One end-to-end performance estimate over a measurement window.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
 pub struct Estimate {
     /// When the estimate was formed.
     pub at: Nanos,
@@ -29,6 +29,13 @@ pub struct Estimate {
     pub local_view: Nanos,
     /// Latency evaluated from the remote perspective.
     pub remote_view: Nanos,
+    /// Confidence in `[0, 1]`: `1.0` when the remote window is fresh,
+    /// decaying linearly with the remote window's age toward the
+    /// staleness bound, and `0.0` for a local-only fallback estimate.
+    pub confidence: f64,
+    /// True when the peer's shared state exceeded the staleness bound and
+    /// this estimate was formed from the local queues alone.
+    pub remote_stale: bool,
 }
 
 /// Per-connection estimator state.
@@ -41,6 +48,17 @@ pub struct E2eEstimator {
     /// less often than policy ticks (the paper: estimates "remain accurate
     /// regardless" of exchange frequency).
     cached_remote: Option<EndpointWindows>,
+    /// When the cached remote window was last refreshed by a new exchange.
+    remote_fresh_at: Option<Nanos>,
+    /// Counts fresh remote windows folded in — an epoch for the peer's
+    /// shared 3-tuples, so callers can detect a peer that stopped sharing
+    /// even while `cached_remote` keeps estimates flowing.
+    remote_epoch: u64,
+    /// Remote windows older than this are distrusted: confidence decays to
+    /// zero across the bound, beyond it estimation falls back to the local
+    /// queues alone. `None` trusts the cache forever (the pre-fault
+    /// behaviour).
+    staleness_bound: Option<Nanos>,
     smoother: Ewma,
     last: Option<Estimate>,
 }
@@ -58,6 +76,9 @@ impl E2eEstimator {
             prev_local: None,
             prev_remote: None,
             cached_remote: None,
+            remote_fresh_at: None,
+            remote_epoch: 0,
+            staleness_bound: None,
             smoother: Ewma::new(smoothing_alpha),
             last: None,
         }
@@ -67,6 +88,28 @@ impl E2eEstimator {
     /// smoothing.
     pub fn with_defaults() -> Self {
         Self::new(WireScale::default(), 0.3)
+    }
+
+    /// Bounds how long a cached remote window stays trustworthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
+        assert!(!bound.is_zero(), "staleness bound must be positive");
+        self.staleness_bound = Some(bound);
+        self
+    }
+
+    /// Number of fresh remote windows folded in so far.
+    pub fn remote_epoch(&self) -> u64 {
+        self.remote_epoch
+    }
+
+    /// Age of the cached remote window at `now`; `None` before the first
+    /// remote window forms.
+    pub fn remote_age(&self, now: Nanos) -> Option<Nanos> {
+        self.remote_fresh_at.map(|at| now.saturating_sub(at))
     }
 
     /// Feeds one tick of data: the local snapshots at `now` and the
@@ -100,16 +143,43 @@ impl E2eEstimator {
         };
 
         let local_window = local_window?;
-        let remote_window = match remote_window {
+        let (remote_window, age) = match remote_window {
             Some(w) => {
                 self.cached_remote = Some(w);
-                w
+                self.remote_fresh_at = Some(now);
+                self.remote_epoch += 1;
+                (w, Nanos::ZERO)
             }
-            None => self.cached_remote?,
+            None => {
+                let w = self.cached_remote?;
+                // `remote_fresh_at` is set whenever the cache is; fall
+                // back to zero age rather than panic if that ever drifts.
+                let fresh_at = self.remote_fresh_at.unwrap_or(now);
+                (w, now.saturating_sub(fresh_at))
+            }
         };
 
-        let local_view = combine_delays(&local_window, &remote_window).latency();
-        let remote_view = combine_delays(&remote_window, &local_window).latency();
+        // Confidence decays linearly with the cached window's age; beyond
+        // the bound the peer's view is distrusted entirely and the
+        // estimate degrades to what the local queues alone can see
+        // (missing the far side's unread delay, over-counting its
+        // deliberate ACK delay — honest, but marked as such).
+        let (local_view, remote_view, confidence, remote_stale) = match self.staleness_bound {
+            Some(bound) if age > bound => {
+                let local_only =
+                    combine_delays(&local_window, &EndpointWindows::default()).latency();
+                (local_only, local_only, 0.0, true)
+            }
+            bound => {
+                let local_view = combine_delays(&local_window, &remote_window).latency();
+                let remote_view = combine_delays(&remote_window, &local_window).latency();
+                let confidence = match bound {
+                    Some(bound) => 1.0 - age.as_nanos() as f64 / bound.as_nanos() as f64,
+                    None => 1.0,
+                };
+                (local_view, remote_view, confidence, false)
+            }
+        };
         let latency = local_view.max(remote_view);
         let smoothed = self.smoother.update(latency.as_nanos() as f64);
         let est = Estimate {
@@ -119,6 +189,8 @@ impl E2eEstimator {
             throughput: local_window.unread.throughput(),
             local_view,
             remote_view,
+            confidence,
+            remote_stale,
         };
         self.last = Some(est);
         Some(est)
@@ -233,6 +305,65 @@ mod tests {
         // the fresh local window and the cached remote window.
         let e = est.update(Nanos::from_micros(300), locals[2], Some(remotes[1]));
         assert!(e.is_some(), "stale exchange must not stall estimation");
+    }
+
+    #[test]
+    fn confidence_decays_with_remote_age_then_falls_back_to_local() {
+        let us = Nanos::from_micros;
+        let (locals, remotes) = synthetic_run();
+        let mut est =
+            E2eEstimator::new(WireScale::UNSCALED, 1.0).with_staleness_bound(us(250));
+        est.update(us(100), locals[0], Some(remotes[0]));
+        let fresh = est.update(us(200), locals[1], Some(remotes[1])).unwrap();
+        assert!((fresh.confidence - 1.0).abs() < 1e-9);
+        assert!(!fresh.remote_stale);
+        assert_eq!(est.remote_epoch(), 1);
+
+        // The peer stops sharing: the cached window ages, confidence
+        // decays linearly (1 − age/bound), the estimate itself holds.
+        let aging = est.update(us(300), locals[2], None).unwrap();
+        assert!((aging.confidence - 0.6).abs() < 1e-9, "{}", aging.confidence);
+        assert!(!aging.remote_stale);
+        assert_eq!(aging.latency, fresh.latency);
+
+        let older = est.update(us(400), locals[3], None).unwrap();
+        assert!((older.confidence - 0.2).abs() < 1e-9);
+
+        // Past the bound: local-only fallback. The synthetic pattern's
+        // local components are unacked 40 µs + unread 15 µs = 55 µs —
+        // below the 70 µs ground truth, as a one-sided view must be.
+        let stale = est.update(us(500), locals[4], None).unwrap();
+        assert!(stale.remote_stale);
+        assert!(stale.confidence.abs() < 1e-9);
+        assert!(stale.latency < fresh.latency);
+        assert!(stale.latency > Nanos::ZERO);
+        assert_eq!(stale.local_view, stale.remote_view);
+        assert_eq!(est.remote_age(us(500)), Some(us(300)));
+        assert_eq!(est.remote_epoch(), 1, "no fresh window during the gap");
+
+        // The peer resumes sharing: full-confidence estimation returns.
+        let back = est.update(us(600), locals[5], Some(remotes[5])).unwrap();
+        assert!((back.confidence - 1.0).abs() < 1e-9);
+        assert!(!back.remote_stale);
+        assert_eq!(est.remote_epoch(), 2);
+        let err = back.latency.as_nanos().abs_diff(us(70).as_nanos());
+        assert!(err < us(70).as_nanos() / 10, "recovered to {}", back.latency);
+    }
+
+    #[test]
+    fn no_bound_trusts_the_cache_forever() {
+        let us = Nanos::from_micros;
+        let (locals, remotes) = synthetic_run();
+        let mut est = E2eEstimator::new(WireScale::UNSCALED, 1.0);
+        est.update(us(100), locals[0], Some(remotes[0]));
+        est.update(us(200), locals[1], Some(remotes[1]));
+        // An hour-old cache still yields a confident estimate when no
+        // staleness bound was configured (the pre-fault behaviour).
+        let e = est
+            .update(Nanos::from_secs(3_600), locals[2], None)
+            .unwrap();
+        assert!((e.confidence - 1.0).abs() < 1e-9);
+        assert!(!e.remote_stale);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub struct MultiConnectionAggregator {
 }
 
 /// The aggregate result.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
 pub struct AggregateEstimate {
     /// When the newest contributing estimate was formed.
     pub at: Nanos,
@@ -34,6 +34,10 @@ pub struct AggregateEstimate {
     pub throughput: f64,
     /// Number of connections that contributed.
     pub connections: usize,
+    /// Throughput-weighted mean of the per-connection confidences.
+    pub confidence: f64,
+    /// Connections whose contribution was a stale local-only fallback.
+    pub stale_connections: usize,
 }
 
 impl AggregateEstimate {
@@ -48,6 +52,8 @@ impl AggregateEstimate {
             throughput: self.throughput,
             local_view: self.latency,
             remote_view: self.latency,
+            confidence: self.confidence,
+            remote_stale: self.stale_connections > 0,
         }
     }
 }
@@ -89,6 +95,17 @@ impl MultiConnectionAggregator {
         };
         let latency = weighted(|e| e.latency);
         let smoothed_latency = weighted(|e| e.smoothed_latency);
+        // Confidence is weighted like latency: a stale idle connection
+        // should not collapse the listener-wide confidence on its own.
+        let confidence = if total_tput > 0.0 {
+            self.estimates
+                .iter()
+                .map(|e| e.confidence * (e.throughput / total_tput))
+                .sum::<f64>()
+        } else {
+            self.estimates.iter().map(|e| e.confidence).sum::<f64>() / n as f64
+        };
+        let stale_connections = self.estimates.iter().filter(|e| e.remote_stale).count();
         let at = self
             .estimates
             .iter()
@@ -102,6 +119,8 @@ impl MultiConnectionAggregator {
             smoothed_latency,
             throughput: total_tput,
             connections: n,
+            confidence,
+            stale_connections,
         })
     }
 }
@@ -122,6 +141,7 @@ impl MultiConnectionAggregator {
 pub struct EstimatorRegistry {
     scale: WireScale,
     smoothing_alpha: f64,
+    staleness_bound: Option<Nanos>,
     estimators: BTreeMap<u64, E2eEstimator>,
 }
 
@@ -132,6 +152,7 @@ impl EstimatorRegistry {
         EstimatorRegistry {
             scale,
             smoothing_alpha,
+            staleness_bound: None,
             estimators: BTreeMap::new(),
         }
     }
@@ -139,6 +160,14 @@ impl EstimatorRegistry {
     /// Defaults matching [`E2eEstimator::with_defaults`].
     pub fn with_defaults() -> Self {
         Self::new(WireScale::default(), 0.3)
+    }
+
+    /// Applies a staleness bound (see
+    /// [`E2eEstimator::with_staleness_bound`]) to every estimator the
+    /// registry creates from here on.
+    pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
+        self.staleness_bound = Some(bound);
+        self
     }
 
     /// Feeds one tick of one connection's data, creating the estimator on
@@ -151,10 +180,16 @@ impl EstimatorRegistry {
         local: EndpointSnapshots,
         remote_latest: Option<WireExchange>,
     ) -> Option<Estimate> {
-        let (scale, alpha) = (self.scale, self.smoothing_alpha);
+        let (scale, alpha, bound) = (self.scale, self.smoothing_alpha, self.staleness_bound);
         self.estimators
             .entry(conn)
-            .or_insert_with(|| E2eEstimator::new(scale, alpha))
+            .or_insert_with(|| {
+                let est = E2eEstimator::new(scale, alpha);
+                match bound {
+                    Some(b) => est.with_staleness_bound(b),
+                    None => est,
+                }
+            })
             .update(now, local, remote_latest)
     }
 
@@ -196,6 +231,8 @@ mod tests {
             throughput: tput,
             local_view: Nanos::ZERO,
             remote_view: Nanos::ZERO,
+            confidence: 1.0,
+            remote_stale: false,
         }
     }
 
@@ -252,6 +289,23 @@ mod tests {
         assert_eq!(e.latency, Nanos::from_micros(190));
         assert_eq!(e.smoothed_latency, Nanos::from_micros(190));
         assert!((e.throughput - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence_is_weighted_and_stale_contributions_counted() {
+        let mut a = MultiConnectionAggregator::new();
+        let busy = est(100, 9_000.0); // fresh, confidence 1.0
+        let mut quiet = est(1_000, 1_000.0);
+        quiet.confidence = 0.0;
+        quiet.remote_stale = true;
+        a.add(busy);
+        a.add(quiet);
+        let agg = a.aggregate().unwrap();
+        assert!((agg.confidence - 0.9).abs() < 1e-9);
+        assert_eq!(agg.stale_connections, 1);
+        let e = agg.to_estimate();
+        assert!(e.remote_stale, "any stale contributor marks the view");
+        assert!((e.confidence - 0.9).abs() < 1e-9);
     }
 
     #[test]

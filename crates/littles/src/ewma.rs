@@ -28,7 +28,7 @@ use crate::time::Nanos;
 /// e.update(20.0);
 /// assert_eq!(e.value(), Some(15.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,
@@ -77,7 +77,7 @@ impl Ewma {
 /// constant, so the average is insensitive to the sampling cadence: two
 /// quick samples move it no more than one sample carrying the same
 /// information over the same span.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
 pub struct TimeDecayEwma {
     tau: Nanos,
     value: Option<f64>,

@@ -25,7 +25,7 @@
 /// assert!((s.mean() - 4.0).abs() < 1e-9);
 /// assert!(s.variance() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
 pub struct WeightedMeanVar {
     alpha: f64,
     mean: f64,

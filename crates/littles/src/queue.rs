@@ -179,7 +179,7 @@ impl Snapshot {
 }
 
 /// Window averages returned by `GETAVGS`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
 pub struct Averages {
     /// Window length.
     pub window: Nanos,

@@ -13,7 +13,7 @@ use e2e_core::Estimate;
 use crate::objective::Objective;
 
 /// Additive-increase/multiplicative-decrease controller for a batch limit.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
 pub struct AimdBatchLimit {
     objective: Objective,
     limit: u64,
@@ -94,6 +94,8 @@ mod tests {
             throughput: tput,
             local_view: Nanos::ZERO,
             remote_view: Nanos::ZERO,
+            confidence: 1.0,
+            remote_stale: false,
         }
     }
 

@@ -14,6 +14,9 @@
 //!   baselines and the ε-greedy dynamic toggler.
 //! * [`tick`] — the toggling-granularity controller (the paper suggests a
 //!   kernel tick).
+//! * [`breaker`] — a circuit-breaker wrapper that reverts to a safe
+//!   static mode when estimator confidence collapses under faults and
+//!   re-probes with exponential backoff.
 //! * [`aimd`] — additive-increase/multiplicative-decrease batch limits.
 //! * [`figure1`] — the paper's Figure 1 analytical model (n queued
 //!   requests, per-request cost α, per-batch cost β, client cost c),
@@ -23,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod aimd;
+pub mod breaker;
 pub mod figure1;
 pub mod objective;
 pub mod tick;
 pub mod toggler;
 
 pub use aimd::AimdBatchLimit;
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use figure1::{figure1_model, BatchOutcome, Figure1Params, Metrics};
 pub use objective::Objective;
 pub use tick::TickController;

@@ -11,7 +11,7 @@ use e2e_core::{AggregateEstimate, Estimate};
 use littles::Nanos;
 
 /// A scoring rule over `(latency, throughput)`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
 pub enum Objective {
     /// Prefer the lowest latency, ignoring throughput.
     MinLatency,
@@ -77,6 +77,8 @@ mod tests {
             throughput: tput,
             local_view: Nanos::ZERO,
             remote_view: Nanos::ZERO,
+            confidence: 1.0,
+            remote_stale: false,
         }
     }
 

@@ -111,6 +111,8 @@ mod tests {
             throughput: 1.0,
             local_view: Nanos::ZERO,
             remote_view: Nanos::ZERO,
+            confidence: 1.0,
+            remote_stale: false,
         }
     }
 
@@ -162,6 +164,8 @@ mod tests {
             smoothed_latency: Nanos::from_micros(100),
             throughput: 1.0,
             connections: 4,
+            confidence: 1.0,
+            stale_connections: 0,
         };
         c.offer_aggregate(Nanos::ZERO, &agg);
         assert_eq!(c.decisions(), 1);

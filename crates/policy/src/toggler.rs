@@ -169,6 +169,8 @@ mod tests {
             throughput: tput,
             local_view: Nanos::ZERO,
             remote_view: Nanos::ZERO,
+            confidence: 1.0,
+            remote_stale: false,
         }
     }
 
@@ -282,6 +284,8 @@ mod tests {
             smoothed_latency: Nanos::from_micros(latency_us),
             throughput: tput,
             connections,
+            confidence: 1.0,
+            stale_connections: 0,
         }
     }
 

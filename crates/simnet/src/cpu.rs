@@ -13,6 +13,7 @@
 //! whose costs carry a multiplier.
 
 
+use crate::fault::WindowSchedule;
 use littles::Nanos;
 
 /// A serially-executing CPU context (one pinned core).
@@ -38,6 +39,9 @@ pub struct CpuContext {
     /// Models virtualization overhead (paper Figure 2: the VM client's
     /// per-request CPU cost is substantially higher).
     cost_multiplier_milli: u64,
+    /// Scheduled windows during which the context cannot start work
+    /// (GC-pause-like stalls; see `simnet::fault`).
+    stalls: Option<WindowSchedule>,
 }
 
 impl CpuContext {
@@ -49,7 +53,25 @@ impl CpuContext {
             busy_accum: Nanos::ZERO,
             jobs: 0,
             cost_multiplier_milli: 1000,
+            stalls: None,
         }
+    }
+
+    /// Installs a stall schedule: work that would start inside one of the
+    /// windows waits for the window to end (a GC pause / hypervisor
+    /// preemption as seen by this pinned core). Stalled waiting time is
+    /// not accounted as busy time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is periodic and its windows cover the whole
+    /// period (the context would never run again).
+    pub fn set_stall_schedule(&mut self, schedule: WindowSchedule) {
+        assert!(
+            schedule.period.is_zero() || schedule.duration < schedule.period,
+            "stall windows must leave the context some time to run"
+        );
+        self.stalls = Some(schedule);
     }
 
     /// Creates a context whose every cost is scaled by `multiplier`
@@ -84,7 +106,14 @@ impl CpuContext {
     /// completion time.
     pub fn run(&mut self, now: Nanos, raw: Nanos) -> Nanos {
         let cost = self.scaled(raw);
-        let start = self.busy_until.max(now);
+        let mut start = self.busy_until.max(now);
+        if let Some(stalls) = &self.stalls {
+            // At most one step for any valid schedule: window ends are
+            // never themselves inside a window when duration < period.
+            while let Some(end) = stalls.window_end(start) {
+                start = end;
+            }
+        }
         self.busy_until = start + cost;
         self.busy_accum += cost;
         self.jobs += 1;
@@ -220,5 +249,54 @@ mod tests {
     #[should_panic(expected = "bad multiplier")]
     fn zero_multiplier_rejected() {
         let _ = CpuContext::with_multiplier("x", 0.0);
+    }
+
+    #[test]
+    fn stall_window_defers_work_without_accruing_busy_time() {
+        let mut c = CpuContext::new("app");
+        c.set_stall_schedule(WindowSchedule {
+            first_at: Nanos::from_micros(10),
+            period: Nanos::from_micros(100),
+            duration: Nanos::from_micros(20),
+        });
+        // Before the window: runs immediately.
+        let d = c.run(Nanos::from_micros(2), Nanos::from_micros(3));
+        assert_eq!(d, Nanos::from_micros(5));
+        // Inside the window: waits until it closes at 30 µs.
+        let d = c.run(Nanos::from_micros(12), Nanos::from_micros(4));
+        assert_eq!(d, Nanos::from_micros(34));
+        // Next period's window stalls too.
+        let d = c.run(Nanos::from_micros(115), Nanos::from_micros(1));
+        assert_eq!(d, Nanos::from_micros(131));
+        // Only real work counts as busy.
+        assert_eq!(c.busy_accum(), Nanos::from_micros(8));
+    }
+
+    #[test]
+    fn backlog_carries_across_a_stall() {
+        let mut c = CpuContext::new("app");
+        c.set_stall_schedule(WindowSchedule {
+            first_at: Nanos::from_micros(5),
+            period: Nanos::ZERO,
+            duration: Nanos::from_micros(10),
+        });
+        // Work queued before the stall finishes at 4 µs; the next item
+        // would start at 4 µs... except that instant is pre-window, so it
+        // runs, while anything landing at 6 µs waits to 15 µs.
+        let d1 = c.run(Nanos::ZERO, Nanos::from_micros(4));
+        assert_eq!(d1, Nanos::from_micros(4));
+        let d2 = c.run(Nanos::from_micros(6), Nanos::from_micros(2));
+        assert_eq!(d2, Nanos::from_micros(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "some time to run")]
+    fn total_stall_schedule_rejected() {
+        let mut c = CpuContext::new("app");
+        c.set_stall_schedule(WindowSchedule {
+            first_at: Nanos::ZERO,
+            period: Nanos::from_micros(10),
+            duration: Nanos::from_micros(10),
+        });
     }
 }

@@ -15,6 +15,10 @@
 //!   workloads need (uniform, exponential inter-arrivals, Bernoulli).
 //! * [`link`] — a point-to-point link with propagation delay, serialization
 //!   at a configured bandwidth, FIFO ordering, and optional loss.
+//! * [`fault`] — deterministic fault injection above the links: bursty
+//!   (Gilbert–Elliott) loss, bounded reordering, duplication, jitter, and
+//!   scheduled blackouts / CPU stalls, each on its own named RNG stream so
+//!   lossless runs stay bit-identical.
 //! * [`topology`] — multi-host wiring over links; a [`StarTopology`] joins
 //!   N clients to one server (the fan-in shape), with the two-host pair as
 //!   its N = 1 special case.
@@ -30,6 +34,7 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod fault;
 pub mod hist;
 pub mod link;
 pub mod rng;
@@ -37,6 +42,10 @@ pub mod topology;
 
 pub use cpu::{BusySnapshot, CpuContext};
 pub use engine::{run, run_until_idle, EventQueue, EventToken, World};
+pub use fault::{
+    DuplicateConfig, FaultConfig, FaultCounters, FaultDecision, FaultPlan, GilbertElliott,
+    JitterConfig, ReorderConfig, WindowSchedule,
+};
 pub use hist::Histogram;
 pub use link::{DuplexLink, Link, LinkConfig};
 pub use littles::Nanos;

@@ -16,7 +16,7 @@ use crate::rng::Pcg32;
 use littles::Nanos;
 
 /// Static link parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct LinkConfig {
     /// One-way propagation delay.
     pub propagation: Nanos,
@@ -25,6 +25,20 @@ pub struct LinkConfig {
     /// Probability of dropping any given packet (0 for lossless).
     pub loss_probability: f64,
 }
+
+// Not derived: a derived `PartialEq` would compare `loss_probability` with
+// float `==`, where configs that behave identically (0.0 vs -0.0) would
+// differ and NaN would break reflexivity. Bitwise identity is the right
+// notion for "same configuration".
+impl PartialEq for LinkConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.propagation == other.propagation
+            && self.bandwidth_bps == other.bandwidth_bps
+            && self.loss_probability.total_cmp(&other.loss_probability).is_eq()
+    }
+}
+
+impl Eq for LinkConfig {}
 
 impl Default for LinkConfig {
     /// 100 Gbps with 5 µs one-way delay, lossless — the paper's testbed
@@ -55,6 +69,7 @@ pub struct Link {
     packets_sent: u64,
     bytes_sent: u64,
     packets_dropped: u64,
+    bytes_dropped: u64,
 }
 
 impl Link {
@@ -66,6 +81,7 @@ impl Link {
             packets_sent: 0,
             bytes_sent: 0,
             packets_dropped: 0,
+            bytes_dropped: 0,
         }
     }
 
@@ -92,10 +108,19 @@ impl Link {
         let arrival = self.transmit(now, bytes);
         if self.config.loss_probability > 0.0 && rng.gen_bool(self.config.loss_probability) {
             self.packets_dropped += 1;
+            self.bytes_dropped += bytes as u64;
             None
         } else {
             Some(arrival)
         }
+    }
+
+    /// Books a drop decided outside the link (the fault-injection layer):
+    /// the packet already went through [`transmit`](Self::transmit), so it
+    /// occupied the pipe, but it never arrives.
+    pub fn record_drop(&mut self, bytes: usize) {
+        self.packets_dropped += 1;
+        self.bytes_dropped += bytes as u64;
     }
 
     /// Packets handed to the link so far (including dropped ones).
@@ -111,6 +136,11 @@ impl Link {
     /// Packets dropped by the loss process.
     pub fn packets_dropped(&self) -> u64 {
         self.packets_dropped
+    }
+
+    /// Bytes belonging to dropped packets.
+    pub fn bytes_dropped(&self) -> u64 {
+        self.bytes_dropped
     }
 
     /// Time at which the serialization pipe drains.
@@ -242,6 +272,34 @@ mod tests {
             .count();
         assert!((2_200..2_800).contains(&drops), "got {drops}");
         assert_eq!(l.packets_dropped() as usize, drops);
+    }
+
+    #[test]
+    fn dropped_bytes_are_booked() {
+        let mut l = Link::new(LinkConfig {
+            propagation: Nanos::ZERO,
+            bandwidth_bps: 1_000_000_000,
+            loss_probability: 1.0,
+        });
+        let mut rng = Pcg32::new(3);
+        assert!(l.transmit_lossy(Nanos::ZERO, 100, &mut rng).is_none());
+        assert_eq!(l.packets_dropped(), 1);
+        assert_eq!(l.bytes_dropped(), 100);
+        // External (fault-layer) drops book the same way.
+        let _ = l.transmit(Nanos::ZERO, 50);
+        l.record_drop(50);
+        assert_eq!(l.packets_dropped(), 2);
+        assert_eq!(l.bytes_dropped(), 150);
+        assert_eq!(l.bytes_sent(), 150); // dropped packets still used the pipe
+    }
+
+    #[test]
+    fn link_config_equality_is_bitwise_on_loss() {
+        let a = LinkConfig::default();
+        let mut b = a;
+        assert_eq!(a, b);
+        b.loss_probability = 0.1;
+        assert_ne!(a, b);
     }
 
     #[test]

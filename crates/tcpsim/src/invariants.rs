@@ -80,6 +80,17 @@ pub enum InvariantViolation {
         /// Offending value.
         cur: u64,
     },
+    /// A segment the receive buffer classified as duplicate or
+    /// out-of-order nevertheless moved `rcv_nxt` — the classification and
+    /// the cursor contradict each other.
+    RxClassificationBroken {
+        /// How the arrival was classified ("duplicate", "out-of-order").
+        kind: &'static str,
+        /// `rcv_nxt` before the segment was ingested.
+        before: u64,
+        /// `rcv_nxt` after (different — the violation).
+        after: u64,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -118,6 +129,10 @@ impl fmt::Display for InvariantViolation {
             InvariantViolation::RxCursorBroken { cursor, prev, cur } => write!(
                 f,
                 "rx cursor {cursor} broken: {prev} → {cur}"
+            ),
+            InvariantViolation::RxClassificationBroken { kind, before, after } => write!(
+                f,
+                "{kind} arrival moved rcv_nxt: {before} → {after}"
             ),
         }
     }
@@ -250,12 +265,54 @@ pub struct SocketInvariants {
     next_tx_offset: u64,
     last_rcv_nxt: u64,
     last_read_pos: u64,
+    rx_out_of_order: u64,
+    rx_duplicates: u64,
 }
 
 impl SocketInvariants {
     /// Fresh invariant state for a new socket.
     pub fn new() -> Self {
         SocketInvariants::default()
+    }
+
+    /// Classification gate for one data-segment arrival, fed by the
+    /// receive buffer's verdict. A *duplicate* (entirely at or below
+    /// `rcv_nxt`) and an *out-of-order* arrival (entirely above it) must
+    /// both leave `rcv_nxt` where it was; only in-order or straddling
+    /// data may advance it. Also tallies the impaired arrivals so fault
+    /// runs can prove these gates actually saw reordered/duplicated
+    /// traffic (non-vacuousness).
+    pub fn on_rx_segment(
+        &mut self,
+        out_of_order: bool,
+        duplicate: bool,
+        rcv_nxt_before: u64,
+        rcv_nxt_after: u64,
+    ) -> Result<(), InvariantViolation> {
+        if out_of_order {
+            self.rx_out_of_order += 1;
+        }
+        if duplicate {
+            self.rx_duplicates += 1;
+        }
+        if (out_of_order || duplicate) && rcv_nxt_after != rcv_nxt_before {
+            return Err(InvariantViolation::RxClassificationBroken {
+                kind: if duplicate { "duplicate" } else { "out-of-order" },
+                before: rcv_nxt_before,
+                after: rcv_nxt_after,
+            });
+        }
+        Ok(())
+    }
+
+    /// Out-of-order data arrivals classified so far.
+    pub fn rx_out_of_order(&self) -> u64 {
+        self.rx_out_of_order
+    }
+
+    /// Duplicate data arrivals classified so far.
+    pub fn rx_duplicates(&self) -> u64 {
+        self.rx_duplicates
     }
 
     /// Continuity gate for freshly transmitted data: a non-retransmitted
@@ -409,6 +466,28 @@ mod tests {
         assert!(matches!(
             inv.on_transmit(200, 10, false),
             Err(InvariantViolation::TxDiscontinuity { .. })
+        ));
+    }
+
+    #[test]
+    fn rx_classification_counts_and_gates() {
+        let mut inv = SocketInvariants::new();
+        // In-order arrival advances rcv_nxt: fine, no tallies.
+        assert_eq!(inv.on_rx_segment(false, false, 0, 100), Ok(()));
+        // Out-of-order stash: rcv_nxt holds.
+        assert_eq!(inv.on_rx_segment(true, false, 100, 100), Ok(()));
+        // Duplicate: rcv_nxt holds.
+        assert_eq!(inv.on_rx_segment(false, true, 100, 100), Ok(()));
+        assert_eq!(inv.rx_out_of_order(), 1);
+        assert_eq!(inv.rx_duplicates(), 1);
+        // A "duplicate" that moved the cursor is a contradiction.
+        assert!(matches!(
+            inv.on_rx_segment(false, true, 100, 200),
+            Err(InvariantViolation::RxClassificationBroken { kind: "duplicate", .. })
+        ));
+        assert!(matches!(
+            inv.on_rx_segment(true, false, 100, 200),
+            Err(InvariantViolation::RxClassificationBroken { kind: "out-of-order", .. })
         ));
     }
 

@@ -160,6 +160,59 @@ mod tests {
     }
 
     #[test]
+    fn consecutive_timeouts_pin_at_max_rto() {
+        // A loss episode: the timer fires repeatedly with no new samples.
+        // Each backoff doubles the RTO until it pins at max_rto and stays
+        // there no matter how many more timeouts fire.
+        let mut e = RttEstimator::new(RtoConfig {
+            min_rto: Nanos::from_millis(1),
+            max_rto: Nanos::from_secs(2),
+            initial_rto: Nanos::from_millis(100),
+        });
+        e.sample(Nanos::from_micros(500)); // 0.5 + 4·0.25 = 1.5 ms
+        let base = e.rto();
+        assert_eq!(base, Nanos::from_micros(1_500));
+        let mut prev = base;
+        for i in 1..=20u32 {
+            e.backoff();
+            let expect = (base * 2u64.pow(i.min(11))).min(Nanos::from_secs(2));
+            assert_eq!(e.rto(), expect, "after {i} timeouts");
+            assert!(e.rto() >= prev, "backoff never shrinks the RTO");
+            prev = e.rto();
+        }
+        assert_eq!(e.rto(), Nanos::from_secs(2));
+    }
+
+    #[test]
+    fn srtt_survives_backoff_and_recovers_after_loss_episode() {
+        let mut e = est();
+        for _ in 0..20 {
+            e.sample(Nanos::from_micros(100));
+        }
+        let srtt_before = e.srtt().unwrap();
+        let samples_before = e.samples();
+        // The loss episode: timeouts back the RTO off but, per RFC 6298,
+        // never touch SRTT/RTTVAR — only fresh samples do.
+        for _ in 0..6 {
+            e.backoff();
+        }
+        assert_eq!(e.srtt(), Some(srtt_before));
+        assert_eq!(e.samples(), samples_before);
+        assert!(e.rto() > Nanos::from_micros(100 * 64));
+        // Episode ends: the first post-recovery samples collapse the RTO
+        // back toward SRTT + 4·RTTVAR and srtt re-converges.
+        for _ in 0..20 {
+            e.sample(Nanos::from_micros(120));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(
+            srtt.as_micros().abs_diff(120) <= 5,
+            "srtt should re-converge, got {srtt}"
+        );
+        assert!(e.rto() < Nanos::from_millis(1), "rto {}", e.rto());
+    }
+
+    #[test]
     fn sample_count_tracks() {
         let mut e = est();
         e.sample(Nanos::from_micros(10));

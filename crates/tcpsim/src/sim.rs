@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 
 use crate::payload::Payload;
 use littles::{Nanos, Snapshot};
-use simnet::{DuplexLink, EventQueue, LinkConfig, Pcg32, StarTopology, World};
+use simnet::{DuplexLink, EventQueue, FaultConfig, FaultPlan, LinkConfig, Pcg32, StarTopology, World};
 
 use crate::config::TcpConfig;
 use crate::host::{Host, HostId};
@@ -127,6 +127,7 @@ pub struct HostCtx<'a> {
     queue: &'a mut EventQueue<Event>,
     topology: &'a mut StarTopology,
     routes: &'a mut BTreeMap<FlowId, usize>,
+    faults: &'a mut Option<FaultPlan>,
     next_flow: &'a mut u64,
 }
 
@@ -155,6 +156,7 @@ impl HostCtx<'_> {
             self.routes,
             self.queue,
             self.rng,
+            self.faults,
             id,
             actions,
             Charge::App,
@@ -183,6 +185,7 @@ impl HostCtx<'_> {
             self.routes,
             self.queue,
             self.rng,
+            self.faults,
             sock,
             actions,
             Charge::App,
@@ -211,6 +214,7 @@ impl HostCtx<'_> {
             self.routes,
             self.queue,
             self.rng,
+            self.faults,
             sock,
             actions,
             Charge::App,
@@ -232,6 +236,7 @@ impl HostCtx<'_> {
             self.routes,
             self.queue,
             self.rng,
+            self.faults,
             sock,
             actions,
             Charge::App,
@@ -308,6 +313,7 @@ impl HostCtx<'_> {
             self.routes,
             self.queue,
             self.rng,
+            self.faults,
             sock,
             actions,
             Charge::App,
@@ -332,6 +338,7 @@ fn apply_actions(
     routes: &BTreeMap<FlowId, usize>,
     queue: &mut EventQueue<Event>,
     rng: &mut Pcg32,
+    faults: &mut Option<FaultPlan>,
     sock: SocketId,
     actions: Vec<Action>,
     charge: Charge,
@@ -366,7 +373,7 @@ fn apply_actions(
                 };
                 let wire_len = seg.wire_len();
                 let link = topology.hop_mut(host_idx, dst);
-                let arrival = link.transmit_lossy(depart, wire_len, rng);
+                let mut arrival = link.transmit_lossy(depart, wire_len, rng);
                 let serialized_at = link.busy_until().max(depart);
                 queue.schedule_at(
                     serialized_at + NIC_COMPLETION_DELAY,
@@ -375,7 +382,35 @@ fn apply_actions(
                         packets: seg.wire_packets,
                     },
                 );
+                // The fault layer sits above the link: it may drop,
+                // duplicate, or delay the packet after serialization.
+                // Handshake segments are exempt so a duplicated SYN can't
+                // mint phantom server sockets.
+                let mut duplicate = false;
+                if let (Some(plan), Some(t)) = (faults.as_mut(), arrival) {
+                    if !seg.flags.syn {
+                        let toward_server = host_idx != server_idx;
+                        let link_idx = if toward_server { host_idx } else { dst };
+                        let decision = plan.on_transmit(link_idx, toward_server, depart);
+                        if decision.drop {
+                            topology.hop_mut(host_idx, dst).record_drop(wire_len);
+                            arrival = None;
+                        } else {
+                            arrival = Some(t + decision.extra_delay);
+                            duplicate = decision.duplicate;
+                        }
+                    }
+                }
                 if let Some(arrival) = arrival {
+                    if duplicate {
+                        queue.schedule_at(
+                            arrival + Nanos::from_micros(1),
+                            Event::Deliver {
+                                dst,
+                                seg: seg.clone(),
+                            },
+                        );
+                    }
                     queue.schedule_at(arrival, Event::Deliver { dst, seg });
                 }
             }
@@ -432,6 +467,9 @@ pub struct NetSim<C: App, S: App> {
     /// `Pcg32::new(seed)` (so N = 1 replays the two-host pair bit-for-bit);
     /// the rest are independent children forked from one splitter.
     rngs: Vec<Pcg32>,
+    /// Fault-injection state; `None` (the lossless default) is guaranteed
+    /// not to perturb the simulation in any way.
+    faults: Option<FaultPlan>,
     next_flow: u64,
 }
 
@@ -500,8 +538,38 @@ impl<C: App, S: App> NetSim<C, S> {
             topology: StarTopology::new(n, link_config),
             routes: BTreeMap::new(),
             rngs,
+            faults: None,
             next_flow: 1,
         }
+    }
+
+    /// Like [`star`](Self::star), but with a fault-injection plan layered
+    /// over the links (and, for stall schedules, over the server's
+    /// application thread). A fully disabled `FaultConfig` (the default)
+    /// leaves the simulation bit-identical to [`star`](Self::star).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`star`](Self::star).
+    pub fn star_with_faults(
+        clients: Vec<C>,
+        server: S,
+        client_hosts: Vec<Host>,
+        server_host: Host,
+        link_config: LinkConfig,
+        seed: u64,
+        fault_config: FaultConfig,
+    ) -> Self {
+        let mut sim = Self::star(clients, server, client_hosts, server_host, link_config, seed);
+        if fault_config.is_enabled() {
+            if let Some(stall) = fault_config.server_stall {
+                let srv = sim.topology.server_index();
+                sim.hosts[srv].app_cpu.set_stall_schedule(stall);
+            }
+            let n = sim.topology.num_clients();
+            sim.faults = Some(FaultPlan::new(fault_config, seed, n));
+        }
+        sim
     }
 
     /// Invokes every application's `on_start` — the server first (so it is
@@ -515,6 +583,7 @@ impl<C: App, S: App> NetSim<C, S> {
             topology,
             routes,
             rngs,
+            faults,
             next_flow,
         } = self;
         server.on_start(&mut HostCtx {
@@ -524,6 +593,7 @@ impl<C: App, S: App> NetSim<C, S> {
             queue,
             topology,
             routes,
+            faults,
             next_flow,
         });
         for (i, client) in clients.iter_mut().enumerate() {
@@ -534,6 +604,7 @@ impl<C: App, S: App> NetSim<C, S> {
                 queue,
                 topology,
                 routes,
+                faults,
                 next_flow,
             });
         }
@@ -588,6 +659,11 @@ impl<C: App, S: App> NetSim<C, S> {
     pub fn topology(&self) -> &StarTopology {
         &self.topology
     }
+
+    /// The fault plan, if fault injection is active (for audit counters).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
 }
 
 impl<C: App, S: App> World for NetSim<C, S> {
@@ -631,6 +707,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     &self.routes,
                     queue,
                     &mut self.rngs[h],
+                    &mut self.faults,
                     sock_id,
                     actions,
                     Charge::Softirq,
@@ -661,6 +738,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     &self.routes,
                     queue,
                     &mut self.rngs[h],
+                    &mut self.faults,
                     sock,
                     actions,
                     Charge::Softirq,
@@ -682,6 +760,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                         &self.routes,
                         queue,
                         &mut self.rngs[h],
+                        &mut self.faults,
                         id,
                         actions,
                         Charge::Softirq,
@@ -701,6 +780,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     topology,
                     routes,
                     rngs,
+                    faults,
                     next_flow,
                 } = self;
                 let mut ctx = HostCtx {
@@ -710,6 +790,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     queue,
                     topology,
                     routes,
+                    faults,
                     next_flow,
                 };
                 if h == server_idx {
@@ -727,6 +808,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     topology,
                     routes,
                     rngs,
+                    faults,
                     next_flow,
                 } = self;
                 let mut ctx = HostCtx {
@@ -736,6 +818,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     queue,
                     topology,
                     routes,
+                    faults,
                     next_flow,
                 };
                 if h == server_idx {

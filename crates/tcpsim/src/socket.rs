@@ -153,8 +153,13 @@ pub struct RemoteStore {
     pub messages: ShareWindow<WireExchange>,
     /// Application request-queue hints.
     pub hint: ShareWindow<WireSnapshot>,
-    /// Exchanges received in total.
+    /// Exchanges received in total — an epoch counter: any fresh peer
+    /// metadata bumps it, so staleness detectors can compare epochs.
     pub received: u64,
+    /// When the most recent exchange (or hint) arrived; `None` until the
+    /// peer has shared anything. Together with `received` this gives the
+    /// estimator the age + epoch of the peer's 3-tuple snapshots.
+    pub last_received_at: Option<Nanos>,
 }
 
 impl RemoteStore {
@@ -205,6 +210,10 @@ pub struct SocketStats {
     pub exchanges_sent: u64,
     /// Hint options attached to outgoing segments.
     pub hints_sent: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks: u64,
+    /// Fast retransmissions triggered by triple duplicate ACKs.
+    pub fast_retransmits: u64,
 }
 
 /// A simulated TCP socket.
@@ -236,6 +245,9 @@ pub struct TcpSocket {
     batch_limit: Option<usize>,
     peer_window: usize,
     in_flight: VecDeque<InFlight>,
+    /// Consecutive duplicate ACKs at the current `last_ack_offset`; the
+    /// third triggers fast retransmit (RFC 5681).
+    dup_ack_count: u32,
     rto_armed: bool,
     /// Most recent peer timestamp value, echoed back.
     ts_recent: u32,
@@ -274,6 +286,9 @@ impl TcpSocket {
     /// ISN randomization attacks).
     const ISS: u32 = 1_000;
 
+    /// Duplicate ACKs that trigger fast retransmit (RFC 5681's three).
+    const DUP_ACK_THRESHOLD: u32 = 3;
+
     fn new_common(flow: FlowId, config: TcpConfig, now: Nanos, state: TcpState) -> Self {
         TcpSocket {
             flow,
@@ -294,6 +309,7 @@ impl TcpSocket {
             batch_limit: None,
             peer_window: 65_535,
             in_flight: VecDeque::new(),
+            dup_ack_count: 0,
             rto_armed: false,
             ts_recent: 0,
             last_ack_seq: SeqNum::new(Self::ISS + 1),
@@ -872,10 +888,12 @@ impl TcpSocket {
                 }
             }
             self.remote.received += 1;
+            self.remote.last_received_at = Some(now);
         }
         if let Some(hint) = seg.options.hint {
             self.remote.hint.push(hint.snapshot);
             self.remote.received += 1;
+            self.remote.last_received_at = Some(now);
         }
 
         match self.state {
@@ -906,11 +924,13 @@ impl TcpSocket {
 
         // --- ACK processing ---------------------------------------------
         if seg.flags.ack {
+            let prev_peer_window = self.peer_window;
             self.peer_window = seg.window as usize;
             if let Some(ack_offset) =
                 Self::unwrap_seq(seg.ack, self.last_ack_seq, self.last_ack_offset)
             {
                 if ack_offset > self.last_ack_offset {
+                    self.dup_ack_count = 0;
                     self.last_ack_seq = seg.ack;
                     self.last_ack_offset = ack_offset;
                     if self.recovery_point.is_some_and(|rp| ack_offset >= rp) {
@@ -974,6 +994,47 @@ impl TcpSocket {
                             _ => {}
                         }
                     }
+                } else if ack_offset == self.last_ack_offset
+                    && seg.payload.is_empty()
+                    && !seg.flags.syn
+                    && !seg.flags.fin
+                    && seg.window as usize == prev_peer_window
+                    && self.snd.in_flight() > 0
+                {
+                    // A duplicate ACK: same cumulative point, no data, no
+                    // window update, while we have data outstanding — the
+                    // receiver is signalling a hole (RFC 5681 §2).
+                    self.dup_ack_count += 1;
+                    self.stats.dup_acks += 1;
+                    if self.dup_ack_count == Self::DUP_ACK_THRESHOLD
+                        && self.recovery_point.is_none()
+                    {
+                        // Fast retransmit: resend the first unacked chunk
+                        // without waiting for the RTO. `on_loss` halves
+                        // cwnd where an RTO would collapse it to one MSS,
+                        // so burst loss no longer serializes on timeouts.
+                        self.cc.on_loss();
+                        let una = self.snd.una();
+                        let len = self.snd.in_flight().min(self.config.mss);
+                        let end = una + len as u64;
+                        for f in self.in_flight.iter_mut() {
+                            if f.offset < end {
+                                // Karn: ACKs of this range are ambiguous.
+                                f.retransmitted = true;
+                            }
+                        }
+                        let chunk = self.snd.retransmit_chunk(una, len);
+                        self.recovery_point = Some(self.snd.nxt());
+                        self.stats.fast_retransmits += 1;
+                        self.emit_data(
+                            now,
+                            chunk.offset,
+                            chunk.bytes,
+                            chunk.boundaries,
+                            true,
+                            actions,
+                        );
+                    }
                 }
             }
         }
@@ -983,7 +1044,14 @@ impl TcpSocket {
             if let Some(offset) =
                 Self::unwrap_seq(seg.seq, self.last_data_seq, self.last_data_offset)
             {
+                let rcv_nxt_before = self.rcv.rcv_nxt();
                 let res = self.rcv.ingest(offset, &seg.payload, &seg.boundaries);
+                gate(self.invariants.on_rx_segment(
+                    res.out_of_order,
+                    res.duplicate,
+                    rcv_nxt_before,
+                    self.rcv.rcv_nxt(),
+                ));
                 let end = offset + seg.payload.len() as u64;
                 if end > self.last_data_offset {
                     // Track the furthest in-order point for ACK fields.
@@ -1119,7 +1187,15 @@ impl TcpSocket {
                         }
                         self.in_flight.clear();
                         if self.snd.in_flight() > 0 {
-                            self.recovery_point = Some(self.snd.nxt());
+                            // A repeated RTO mid-recovery must not shrink the
+                            // recovery point to the partially-replayed nxt, or
+                            // the tail of the original transmission would be
+                            // mislabelled as fresh data (breaking Karn's rule
+                            // and the tx-continuity gate).
+                            let high = self
+                                .recovery_point
+                                .map_or(self.snd.nxt(), |rp| rp.max(self.snd.nxt()));
+                            self.recovery_point = Some(high);
                             self.snd.rewind_to_una();
                         }
                         if self.fin_sent && self.snd.unsent() == 0 {
@@ -1130,6 +1206,16 @@ impl TcpSocket {
                         if self.snd.unsent() == 0 && self.snd.in_flight() == 0 && !self.fin_wanted {
                             self.rto_armed = false;
                             actions.push(Action::CancelTimer(TimerKind::Rto));
+                        } else {
+                            // Data or FIN still outstanding. poll_transmit
+                            // may have emitted nothing (e.g. a closed peer
+                            // window gated the retransmission) and then
+                            // never re-armed the timer; keep it alive
+                            // unconditionally or the connection dies
+                            // silently. This doubles as the
+                            // persist/zero-window-probe timer. (Re-arming
+                            // after an emit just re-sets the same deadline.)
+                            self.arm_rto(actions);
                         }
                     }
                 }

@@ -1,0 +1,17 @@
+//! Derived-PartialEq fixture: float fields make the derived impl a
+//! bit-exact float comparison.
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+pub struct Count {
+    pub n: u64,
+}
+
+// lint:allow(float-eq): fixture justifies the bit-exact derive
+#[derive(PartialEq)]
+pub struct Ratio(pub f32);

@@ -40,12 +40,35 @@ pub struct FileContext {
     /// File is test-like by location (`tests/`, `benches/`, `examples/`)
     /// → `float-eq` and `panic-hygiene` do not apply.
     pub testlike: bool,
+    /// File is fault-injection source (simulation-crate `src` file whose
+    /// name mentions faults) → `determinism` additionally bans ad-hoc
+    /// `Pcg32::new`: every fault class must draw from its own named
+    /// stream or enabling one class would shift another's draws.
+    pub fault_code: bool,
 }
 
 /// A parsed `lint:allow` marker.
 struct Allow {
     line: u32,
     rule: String,
+}
+
+/// Offset of the bracket matching the opener at `start`, if any.
+fn match_bracket(bytes: &[u8], start: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < bytes.len() {
+        if bytes[j] == open {
+            depth += 1;
+        } else if bytes[j] == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
 }
 
 /// Byte ranges of `#[cfg(test)]` / `#[test]` items in masked text.
@@ -311,6 +334,24 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
         }
     }
 
+    // determinism: fault-injection code must not construct RNGs ad hoc.
+    // A bare `Pcg32::new` shares (or collides with) another consumer's
+    // stream, so enabling one fault class would shift the draws of every
+    // other; `Pcg32::named` gives each class an independent stream.
+    if ctx.fault_code {
+        for offset in token_matches(text, "Pcg32::new") {
+            push(
+                &mut diags,
+                "determinism",
+                offset,
+                "ad-hoc `Pcg32::new` in fault-injection code; use \
+                 `Pcg32::named(seed, \"fault.<class>\")` so each fault \
+                 class draws from its own independent stream"
+                    .to_string(),
+            );
+        }
+    }
+
     // float-eq: `==` / `!=` with a float operand, outside tests.
     if !ctx.testlike {
         for op in ["==", "!="] {
@@ -345,6 +386,13 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
         }
     }
 
+    // float-eq, derived case: `derive(PartialEq)` on a type with float
+    // fields is the same bit-exact comparison, just written by the
+    // compiler.
+    if !ctx.testlike {
+        check_derived_float_eq(file, text, &regions, &allows, &mut diags);
+    }
+
     // panic-hygiene: unwrap/expect in strict library code, outside tests.
     if ctx.strict_library && !ctx.testlike {
         for needle in [".unwrap()", ".expect("] {
@@ -375,6 +423,81 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
     }
 
     diags
+}
+
+/// Flags `#[derive(.. PartialEq ..)]` on types whose body mentions `f32`
+/// or `f64`: the derived impl compares floats bit-exactly, which is
+/// exactly what the expression-level `float-eq` rule bans. Suppress with
+/// a justified `lint:allow(float-eq)` on or above the derive line.
+fn check_derived_float_eq(
+    file: &str,
+    text: &str,
+    regions: &[(usize, usize)],
+    allows: &[Allow],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let bytes = text.as_bytes();
+    let mut search = 0usize;
+    while let Some(pos) = text[search..].find("#[") {
+        let attr_start = search + pos;
+        let Some(attr_end) = match_bracket(bytes, attr_start, b'[', b']') else {
+            break;
+        };
+        search = attr_end + 1;
+        let attr = &text[attr_start..=attr_end];
+        if !attr.contains("derive") || token_matches(attr, "PartialEq").is_empty() {
+            continue;
+        }
+        if in_test_region(regions, attr_start) {
+            continue;
+        }
+        // Skip any further attributes, then span the item body: braces
+        // for structs/enums, parentheses for tuple structs. A `;` first
+        // means a field-less item — nothing to compare.
+        let mut k = attr_end + 1;
+        let mut body = None;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'#' if k + 1 < bytes.len() && bytes[k + 1] == b'[' => {
+                    let Some(e) = match_bracket(bytes, k + 1, b'[', b']') else {
+                        break;
+                    };
+                    k = e + 1;
+                }
+                b'{' => {
+                    body = match_bracket(bytes, k, b'{', b'}').map(|e| (k, e));
+                    break;
+                }
+                b'(' => {
+                    body = match_bracket(bytes, k, b'(', b')').map(|e| (k, e));
+                    break;
+                }
+                b';' => break,
+                _ => k += 1,
+            }
+        }
+        let Some((body_start, body_end)) = body else {
+            continue;
+        };
+        let body_text = &text[body_start..=body_end];
+        if token_matches(body_text, "f64").is_empty() && token_matches(body_text, "f32").is_empty()
+        {
+            continue;
+        }
+        let (line, col) = line_col(text, attr_start);
+        if !allowed(allows, "float-eq", line) {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                col,
+                rule: "float-eq",
+                message: "`derive(PartialEq)` on a type with floating-point fields \
+                          compares them bit-exactly; derive on integer fields only, \
+                          or justify with a lint:allow"
+                    .to_string(),
+            });
+        }
+    }
 }
 
 /// Items that `pub-docs` recognises after the `pub` keyword.
@@ -466,6 +589,7 @@ mod tests {
             simulation_crate: true,
             strict_library: false,
             testlike: false,
+            fault_code: false,
         }
     }
 
@@ -537,6 +661,58 @@ mod tests {
     fn float_eq_ignores_integer_comparison() {
         let src = "fn f(x: u64) -> bool { x == 10 && x != 3 }\n";
         assert!(lint_source("x.rs", src, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn derived_float_partial_eq_flagged() {
+        let src = "#[derive(Debug, Clone, PartialEq)]\npub struct P { pub x: f64 }\n";
+        let d = lint_source("x.rs", src, &FileContext::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].line), ("float-eq", 1));
+    }
+
+    #[test]
+    fn derived_partial_eq_on_integers_fine() {
+        let src = "#[derive(PartialEq, Eq)]\nstruct C { n: u64 }\n\
+                   #[derive(PartialEq)]\nstruct T(u32, i8);\n";
+        assert!(lint_source("x.rs", src, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn derived_float_partial_eq_tuple_struct_and_suppression() {
+        let src = "#[derive(PartialEq)]\nstruct W(f32);\n";
+        assert_eq!(lint_source("x.rs", src, &FileContext::default()).len(), 1);
+        let suppressed = "// lint:allow(float-eq): wrapper comparison is epsilon-aware\n\
+                          #[derive(PartialEq)]\nstruct W(f32);\n";
+        assert!(lint_source("x.rs", suppressed, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn derived_float_partial_eq_exempt_in_tests() {
+        let ctx = FileContext {
+            testlike: true,
+            ..FileContext::default()
+        };
+        let src = "#[derive(PartialEq)]\nstruct W(f64);\n";
+        assert!(lint_source("x.rs", src, &ctx).is_empty());
+        let in_mod = "#[cfg(test)]\nmod tests {\n    #[derive(PartialEq)]\n    struct W(f64);\n}\n";
+        assert!(lint_source("x.rs", in_mod, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn fault_code_bans_adhoc_rng_construction() {
+        let fault_ctx = FileContext {
+            fault_code: true,
+            ..sim_ctx()
+        };
+        let src = "fn f(seed: u64) {\n    let _a = Pcg32::named(seed, \"fault.loss\");\n\
+                   \n    let _b = Pcg32::new(seed, 1);\n}\n";
+        let d = lint_source("x.rs", src, &fault_ctx);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].line), ("determinism", 4));
+        // Outside fault code the constructor stays legal (it is how the
+        // named streams themselves are built).
+        assert!(lint_source("x.rs", src, &sim_ctx()).is_empty());
     }
 
     #[test]

@@ -57,11 +57,14 @@ pub fn classify(root: &Path, file: &Path) -> FileContext {
         .iter()
         .any(|p| p == "tests" || p == "benches" || p == "examples");
     let in_src = parts.iter().any(|p| p == "src");
+    let file_name = parts.last().map(String::as_str).unwrap_or("");
 
+    let simulation_crate = crate_dir.is_some_and(|c| SIMULATION_CRATES.contains(&c));
     FileContext {
-        simulation_crate: crate_dir.is_some_and(|c| SIMULATION_CRATES.contains(&c)),
+        simulation_crate,
         strict_library: crate_dir.is_some_and(|c| STRICT_CRATES.contains(&c)) && in_src,
         testlike,
+        fault_code: simulation_crate && in_src && file_name.contains("fault"),
     }
 }
 

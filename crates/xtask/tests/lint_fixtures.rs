@@ -84,6 +84,27 @@ fn testlike_files_keep_determinism_but_drop_hygiene_rules() {
 }
 
 #[test]
+fn fault_code_requires_named_rng_streams() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "simnet/src/fault_gen.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    // `Pcg32::named` on line 5 is the sanctioned form; the ad-hoc
+    // constructor on line 6 is flagged; the justified one on line 9 is
+    // suppressed by the marker above it.
+    assert_eq!(got, vec![("determinism", 6, 18)]);
+}
+
+#[test]
+fn derived_float_partial_eq_flagged_outside_tests() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "apps/src/derive_eq.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    // The float-field derive on line 4 is flagged; the integer-only
+    // derive on line 10 and the justified float derive on line 16 are not.
+    assert_eq!(got, vec![("float-eq", 4, 1)]);
+}
+
+#[test]
 fn suppressions_require_justification() {
     let diags = fixture_diags();
     let d = for_file(&diags, "simnet/src/suppressed.rs");

@@ -140,6 +140,8 @@ fn synthetic_estimate(latency_us: u64, tput: f64) -> Estimate {
         throughput: tput,
         local_view: Nanos::ZERO,
         remote_view: Nanos::ZERO,
+        confidence: 1.0,
+        remote_stale: false,
     }
 }
 
