@@ -19,4 +19,14 @@ cargo run -q --release --example fanin -- --smoke
 echo "==> chaos smoke (loss + blackout, N=4, bounded degradation)"
 cargo run -q --release --example chaos -- --smoke
 
+echo "==> knobs smoke (c=4us, N=8, joint plane within bound)"
+cargo run -q --release --example knobs -- --smoke
+
+echo "==> knobs bench regenerates BENCH_knobs.json"
+rm -f crates/bench/BENCH_knobs.json
+cargo bench -q -p bench --bench knobs >/dev/null
+test -s crates/bench/BENCH_knobs.json
+grep -q '"version": 1' crates/bench/BENCH_knobs.json
+grep -q '"bench": "knobs"' crates/bench/BENCH_knobs.json
+
 echo "==> ci.sh: all green"

@@ -6,13 +6,15 @@
 //! "estimated" curves of Figure 4), and — when a toggler is attached —
 //! actuates the socket's dynamic-Nagle switch.
 
-use batchpolicy::{AimdBatchLimit, CircuitBreaker, EpsilonGreedy, TickController};
+use batchpolicy::{
+    AimdBatchLimit, BreakerState, CircuitBreaker, ControlPlane, EpsilonGreedy, TickController,
+};
 use e2e_core::combine::EndpointSnapshots;
 use e2e_core::hints::{HintEstimate, HintEstimator};
 use e2e_core::{AggregateEstimate, E2eEstimator, Estimate, EstimatorRegistry};
 use littles::wire::WireScale;
 use littles::Nanos;
-use tcpsim::{HostCtx, SocketId, Unit};
+use tcpsim::{HostCtx, KnobSetting, SocketId, Unit};
 
 /// One recorded estimate sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,13 +157,14 @@ impl AimdDriver {
         }
     }
 
-    /// Runs one tick: estimate, adapt the limit, actuate.
+    /// Runs one tick: estimate, adapt the limit, actuate through the
+    /// uniform knob path (`KnobSetting::CorkLimit`).
     pub fn tick(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId) {
         self.recorder.tick(ctx, sock);
         if let Some(sample) = self.recorder.series.last().copied() {
             let limit = self.controller.update(&sample.estimate);
             self.limits.push((ctx.now(), limit));
-            ctx.set_batch_limit(sock, Some(limit as usize));
+            ctx.apply(sock, KnobSetting::CorkLimit(limit));
         }
     }
 
@@ -333,5 +336,187 @@ impl PolicyDriver {
             return 0.0;
         }
         self.toggles.iter().filter(|(_, on)| *on).count() as f64 / self.toggles.len() as f64
+    }
+}
+
+/// The settings a plane driver actuates this tick: the plane's learned
+/// settings while the surrounding breaker is closed, its safe static
+/// corner otherwise. `on` is the breaker-filtered headline decision, so
+/// for a Nagle-only plane this is exactly `[Nagle(on)]` either way —
+/// the single-knob drivers' actuation, through the uniform apply path.
+fn plane_settings(
+    controller: &TickController<CircuitBreaker<ControlPlane>>,
+    on: bool,
+) -> Vec<KnobSetting> {
+    let breaker = controller.inner();
+    if breaker.state() == BreakerState::Closed {
+        breaker.inner().settings()
+    } else {
+        debug_assert_eq!(on, breaker.safe_on(), "degraded decision is the safe mode");
+        breaker.inner().safe_settings(on)
+    }
+}
+
+/// Estimation plus multi-knob actuation: one [`ControlPlane`] decision
+/// per tick, routed per-knob component views, every controlled knob
+/// actuated through [`HostCtx::apply`].
+#[derive(Debug)]
+pub struct PlaneDriver {
+    /// The estimate source.
+    pub recorder: EstimateRecorder,
+    controller: TickController<CircuitBreaker<ControlPlane>>,
+    /// Recorded headline (Nagle) decisions (time, batching-on).
+    pub toggles: Vec<(Nanos, bool)>,
+}
+
+impl PlaneDriver {
+    /// Creates a driver estimating in `unit` and deciding with the given
+    /// control plane (wrapped in a — possibly disabled — circuit
+    /// breaker).
+    pub fn new(unit: Unit, controller: TickController<CircuitBreaker<ControlPlane>>) -> Self {
+        PlaneDriver {
+            recorder: EstimateRecorder::new(unit),
+            controller,
+            toggles: Vec::new(),
+        }
+    }
+
+    /// Bounds how long this driver's estimator trusts a cached remote
+    /// window.
+    pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
+        self.recorder = EstimateRecorder::new(self.recorder.unit).with_staleness_bound(bound);
+        self
+    }
+
+    /// The circuit breaker around the plane.
+    pub fn breaker(&self) -> &CircuitBreaker<ControlPlane> {
+        self.controller.inner()
+    }
+
+    /// The control plane itself.
+    pub fn plane(&self) -> &ControlPlane {
+        self.controller.inner().inner()
+    }
+
+    /// Runs one tick: estimate, decide across every knob, actuate each
+    /// knob's setting.
+    pub fn tick(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId) {
+        self.recorder.tick(ctx, sock);
+        if let Some(sample) = self.recorder.series.last().copied() {
+            let on = self.controller.offer(ctx.now(), &sample.estimate);
+            self.toggles.push((ctx.now(), on));
+            for setting in plane_settings(&self.controller, on) {
+                ctx.apply(sock, setting);
+            }
+        }
+    }
+
+    /// Fraction of ticks with batching on.
+    pub fn on_fraction(&self) -> f64 {
+        if self.toggles.is_empty() {
+            return 0.0;
+        }
+        self.toggles.iter().filter(|(_, on)| *on).count() as f64 / self.toggles.len() as f64
+    }
+}
+
+/// Listener-wide multi-knob actuation: the [`ListenerDriver`] shape with
+/// a [`ControlPlane`] deciding on the aggregate, every knob's setting
+/// applied to every accepted connection.
+#[derive(Debug)]
+pub struct ListenerPlaneDriver {
+    /// The message unit the per-connection estimators use.
+    pub unit: Unit,
+    registry: EstimatorRegistry,
+    controller: TickController<CircuitBreaker<ControlPlane>>,
+    /// Recorded headline (Nagle) decisions (time, batching-on).
+    pub toggles: Vec<(Nanos, bool)>,
+    /// Recorded aggregate series.
+    pub series: Vec<(Nanos, AggregateEstimate)>,
+}
+
+impl ListenerPlaneDriver {
+    /// Creates a driver estimating in `unit` and deciding with the given
+    /// control plane (wrapped in a — possibly disabled — circuit
+    /// breaker).
+    pub fn new(unit: Unit, controller: TickController<CircuitBreaker<ControlPlane>>) -> Self {
+        ListenerPlaneDriver {
+            unit,
+            registry: EstimatorRegistry::new(WireScale::default(), 1.0),
+            controller,
+            toggles: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Applies a staleness bound to every per-connection estimator the
+    /// registry creates.
+    pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
+        self.registry =
+            EstimatorRegistry::new(WireScale::default(), 1.0).with_staleness_bound(bound);
+        self
+    }
+
+    /// The circuit breaker around the plane.
+    pub fn breaker(&self) -> &CircuitBreaker<ControlPlane> {
+        self.controller.inner()
+    }
+
+    /// The control plane itself.
+    pub fn plane(&self) -> &ControlPlane {
+        self.controller.inner().inner()
+    }
+
+    /// Runs one tick over every live connection: update each estimator,
+    /// aggregate, decide once across every knob, actuate everywhere.
+    pub fn tick(&mut self, ctx: &mut HostCtx<'_>, socks: &[SocketId]) {
+        let now = ctx.now();
+        for &sock in socks {
+            let snaps = ctx.socket(sock).local_snapshots(now, self.unit);
+            let local = EndpointSnapshots {
+                unacked: snaps.unacked,
+                unread: snaps.unread,
+                ackdelay: snaps.ackdelay,
+            };
+            let remote = ctx.socket(sock).remote().unit(self.unit).cur;
+            self.registry.update(sock.0 as u64, now, local, remote);
+        }
+        if let Some(agg) = self.registry.aggregate() {
+            let on = self.controller.offer_aggregate(now, &agg);
+            self.series.push((now, agg));
+            self.toggles.push((now, on));
+            let settings = plane_settings(&self.controller, on);
+            for &sock in socks {
+                for &setting in &settings {
+                    ctx.apply(sock, setting);
+                }
+            }
+        }
+    }
+
+    /// Connections the registry has seen.
+    pub fn connections(&self) -> usize {
+        self.registry.connections()
+    }
+
+    /// Fraction of ticks with batching on.
+    pub fn on_fraction(&self) -> f64 {
+        if self.toggles.is_empty() {
+            return 0.0;
+        }
+        self.toggles.iter().filter(|(_, on)| *on).count() as f64 / self.toggles.len() as f64
+    }
+
+    /// Mean aggregate estimated latency over `[from, to)`.
+    pub fn mean_aggregate_latency_in(&self, from: Nanos, to: Nanos) -> Option<Nanos> {
+        let mut sum = 0u128;
+        let mut n = 0u64;
+        for (at, agg) in &self.series {
+            if *at >= from && *at < to {
+                sum += agg.latency.as_nanos() as u128;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| Nanos::from_nanos((sum / n as u128) as u64))
     }
 }

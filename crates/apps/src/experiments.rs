@@ -476,6 +476,223 @@ impl ChaosData {
     }
 }
 
+/// The degradation bound the joint adaptive control plane must satisfy
+/// in every knob-grid cell: P99 within `KNOBS_BOUND_FACTOR ×
+/// best-static-corner + KNOBS_BOUND_SLACK`. Much tighter than the chaos
+/// bound — the grid is fault-free, so the only adaptive overheads are
+/// ε-greedy exploration and the knobs' convergence transient.
+pub const KNOBS_BOUND_FACTOR: f64 = 1.1;
+/// Additive slack for the knob-grid degradation bound.
+pub const KNOBS_BOUND_SLACK: Nanos = Nanos::from_micros(100);
+
+/// Delayed-ACK timeout used uniformly across every knob-grid arm. The
+/// Linux-default 40 ms would turn each Nagle/delayed-ACK interaction
+/// stall into an outage at simulated timescales; 500 µs keeps the stall
+/// real (it dominates the affected corners' P99) but lets every arm
+/// finish inside the measure window.
+pub const KNOBS_DELACK_TIMEOUT: Nanos = Nanos::from_micros(500);
+
+/// One static corner of the knob cube, labeled.
+#[derive(Debug, Clone)]
+pub struct KnobCorner {
+    /// Corner coordinates: Nagle, delayed ACKs, fixed cork limit.
+    pub nagle: bool,
+    /// Delayed ACKs enabled.
+    pub delayed_ack: bool,
+    /// Two-MSS cork limit enabled.
+    pub cork: bool,
+    /// The run's results.
+    pub result: PointResult,
+}
+
+impl KnobCorner {
+    /// Stable label, e.g. `"nagle+delack-cork"`.
+    pub fn label(&self) -> String {
+        let sign = |b: bool| if b { '+' } else { '-' };
+        format!(
+            "{}nagle{}delack{}cork",
+            sign(self.nagle),
+            sign(self.delayed_ack),
+            sign(self.cork)
+        )
+    }
+}
+
+/// One cell of the knob grid: a (client cost c, fan-in N) point run
+/// under all eight static knob corners, the Nagle-only adaptive plane
+/// (the paper's single-knob policy), and the joint adaptive plane
+/// driving all three knobs.
+#[derive(Debug, Clone)]
+pub struct KnobsCell {
+    /// The client per-response app cost `c` (Figure 1's client cost).
+    pub client_cost: Nanos,
+    /// Concurrent client connections.
+    pub num_clients: usize,
+    /// The eight static corners, in (nagle, delack, cork) binary order.
+    pub corners: Vec<KnobCorner>,
+    /// The Nagle-only adaptive plane (today's single-knob behaviour).
+    pub nagle_only: PointResult,
+    /// The joint adaptive plane (Nagle + delayed-ACK + cork).
+    pub joint: PointResult,
+}
+
+impl KnobsCell {
+    /// The best (lowest) static-corner P99 — what an omniscient operator
+    /// sweeping all eight corners would have picked.
+    pub fn best_corner_p99(&self) -> Option<Nanos> {
+        self.corners
+            .iter()
+            .filter_map(|c| c.result.measured_p99)
+            .min()
+    }
+
+    /// The label of the best static corner.
+    pub fn best_corner_label(&self) -> Option<String> {
+        self.corners
+            .iter()
+            .filter(|c| c.result.measured_p99.is_some())
+            .min_by_key(|c| c.result.measured_p99)
+            .map(|c| c.label())
+    }
+
+    /// Joint-vs-best-corner P99 ratio (> 1 means the joint plane was
+    /// worse than the best static corner).
+    pub fn regression(&self) -> Option<f64> {
+        let best = self.best_corner_p99()?;
+        let joint = self.joint.measured_p99?;
+        Some(joint.as_nanos() as f64 / best.as_nanos().max(1) as f64)
+    }
+
+    /// True if the joint plane's P99 stays within `factor × best-corner +
+    /// slack`.
+    pub fn within_bound(&self, factor: f64, slack: Nanos) -> bool {
+        match (self.best_corner_p99(), self.joint.measured_p99) {
+            (Some(best), Some(joint)) => {
+                let bound = Nanos::from_nanos((best.as_nanos() as f64 * factor) as u64) + slack;
+                joint <= bound
+            }
+            // A cell where either side produced no samples is a failed
+            // run, not a pass.
+            _ => false,
+        }
+    }
+
+    /// True if the joint plane's P99 strictly beats the Nagle-only
+    /// adaptive plane's — the multi-knob payoff.
+    pub fn joint_beats_nagle_only(&self) -> bool {
+        match (self.joint.measured_p99, self.nagle_only.measured_p99) {
+            (Some(joint), Some(single)) => joint < single,
+            _ => false,
+        }
+    }
+}
+
+/// The knob grid experiment's full result.
+#[derive(Debug, Clone)]
+pub struct KnobsData {
+    /// One cell per (client cost, fan-in), in sweep order.
+    pub cells: Vec<KnobsCell>,
+}
+
+impl KnobsData {
+    /// The worst joint-vs-best-corner P99 ratio across the grid.
+    pub fn worst_regression(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.regression())
+            .max_by(|a, b| a.total_cmp(b))
+    }
+
+    /// The cell at the grid's highest client cost and fan-in — where the
+    /// Nagle/delayed-ACK interaction bites hardest and the multi-knob
+    /// plane must strictly beat the single-knob one.
+    pub fn high_cell(&self) -> Option<&KnobsCell> {
+        self.cells.iter().max_by_key(|c| (c.client_cost, c.num_clients))
+    }
+}
+
+/// Runs the knob grid: for each client per-response cost `c` in `costs`
+/// and each fan-in width in `ns`, one cell of ten runs (eight static
+/// corners, Nagle-only plane, joint plane) at the same aggregate
+/// `rate_rps`.
+///
+/// Every arm shares the same uniform delayed-ACK timeout
+/// ([`KNOBS_DELACK_TIMEOUT`]) so the corners and the adaptive planes
+/// pay the same stall when delayed ACKs interact with Nagle.
+pub fn knobs(
+    costs: &[Nanos],
+    ns: &[usize],
+    rate_rps: f64,
+    warmup: Nanos,
+    measure: Nanos,
+    seed: u64,
+) -> KnobsData {
+    let mut cells = Vec::new();
+    for &cost in costs {
+        let mut profile = CostProfile::calibrated();
+        profile.app.client_response_base = cost;
+        for &n in ns {
+            let base = RunConfig {
+                profile,
+                warmup,
+                measure,
+                seed,
+                num_clients: n,
+                overrides: Overrides {
+                    delack_timeout: Some(KNOBS_DELACK_TIMEOUT),
+                    ..Overrides::default()
+                },
+                ..RunConfig::new(WorkloadSpec::fig4a(rate_rps), NagleSetting::Off)
+            };
+            let corners = [false, true]
+                .iter()
+                .flat_map(|&nagle| {
+                    [false, true].iter().flat_map(move |&delayed_ack| {
+                        [false, true].iter().map(move |&cork| (nagle, delayed_ack, cork))
+                    })
+                })
+                .map(|(nagle, delayed_ack, cork)| KnobCorner {
+                    nagle,
+                    delayed_ack,
+                    cork,
+                    result: run_point(&RunConfig {
+                        nagle: NagleSetting::Corner {
+                            nagle,
+                            delayed_ack,
+                            cork,
+                        },
+                        ..base
+                    }),
+                })
+                .collect();
+            let nagle_only = run_point(&RunConfig {
+                nagle: NagleSetting::Plane {
+                    objective: Objective::MinLatency,
+                    delack: false,
+                    cork: false,
+                },
+                ..base
+            });
+            let joint = run_point(&RunConfig {
+                nagle: NagleSetting::Plane {
+                    objective: Objective::MinLatency,
+                    delack: true,
+                    cork: true,
+                },
+                ..base
+            });
+            cells.push(KnobsCell {
+                client_cost: cost,
+                num_clients: n,
+                corners,
+                nagle_only,
+                joint,
+            });
+        }
+    }
+    KnobsData { cells }
+}
+
 /// Runs the chaos grid: for each fan-in width in `ns`, each fault class,
 /// and each intensity, one cell of three runs (static off, static on,
 /// adaptive) at the same aggregate `rate_rps`.

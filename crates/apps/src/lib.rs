@@ -31,7 +31,9 @@ pub mod sweep;
 pub mod workload;
 
 pub use cost::{AppCosts, CostProfile};
-pub use driver::{EstimateRecorder, HintRecorder, ListenerDriver, PolicyDriver};
+pub use driver::{
+    EstimateRecorder, HintRecorder, ListenerDriver, ListenerPlaneDriver, PlaneDriver, PolicyDriver,
+};
 pub use loadgen::LancetClient;
 pub use runner::{run_point, ClientResult, NagleSetting, PointResult, RunConfig};
 pub use server::RedisServer;

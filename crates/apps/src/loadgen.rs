@@ -23,7 +23,7 @@ use simnet::Histogram;
 use tcpsim::{App, HostCtx, SocketId, TcpConfig, WakeReason};
 
 use crate::cost::AppCosts;
-use crate::driver::{AimdDriver, EstimateRecorder, PolicyDriver};
+use crate::driver::{AimdDriver, EstimateRecorder, PlaneDriver, PolicyDriver};
 use crate::resp::{encode_get, encode_set, Response, ResponseParser};
 use crate::workload::WorkloadSpec;
 
@@ -70,6 +70,8 @@ pub struct LancetClient {
     pub policy: Option<PolicyDriver>,
     /// Optional §5 AIMD batch-limit policy.
     pub aimd: Option<AimdDriver>,
+    /// Optional multi-knob control plane.
+    pub plane: Option<PlaneDriver>,
 
     /// Requests issued.
     pub sent: u64,
@@ -111,6 +113,7 @@ impl LancetClient {
             recorders: Vec::new(),
             policy: None,
             aimd: None,
+            plane: None,
             sent: 0,
             completed: 0,
             completed_in_window: 0,
@@ -139,6 +142,13 @@ impl LancetClient {
     /// the limit gate replaces Nagle).
     pub fn with_aimd(mut self, aimd: AimdDriver) -> Self {
         self.aimd = Some(aimd);
+        self
+    }
+
+    /// Attaches a multi-knob control plane (requires `NagleMode::Dynamic`
+    /// so the plane's Nagle decisions take effect).
+    pub fn with_plane(mut self, plane: PlaneDriver) -> Self {
+        self.plane = Some(plane);
         self
     }
 
@@ -248,6 +258,9 @@ impl LancetClient {
             }
             if let Some(aimd) = self.aimd.as_mut() {
                 aimd.tick(ctx, sock);
+            }
+            if let Some(plane) = self.plane.as_mut() {
+                plane.tick(ctx, sock);
             }
         }
         ctx.call_after(self.tick_period, token(KIND_TICK));

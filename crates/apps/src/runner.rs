@@ -8,16 +8,19 @@
 //! thin wrappers over this.
 
 use batchpolicy::{
-    AimdBatchLimit, BreakerConfig, CircuitBreaker, EpsilonGreedy, Objective, TickController,
+    AimdBatchLimit, BreakerConfig, CircuitBreaker, ControlPlane, DelAckToggler, EpsilonGreedy,
+    Objective, TickController,
 };
-use e2e_core::{Estimate, MultiConnectionAggregator};
+use e2e_core::{DelaySet, Estimate, MultiConnectionAggregator};
 use littles::Nanos;
 use simnet::{run, CpuContext, EventQueue, FaultConfig, FaultCounters, Histogram, LinkConfig};
 use tcpsim::config::ExchangeConfig;
 use tcpsim::{Host, HostId, NagleMode, NetSim, TcpConfig, Unit};
 
 use crate::cost::CostProfile;
-use crate::driver::{AimdDriver, EstimateRecorder, ListenerDriver, PolicyDriver};
+use crate::driver::{
+    AimdDriver, EstimateRecorder, ListenerDriver, ListenerPlaneDriver, PlaneDriver, PolicyDriver,
+};
 use crate::loadgen::LancetClient;
 use crate::server::RedisServer;
 use crate::workload::WorkloadSpec;
@@ -44,6 +47,33 @@ pub enum NagleSetting {
     AimdLimit {
         /// The optimization objective.
         objective: Objective,
+    },
+    /// One static corner of the multi-knob cube, pinned on both
+    /// endpoints for the whole run: Nagle on/off × delayed ACKs
+    /// on/off (off = quick-ack) × a fixed two-MSS cork limit on/off.
+    /// The eight corners are the static baselines the adaptive control
+    /// plane competes against.
+    Corner {
+        /// Nagle enabled.
+        nagle: bool,
+        /// Delayed ACKs enabled (`false` = quick-ack every segment).
+        delayed_ack: bool,
+        /// A fixed cork limit of two MSS (`false` = no limit).
+        cork: bool,
+    },
+    /// The multi-knob control plane: per-endpoint [`ControlPlane`]s
+    /// route the estimate's per-queue components to a Nagle toggler and,
+    /// optionally, delayed-ACK and cork-limit controllers, with
+    /// coordinated exploration. With `delack` and `cork` both false this
+    /// is the Nagle-only plane — bit-identical to
+    /// [`Dynamic`](NagleSetting::Dynamic).
+    Plane {
+        /// The optimization objective.
+        objective: Objective,
+        /// Attach the adaptive delayed-ACK controller.
+        delack: bool,
+        /// Attach the adaptive cork-limit controller.
+        cork: bool,
     },
 }
 
@@ -227,6 +257,30 @@ pub struct PointResult {
     pub client_breaker_trips: Option<u64>,
     /// Circuit-breaker trips at the server listener (Dynamic runs only).
     pub server_breaker_trips: Option<u64>,
+    /// Nagle-arm switches of the server listener's control plane
+    /// (Plane runs only).
+    pub plane_nagle_switches: Option<u64>,
+    /// Delayed-ACK mode switches of the server listener's control plane
+    /// (Plane runs only; 0 when the knob is not attached).
+    pub plane_delack_switches: Option<u64>,
+    /// Cork-limit moves of the server listener's control plane (Plane
+    /// runs only; 0 when the knob is not attached).
+    pub plane_cork_switches: Option<u64>,
+    /// Deliberate exploratory perturbations taken across every knob of
+    /// the server listener's control plane (Plane runs only).
+    pub plane_explorations: Option<u64>,
+    /// The server plane's final cork limit (Plane runs with `cork` only).
+    pub plane_cork_limit: Option<u64>,
+}
+
+fn shield<T: batchpolicy::BatchToggler>(
+    inner: T,
+    breaker: Option<BreakerConfig>,
+) -> CircuitBreaker<T> {
+    match breaker {
+        Some(bc) => CircuitBreaker::new(inner, bc),
+        None => CircuitBreaker::disabled(inner),
+    }
 }
 
 fn tcp_config(nagle: NagleMode, ov: &Overrides) -> TcpConfig {
@@ -267,10 +321,28 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         NagleSetting::Off | NagleSetting::AimdLimit { .. } => (NagleMode::Off, NagleMode::Off),
         NagleSetting::On => (NagleMode::On, NagleMode::On),
         NagleSetting::ServerOnly => (NagleMode::Off, NagleMode::On),
-        NagleSetting::Dynamic { .. } => (NagleMode::Dynamic, NagleMode::Dynamic),
+        NagleSetting::Dynamic { .. } | NagleSetting::Plane { .. } => {
+            (NagleMode::Dynamic, NagleMode::Dynamic)
+        }
+        NagleSetting::Corner { nagle, .. } => {
+            let mode = if nagle { NagleMode::On } else { NagleMode::Off };
+            (mode, mode)
+        }
     };
-    let tcp = tcp_config(client_mode, &cfg.overrides);
-    let tcp_server = tcp_config(server_mode, &cfg.overrides);
+    let mut tcp = tcp_config(client_mode, &cfg.overrides);
+    let mut tcp_server = tcp_config(server_mode, &cfg.overrides);
+    if let NagleSetting::Corner {
+        delayed_ack, cork, ..
+    } = cfg.nagle
+    {
+        // Pin the remaining two knobs symmetrically on both endpoints:
+        // quick-ack is the runtime `KnobSetting::DelAck` actuation frozen
+        // into the initial config, the fixed cork limit is two MSS.
+        for config in [&mut tcp, &mut tcp_server] {
+            config.delack.quick = !delayed_ack;
+            config.batch_limit = cork.then_some(2 * 1_448);
+        }
+    }
 
     // The aggregate load splits evenly across independent arrival streams.
     let mut spec = cfg.workload;
@@ -288,11 +360,26 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
             None => r,
         }
     };
-    let shield = |inner: EpsilonGreedy| -> CircuitBreaker<EpsilonGreedy> {
-        match cfg.breaker {
-            Some(bc) => CircuitBreaker::new(inner, bc),
-            None => CircuitBreaker::disabled(inner),
+    // A control plane for one endpoint: the Nagle bandit always (seeded
+    // exactly like the Dynamic policy at the same endpoint, so a
+    // Nagle-only plane replays the same RNG stream), plus whichever of
+    // the two other knobs the configuration attaches. The exploration
+    // window (8 decisions) gives a perturbed knob a few ticks to show up
+    // in the estimate before the turn rotates.
+    let plane_for = |objective: Objective, delack: bool, cork: bool, seed: u64| -> ControlPlane {
+        let mut plane = ControlPlane::new(EpsilonGreedy::new(objective, 0.05, 4, alpha, seed), 8);
+        if delack {
+            plane = plane.with_delack(DelAckToggler::new(
+                EpsilonGreedy::new(objective, 0.05, 4, alpha, seed ^ 0xDE1A),
+                tcp.delack.timeout,
+            ));
         }
+        if cork {
+            // The limit starts and floors at 0 (no cork); additive probes
+            // of one MSS raise it only when the estimate rewards corking.
+            plane = plane.with_cork(AimdBatchLimit::new(objective, 0, 0, 65_536, 1_448));
+        }
+        plane
     };
 
     let mut clients = Vec::with_capacity(n);
@@ -326,7 +413,10 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
             let mut driver = PolicyDriver::new(
                 Unit::Bytes,
                 TickController::new(
-                    shield(EpsilonGreedy::new(objective, 0.05, 4, alpha, seed)),
+                    shield(
+                        EpsilonGreedy::new(objective, 0.05, 4, alpha, seed),
+                        cfg.breaker,
+                    ),
                     tick,
                 ),
             );
@@ -334,6 +424,25 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
                 driver = driver.with_staleness_bound(bound);
             }
             client = client.with_policy(driver);
+        }
+        if let NagleSetting::Plane {
+            objective,
+            delack,
+            cork,
+        } = cfg.nagle
+        {
+            // Same per-client seed spread as the Dynamic policy: a
+            // Nagle-only plane is the same controller, decision for
+            // decision.
+            let seed = cfg.seed ^ 0xC ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut driver = PlaneDriver::new(
+                Unit::Bytes,
+                TickController::new(shield(plane_for(objective, delack, cork, seed), cfg.breaker), tick),
+            );
+            if let Some(bound) = cfg.staleness_bound {
+                driver = driver.with_staleness_bound(bound);
+            }
+            client = client.with_plane(driver);
         }
         clients.push(client);
     }
@@ -345,7 +454,10 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         let mut driver = ListenerDriver::new(
             Unit::Bytes,
             TickController::new(
-                shield(EpsilonGreedy::new(objective, 0.05, 4, alpha, cfg.seed ^ 0x5)),
+                shield(
+                    EpsilonGreedy::new(objective, 0.05, 4, alpha, cfg.seed ^ 0x5),
+                    cfg.breaker,
+                ),
                 tick,
             ),
         );
@@ -353,6 +465,26 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
             driver = driver.with_staleness_bound(bound);
         }
         server = server.with_policy(driver);
+    }
+    if let NagleSetting::Plane {
+        objective,
+        delack,
+        cork,
+    } = cfg.nagle
+    {
+        // One listener-wide plane fed the throughput-weighted aggregate,
+        // seeded exactly like the Dynamic listener policy.
+        let mut driver = ListenerPlaneDriver::new(
+            Unit::Bytes,
+            TickController::new(
+                shield(plane_for(objective, delack, cork, cfg.seed ^ 0x5), cfg.breaker),
+                tick,
+            ),
+        );
+        if let Some(bound) = cfg.staleness_bound {
+            driver = driver.with_staleness_bound(bound);
+        }
+        server = server.with_plane(driver);
     }
 
     let client_hosts: Vec<Host> = (0..n)
@@ -457,6 +589,7 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
                     remote_view: lat,
                     confidence: 1.0,
                     remote_stale: false,
+                    components: DelaySet::default(),
                 });
             }
         }
@@ -477,6 +610,8 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         .map(|s| sim.server_host().socket(s).stats().nagle_holds)
         .sum();
 
+    let server_plane = sim.server.plane.as_ref().map(|p| p.plane());
+
     PointResult {
         offered_rps: cfg.workload.rate_rps,
         achieved_rps: per_client.iter().map(|c| c.achieved_rps).sum(),
@@ -495,16 +630,31 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         packets_to_server: (0..n).map(|i| sim.link_for(i).a_to_b.packets_sent()).sum(),
         packets_to_client: (0..n).map(|i| sim.link_for(i).b_to_a.packets_sent()).sum(),
         nagle_holds: client_nagle_holds + server_nagle_holds,
-        client_on_fraction: lg0.policy.as_ref().map(|p| p.on_fraction()),
+        client_on_fraction: lg0
+            .policy
+            .as_ref()
+            .map(|p| p.on_fraction())
+            .or_else(|| lg0.plane.as_ref().map(|p| p.on_fraction())),
         aimd_mean_limit: lg0.aimd.as_ref().and_then(|a| a.mean_limit_in(from, to)),
-        server_on_fraction: sim.server.policy.as_ref().map(|p| p.on_fraction()),
+        server_on_fraction: sim
+            .server
+            .policy
+            .as_ref()
+            .map(|p| p.on_fraction())
+            .or_else(|| sim.server.plane.as_ref().map(|p| p.on_fraction())),
         exchanges_received: per_client.iter().map(|c| c.exchanges_received).sum(),
         num_clients: n,
         server_aggregate_latency: sim
             .server
             .policy
             .as_ref()
-            .and_then(|p| p.mean_aggregate_latency_in(from, to)),
+            .and_then(|p| p.mean_aggregate_latency_in(from, to))
+            .or_else(|| {
+                sim.server
+                    .plane
+                    .as_ref()
+                    .and_then(|p| p.mean_aggregate_latency_in(from, to))
+            }),
         per_client,
         link_faults: sim
             .fault_plan()
@@ -514,8 +664,23 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
             .fault_plan()
             .map(|p| p.blackout_time_until(to))
             .unwrap_or(Nanos::ZERO),
-        client_breaker_trips: lg0.policy.as_ref().map(|p| p.breaker().trips()),
-        server_breaker_trips: sim.server.policy.as_ref().map(|p| p.breaker().trips()),
+        client_breaker_trips: lg0
+            .policy
+            .as_ref()
+            .map(|p| p.breaker().trips())
+            .or_else(|| lg0.plane.as_ref().map(|p| p.breaker().trips())),
+        server_breaker_trips: sim
+            .server
+            .policy
+            .as_ref()
+            .map(|p| p.breaker().trips())
+            .or_else(|| sim.server.plane.as_ref().map(|p| p.breaker().trips())),
+        plane_nagle_switches: server_plane.map(|p| p.nagle_switches()),
+        plane_delack_switches: server_plane.map(|p| p.delack_switches()),
+        plane_cork_switches: server_plane.map(|p| p.cork_switches()),
+        plane_explorations: server_plane
+            .map(|p| p.nagle_explorations() + p.delack_explorations() + p.cork_explorations()),
+        plane_cork_limit: server_plane.and_then(|p| p.cork_limit()),
     }
 }
 

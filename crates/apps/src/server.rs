@@ -19,7 +19,7 @@ use simnet::Histogram;
 use tcpsim::{App, HostCtx, SocketId, Unit, WakeReason};
 
 use crate::cost::AppCosts;
-use crate::driver::{HintRecorder, ListenerDriver};
+use crate::driver::{HintRecorder, ListenerDriver, ListenerPlaneDriver};
 use crate::kv::KvStore;
 use crate::resp::{encode_response, Command, CommandParser};
 
@@ -77,6 +77,9 @@ pub struct RedisServer {
     /// Optional listener-wide dynamic-batching policy: one aggregate
     /// decision per tick, applied to every connection.
     pub policy: Option<ListenerDriver>,
+    /// Optional listener-wide multi-knob control plane: one aggregate
+    /// decision per tick, every knob applied to every connection.
+    pub plane: Option<ListenerPlaneDriver>,
     /// Per-connection hint-based estimate recording (paper §3.3), when
     /// enabled via [`with_hint_recorder`](RedisServer::with_hint_recorder).
     pub hint_recorders: BTreeMap<usize, HintRecorder>,
@@ -94,6 +97,7 @@ impl RedisServer {
             batch_hist: Histogram::new(),
             stats: ServerStats::default(),
             policy: None,
+            plane: None,
             hint_recorders: BTreeMap::new(),
             hints_enabled: false,
             tick_period: Nanos::from_micros(500),
@@ -104,6 +108,13 @@ impl RedisServer {
     /// configuration to use [`NagleMode::Dynamic`](tcpsim::NagleMode)).
     pub fn with_policy(mut self, policy: ListenerDriver) -> Self {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Attaches a listener-wide multi-knob control plane (requires the
+    /// accept configuration to use [`NagleMode::Dynamic`](tcpsim::NagleMode)).
+    pub fn with_plane(mut self, plane: ListenerPlaneDriver) -> Self {
+        self.plane = Some(plane);
         self
     }
 
@@ -119,9 +130,12 @@ impl RedisServer {
         &self.kv
     }
 
-    /// Estimate unit used by the attached policy, if any.
+    /// Estimate unit used by the attached policy or plane, if any.
     pub fn policy_unit(&self) -> Option<Unit> {
-        self.policy.as_ref().map(|p| p.unit)
+        self.policy
+            .as_ref()
+            .map(|p| p.unit)
+            .or_else(|| self.plane.as_ref().map(|p| p.unit))
     }
 
     /// Mean hint-estimated latency pooled over every connection's
@@ -209,7 +223,7 @@ impl RedisServer {
 
 impl App for RedisServer {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-        if self.policy.is_some() || self.hints_enabled {
+        if self.policy.is_some() || self.plane.is_some() || self.hints_enabled {
             ctx.call_after(self.tick_period, token(KIND_TICK, 0));
         }
     }
@@ -260,6 +274,9 @@ impl App for RedisServer {
                     // One listener-wide decision over the aggregate, not
                     // one per connection.
                     policy.tick(ctx, &socks);
+                }
+                if let Some(plane) = self.plane.as_mut() {
+                    plane.tick(ctx, &socks);
                 }
                 ctx.call_after(self.tick_period, token(KIND_TICK, 0));
             }

@@ -156,6 +156,11 @@ mod tests {
             fault_blackout_time: Nanos::ZERO,
             client_breaker_trips: None,
             server_breaker_trips: None,
+            plane_nagle_switches: None,
+            plane_delack_switches: None,
+            plane_cork_switches: None,
+            plane_explorations: None,
+            plane_cork_limit: None,
         }
     }
 

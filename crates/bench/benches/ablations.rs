@@ -15,7 +15,7 @@ use batchpolicy::{AimdBatchLimit, Objective};
 use bench::params::SEED;
 use e2e_apps::runner::Overrides;
 use e2e_apps::{run_point, NagleSetting, RunConfig, WorkloadSpec};
-use e2e_core::Estimate;
+use e2e_core::{DelaySet, Estimate};
 use littles::Nanos;
 
 const RATE: f64 = 85_000.0;
@@ -163,6 +163,7 @@ fn main() {
             remote_view: Nanos::ZERO,
             confidence: 1.0,
             remote_stale: false,
+            components: DelaySet::default(),
         };
         trajectory.push(aimd.update(&est));
     }

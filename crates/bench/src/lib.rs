@@ -18,6 +18,9 @@
 //! |                  | shift + aggregate estimate (BENCH_fanin.json) |
 //! | `chaos`          | Fault classes × intensity × fan-in: adaptive  |
 //! |                  | vs static-oracle P99 bound (BENCH_chaos.json) |
+//! | `knobs`          | Client cost × fan-in: joint multi-knob plane  |
+//! |                  | vs static corners + Nagle-only plane          |
+//! |                  | (BENCH_knobs.json)                            |
 //! | `micro`          | Criterion: TRACK/GETAVGS/wire/estimator costs |
 
 /// Shared quick-run parameters so every figure bench uses the same

@@ -141,8 +141,10 @@ impl EndpointWindows {
     }
 }
 
-/// The four delays entering the decomposition, for inspection/debugging.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The four delays entering the decomposition, for inspection/debugging
+/// and for routing estimate components to the knobs they blame (see
+/// `route::Knob`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DelaySet {
     /// `L_unacked` at the side whose perspective we compute.
     pub unacked_near: Nanos,

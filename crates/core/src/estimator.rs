@@ -11,7 +11,7 @@
 use littles::wire::{WireExchange, WireScale};
 use littles::{Ewma, Nanos};
 
-use crate::combine::{combine_delays, EndpointSnapshots, EndpointWindows};
+use crate::combine::{combine_delays, DelaySet, EndpointSnapshots, EndpointWindows};
 
 /// One end-to-end performance estimate over a measurement window.
 #[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
@@ -36,6 +36,11 @@ pub struct Estimate {
     /// True when the peer's shared state exceeded the staleness bound and
     /// this estimate was formed from the local queues alone.
     pub remote_stale: bool,
+    /// The four per-queue delays behind the winning view, so a control
+    /// plane can route each component to the knob that causes it (see
+    /// [`crate::route::Knob`]). For a stale local-only estimate this is
+    /// the local-only set (far-side components zero).
+    pub components: DelaySet,
 }
 
 /// Per-connection estimator state.
@@ -164,22 +169,33 @@ impl E2eEstimator {
         // estimate degrades to what the local queues alone can see
         // (missing the far side's unread delay, over-counting its
         // deliberate ACK delay — honest, but marked as such).
-        let (local_view, remote_view, confidence, remote_stale) = match self.staleness_bound {
-            Some(bound) if age > bound => {
-                let local_only =
-                    combine_delays(&local_window, &EndpointWindows::default()).latency();
-                (local_only, local_only, 0.0, true)
-            }
-            bound => {
-                let local_view = combine_delays(&local_window, &remote_window).latency();
-                let remote_view = combine_delays(&remote_window, &local_window).latency();
-                let confidence = match bound {
-                    Some(bound) => 1.0 - age.as_nanos() as f64 / bound.as_nanos() as f64,
-                    None => 1.0,
-                };
-                (local_view, remote_view, confidence, false)
-            }
-        };
+        let (local_view, remote_view, confidence, remote_stale, components) =
+            match self.staleness_bound {
+                Some(bound) if age > bound => {
+                    let local_set = combine_delays(&local_window, &EndpointWindows::default());
+                    let local_only = local_set.latency();
+                    (local_only, local_only, 0.0, true, local_set)
+                }
+                bound => {
+                    let local_set = combine_delays(&local_window, &remote_window);
+                    let remote_set = combine_delays(&remote_window, &local_window);
+                    let local_view = local_set.latency();
+                    let remote_view = remote_set.latency();
+                    let confidence = match bound {
+                        Some(bound) => 1.0 - age.as_nanos() as f64 / bound.as_nanos() as f64,
+                        None => 1.0,
+                    };
+                    // Keep the component set behind the winning (max)
+                    // view, so per-knob routing blames the same queues
+                    // the headline latency was computed from.
+                    let components = if remote_view > local_view {
+                        remote_set
+                    } else {
+                        local_set
+                    };
+                    (local_view, remote_view, confidence, false, components)
+                }
+            };
         let latency = local_view.max(remote_view);
         let smoothed = self.smoother.update(latency.as_nanos() as f64);
         let est = Estimate {
@@ -191,6 +207,7 @@ impl E2eEstimator {
             remote_view,
             confidence,
             remote_stale,
+            components,
         };
         self.last = Some(est);
         Some(est)
@@ -348,6 +365,43 @@ mod tests {
         assert_eq!(est.remote_epoch(), 2);
         let err = back.latency.as_nanos().abs_diff(us(70).as_nanos());
         assert!(err < us(70).as_nanos() / 10, "recovered to {}", back.latency);
+    }
+
+    #[test]
+    fn components_back_the_winning_view() {
+        let (locals, remotes) = synthetic_run();
+        let mut est = E2eEstimator::new(WireScale::UNSCALED, 1.0);
+        let mut last = None;
+        for (i, (l, r)) in locals.iter().zip(&remotes).enumerate() {
+            let t = Nanos::from_micros((i as u64 + 1) * 100);
+            if let Some(e) = est.update(t, *l, Some(*r)) {
+                // The component set must evaluate to the headline latency
+                // on every tick — it is the same decomposition, exposed.
+                assert_eq!(e.components.latency(), e.latency);
+                last = Some(e);
+            }
+        }
+        let e = last.expect("estimates produced");
+        // In the synthetic pattern the far ACK delay (10 µs) and far
+        // unread (25 µs) are distinguishable components.
+        let us = Nanos::from_micros;
+        assert!(e.components.ackdelay_far.as_nanos().abs_diff(us(10).as_nanos()) < 2_000);
+        assert!(e.components.unread_far.as_nanos().abs_diff(us(25).as_nanos()) < 2_000);
+    }
+
+    #[test]
+    fn stale_fallback_components_have_no_far_side() {
+        let us = Nanos::from_micros;
+        let (locals, remotes) = synthetic_run();
+        let mut est =
+            E2eEstimator::new(WireScale::UNSCALED, 1.0).with_staleness_bound(us(250));
+        est.update(us(100), locals[0], Some(remotes[0]));
+        est.update(us(200), locals[1], Some(remotes[1]));
+        let stale = est.update(us(600), locals[2], None).unwrap();
+        assert!(stale.remote_stale);
+        assert_eq!(stale.components.ackdelay_far, Nanos::ZERO);
+        assert_eq!(stale.components.unread_far, Nanos::ZERO);
+        assert_eq!(stale.components.latency(), stale.latency);
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //!   delayed ACKs).
 //! * [`multi`] — aggregation across connections for policies that toggle
 //!   batching machine-wide.
+//! * [`route`] — per-knob views on estimates: each batching knob's
+//!   controller sees the decomposition component its mechanism causes.
 //!
 //! This crate deliberately depends only on `littles` — it is stack-agnostic
 //! and would sit on top of any transport exposing the three queues.
@@ -42,10 +44,12 @@ pub mod combine;
 pub mod estimator;
 pub mod hints;
 pub mod multi;
+pub mod route;
 pub mod rtt_baseline;
 
 pub use combine::{combine_delays, DelaySet, EndpointSnapshots, EndpointWindows, QueueWindow};
 pub use estimator::{E2eEstimator, Estimate};
 pub use hints::{HintEstimator, RequestTracker};
 pub use multi::{AggregateEstimate, EstimatorRegistry, MultiConnectionAggregator};
+pub use route::Knob;
 pub use rtt_baseline::RttBaseline;

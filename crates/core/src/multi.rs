@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use littles::wire::{WireExchange, WireScale};
 use littles::Nanos;
 
-use crate::combine::EndpointSnapshots;
+use crate::combine::{DelaySet, EndpointSnapshots};
 use crate::estimator::{E2eEstimator, Estimate};
 
 /// Throughput-weighted aggregate over per-connection estimates.
@@ -38,6 +38,10 @@ pub struct AggregateEstimate {
     pub confidence: f64,
     /// Connections whose contribution was a stale local-only fallback.
     pub stale_connections: usize,
+    /// Throughput-weighted mean of the per-connection delay components,
+    /// aggregated field-by-field so per-knob routing (see
+    /// [`crate::route::Knob`]) works on the listener-wide view too.
+    pub components: DelaySet,
 }
 
 impl AggregateEstimate {
@@ -54,6 +58,7 @@ impl AggregateEstimate {
             remote_view: self.latency,
             confidence: self.confidence,
             remote_stale: self.stale_connections > 0,
+            components: self.components,
         }
     }
 }
@@ -95,6 +100,12 @@ impl MultiConnectionAggregator {
         };
         let latency = weighted(|e| e.latency);
         let smoothed_latency = weighted(|e| e.smoothed_latency);
+        let components = DelaySet {
+            unacked_near: weighted(|e| e.components.unacked_near),
+            ackdelay_far: weighted(|e| e.components.ackdelay_far),
+            unread_near: weighted(|e| e.components.unread_near),
+            unread_far: weighted(|e| e.components.unread_far),
+        };
         // Confidence is weighted like latency: a stale idle connection
         // should not collapse the listener-wide confidence on its own.
         let confidence = if total_tput > 0.0 {
@@ -121,6 +132,7 @@ impl MultiConnectionAggregator {
             connections: n,
             confidence,
             stale_connections,
+            components,
         })
     }
 }
@@ -233,6 +245,12 @@ mod tests {
             remote_view: Nanos::ZERO,
             confidence: 1.0,
             remote_stale: false,
+            components: DelaySet {
+                unacked_near: Nanos::from_micros(latency_us),
+                ackdelay_far: Nanos::ZERO,
+                unread_near: Nanos::ZERO,
+                unread_far: Nanos::ZERO,
+            },
         }
     }
 
@@ -261,6 +279,10 @@ mod tests {
         // Weighted: 100·0.9 + 1000·0.1 = 190 µs (vs plain mean 550).
         assert_eq!(agg.latency, Nanos::from_micros(190));
         assert!((agg.throughput - 10_000.0).abs() < 1e-9);
+        // Components aggregate with the same weights, field by field (the
+        // est() helper puts the whole latency in unacked_near).
+        assert_eq!(agg.components.unacked_near, Nanos::from_micros(190));
+        assert_eq!(agg.components.ackdelay_far, Nanos::ZERO);
     }
 
     #[test]

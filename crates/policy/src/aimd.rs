@@ -65,16 +65,27 @@ impl AimdBatchLimit {
     /// while the score does not regress, multiplicative decrease when it
     /// does. Returns the new limit.
     pub fn update(&mut self, estimate: &Estimate) -> u64 {
+        self.update_gated(estimate, true)
+    }
+
+    /// Like [`update`](AimdBatchLimit::update), but the additive probe
+    /// can be withheld: with `may_increase = false` the limit only moves
+    /// on a regression (the multiplicative *decrease* is a safety
+    /// response and always fires). A multi-knob control plane uses this
+    /// so the cork limit only creeps upward during its own exploration
+    /// window, while still backing off immediately whenever it hurts.
+    pub fn update_gated(&mut self, estimate: &Estimate, may_increase: bool) -> u64 {
         let score = self.objective.score(estimate);
         match self.last_score {
             Some(prev) if score < prev => {
                 self.limit = (self.limit / 2).max(self.min);
                 self.decreases += 1;
             }
-            _ => {
+            _ if may_increase => {
                 self.limit = (self.limit + self.step).min(self.max);
                 self.increases += 1;
             }
+            _ => {}
         }
         self.last_score = Some(score);
         self.limit
@@ -84,6 +95,7 @@ impl AimdBatchLimit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use e2e_core::DelaySet;
     use littles::Nanos;
 
     fn est(latency_us: u64, tput: f64) -> Estimate {
@@ -96,6 +108,7 @@ mod tests {
             remote_view: Nanos::ZERO,
             confidence: 1.0,
             remote_stale: false,
+            components: DelaySet::default(),
         }
     }
 
@@ -156,6 +169,22 @@ mod tests {
             score_high = tick % 10 != 9; // regress every 10th tick
         }
         assert!(peaks.len() >= 5, "expected repeated sawtooth peaks");
+    }
+
+    #[test]
+    fn withheld_increase_holds_but_regression_still_halves() {
+        let mut c = controller();
+        c.update(&est(100, 1.0));
+        let held = c.limit();
+        // Improving scores with the probe withheld: the limit holds.
+        for i in 0..5u64 {
+            assert_eq!(c.update_gated(&est(90 - i, 1.0), false), held);
+        }
+        assert_eq!(c.increases(), 1, "only the ungated first tick grew");
+        // A regression halves regardless of the gate.
+        c.update_gated(&est(900, 1.0), false);
+        assert_eq!(c.limit(), held / 2);
+        assert_eq!(c.decreases(), 1);
     }
 
     #[test]

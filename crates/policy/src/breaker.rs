@@ -145,6 +145,13 @@ impl<T: BatchToggler> CircuitBreaker<T> {
         &self.inner
     }
 
+    /// The static Nagle mode this breaker pins while degraded. Drivers
+    /// that actuate more knobs than the breaker's boolean decision use
+    /// this to build the matching safe corner for the rest.
+    pub fn safe_on(&self) -> bool {
+        self.config.safe_on
+    }
+
     /// One step of the state machine. `delegate` runs the inner toggler
     /// on the estimate; it is only invoked when the estimate passed the
     /// confidence gate (or the breaker is disabled), so outage-degraded
@@ -241,6 +248,7 @@ impl<T: BatchToggler> BatchToggler for CircuitBreaker<T> {
 mod tests {
     use super::*;
     use crate::toggler::StaticToggler;
+    use e2e_core::DelaySet;
 
     fn est(at: Nanos, confidence: f64, stale: bool) -> Estimate {
         Estimate {
@@ -252,6 +260,7 @@ mod tests {
             remote_view: Nanos::ZERO,
             confidence,
             remote_stale: stale,
+            components: DelaySet::default(),
         }
     }
 
@@ -366,6 +375,7 @@ mod tests {
             connections: 4,
             confidence,
             stale_connections: stale,
+            components: DelaySet::default(),
         };
         let mut b = breaker();
         // Partially stale but confident overall: stays closed.

@@ -18,6 +18,10 @@
 //!   static mode when estimator confidence collapses under faults and
 //!   re-probes with exponential backoff.
 //! * [`aimd`] — additive-increase/multiplicative-decrease batch limits.
+//! * [`knob`] — the multi-knob control plane: a [`KnobController`] per
+//!   batching mechanism (Nagle, delayed ACKs, cork limit), each fed its
+//!   routed component of the estimate, with coordinated exploration so at
+//!   most one knob perturbs the system per window.
 //! * [`figure1`] — the paper's Figure 1 analytical model (n queued
 //!   requests, per-request cost α, per-batch cost β, client cost c),
 //!   reproduced exactly.
@@ -28,6 +32,7 @@
 pub mod aimd;
 pub mod breaker;
 pub mod figure1;
+pub mod knob;
 pub mod objective;
 pub mod tick;
 pub mod toggler;
@@ -35,6 +40,7 @@ pub mod toggler;
 pub use aimd::AimdBatchLimit;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use figure1::{figure1_model, BatchOutcome, Figure1Params, Metrics};
+pub use knob::{ControlPlane, DelAckToggler, KnobController};
 pub use objective::Objective;
 pub use tick::TickController;
 pub use toggler::{BatchToggler, EpsilonGreedy, StaticToggler};

@@ -22,6 +22,16 @@ pub enum Objective {
         /// The latency service-level objective.
         slo: Nanos,
     },
+    /// Like [`MaxThroughputUnderSlo`](Objective::MaxThroughputUnderSlo),
+    /// but judged against the *raw* (unsmoothed) per-window latency
+    /// instead of the EWMA. The raw estimate keeps its spikes, so it is
+    /// the closer proxy for a tail-latency (P99) bound: a transient
+    /// excursion past the SLO scores as a violation immediately rather
+    /// than being averaged away.
+    MaxThroughputUnderTailSlo {
+        /// The tail-latency service-level objective.
+        slo: Nanos,
+    },
     /// A weighted tradeoff: `score = throughput − weight · latency_µs`.
     Weighted {
         /// Cost per microsecond of latency, in throughput units.
@@ -37,7 +47,8 @@ impl Objective {
         }
     }
 
-    /// Scores an estimate; higher is better. Uses the smoothed latency.
+    /// Scores an estimate; higher is better. Uses the smoothed latency,
+    /// except for the tail-SLO objective which scores the raw latency.
     pub fn score(&self, est: &Estimate) -> f64 {
         let latency_us = est.smoothed_latency.as_micros_f64();
         match *self {
@@ -50,6 +61,15 @@ impl Objective {
                     // Strictly below any compliant score; deeper violations
                     // are worse.
                     -(latency_us - slo_us)
+                }
+            }
+            Objective::MaxThroughputUnderTailSlo { slo } => {
+                let raw_us = est.latency.as_micros_f64();
+                let slo_us = slo.as_micros_f64();
+                if raw_us <= slo_us {
+                    est.throughput
+                } else {
+                    -(raw_us - slo_us)
                 }
             }
             Objective::Weighted { latency_weight } => est.throughput - latency_weight * latency_us,
@@ -68,6 +88,7 @@ impl Objective {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use e2e_core::DelaySet;
 
     fn est(latency_us: u64, tput: f64) -> Estimate {
         Estimate {
@@ -79,6 +100,7 @@ mod tests {
             remote_view: Nanos::ZERO,
             confidence: 1.0,
             remote_stale: false,
+            components: DelaySet::default(),
         }
     }
 
@@ -106,6 +128,22 @@ mod tests {
     fn deeper_violations_score_worse() {
         let o = Objective::paper_slo();
         assert!(o.score(&est(600, 1.0)) > o.score(&est(5_000, 1.0)));
+    }
+
+    #[test]
+    fn tail_slo_scores_the_raw_latency() {
+        let o = Objective::MaxThroughputUnderTailSlo {
+            slo: Nanos::from_micros(500),
+        };
+        // A spike the EWMA hides: smoothed 400 µs, raw 800 µs. The
+        // smoothed objective calls this compliant; the tail objective
+        // must not.
+        let mut spiky = est(400, 50_000.0);
+        spiky.latency = Nanos::from_micros(800);
+        assert!(o.score(&spiky) < 0.0, "raw excursion counts as violation");
+        assert!(Objective::paper_slo().score(&spiky) > 0.0);
+        // A compliant raw latency earns the throughput.
+        assert!((o.score(&est(400, 50_000.0)) - 50_000.0).abs() < 1e-9);
     }
 
     #[test]

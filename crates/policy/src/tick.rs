@@ -102,6 +102,7 @@ mod tests {
     use super::*;
     use crate::objective::Objective;
     use crate::toggler::EpsilonGreedy;
+    use e2e_core::DelaySet;
 
     fn est(latency_us: u64) -> Estimate {
         Estimate {
@@ -113,6 +114,7 @@ mod tests {
             remote_view: Nanos::ZERO,
             confidence: 1.0,
             remote_stale: false,
+            components: DelaySet::default(),
         }
     }
 
@@ -166,6 +168,7 @@ mod tests {
             connections: 4,
             confidence: 1.0,
             stale_connections: 0,
+            components: DelaySet::default(),
         };
         c.offer_aggregate(Nanos::ZERO, &agg);
         assert_eq!(c.decisions(), 1);

@@ -74,6 +74,7 @@ pub struct EpsilonGreedy {
     min_dwell: u32,
     dwell: u32,
     switches: u64,
+    explorations: u64,
 }
 
 impl EpsilonGreedy {
@@ -104,6 +105,7 @@ impl EpsilonGreedy {
             min_dwell,
             dwell: 0,
             switches: 0,
+            explorations: 0,
         }
     }
 
@@ -117,14 +119,25 @@ impl EpsilonGreedy {
         self.switches
     }
 
+    /// Number of ε-driven exploratory flips so far.
+    pub fn explorations(&self) -> u64 {
+        self.explorations
+    }
+
     /// The learned score of an arm (0 = off, 1 = on), if sampled.
     pub fn arm_score(&self, on: bool) -> Option<f64> {
         self.arms[usize::from(on)].value()
     }
-}
 
-impl BatchToggler for EpsilonGreedy {
-    fn decide(&mut self, estimate: &Estimate) -> bool {
+    /// Like [`BatchToggler::decide`], but exploration can be withheld:
+    /// with `may_explore = false` the ε draw is skipped entirely (the RNG
+    /// does not advance) and the unsampled-arm forcing is suppressed, so
+    /// the bandit only exploits what it has already learned. A control
+    /// plane driving several knobs at once uses this so at most one knob
+    /// perturbs the system per window and credit assignment stays clean.
+    /// `decide_gated(est, true)` is exactly `decide(est)` — same scoring,
+    /// same RNG stream, same dwell accounting.
+    pub fn decide_gated(&mut self, estimate: &Estimate, may_explore: bool) -> bool {
         let score = self.objective.score(estimate);
         self.arms[usize::from(self.current)].update(score);
         self.dwell += 1;
@@ -133,15 +146,23 @@ impl BatchToggler for EpsilonGreedy {
         }
         self.dwell = 0;
 
-        let next = if self.rng.gen_bool(self.epsilon) {
+        let next = if may_explore && self.rng.gen_bool(self.epsilon) {
             // Explore: flip.
+            self.explorations += 1;
             !self.current
-        } else {
+        } else if may_explore {
             // Exploit — an unsampled arm must be tried at least once.
             match (self.arms[0].value(), self.arms[1].value()) {
                 (Some(off), Some(on)) => on > off,
                 (None, _) => false,
                 (_, None) => true,
+            }
+        } else {
+            // Exploration withheld: exploit sampled knowledge only; an
+            // unsampled arm waits for this knob's exploration turn.
+            match (self.arms[0].value(), self.arms[1].value()) {
+                (Some(off), Some(on)) => on > off,
+                _ => self.current,
             }
         };
         if next != self.current {
@@ -149,6 +170,12 @@ impl BatchToggler for EpsilonGreedy {
             self.current = next;
         }
         self.current
+    }
+}
+
+impl BatchToggler for EpsilonGreedy {
+    fn decide(&mut self, estimate: &Estimate) -> bool {
+        self.decide_gated(estimate, true)
     }
 
     fn current(&self) -> bool {
@@ -159,6 +186,7 @@ impl BatchToggler for EpsilonGreedy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use e2e_core::DelaySet;
     use littles::Nanos;
 
     fn est(latency_us: u64, tput: f64) -> Estimate {
@@ -171,6 +199,7 @@ mod tests {
             remote_view: Nanos::ZERO,
             confidence: 1.0,
             remote_stale: false,
+            components: DelaySet::default(),
         }
     }
 
@@ -272,6 +301,53 @@ mod tests {
     }
 
     #[test]
+    fn gated_true_is_exactly_decide() {
+        let mut plain = EpsilonGreedy::new(Objective::MinLatency, 0.2, 2, 0.5, 42);
+        let mut gated = EpsilonGreedy::new(Objective::MinLatency, 0.2, 2, 0.5, 42);
+        for i in 0..1_000u64 {
+            let p_lat = if plain.current() { 100 } else { 500 };
+            let g_lat = if gated.current() { 100 } else { 500 };
+            let p = plain.decide(&est(p_lat + i % 7, 1.0));
+            let g = gated.decide_gated(&est(g_lat + i % 7, 1.0), true);
+            assert_eq!(p, g, "tick {i}: decide and decide_gated(true) diverged");
+        }
+        assert_eq!(plain.switches(), gated.switches());
+        assert_eq!(plain.explorations(), gated.explorations());
+    }
+
+    #[test]
+    fn withheld_exploration_never_flips_or_draws() {
+        // ε = 1 would flip on every decision — but with exploration
+        // withheld and only one arm sampled, the toggler must sit still.
+        let mut t = EpsilonGreedy::new(Objective::MinLatency, 1.0, 1, 0.5, 9);
+        for _ in 0..100 {
+            assert!(!t.decide_gated(&est(100, 1.0), false));
+        }
+        assert_eq!(t.switches(), 0);
+        assert_eq!(t.explorations(), 0);
+        // Granted a turn, it explores again.
+        t.decide_gated(&est(100, 1.0), true);
+        assert_eq!(t.explorations(), 1);
+    }
+
+    #[test]
+    fn withheld_exploration_still_exploits_sampled_arms() {
+        let mut t = EpsilonGreedy::new(Objective::MinLatency, 0.0, 1, 1.0, 11);
+        // Sample both arms while exploration is allowed: off scores 500,
+        // on scores 100.
+        t.decide_gated(&est(500, 1.0), true); // scores off; tries on
+        assert!(t.current(), "unsampled arm forced");
+        t.decide_gated(&est(100, 1.0), true); // scores on; on wins
+        // Exploration withheld: with both arms sampled it still picks the
+        // better one, even after the scores flip.
+        for _ in 0..20 {
+            let lat = if t.current() { 600 } else { 50 };
+            t.decide_gated(&est(lat, 1.0), false);
+        }
+        assert!(!t.current(), "exploitation alone migrates to the better arm");
+    }
+
+    #[test]
     #[should_panic(expected = "epsilon out of range")]
     fn bad_epsilon_rejected() {
         let _ = EpsilonGreedy::new(Objective::MinLatency, 1.5, 1, 0.5, 0);
@@ -286,6 +362,7 @@ mod tests {
             connections,
             confidence: 1.0,
             stale_connections: 0,
+            components: DelaySet::default(),
         }
     }
 

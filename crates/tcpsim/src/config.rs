@@ -37,6 +37,11 @@ pub struct DelAckConfig {
     /// When true, ACKs ride on any outgoing data segment (piggybacking),
     /// clearing the pending-delack state.
     pub piggyback: bool,
+    /// Start the socket in quick-ack mode (`TCP_QUICKACK`-style): every
+    /// data segment is acknowledged immediately. The mode can also be
+    /// switched at runtime through the knob actuation path
+    /// (`KnobSetting::DelAck`).
+    pub quick: bool,
 }
 
 impl Default for DelAckConfig {
@@ -45,6 +50,7 @@ impl Default for DelAckConfig {
             ack_every_segments: 2,
             timeout: Nanos::from_millis(40),
             piggyback: true,
+            quick: false,
         }
     }
 }
@@ -193,6 +199,12 @@ pub struct TcpConfig {
     pub cc: CcConfig,
     /// End-to-end metadata exchange.
     pub exchange: ExchangeConfig,
+    /// Initial gradual-batch (cork) limit in bytes: a sub-limit segment
+    /// may wait for more data to accumulate while earlier data is in
+    /// flight. `None` disables the limit. Runtime-driven through the
+    /// knob actuation path (`KnobSetting::CorkLimit`), typically by the
+    /// AIMD controller.
+    pub batch_limit: Option<u64>,
 }
 
 impl Default for TcpConfig {
@@ -208,6 +220,7 @@ impl Default for TcpConfig {
             rto: RtoConfig::default(),
             cc: CcConfig::default(),
             exchange: ExchangeConfig::default(),
+            batch_limit: None,
         }
     }
 }

@@ -24,10 +24,46 @@ pub enum AckDecision {
     AlreadyArmed,
 }
 
+/// Runtime acknowledgment mode — the delayed-ACK knob of the control
+/// plane. Unlike [`DelAckConfig`], which is frozen at socket
+/// construction, the mode can be switched while the connection runs
+/// (via `TcpSocket::apply`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckMode {
+    /// Acknowledge every data segment immediately (`TCP_QUICKACK`-style):
+    /// the ackdelay queue stays empty at the cost of more pure-ACK
+    /// packets.
+    Quick,
+    /// Classic delayed ACKs: one ACK per `ack_every_segments` full
+    /// segments, bounded by the given timeout.
+    Delayed {
+        /// Upper bound on how long a pending ACK may wait.
+        timeout: Nanos,
+    },
+}
+
+/// What the caller must do after a runtime [`AckMode`] switch so that no
+/// pending ACK is dropped and no stale timer fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckSwitch {
+    /// Nothing pending: the switch is a pure state change.
+    Nothing,
+    /// A pending delayed ACK must be emitted *now* (and any armed delack
+    /// timer cancelled): switching to quick-ack may not silently drop
+    /// the acknowledgment the peer is still waiting for.
+    Flush,
+    /// The pending delayed ACK must be re-armed with the new timeout,
+    /// measured from the switch instant — deterministic regardless of
+    /// how long the old timer had been running.
+    Rearm(Nanos),
+}
+
 /// Per-connection delayed-ACK state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DelAck {
     config: DelAckConfig,
+    /// Runtime acknowledgment mode (initially derived from `config`).
+    mode: AckMode,
     /// Full-sized segments received since the last ACK was sent.
     pending_full: u32,
     /// Any segments (of any size) pending acknowledgment?
@@ -45,8 +81,16 @@ pub struct DelAck {
 impl DelAck {
     /// Creates an idle machine.
     pub fn new(config: DelAckConfig) -> Self {
+        let mode = if config.quick {
+            AckMode::Quick
+        } else {
+            AckMode::Delayed {
+                timeout: config.timeout,
+            }
+        };
         DelAck {
             config,
+            mode,
             pending_full: 0,
             pending_any: false,
             timer_armed: false,
@@ -66,7 +110,8 @@ impl DelAck {
         if full_sized {
             self.pending_full += packets;
         }
-        if force_quick || self.pending_full >= self.config.ack_every_segments {
+        let quick = matches!(self.mode, AckMode::Quick);
+        if force_quick || quick || self.pending_full >= self.config.ack_every_segments {
             self.immediate_acks += 1;
             self.note_ack_sent_inner();
             AckDecision::SendNow
@@ -74,7 +119,52 @@ impl DelAck {
             AckDecision::AlreadyArmed
         } else {
             self.timer_armed = true;
-            AckDecision::Arm(self.config.timeout)
+            AckDecision::Arm(self.timeout())
+        }
+    }
+
+    /// The effective delack timeout under the current mode.
+    fn timeout(&self) -> Nanos {
+        match self.mode {
+            AckMode::Delayed { timeout } => timeout,
+            AckMode::Quick => self.config.timeout,
+        }
+    }
+
+    /// The current runtime acknowledgment mode.
+    pub fn mode(&self) -> AckMode {
+        self.mode
+    }
+
+    /// Switches the runtime acknowledgment mode. The returned
+    /// [`AckSwitch`] tells the socket how to dispose of any pending
+    /// delayed ACK: switching to [`AckMode::Quick`] with data awaiting
+    /// acknowledgment must flush it immediately (never drop it), and
+    /// switching timeouts with a timer armed must re-arm from the switch
+    /// instant so the trace is deterministic.
+    pub fn switch_mode(&mut self, mode: AckMode) -> AckSwitch {
+        if mode == self.mode {
+            return AckSwitch::Nothing;
+        }
+        self.mode = mode;
+        match mode {
+            AckMode::Quick => {
+                if self.pending_any {
+                    self.immediate_acks += 1;
+                    self.note_ack_sent_inner();
+                    AckSwitch::Flush
+                } else {
+                    AckSwitch::Nothing
+                }
+            }
+            AckMode::Delayed { timeout } => {
+                if self.pending_any {
+                    self.timer_armed = true;
+                    AckSwitch::Rearm(timeout)
+                } else {
+                    AckSwitch::Nothing
+                }
+            }
         }
     }
 
@@ -148,6 +238,7 @@ mod tests {
             ack_every_segments: 2,
             timeout: Nanos::from_millis(40),
             piggyback: true,
+            quick: false,
         })
     }
 
@@ -226,10 +317,87 @@ mod tests {
             ack_every_segments: 2,
             timeout: Nanos::from_millis(40),
             piggyback: false,
+            quick: false,
         });
         d.on_data(false, 1, false);
         assert!(!d.on_piggyback());
         assert!(d.has_pending());
+    }
+
+    #[test]
+    fn quick_mode_acks_every_segment_immediately() {
+        let mut d = da();
+        assert_eq!(d.switch_mode(AckMode::Quick), AckSwitch::Nothing);
+        assert_eq!(d.on_data(false, 1, false), AckDecision::SendNow);
+        assert_eq!(d.on_data(true, 1, false), AckDecision::SendNow);
+        assert!(!d.has_pending());
+    }
+
+    #[test]
+    fn switch_to_quick_with_pending_flushes() {
+        let mut d = da();
+        assert!(matches!(d.on_data(false, 1, false), AckDecision::Arm(_)));
+        assert_eq!(d.switch_mode(AckMode::Quick), AckSwitch::Flush);
+        assert!(!d.has_pending());
+        assert!(!d.timer_armed());
+        // The stale timer firing later must not emit a spurious ACK.
+        assert!(!d.on_timer());
+    }
+
+    #[test]
+    fn switch_timeout_with_pending_rearms() {
+        let mut d = da();
+        assert!(matches!(d.on_data(false, 1, false), AckDecision::Arm(_)));
+        let t = Nanos::from_millis(5);
+        assert_eq!(
+            d.switch_mode(AckMode::Delayed { timeout: t }),
+            AckSwitch::Rearm(t)
+        );
+        assert!(d.has_pending());
+        assert!(d.timer_armed());
+        // New data under the new mode arms with the new timeout.
+        let mut d2 = da();
+        d2.switch_mode(AckMode::Delayed { timeout: t });
+        assert_eq!(d2.on_data(false, 1, false), AckDecision::Arm(t));
+    }
+
+    #[test]
+    fn switch_without_pending_is_pure_state_change() {
+        let mut d = da();
+        assert_eq!(d.switch_mode(AckMode::Quick), AckSwitch::Nothing);
+        assert_eq!(
+            d.switch_mode(AckMode::Delayed {
+                timeout: Nanos::from_millis(40)
+            }),
+            AckSwitch::Nothing
+        );
+        assert!(matches!(d.on_data(false, 1, false), AckDecision::Arm(_)));
+    }
+
+    #[test]
+    fn redundant_switch_is_noop() {
+        let mut d = da();
+        d.on_data(false, 1, false);
+        assert_eq!(
+            d.switch_mode(AckMode::Delayed {
+                timeout: Nanos::from_millis(40)
+            }),
+            AckSwitch::Nothing,
+            "same mode: pending ACK undisturbed"
+        );
+        assert!(d.has_pending());
+    }
+
+    #[test]
+    fn quick_config_starts_in_quick_mode() {
+        let mut d = DelAck::new(DelAckConfig {
+            ack_every_segments: 2,
+            timeout: Nanos::from_millis(40),
+            piggyback: true,
+            quick: true,
+        });
+        assert_eq!(d.mode(), AckMode::Quick);
+        assert_eq!(d.on_data(false, 1, false), AckDecision::SendNow);
     }
 
     #[test]
@@ -238,6 +406,7 @@ mod tests {
             ack_every_segments: 1,
             timeout: Nanos::from_millis(40),
             piggyback: true,
+            quick: false,
         });
         assert_eq!(d.on_data(true, 1, false), AckDecision::SendNow);
         assert_eq!(d.on_data(true, 1, false), AckDecision::SendNow);

@@ -91,6 +91,24 @@ pub enum InvariantViolation {
         /// `rcv_nxt` after (different — the violation).
         after: u64,
     },
+    /// The delayed-ACK machine believes nothing awaits acknowledgment,
+    /// yet the ackdelay ledger still holds bytes — a runtime mode switch
+    /// (or other actuation) cleared the pending state without flushing
+    /// the ACK, so the peer would wait forever.
+    AckDropped {
+        /// Bytes stranded in the ackdelay ledger.
+        stranded: u64,
+    },
+    /// The sender holds unsent data with nothing in flight, an open
+    /// window, and no transmit or cork timer armed — no future event can
+    /// release it. A batching gate (e.g. a mis-actuated cork limit) is
+    /// starving the connection.
+    SenderStarved {
+        /// Whether the persist/RTO timer was armed.
+        tx_timer_armed: bool,
+        /// Whether the auto-cork safety timer was armed.
+        cork_timer_armed: bool,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -133,6 +151,17 @@ impl fmt::Display for InvariantViolation {
             InvariantViolation::RxClassificationBroken { kind, before, after } => write!(
                 f,
                 "{kind} arrival moved rcv_nxt: {before} → {after}"
+            ),
+            InvariantViolation::AckDropped { stranded } => write!(
+                f,
+                "delack reports nothing pending but {stranded} bytes are stranded in the ackdelay ledger"
+            ),
+            InvariantViolation::SenderStarved {
+                tx_timer_armed,
+                cork_timer_armed,
+            } => write!(
+                f,
+                "sender starved: unsent data, nothing in flight, open window, no timer (tx_timer_armed={tx_timer_armed}, cork_timer_armed={cork_timer_armed})"
             ),
         }
     }
@@ -396,6 +425,59 @@ impl SocketInvariants {
         self.last_read_pos = read_pos;
         Ok(())
     }
+
+    /// Mis-actuation gate: cross-checks the knob actuation path against
+    /// the ledgers after each event.
+    ///
+    /// * A delayed-ACK mode switch must never strand a pending ACK: when
+    ///   the delack machine reports nothing pending, the ackdelay ledger
+    ///   must be empty ([`InvariantViolation::AckDropped`]).
+    /// * No batching gate may starve the sender: unsent data with
+    ///   nothing in flight, an open window, and no timer armed has no
+    ///   future event to release it
+    ///   ([`InvariantViolation::SenderStarved`]).
+    pub fn verify_actuation(&self, state: &ActuationState) -> Result<(), InvariantViolation> {
+        if !state.ack_pending {
+            let stranded = self.ackdelay.balance("ackdelay")?;
+            if stranded != 0 {
+                return Err(InvariantViolation::AckDropped { stranded });
+            }
+        }
+        if state.established
+            && state.has_unsent
+            && !state.in_flight
+            && state.window_open
+            && !state.tx_timer_armed
+            && !state.cork_timer_armed
+        {
+            return Err(InvariantViolation::SenderStarved {
+                tx_timer_armed: state.tx_timer_armed,
+                cork_timer_armed: state.cork_timer_armed,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The transmit-path and delack facts the mis-actuation gate
+/// ([`SocketInvariants::verify_actuation`]) cross-checks, captured by the
+/// socket after each event.
+#[derive(Debug, Clone, Copy)]
+pub struct ActuationState {
+    /// Whether the delack machine believes data awaits acknowledgment.
+    pub ack_pending: bool,
+    /// Whether the send buffer holds unsent bytes.
+    pub has_unsent: bool,
+    /// Whether any sent bytes are unacknowledged.
+    pub in_flight: bool,
+    /// Whether the RTO/persist timer is armed.
+    pub tx_timer_armed: bool,
+    /// Whether the auto-cork safety timer is armed.
+    pub cork_timer_armed: bool,
+    /// Whether the effective send window admits at least one MSS.
+    pub window_open: bool,
+    /// Whether the connection is in `Established`.
+    pub established: bool,
 }
 
 #[cfg(test)]
@@ -514,6 +596,76 @@ mod tests {
             inv.verify(&queues, 0, 0, now),
             Err(InvariantViolation::ConservationBroken { .. })
         ));
+    }
+
+    fn settled_actuation() -> ActuationState {
+        ActuationState {
+            ack_pending: false,
+            has_unsent: false,
+            in_flight: false,
+            tx_timer_armed: false,
+            cork_timer_armed: false,
+            window_open: true,
+            established: true,
+        }
+    }
+
+    #[test]
+    fn stranded_ackdelay_without_pending_fires() {
+        let mut inv = SocketInvariants::new();
+        inv.ackdelay.enter(100);
+        assert!(matches!(
+            inv.verify_actuation(&settled_actuation()),
+            Err(InvariantViolation::AckDropped { stranded: 100 })
+        ));
+        // With the delack machine still reporting pending data, the same
+        // ledger state is fine (an ACK is on its way).
+        let pending = ActuationState {
+            ack_pending: true,
+            ..settled_actuation()
+        };
+        assert_eq!(inv.verify_actuation(&pending), Ok(()));
+        inv.ackdelay.leave(100);
+        assert_eq!(inv.verify_actuation(&settled_actuation()), Ok(()));
+    }
+
+    #[test]
+    fn starved_sender_fires_only_without_any_release_path() {
+        let inv = SocketInvariants::new();
+        let starved = ActuationState {
+            has_unsent: true,
+            ..settled_actuation()
+        };
+        assert!(matches!(
+            inv.verify_actuation(&starved),
+            Err(InvariantViolation::SenderStarved { .. })
+        ));
+        // Any pending release path — in-flight data (an ACK will repoll),
+        // an armed timer, or a closed window (peer will update) — clears it.
+        for fixed in [
+            ActuationState {
+                in_flight: true,
+                ..starved
+            },
+            ActuationState {
+                tx_timer_armed: true,
+                ..starved
+            },
+            ActuationState {
+                cork_timer_armed: true,
+                ..starved
+            },
+            ActuationState {
+                window_open: false,
+                ..starved
+            },
+            ActuationState {
+                established: false,
+                ..starved
+            },
+        ] {
+            assert_eq!(inv.verify_actuation(&fixed), Ok(()));
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod delack;
 pub mod gates;
 pub mod host;
 pub mod invariants;
+pub mod knob;
 pub mod payload;
 pub mod queues;
 pub mod rtt;
@@ -45,7 +46,9 @@ pub mod sim;
 pub mod socket;
 
 pub use config::{CostConfig, NagleMode, TcpConfig};
+pub use delack::{AckMode, AckSwitch};
 pub use host::{Host, HostId};
+pub use knob::KnobSetting;
 pub use payload::Payload;
 pub use queues::{QueueSnapshots, SocketQueues, Unit};
 pub use segment::{FlowId, Segment};

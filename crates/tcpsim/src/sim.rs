@@ -34,6 +34,7 @@ use simnet::{DuplexLink, EventQueue, FaultConfig, FaultPlan, LinkConfig, Pcg32, 
 
 use crate::config::TcpConfig;
 use crate::host::{Host, HostId};
+use crate::knob::KnobSetting;
 use crate::segment::{FlowId, Segment};
 use crate::socket::{Action, SocketId, TcpSocket, TimerKind, TxEnv, WakeReason};
 
@@ -280,20 +281,52 @@ impl HostCtx<'_> {
         self.call_at(done, token);
     }
 
-    /// Flips the dynamic-Nagle switch on a socket (the paper's toggling
-    /// actuator) and immediately re-runs the transmit path so a held tail
-    /// flushes when batching turns off.
-    pub fn set_nagle(&mut self, sock: SocketId, on: bool) {
-        self.host.socket_mut(sock).set_nagle_enabled(on);
+    /// Applies one control-plane [`KnobSetting`] to a socket through the
+    /// uniform actuation path: dispatches to the socket's `apply`,
+    /// executes any disposal actions it emits (a delayed-ACK flush or
+    /// timer re-arm, in app context), and re-runs the transmit path so a
+    /// changed gate takes effect immediately. Returns true if socket
+    /// state changed.
+    pub fn apply(&mut self, sock: SocketId, setting: KnobSetting) -> bool {
+        let now = self.now();
+        let mut actions = Vec::new();
+        let changed = self
+            .host
+            .socket_mut(sock)
+            .apply(now, setting, &mut actions);
+        if !actions.is_empty() {
+            apply_actions(
+                self.host,
+                self.topology,
+                self.routes,
+                self.queue,
+                self.rng,
+                self.faults,
+                sock,
+                actions,
+                Charge::App,
+            );
+        }
         self.repoll(sock);
+        changed
+    }
+
+    /// Flips the dynamic-Nagle switch on a socket (the paper's toggling
+    /// actuator); a convenience wrapper over [`apply`](Self::apply) with
+    /// [`KnobSetting::Nagle`].
+    pub fn set_nagle(&mut self, sock: SocketId, on: bool) {
+        self.apply(sock, KnobSetting::Nagle(on));
     }
 
     /// Sets the gradual batching limit on a socket (the §5 AIMD
-    /// actuator) and re-runs the transmit path so a lowered limit
-    /// releases held data immediately.
+    /// actuator); a convenience wrapper over [`apply`](Self::apply) with
+    /// [`KnobSetting::CorkLimit`] (`None` maps to `0`, disabling the
+    /// limit).
     pub fn set_batch_limit(&mut self, sock: SocketId, limit: Option<usize>) {
-        self.host.socket_mut(sock).set_batch_limit(limit);
-        self.repoll(sock);
+        self.apply(
+            sock,
+            KnobSetting::CorkLimit(limit.map_or(0, |l| l as u64)),
+        );
     }
 
     /// Re-runs a socket's transmit path after an actuator changed its

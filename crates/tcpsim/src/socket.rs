@@ -20,9 +20,10 @@ use littles::{Nanos, Snapshot};
 
 use crate::buffer::{RecvBuffer, SendBuffer};
 use crate::config::{NagleMode, TcpConfig};
-use crate::invariants::{gate, SocketInvariants};
-use crate::delack::{AckDecision, DelAck};
+use crate::invariants::{gate, ActuationState, SocketInvariants};
+use crate::delack::{AckDecision, AckSwitch, DelAck};
 use crate::gates::{cork_holds, nagle_allows};
+use crate::knob::KnobSetting;
 use crate::queues::{QueueSnapshots, SocketQueues, Unit};
 use crate::rtt::RttEstimator;
 use crate::seq::SeqNum;
@@ -306,7 +307,7 @@ impl TcpSocket {
             remote: RemoteStore::default(),
             stats: SocketStats::default(),
             nagle_dynamic_on: false,
-            batch_limit: None,
+            batch_limit: config.batch_limit.map(|b| b as usize),
             peer_window: 65_535,
             in_flight: VecDeque::new(),
             dup_ack_count: 0,
@@ -436,7 +437,17 @@ impl TcpSocket {
     pub fn check_invariants(&mut self, now: Nanos) -> Result<(), crate::invariants::InvariantViolation> {
         let rcv_nxt = self.rcv.rcv_nxt();
         let read_pos = self.rcv.read_pos();
-        self.invariants.verify(&self.queues, rcv_nxt, read_pos, now)
+        self.invariants.verify(&self.queues, rcv_nxt, read_pos, now)?;
+        let state = ActuationState {
+            ack_pending: self.delack.has_pending(),
+            has_unsent: self.snd.unsent() > 0,
+            in_flight: self.snd.in_flight() > 0,
+            tx_timer_armed: self.rto_armed,
+            cork_timer_armed: self.corked_since.is_some(),
+            window_open: self.effective_window() >= self.config.mss,
+            established: self.state == TcpState::Established,
+        };
+        self.invariants.verify_actuation(&state)
     }
 
     fn verify_invariants(&mut self, now: Nanos) {
@@ -467,6 +478,10 @@ impl TcpSocket {
     /// Sets the dynamic-Nagle switch (only meaningful in
     /// [`NagleMode::Dynamic`]). Turning batching *off* flushes any held
     /// tail on the next [`poll_transmit`](Self::poll_transmit).
+    ///
+    /// Part of the knob actuation path: external callers go through
+    /// [`apply`](Self::apply) (the `xtask` `actuation` lint enforces
+    /// this outside tests).
     pub fn set_nagle_enabled(&mut self, on: bool) {
         self.nagle_dynamic_on = on;
     }
@@ -474,8 +489,52 @@ impl TcpSocket {
     /// Sets (or clears) the gradual batching limit in bytes. The next
     /// [`poll_transmit`](Self::poll_transmit) applies it; lowering the
     /// limit can release held data.
+    ///
+    /// Part of the knob actuation path: external callers go through
+    /// [`apply`](Self::apply) (the `xtask` `actuation` lint enforces
+    /// this outside tests).
     pub fn set_batch_limit(&mut self, limit: Option<usize>) {
         self.batch_limit = limit;
+    }
+
+    /// Applies one control-plane [`KnobSetting`] through the uniform
+    /// actuation path; returns true if socket state changed.
+    ///
+    /// A delayed-ACK mode switch disposes of any pending ACK
+    /// deterministically — flushed immediately on a switch to quick-ack
+    /// (the acknowledgment the peer waits for is never dropped), re-armed
+    /// from the switch instant on a timeout change. Callers must execute
+    /// the returned actions and then re-run the transmit path so a
+    /// loosened gate releases held data; `HostCtx::apply` does both.
+    pub fn apply(&mut self, now: Nanos, setting: KnobSetting, actions: &mut Vec<Action>) -> bool {
+        match setting {
+            KnobSetting::Nagle(on) => {
+                let changed = self.nagle_dynamic_on != on;
+                self.set_nagle_enabled(on);
+                changed
+            }
+            KnobSetting::DelAck(mode) => {
+                let changed = self.delack.mode() != mode;
+                match self.delack.switch_mode(mode) {
+                    AckSwitch::Nothing => {}
+                    AckSwitch::Flush => {
+                        actions.push(Action::CancelTimer(TimerKind::Delack));
+                        self.emit_pure_ack(now, actions);
+                    }
+                    AckSwitch::Rearm(timeout) => {
+                        actions.push(Action::ArmTimer(TimerKind::Delack, timeout));
+                    }
+                }
+                self.verify_invariants(now);
+                changed
+            }
+            KnobSetting::CorkLimit(limit) => {
+                let new = if limit == 0 { None } else { Some(limit as usize) };
+                let changed = self.batch_limit != new;
+                self.set_batch_limit(new);
+                changed
+            }
+        }
     }
 
     /// The current gradual batching limit.

@@ -1,0 +1,10 @@
+//! Fixture: raw batching-knob setters outside the apply path.
+
+pub fn tamper() {
+    sock.set_nagle_enabled(true);
+    ctx.set_batch_limit(id, Some(4_096));
+    machine.switch_mode(AckMode::Quick);
+    // lint:allow(actuation): migration shim retained for one release
+    sock.set_nagle_enabled(false);
+    ctx.apply(id, KnobSetting::Nagle(true));
+}

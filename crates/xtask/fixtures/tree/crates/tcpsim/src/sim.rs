@@ -1,0 +1,7 @@
+//! Fixture: the apply path itself may call the raw setters.
+
+pub fn apply(sock: &mut TcpSocket, on: bool) {
+    sock.set_nagle_enabled(on);
+    sock.set_batch_limit(None);
+    delack.switch_mode(AckMode::Quick);
+}

@@ -1,0 +1,6 @@
+//! Fixture: test code may exercise the raw setters directly.
+
+fn drives_the_raw_setter() {
+    sock.set_nagle_enabled(true);
+    machine.switch_mode(AckMode::Quick);
+}

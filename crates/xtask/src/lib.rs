@@ -15,6 +15,12 @@
 //!   `littles` and `e2e-core` (the crates meant to be embeddable).
 //! * **pub-docs** — doc comments required on `pub` items in `littles`
 //!   and `e2e-core`.
+//! * **actuation** — the raw batching-knob setters
+//!   (`set_nagle_enabled`, `set_batch_limit`, `switch_mode`) may only be
+//!   called from tcpsim's apply path (`socket.rs`, `sim.rs`,
+//!   `delack.rs`) or from tests; every other caller must route through
+//!   `TcpSocket::apply`/`HostCtx::apply` with a `KnobSetting` so ACK
+//!   disposal actions and the transmit re-run always happen.
 //!
 //! Violations can be suppressed with a justified marker on the same or
 //! the preceding line:

@@ -14,6 +14,7 @@ fn usage() -> ExitCode {
     eprintln!("  float-eq       no ==/!= on floats outside tests");
     eprintln!("  panic-hygiene  no unwrap/expect in littles or e2e-core library code");
     eprintln!("  pub-docs       doc comments required on pub items in littles/e2e-core");
+    eprintln!("  actuation      no raw batching-knob setters outside tcpsim's apply path");
     eprintln!();
     eprintln!("Suppress with `// lint:allow(<rule>): <justification>` on the same");
     eprintln!("or preceding line.");

@@ -65,6 +65,9 @@ pub fn classify(root: &Path, file: &Path) -> FileContext {
         strict_library: crate_dir.is_some_and(|c| STRICT_CRATES.contains(&c)) && in_src,
         testlike,
         fault_code: simulation_crate && in_src && file_name.contains("fault"),
+        apply_path: crate_dir == Some("tcpsim")
+            && in_src
+            && matches!(file_name, "socket.rs" | "sim.rs" | "delack.rs"),
     }
 }
 
@@ -78,6 +81,25 @@ mod tests {
         assert!(ctx.simulation_crate);
         assert!(!ctx.strict_library);
         assert!(!ctx.testlike);
+    }
+
+    #[test]
+    fn classify_apply_path() {
+        for p in [
+            "/r/crates/tcpsim/src/socket.rs",
+            "/r/crates/tcpsim/src/sim.rs",
+            "/r/crates/tcpsim/src/delack.rs",
+        ] {
+            assert!(classify(Path::new("/r"), Path::new(p)).apply_path, "{p}");
+        }
+        for p in [
+            "/r/crates/tcpsim/src/knob.rs",
+            "/r/crates/tcpsim/tests/mechanisms.rs",
+            "/r/crates/policy/src/knob.rs",
+            "/r/crates/apps/src/driver.rs",
+        ] {
+            assert!(!classify(Path::new("/r"), Path::new(p)).apply_path, "{p}");
+        }
     }
 
     #[test]

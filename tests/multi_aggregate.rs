@@ -8,7 +8,7 @@
 
 use e2e_batching::batchpolicy::{BatchToggler, EpsilonGreedy, Objective};
 use e2e_batching::e2e_core::combine::EndpointSnapshots;
-use e2e_batching::e2e_core::{Estimate, EstimatorRegistry, MultiConnectionAggregator};
+use e2e_batching::e2e_core::{DelaySet, Estimate, EstimatorRegistry, MultiConnectionAggregator};
 use e2e_batching::littles::wire::{WireExchange, WireScale};
 use e2e_batching::littles::{Nanos, QueueState};
 
@@ -142,6 +142,7 @@ fn synthetic_estimate(latency_us: u64, tput: f64) -> Estimate {
         remote_view: Nanos::ZERO,
         confidence: 1.0,
         remote_stale: false,
+        components: DelaySet::default(),
     }
 }
 
