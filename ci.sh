@@ -22,6 +22,16 @@ cargo run -q --release --example chaos -- --smoke
 echo "==> knobs smoke (c=4us, N=8, joint plane within bound)"
 cargo run -q --release --example knobs -- --smoke
 
+echo "==> adversary smoke (corrupt + restart, N=1, validation load-bearing)"
+cargo run -q --release --example adversary -- --smoke
+
+echo "==> adversary bench regenerates BENCH_adversary.json"
+rm -f crates/bench/BENCH_adversary.json
+cargo bench -q -p bench --bench adversary >/dev/null
+test -s crates/bench/BENCH_adversary.json
+grep -q '"version": 1' crates/bench/BENCH_adversary.json
+grep -q '"bench": "adversary"' crates/bench/BENCH_adversary.json
+
 echo "==> knobs bench regenerates BENCH_knobs.json"
 rm -f crates/bench/BENCH_knobs.json
 cargo bench -q -p bench --bench knobs >/dev/null

@@ -11,7 +11,9 @@ use batchpolicy::{
 };
 use e2e_core::combine::EndpointSnapshots;
 use e2e_core::hints::{HintEstimate, HintEstimator};
-use e2e_core::{AggregateEstimate, E2eEstimator, Estimate, EstimatorRegistry};
+use e2e_core::{
+    AggregateEstimate, E2eEstimator, Estimate, EstimatorRegistry, ValidateConfig, ValidateStats,
+};
 use littles::wire::WireScale;
 use littles::Nanos;
 use tcpsim::{HostCtx, KnobSetting, SocketId, Unit};
@@ -52,8 +54,21 @@ impl EstimateRecorder {
     /// Bounds how long the estimator trusts a cached remote window (see
     /// [`E2eEstimator::with_staleness_bound`]).
     pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
-        self.estimator = E2eEstimator::new(WireScale::default(), 1.0).with_staleness_bound(bound);
+        self.estimator = self.estimator.with_staleness_bound(bound);
         self
+    }
+
+    /// Validates every incoming exchange against locally observable
+    /// signals before it can influence the estimate (see
+    /// [`e2e_core::validate`]).
+    pub fn with_validation(mut self, config: ValidateConfig) -> Self {
+        self.estimator = self.estimator.with_validation(config);
+        self
+    }
+
+    /// Validation counters, if validation is enabled.
+    pub fn validation_stats(&self) -> Option<ValidateStats> {
+        self.estimator.validation_stats()
     }
 
     /// Runs one tick against `sock`.
@@ -66,7 +81,10 @@ impl EstimateRecorder {
             ackdelay: snaps.ackdelay,
         };
         let remote = ctx.socket(sock).remote().unit(self.unit).cur;
-        if let Some(estimate) = self.estimator.update(now, local, remote) {
+        // The socket's smoothed RTT anchors the validator's delay bound;
+        // with validation disabled it is ignored.
+        let srtt = ctx.socket(sock).srtt();
+        if let Some(estimate) = self.estimator.update_validated(now, local, remote, srtt) {
             self.series.push(EstimateSample { at: now, estimate });
         }
     }
@@ -225,9 +243,20 @@ impl ListenerDriver {
     /// Applies a staleness bound to every per-connection estimator the
     /// registry creates (see [`EstimatorRegistry::with_staleness_bound`]).
     pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
-        self.registry =
-            EstimatorRegistry::new(WireScale::default(), 1.0).with_staleness_bound(bound);
+        self.registry = self.registry.with_staleness_bound(bound);
         self
+    }
+
+    /// Applies peer-state validation to every per-connection estimator
+    /// the registry creates.
+    pub fn with_validation(mut self, config: ValidateConfig) -> Self {
+        self.registry = self.registry.with_validation(config);
+        self
+    }
+
+    /// Validation counters summed across every connection's estimator.
+    pub fn validation_stats(&self) -> ValidateStats {
+        self.registry.validation_stats()
     }
 
     /// The circuit breaker around the listener-wide toggler.
@@ -247,7 +276,9 @@ impl ListenerDriver {
                 ackdelay: snaps.ackdelay,
             };
             let remote = ctx.socket(sock).remote().unit(self.unit).cur;
-            self.registry.update(sock.0 as u64, now, local, remote);
+            let srtt = ctx.socket(sock).srtt();
+            self.registry
+                .update_validated(sock.0 as u64, now, local, remote, srtt);
         }
         if let Some(agg) = self.registry.aggregate() {
             let on = self.controller.offer_aggregate(now, &agg);
@@ -311,7 +342,14 @@ impl PolicyDriver {
     /// Bounds how long this driver's estimator trusts a cached remote
     /// window.
     pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
-        self.recorder = EstimateRecorder::new(self.recorder.unit).with_staleness_bound(bound);
+        self.recorder = self.recorder.with_staleness_bound(bound);
+        self
+    }
+
+    /// Validates every incoming exchange before it can influence the
+    /// policy's estimate.
+    pub fn with_validation(mut self, config: ValidateConfig) -> Self {
+        self.recorder = self.recorder.with_validation(config);
         self
     }
 
@@ -384,7 +422,14 @@ impl PlaneDriver {
     /// Bounds how long this driver's estimator trusts a cached remote
     /// window.
     pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
-        self.recorder = EstimateRecorder::new(self.recorder.unit).with_staleness_bound(bound);
+        self.recorder = self.recorder.with_staleness_bound(bound);
+        self
+    }
+
+    /// Validates every incoming exchange before it can influence the
+    /// plane's estimate.
+    pub fn with_validation(mut self, config: ValidateConfig) -> Self {
+        self.recorder = self.recorder.with_validation(config);
         self
     }
 
@@ -452,9 +497,20 @@ impl ListenerPlaneDriver {
     /// Applies a staleness bound to every per-connection estimator the
     /// registry creates.
     pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
-        self.registry =
-            EstimatorRegistry::new(WireScale::default(), 1.0).with_staleness_bound(bound);
+        self.registry = self.registry.with_staleness_bound(bound);
         self
+    }
+
+    /// Applies peer-state validation to every per-connection estimator
+    /// the registry creates.
+    pub fn with_validation(mut self, config: ValidateConfig) -> Self {
+        self.registry = self.registry.with_validation(config);
+        self
+    }
+
+    /// Validation counters summed across every connection's estimator.
+    pub fn validation_stats(&self) -> ValidateStats {
+        self.registry.validation_stats()
     }
 
     /// The circuit breaker around the plane.
@@ -479,7 +535,9 @@ impl ListenerPlaneDriver {
                 ackdelay: snaps.ackdelay,
             };
             let remote = ctx.socket(sock).remote().unit(self.unit).cur;
-            self.registry.update(sock.0 as u64, now, local, remote);
+            let srtt = ctx.socket(sock).srtt();
+            self.registry
+                .update_validated(sock.0 as u64, now, local, remote, srtt);
         }
         if let Some(agg) = self.registry.aggregate() {
             let on = self.controller.offer_aggregate(now, &agg);

@@ -5,9 +5,11 @@
 //! See EXPERIMENTS.md for the paper-vs-measured comparison.
 
 use batchpolicy::{figure1_model, BatchOutcome, BreakerConfig, Figure1Params, Objective};
+use e2e_core::ValidateConfig;
 use littles::Nanos;
 use simnet::{
-    DuplicateConfig, FaultConfig, GilbertElliott, JitterConfig, ReorderConfig, WindowSchedule,
+    CorruptConfig, DuplicateConfig, FaultConfig, GilbertElliott, JitterConfig, ReorderConfig,
+    RestartSchedule, WindowSchedule,
 };
 
 use crate::runner::{run_point, NagleSetting, Overrides, PointResult, RunConfig};
@@ -103,6 +105,7 @@ pub fn figure2(rate_rps: f64, warmup: Nanos, measure: Nanos, seed: u64) -> Figur
                 fault: simnet::FaultConfig::default(),
                 staleness_bound: None,
                 breaker: None,
+                validate: None,
             };
             cells.push(Figure2Cell {
                 platform: platform.to_string(),
@@ -758,4 +761,274 @@ pub fn chaos(
         }
     }
     ChaosData { cells }
+}
+
+/// The adversarial fault classes the adversary experiment sweeps: unlike
+/// the chaos classes, which impair *delivery*, these impair the
+/// *metadata* itself — the exchange payload is garbled, or the peer that
+/// produced it restarts and its counters start over from zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryClass {
+    /// Deterministic bit flips on the in-flight exchange option: one
+    /// random (field, bit) target per corrupted segment, up to 25% of
+    /// exchange-carrying segments at full intensity.
+    Corrupt,
+    /// Periodic endpoint restarts: a client process dies mid-run, every
+    /// socket's counters reset, and it reconnects with a fresh epoch —
+    /// every 50 ms at full intensity.
+    Restart,
+}
+
+impl AdversaryClass {
+    /// Every class, in sweep order.
+    pub const ALL: [AdversaryClass; 2] = [AdversaryClass::Corrupt, AdversaryClass::Restart];
+
+    /// Stable label used in tables and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryClass::Corrupt => "corrupt",
+            AdversaryClass::Restart => "restart",
+        }
+    }
+
+    /// The fault configuration for this class at `intensity ∈ (0, 1]`.
+    ///
+    /// Corruption starts at 10 ms (past the handshake); restarts first
+    /// fire at 25 ms and then repeat with a period of `50 ms / intensity`,
+    /// so even the smoke window sees several full die/reconnect/resync
+    /// cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is outside `(0, 1]`.
+    pub fn fault_at(&self, intensity: f64) -> FaultConfig {
+        assert!(
+            intensity > 0.0 && intensity <= 1.0,
+            "adversary intensity must be in (0, 1], got {intensity}"
+        );
+        let mut fault = FaultConfig {
+            start_at: Nanos::from_millis(10),
+            ..FaultConfig::default()
+        };
+        match self {
+            AdversaryClass::Corrupt => {
+                fault.corrupt = Some(CorruptConfig {
+                    probability: 0.25 * intensity,
+                });
+            }
+            AdversaryClass::Restart => {
+                fault.restart = Some(RestartSchedule {
+                    first_at: Nanos::from_millis(25),
+                    period: Nanos::from_nanos((50_000_000.0 / intensity) as u64),
+                });
+            }
+        }
+        fault
+    }
+}
+
+/// One adversary cell: an adversarial fault class at one intensity and
+/// fan-in width, run under both static baselines plus two otherwise
+/// identical adaptive arms that differ only in whether incoming exchanges
+/// are validated. The guarded arm is the hardened configuration under
+/// test; the exposed arm is the ablation showing validation is
+/// load-bearing.
+#[derive(Debug, Clone)]
+pub struct AdversaryCell {
+    /// The injected fault class.
+    pub class: AdversaryClass,
+    /// The class intensity knob in `(0, 1]`.
+    pub intensity: f64,
+    /// Concurrent client connections.
+    pub num_clients: usize,
+    /// Static Nagle-off baseline under this fault.
+    pub off: PointResult,
+    /// Static Nagle-on baseline under this fault.
+    pub on: PointResult,
+    /// Adaptive policy with peer-state validation (Dynamic + staleness
+    /// bound + safe-on circuit breaker + validator).
+    pub guarded: PointResult,
+    /// The same adaptive policy with validation disabled — garbled or
+    /// restart-spanning windows reach the estimator unchecked.
+    pub exposed: PointResult,
+}
+
+impl AdversaryCell {
+    /// The static oracle: the better (lower) of the two static P99s.
+    pub fn oracle_p99(&self) -> Option<Nanos> {
+        match (self.off.measured_p99, self.on.measured_p99) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn ratio_to_oracle(&self, arm: &PointResult) -> Option<f64> {
+        let oracle = self.oracle_p99()?;
+        let p99 = arm.measured_p99?;
+        Some(p99.as_nanos() as f64 / oracle.as_nanos().max(1) as f64)
+    }
+
+    /// Guarded-vs-oracle P99 ratio (> 1 means the guarded policy was
+    /// worse than the best static choice).
+    pub fn regression(&self) -> Option<f64> {
+        self.ratio_to_oracle(&self.guarded)
+    }
+
+    /// Exposed-vs-oracle P99 ratio — how badly unvalidated metadata
+    /// poisons the same policy stack.
+    pub fn exposed_regression(&self) -> Option<f64> {
+        self.ratio_to_oracle(&self.exposed)
+    }
+
+    fn arm_within_bound(&self, arm: &PointResult, factor: f64, slack: Nanos) -> bool {
+        match (self.oracle_p99(), arm.measured_p99) {
+            (Some(oracle), Some(p99)) => {
+                let bound = Nanos::from_nanos((oracle.as_nanos() as f64 * factor) as u64) + slack;
+                p99 <= bound
+            }
+            // A cell where either side produced no samples is a failed
+            // run, not a pass.
+            _ => false,
+        }
+    }
+
+    /// True if the guarded P99 stays within `factor × oracle + slack` —
+    /// the same degradation bound the chaos grid enforces.
+    pub fn within_bound(&self, factor: f64, slack: Nanos) -> bool {
+        self.arm_within_bound(&self.guarded, factor, slack)
+    }
+
+    /// True if the *exposed* arm stays within the bound. The experiment's
+    /// point is that at least one cell fails this: without validation the
+    /// same policy stack degrades past the bound.
+    pub fn exposed_within_bound(&self, factor: f64, slack: Nanos) -> bool {
+        self.arm_within_bound(&self.exposed, factor, slack)
+    }
+}
+
+/// The adversary experiment's full grid.
+#[derive(Debug, Clone)]
+pub struct AdversaryData {
+    /// One cell per (fan-in, class, intensity), in sweep order.
+    pub cells: Vec<AdversaryCell>,
+}
+
+impl AdversaryData {
+    /// The worst guarded-vs-oracle P99 ratio across the grid.
+    pub fn worst_regression(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.regression())
+            .max_by(|a, b| a.total_cmp(b))
+    }
+
+    /// True if at least one exposed arm broke the degradation bound —
+    /// i.e. the validator is demonstrably load-bearing on this grid, not
+    /// a no-op rubber stamp.
+    pub fn poisoning_demonstrated(&self, factor: f64, slack: Nanos) -> bool {
+        self.cells
+            .iter()
+            .any(|c| !c.exposed_within_bound(factor, slack))
+    }
+}
+
+/// The breaker profile for the adversary's adaptive arms — deliberately
+/// more pessimistic than [`BreakerConfig::default`], because the threat
+/// model differs. Chaos faults impair *delivery*: staleness collapses
+/// confidence for the whole outage, so a short backoff and quick restore
+/// suffice. Adversarial faults impair the *metadata*: a garbled window
+/// small enough to pass plausibility checks carries full confidence, so
+/// the only trustworthy signal is the validator's rejection stream — and
+/// any rejection means the peer state cannot currently be trusted at
+/// all. Hence: `min_confidence` 0.75 (a single rejected exchange halves
+/// confidence to 0.5 and already counts), `trip_after` 1 (first suspect
+/// tick fails static-safe), a long escalating backoff with a slow
+/// restore (a still-corrupted probe re-opens and doubles the wait), and
+/// `safe_on` true because at the experiment's operating point — past the
+/// no-Nagle knee — the safe static mode is batching *on* (the paper's
+/// range-extension argument), not the Redis default.
+pub fn adversary_breaker() -> BreakerConfig {
+    BreakerConfig {
+        min_confidence: 0.75,
+        trip_after: 1,
+        safe_on: true,
+        initial_backoff: Nanos::from_millis(50),
+        max_backoff: Nanos::from_secs(2),
+        restore_after: 8,
+    }
+}
+
+/// Runs the adversary grid: for each fan-in width in `ns`, each
+/// adversarial fault class, and each intensity, one cell of four runs
+/// (static off, static on, guarded adaptive, exposed adaptive) at the
+/// same aggregate `rate_rps`.
+///
+/// The guarded and exposed arms share every knob — objective, seeds,
+/// staleness bound, breaker — and differ only in `validate`, so any
+/// latency gap between them is attributable to peer-state validation.
+pub fn adversary(
+    classes: &[AdversaryClass],
+    intensities: &[f64],
+    ns: &[usize],
+    rate_rps: f64,
+    warmup: Nanos,
+    measure: Nanos,
+    seed: u64,
+) -> AdversaryData {
+    let mut cells = Vec::new();
+    for &n in ns {
+        for &class in classes {
+            for &intensity in intensities {
+                let base = RunConfig {
+                    warmup,
+                    measure,
+                    seed,
+                    num_clients: n,
+                    fault: class.fault_at(intensity),
+                    // The validator rides along in the static arms too:
+                    // it cannot change their latency (no policy consumes
+                    // the estimates) but its counters prove the faults
+                    // actually reached the metadata path.
+                    validate: Some(ValidateConfig::default()),
+                    overrides: Overrides {
+                        // Same RTO clamps as the chaos grid, identical in
+                        // all four arms, so restart-induced loss episodes
+                        // recover at simulation timescales.
+                        min_rto: Some(Nanos::from_millis(5)),
+                        max_rto: Some(Nanos::from_millis(40)),
+                        ..Overrides::default()
+                    },
+                    ..RunConfig::new(WorkloadSpec::fig4a(rate_rps), NagleSetting::Off)
+                };
+                let off = run_point(&base);
+                let on = run_point(&RunConfig {
+                    nagle: NagleSetting::On,
+                    ..base
+                });
+                let guarded_cfg = RunConfig {
+                    nagle: NagleSetting::Dynamic {
+                        objective: Objective::MinLatency,
+                    },
+                    staleness_bound: Some(CHAOS_STALENESS_BOUND),
+                    breaker: Some(adversary_breaker()),
+                    ..base
+                };
+                let guarded = run_point(&guarded_cfg);
+                let exposed = run_point(&RunConfig {
+                    validate: None,
+                    ..guarded_cfg
+                });
+                cells.push(AdversaryCell {
+                    class,
+                    intensity,
+                    num_clients: n,
+                    off,
+                    on,
+                    guarded,
+                    exposed,
+                });
+            }
+        }
+    }
+    AdversaryData { cells }
 }

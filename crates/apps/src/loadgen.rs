@@ -32,6 +32,7 @@ const KIND_ARRIVAL: u64 = 1;
 const KIND_PROCESS: u64 = 2;
 const KIND_TICK: u64 = 3;
 const KIND_FLUSH: u64 = 4;
+const KIND_RECONNECT: u64 = 5;
 
 fn token(kind: u64) -> u64 {
     kind << TOKEN_KIND_SHIFT
@@ -47,8 +48,15 @@ pub struct LancetClient {
     tick_period: Nanos,
     use_hints: bool,
 
-    /// The connection (after `Connected`).
+    /// The connection (after `Connected`; `None` during a crash outage).
     pub sock: Option<SocketId>,
+    /// Whether the arrival/tick chains have been started (exactly once, on
+    /// the first `Connected` — a reconnect must not duplicate them).
+    started: bool,
+    /// Delay between a `Reset` wake and the reconnect attempt.
+    reconnect_backoff: Nanos,
+    /// Number of `Reset` wakes observed (crash/restart fault injections).
+    pub restarts_seen: u64,
     parser: ResponseParser,
     /// In-flight requests: (arrival time, is_set), FIFO (RESP responses
     /// arrive in order).
@@ -100,6 +108,9 @@ impl LancetClient {
             tick_period: Nanos::from_micros(500),
             use_hints: false,
             sock: None,
+            started: false,
+            reconnect_backoff: Nanos::from_millis(1),
+            restarts_seen: 0,
             parser: ResponseParser::new(),
             pending: VecDeque::new(),
             backlog: VecDeque::new(),
@@ -123,6 +134,15 @@ impl LancetClient {
     /// Forwards the tracker's queue state to the server as hints (§3.3).
     pub fn with_hints(mut self) -> Self {
         self.use_hints = true;
+        self
+    }
+
+    /// Overrides the estimator/policy tick cadence (default 500 µs).
+    /// Long-horizon tests coarsen this so simulating hours of virtual
+    /// time stays cheap; figure experiments keep the default.
+    pub fn with_tick_period(mut self, period: Nanos) -> Self {
+        assert!(!period.is_zero(), "tick period must be positive");
+        self.tick_period = period;
         self
     }
 
@@ -192,7 +212,14 @@ impl LancetClient {
 
     fn arrival(&mut self, ctx: &mut HostCtx<'_>) {
         let now = ctx.now();
-        let sock = self.sock.expect("connected");
+        let Some(sock) = self.sock else {
+            // Crashed: the open-loop arrival process keeps running, but
+            // requests during the outage are lost (not queued) — the
+            // restarted process has no memory of them.
+            let gap = ctx.rng.exp_duration(self.spec.mean_interarrival());
+            ctx.call_after(gap, token(KIND_ARRIVAL));
+            return;
+        };
         let (wire, is_set) = self.next_wire(ctx);
         self.tracker.create(now, 1);
         ctx.charge_app(self.costs.client_request(wire.len()));
@@ -219,7 +246,9 @@ impl LancetClient {
     fn process(&mut self, ctx: &mut HostCtx<'_>) {
         self.call_pending = false;
         let now = ctx.now();
-        let sock = self.sock.expect("connected");
+        let Some(sock) = self.sock else {
+            return; // crashed between the wake and this call
+        };
         let (data, _) = ctx.recv(sock, usize::MAX);
         self.parser.feed(&data);
         while let Some(resp) = self.parser.next_response() {
@@ -268,7 +297,9 @@ impl LancetClient {
 
     fn flush(&mut self, ctx: &mut HostCtx<'_>) {
         self.flush_pending = false;
-        let sock = self.sock.expect("connected");
+        let Some(sock) = self.sock else {
+            return; // crashed between the wake and this call
+        };
         while let Some(front) = self.backlog.front_mut() {
             let accepted = ctx.send(sock, front);
             if accepted < front.len() {
@@ -282,15 +313,21 @@ impl LancetClient {
 
 impl App for LancetClient {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-        self.sock = Some(ctx.connect(self.config));
+        // `sock` is assigned on `Connected` (same path as a reconnect);
+        // nothing runs on this socket before that wake.
+        ctx.connect(self.config);
     }
 
-    fn on_wake(&mut self, ctx: &mut HostCtx<'_>, _sock: SocketId, reason: WakeReason) {
+    fn on_wake(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId, reason: WakeReason) {
         match reason {
             WakeReason::Connected => {
-                let gap = ctx.rng.exp_duration(self.spec.mean_interarrival());
-                ctx.call_after(gap, token(KIND_ARRIVAL));
-                ctx.call_after(self.tick_period, token(KIND_TICK));
+                self.sock = Some(sock);
+                if !self.started {
+                    self.started = true;
+                    let gap = ctx.rng.exp_duration(self.spec.mean_interarrival());
+                    ctx.call_after(gap, token(KIND_ARRIVAL));
+                    ctx.call_after(self.tick_period, token(KIND_TICK));
+                }
             }
             WakeReason::Readable => {
                 if !self.call_pending {
@@ -305,6 +342,27 @@ impl App for LancetClient {
                 }
             }
             WakeReason::Accepted => {}
+            WakeReason::Reset => {
+                // The process crashed: every pending request's response is
+                // lost with the connection. Complete them in the tracker
+                // (conservation — the restarted process will never see
+                // them) without recording latencies, forget all parse and
+                // backlog state, and reconnect after a short backoff. The
+                // arrival and tick chains keep running through the outage.
+                let now = ctx.now();
+                self.restarts_seen += 1;
+                let lost = self.pending.len() as u32;
+                if lost > 0 {
+                    self.tracker.complete(now, lost);
+                }
+                self.pending.clear();
+                self.backlog.clear();
+                self.parser = ResponseParser::new();
+                self.call_pending = false;
+                self.flush_pending = false;
+                self.sock = None;
+                ctx.call_after(self.reconnect_backoff, token(KIND_RECONNECT));
+            }
         }
     }
 
@@ -314,6 +372,11 @@ impl App for LancetClient {
             KIND_PROCESS => self.process(ctx),
             KIND_TICK => self.tick(ctx),
             KIND_FLUSH => self.flush(ctx),
+            KIND_RECONNECT => {
+                if self.sock.is_none() {
+                    ctx.connect(self.config);
+                }
+            }
             other => panic!("unknown client token kind {other}"),
         }
     }

@@ -11,7 +11,7 @@ use batchpolicy::{
     AimdBatchLimit, BreakerConfig, CircuitBreaker, ControlPlane, DelAckToggler, EpsilonGreedy,
     Objective, TickController,
 };
-use e2e_core::{DelaySet, Estimate, MultiConnectionAggregator};
+use e2e_core::{DelaySet, Estimate, MultiConnectionAggregator, ValidateConfig, ValidateStats};
 use littles::Nanos;
 use simnet::{run, CpuContext, EventQueue, FaultConfig, FaultCounters, Histogram, LinkConfig};
 use tcpsim::config::ExchangeConfig;
@@ -136,6 +136,10 @@ pub struct RunConfig {
     /// Circuit breaker around the dynamic policies; `None` runs them
     /// unprotected.
     pub breaker: Option<BreakerConfig>,
+    /// Peer-state validation: every incoming exchange window is checked
+    /// for plausibility before it can influence an estimate. `None`
+    /// trusts the wire blindly (the pre-validation behaviour).
+    pub validate: Option<ValidateConfig>,
 }
 
 impl RunConfig {
@@ -154,6 +158,7 @@ impl RunConfig {
             fault: FaultConfig::default(),
             staleness_bound: None,
             breaker: None,
+            validate: None,
         }
     }
 }
@@ -271,6 +276,14 @@ pub struct PointResult {
     pub plane_explorations: Option<u64>,
     /// The server plane's final cork limit (Plane runs with `cork` only).
     pub plane_cork_limit: Option<u64>,
+    /// Merged peer-state validation counters across every estimator in
+    /// the run — the per-client recorders, the dynamic-policy recorders,
+    /// and the server listener registry (`None` without a validator).
+    pub validation: Option<ValidateStats>,
+    /// Endpoint restarts the clients observed (socket reset + reconnect).
+    pub client_restarts: u64,
+    /// Endpoint restarts the fault plan injected.
+    pub fault_restarts: u64,
 }
 
 fn shield<T: batchpolicy::BatchToggler>(
@@ -354,11 +367,14 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
     // A staleness bound degrades estimator confidence when the peer's
     // shared state ages out; the breaker (when configured) acts on that.
     let recorder = |unit: Unit| -> EstimateRecorder {
-        let r = EstimateRecorder::new(unit);
-        match cfg.staleness_bound {
-            Some(bound) => r.with_staleness_bound(bound),
-            None => r,
+        let mut r = EstimateRecorder::new(unit);
+        if let Some(bound) = cfg.staleness_bound {
+            r = r.with_staleness_bound(bound);
         }
+        if let Some(v) = cfg.validate {
+            r = r.with_validation(v);
+        }
+        r
     };
     // A control plane for one endpoint: the Nagle bandit always (seeded
     // exactly like the Dynamic policy at the same endpoint, so a
@@ -423,6 +439,9 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
             if let Some(bound) = cfg.staleness_bound {
                 driver = driver.with_staleness_bound(bound);
             }
+            if let Some(v) = cfg.validate {
+                driver = driver.with_validation(v);
+            }
             client = client.with_policy(driver);
         }
         if let NagleSetting::Plane {
@@ -441,6 +460,9 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
             );
             if let Some(bound) = cfg.staleness_bound {
                 driver = driver.with_staleness_bound(bound);
+            }
+            if let Some(v) = cfg.validate {
+                driver = driver.with_validation(v);
             }
             client = client.with_plane(driver);
         }
@@ -464,6 +486,9 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         if let Some(bound) = cfg.staleness_bound {
             driver = driver.with_staleness_bound(bound);
         }
+        if let Some(v) = cfg.validate {
+            driver = driver.with_validation(v);
+        }
         server = server.with_policy(driver);
     }
     if let NagleSetting::Plane {
@@ -483,6 +508,9 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         );
         if let Some(bound) = cfg.staleness_bound {
             driver = driver.with_staleness_bound(bound);
+        }
+        if let Some(v) = cfg.validate {
+            driver = driver.with_validation(v);
         }
         server = server.with_plane(driver);
     }
@@ -546,7 +574,8 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
     let per_client: Vec<ClientResult> = (0..n)
         .map(|i| {
             let lg = &sim.clients[i];
-            let sock = lg.sock.expect("client connected");
+            // `sock` is `None` when an injected endpoint restart's
+            // reconnect is still in flight as the run ends.
             ClientResult {
                 offered_rps: spec.rate_rps,
                 achieved_rps: lg.achieved_rps(),
@@ -558,7 +587,10 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
                     .iter()
                     .find(|r| r.unit == Unit::Bytes)
                     .and_then(|r| r.mean_latency_in(from, to)),
-                exchanges_received: sim.host(i).socket(sock).remote().received,
+                exchanges_received: lg
+                    .sock
+                    .map(|sock| sim.host(i).socket(sock).remote().received)
+                    .unwrap_or(0),
             }
         })
         .collect();
@@ -597,11 +629,10 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
     };
 
     let lg0 = &sim.clients[0];
-    let sock0 = lg0.sock.expect("client connected");
     let client_nagle_holds: u64 = (0..n)
-        .map(|i| {
-            let sock = sim.clients[i].sock.expect("client connected");
-            sim.host(i).socket(sock).stats().nagle_holds
+        .filter_map(|i| {
+            let sock = sim.clients[i].sock?;
+            Some(sim.host(i).socket(sock).stats().nagle_holds)
         })
         .sum();
     let server_nagle_holds: u64 = sim
@@ -611,6 +642,33 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         .sum();
 
     let server_plane = sim.server.plane.as_ref().map(|p| p.plane());
+
+    // One merged view of every validator's verdict counters. Gated on the
+    // config so a validation-free run reports `None` rather than a
+    // vacuous all-zero record.
+    let validation: Option<ValidateStats> = cfg.validate.map(|_| {
+        let mut stats = ValidateStats::default();
+        for lg in &sim.clients {
+            for r in &lg.recorders {
+                if let Some(s) = r.validation_stats() {
+                    stats.merge(&s);
+                }
+            }
+            if let Some(s) = lg.policy.as_ref().and_then(|p| p.recorder.validation_stats()) {
+                stats.merge(&s);
+            }
+            if let Some(s) = lg.plane.as_ref().and_then(|p| p.recorder.validation_stats()) {
+                stats.merge(&s);
+            }
+        }
+        if let Some(p) = sim.server.policy.as_ref() {
+            stats.merge(&p.validation_stats());
+        }
+        if let Some(p) = sim.server.plane.as_ref() {
+            stats.merge(&p.validation_stats());
+        }
+        stats
+    });
 
     PointResult {
         offered_rps: cfg.workload.rate_rps,
@@ -624,7 +682,7 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         estimated_messages: rec(Unit::Messages),
         estimated_hint: sim.server.hint_mean_latency_in(from, to),
         tracker_mean: lg0.tracker_averages().and_then(|a| a.delay),
-        srtt: sim.host(0).socket(sock0).srtt(),
+        srtt: lg0.sock.and_then(|s| sim.host(0).socket(s).srtt()),
         client_cpu,
         server_cpu,
         packets_to_server: (0..n).map(|i| sim.link_for(i).a_to_b.packets_sent()).sum(),
@@ -681,6 +739,9 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         plane_explorations: server_plane
             .map(|p| p.nagle_explorations() + p.delack_explorations() + p.cork_explorations()),
         plane_cork_limit: server_plane.and_then(|p| p.cork_limit()),
+        validation,
+        client_restarts: sim.clients.iter().map(|lg| lg.restarts_seen).sum(),
+        fault_restarts: sim.fault_plan().map(|p| p.restarts()).unwrap_or(0),
     }
 }
 

@@ -161,6 +161,9 @@ mod tests {
             plane_cork_switches: None,
             plane_explorations: None,
             plane_cork_limit: None,
+            validation: None,
+            client_restarts: 0,
+            fault_restarts: 0,
         }
     }
 

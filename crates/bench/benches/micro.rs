@@ -83,9 +83,9 @@ fn bench_wire() {
     bench("wire_encode_36B", 1_000_000, || {
         black_box(ex.encode());
     });
-    let bytes = ex.encode();
-    bench("wire_decode_36B", 1_000_000, || {
-        black_box(WireExchange::decode(&bytes));
+    let bytes = ex.encode_tagged();
+    bench("wire_decode_37B", 1_000_000, || {
+        black_box(WireExchange::try_decode_tagged(&bytes).ok());
     });
     bench("wire_pack_snapshot", 1_000_000, || {
         black_box(WireSnapshot::pack(&snap, WireScale::default()));

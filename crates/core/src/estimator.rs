@@ -12,6 +12,7 @@ use littles::wire::{WireExchange, WireScale};
 use littles::{Ewma, Nanos};
 
 use crate::combine::{combine_delays, DelaySet, EndpointSnapshots, EndpointWindows};
+use crate::validate::{Admission, ExchangeValidator, ValidateConfig, ValidateCtx, ValidateStats};
 
 /// One end-to-end performance estimate over a measurement window.
 #[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
@@ -64,6 +65,9 @@ pub struct E2eEstimator {
     /// queues alone. `None` trusts the cache forever (the pre-fault
     /// behaviour).
     staleness_bound: Option<Nanos>,
+    /// Plausibility validator for incoming exchanges. `None` (the default)
+    /// trusts the peer unconditionally — the pre-validation behaviour.
+    validator: Option<ExchangeValidator>,
     smoother: Ewma,
     last: Option<Estimate>,
 }
@@ -84,6 +88,7 @@ impl E2eEstimator {
             remote_fresh_at: None,
             remote_epoch: 0,
             staleness_bound: None,
+            validator: None,
             smoother: Ewma::new(smoothing_alpha),
             last: None,
         }
@@ -106,6 +111,30 @@ impl E2eEstimator {
         self
     }
 
+    /// Enables peer-state validation: every fresh exchange is checked for
+    /// plausibility before it can form a remote window (see
+    /// [`crate::validate`]). Rejected exchanges are discarded (the last
+    /// accepted baseline is kept), demote confidence, and are counted in
+    /// [`Self::validation_stats`]; an epoch change resynchronizes instead
+    /// of computing a cross-generation delta.
+    pub fn with_validation(mut self, config: ValidateConfig) -> Self {
+        self.validator = Some(ExchangeValidator::new(config));
+        self
+    }
+
+    /// Validation counters, if validation is enabled.
+    pub fn validation_stats(&self) -> Option<ValidateStats> {
+        self.validator.as_ref().map(|v| v.stats())
+    }
+
+    /// Consecutive rejected exchanges since the last accepted one (zero
+    /// when validation is disabled).
+    pub fn consecutive_rejects(&self) -> u32 {
+        self.validator
+            .as_ref()
+            .map_or(0, |v| v.consecutive_rejects())
+    }
+
     /// Number of fresh remote windows folded in so far.
     pub fn remote_epoch(&self) -> u64 {
         self.remote_epoch
@@ -126,6 +155,19 @@ impl E2eEstimator {
         local: EndpointSnapshots,
         remote_latest: Option<WireExchange>,
     ) -> Option<Estimate> {
+        self.update_validated(now, local, remote_latest, None)
+    }
+
+    /// [`Self::update`] with the locally measured SRTT supplied for the
+    /// validator's delay bound. With validation disabled this is identical
+    /// to `update`.
+    pub fn update_validated(
+        &mut self,
+        now: Nanos,
+        local: EndpointSnapshots,
+        remote_latest: Option<WireExchange>,
+        srtt: Option<Nanos>,
+    ) -> Option<Estimate> {
         // Local tick-to-tick window.
         let local_window = self
             .prev_local
@@ -135,10 +177,42 @@ impl E2eEstimator {
 
         // Remote exchange-to-exchange window (only when a fresh exchange
         // arrived; duplicates produce an empty window and are skipped).
+        // With a validator configured, the fresh exchange must first pass
+        // plausibility checks against locally observable signals.
         let remote_window = match (self.prev_remote, remote_latest) {
             (Some(prev), Some(cur)) if prev != cur => {
-                self.prev_remote = Some(cur);
-                EndpointWindows::between_wire(&prev, &cur, self.scale)
+                let admission = match self.validator.as_mut() {
+                    Some(v) => {
+                        let ctx = ValidateCtx {
+                            srtt,
+                            local: local_window,
+                        };
+                        v.admit(&prev, &cur, self.scale, &ctx)
+                    }
+                    None => Admission::Accept,
+                };
+                match admission {
+                    Admission::Accept => {
+                        self.prev_remote = Some(cur);
+                        EndpointWindows::between_wire(&prev, &cur, self.scale)
+                    }
+                    Admission::EpochChange => {
+                        // Peer restart detected: the new exchange becomes
+                        // the delta baseline and the cached window is
+                        // dropped — resynchronization, never a wrapping
+                        // delta across counter generations.
+                        self.prev_remote = Some(cur);
+                        self.cached_remote = None;
+                        self.remote_fresh_at = None;
+                        None
+                    }
+                    Admission::Reject(_) => {
+                        // Keep the last accepted baseline: the next
+                        // plausible exchange forms a (longer) valid
+                        // window across the rejected gap.
+                        None
+                    }
+                }
             }
             (None, Some(cur)) => {
                 self.prev_remote = Some(cur);
@@ -196,6 +270,14 @@ impl E2eEstimator {
                     (local_view, remote_view, confidence, false, components)
                 }
             };
+        // Consecutive rejected exchanges demote confidence (halved per
+        // rejection), so sustained implausible peer state trips the same
+        // circuit breaker a stale peer does.
+        let confidence = confidence
+            * self
+                .validator
+                .as_ref()
+                .map_or(1.0, |v| v.confidence_factor());
         let latency = local_view.max(remote_view);
         let smoothed = self.smoother.update(latency.as_nanos() as f64);
         let est = Estimate {
@@ -445,6 +527,102 @@ mod tests {
         let raw_e = raw.update(t, spiky, Some(remotes[10])).unwrap();
         let smooth_e = smooth.update(t, spiky, Some(remotes[10])).unwrap();
         assert!(smooth_e.smoothed_latency < raw_e.latency);
+    }
+
+    #[test]
+    fn validation_rejects_garbled_exchange_and_keeps_estimating() {
+        use crate::validate::ValidateConfig;
+        let (locals, remotes) = synthetic_run();
+        let mut est = E2eEstimator::new(WireScale::UNSCALED, 1.0)
+            .with_validation(ValidateConfig::default());
+        est.update(Nanos::from_micros(100), locals[0], Some(remotes[0]));
+        let good = est
+            .update(Nanos::from_micros(200), locals[1], Some(remotes[1]))
+            .unwrap();
+        assert!((good.confidence - 1.0).abs() < 1e-9);
+
+        // A flipped high bit in one counter: the exchange must be rejected,
+        // but estimation continues from the cached window with demoted
+        // confidence.
+        let mut garbled = remotes[2];
+        garbled.unread.total ^= 0x4000_0000;
+        let e = est
+            .update(Nanos::from_micros(300), locals[2], Some(garbled))
+            .unwrap();
+        assert!((e.confidence - 0.5).abs() < 1e-9, "{}", e.confidence);
+        assert_eq!(e.latency, good.latency, "cached window keeps the estimate");
+        let stats = est.validation_stats().unwrap();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.throughput, 1);
+        assert_eq!(est.consecutive_rejects(), 1);
+
+        // The next honest exchange deltas from the last *accepted*
+        // baseline, spans the rejected gap, and restores confidence.
+        let back = est
+            .update(Nanos::from_micros(400), locals[3], Some(remotes[3]))
+            .unwrap();
+        assert!((back.confidence - 1.0).abs() < 1e-9);
+        assert_eq!(est.consecutive_rejects(), 0);
+        assert_eq!(est.validation_stats().unwrap().accepted, 2);
+    }
+
+    #[test]
+    fn epoch_change_resynchronizes_within_one_exchange() {
+        use crate::validate::ValidateConfig;
+        let us = Nanos::from_micros;
+        let (locals, remotes) = synthetic_run();
+        let mut est = E2eEstimator::new(WireScale::UNSCALED, 1.0)
+            .with_validation(ValidateConfig::default());
+        est.update(us(100), locals[0], Some(remotes[0]));
+        est.update(us(200), locals[1], Some(remotes[1])).unwrap();
+
+        // The peer restarts: counters back near zero, under a new epoch.
+        // The restarted stream reuses the synthetic pattern from t = 0.
+        let restarted: Vec<WireExchange> =
+            remotes.iter().map(|r| r.with_epoch(1)).collect();
+        let at_change = est.update(us(300), locals[2], Some(restarted[0]));
+        assert!(
+            at_change.is_none(),
+            "the epoch-change tick resynchronizes instead of estimating"
+        );
+        let stats = est.validation_stats().unwrap();
+        assert_eq!(stats.epoch_changes, 1);
+        assert_eq!(stats.rejected, 0, "a restart is not a rejection");
+
+        // One exchange later the estimator is fully resynchronized.
+        let e = est
+            .update(us(400), locals[3], Some(restarted[1]))
+            .unwrap();
+        assert!((e.confidence - 1.0).abs() < 1e-9);
+        let err = e.latency.as_nanos().abs_diff(us(70).as_nanos());
+        assert!(err < us(70).as_nanos() / 5, "resynced to {}", e.latency);
+    }
+
+    #[test]
+    fn unvalidated_estimator_is_poisoned_by_untagged_counter_reset() {
+        // The blind spot validation closes: without it, a peer whose
+        // counters reset (same epoch — e.g. a pre-epoch peer) produces a
+        // gigantic wrapping window whose delays collapse toward zero,
+        // silently underestimating latency — the dangerous direction for a
+        // batching policy.
+        let us = Nanos::from_micros;
+        let (locals, remotes) = synthetic_run();
+        let mut est = E2eEstimator::new(WireScale::UNSCALED, 1.0);
+        est.update(us(100), locals[0], Some(remotes[0]));
+        let honest = est.update(us(200), locals[1], Some(remotes[1])).unwrap();
+        assert!(honest.components.unread_far > us(20), "honest far unread ≈ 25 µs");
+
+        let (_, restarted) = synthetic_run();
+        let poisoned = est
+            .update(us(300), locals[2], Some(restarted[0]))
+            .unwrap();
+        assert!(
+            poisoned.components.unread_far < us(1),
+            "wrapping delta collapses the far-side delays: {}",
+            poisoned.components.unread_far
+        );
+        assert!(poisoned.latency < honest.latency, "net underestimation");
+        assert!((poisoned.confidence - 1.0).abs() < 1e-9, "and reports full confidence");
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //!   batching machine-wide.
 //! * [`route`] — per-knob views on estimates: each batching knob's
 //!   controller sees the decomposition component its mechanism causes.
+//! * [`validate`] — plausibility validation of the peer's shared state:
+//!   the exchange is untrusted input, cross-checked against locally
+//!   observable signals (SRTT, local transmit/receive rates) before it can
+//!   influence an estimate; peer restarts are detected via the exchange's
+//!   epoch tag and trigger resynchronization.
 //!
 //! This crate deliberately depends only on `littles` — it is stack-agnostic
 //! and would sit on top of any transport exposing the three queues.
@@ -46,6 +51,7 @@ pub mod hints;
 pub mod multi;
 pub mod route;
 pub mod rtt_baseline;
+pub mod validate;
 
 pub use combine::{combine_delays, DelaySet, EndpointSnapshots, EndpointWindows, QueueWindow};
 pub use estimator::{E2eEstimator, Estimate};
@@ -53,3 +59,6 @@ pub use hints::{HintEstimator, RequestTracker};
 pub use multi::{AggregateEstimate, EstimatorRegistry, MultiConnectionAggregator};
 pub use route::Knob;
 pub use rtt_baseline::RttBaseline;
+pub use validate::{
+    Admission, ExchangeValidator, RejectReason, ValidateConfig, ValidateCtx, ValidateStats,
+};

@@ -14,6 +14,7 @@ use littles::Nanos;
 
 use crate::combine::{DelaySet, EndpointSnapshots};
 use crate::estimator::{E2eEstimator, Estimate};
+use crate::validate::{ValidateConfig, ValidateStats};
 
 /// Throughput-weighted aggregate over per-connection estimates.
 #[derive(Debug, Clone, Default)]
@@ -154,6 +155,7 @@ pub struct EstimatorRegistry {
     scale: WireScale,
     smoothing_alpha: f64,
     staleness_bound: Option<Nanos>,
+    validation: Option<ValidateConfig>,
     estimators: BTreeMap<u64, E2eEstimator>,
 }
 
@@ -165,6 +167,7 @@ impl EstimatorRegistry {
             scale,
             smoothing_alpha,
             staleness_bound: None,
+            validation: None,
             estimators: BTreeMap::new(),
         }
     }
@@ -182,6 +185,13 @@ impl EstimatorRegistry {
         self
     }
 
+    /// Applies peer-state validation (see [`E2eEstimator::with_validation`])
+    /// to every estimator the registry creates from here on.
+    pub fn with_validation(mut self, config: ValidateConfig) -> Self {
+        self.validation = Some(config);
+        self
+    }
+
     /// Feeds one tick of one connection's data, creating the estimator on
     /// first sight of `conn`. Returns that connection's estimate when one
     /// can be formed (see [`E2eEstimator::update`]).
@@ -192,17 +202,50 @@ impl EstimatorRegistry {
         local: EndpointSnapshots,
         remote_latest: Option<WireExchange>,
     ) -> Option<Estimate> {
-        let (scale, alpha, bound) = (self.scale, self.smoothing_alpha, self.staleness_bound);
+        self.update_validated(conn, now, local, remote_latest, None)
+    }
+
+    /// [`Self::update`] with the connection's locally measured SRTT
+    /// supplied for the validator's delay bound.
+    pub fn update_validated(
+        &mut self,
+        conn: u64,
+        now: Nanos,
+        local: EndpointSnapshots,
+        remote_latest: Option<WireExchange>,
+        srtt: Option<Nanos>,
+    ) -> Option<Estimate> {
+        let (scale, alpha, bound, validation) = (
+            self.scale,
+            self.smoothing_alpha,
+            self.staleness_bound,
+            self.validation,
+        );
         self.estimators
             .entry(conn)
             .or_insert_with(|| {
-                let est = E2eEstimator::new(scale, alpha);
-                match bound {
-                    Some(b) => est.with_staleness_bound(b),
-                    None => est,
+                let mut est = E2eEstimator::new(scale, alpha);
+                if let Some(b) = bound {
+                    est = est.with_staleness_bound(b);
                 }
+                if let Some(v) = validation {
+                    est = est.with_validation(v);
+                }
+                est
             })
-            .update(now, local, remote_latest)
+            .update_validated(now, local, remote_latest, srtt)
+    }
+
+    /// Validation counters summed across every connection (all zero when
+    /// validation is disabled).
+    pub fn validation_stats(&self) -> ValidateStats {
+        let mut total = ValidateStats::default();
+        for est in self.estimators.values() {
+            if let Some(stats) = est.validation_stats() {
+                total.merge(&stats);
+            }
+        }
+        total
     }
 
     /// Number of registered connections.

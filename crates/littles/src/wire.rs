@@ -26,6 +26,36 @@ pub const SNAPSHOT_WIRE_BYTES: usize = 12;
 /// Size in bytes of a full three-queue exchange (the paper's 36 bytes).
 pub const EXCHANGE_WIRE_BYTES: usize = 3 * SNAPSHOT_WIRE_BYTES;
 
+/// Size in bytes of an epoch-tagged exchange: one generation byte followed
+/// by the paper's 36 counters.
+pub const TAGGED_EXCHANGE_WIRE_BYTES: usize = 1 + EXCHANGE_WIRE_BYTES;
+
+/// Why a wire payload failed to decode.
+///
+/// Decoding untrusted bytes must be total: every failure is reported
+/// through this error, never a panic (the `untrusted-wire` lint keeps raw
+/// decoding confined to this module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireDecodeError {
+    /// The buffer is shorter than the fixed wire size of the payload.
+    Truncated {
+        /// Bytes the payload requires.
+        need: usize,
+        /// Bytes actually supplied.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireDecodeError::Truncated { need, got } => {
+                write!(f, "truncated wire payload: need {need} bytes, got {got}")
+            }
+        }
+    }
+}
+
 /// Fixed-point scaling applied when packing 64/128-bit counters into `u32`.
 ///
 /// Values are right-shifted by the configured number of bits; shifts are
@@ -102,6 +132,22 @@ impl WireSnapshot {
         }
     }
 
+    /// Deserializes from an untrusted byte slice; total — never panics.
+    /// Trailing bytes beyond the first [`SNAPSHOT_WIRE_BYTES`] are ignored.
+    pub fn try_decode(buf: &[u8]) -> Result<Self, WireDecodeError> {
+        match buf.get(..SNAPSHOT_WIRE_BYTES) {
+            Some(head) => {
+                let mut arr = [0u8; SNAPSHOT_WIRE_BYTES];
+                arr.copy_from_slice(head);
+                Ok(Self::decode(&arr))
+            }
+            None => Err(WireDecodeError::Truncated {
+                need: SNAPSHOT_WIRE_BYTES,
+                got: buf.len(),
+            }),
+        }
+    }
+
     /// Wrap-aware window between two successive wire snapshots, un-scaled
     /// back to full resolution.
     ///
@@ -157,7 +203,12 @@ impl WireWindow {
 
 /// The three per-queue snapshots one endpoint shares with its peer.
 ///
-/// Field order matches the latency decomposition of §3.2.
+/// Field order matches the latency decomposition of §3.2. The `epoch` is a
+/// generation tag for the sharing endpoint's counter state: two exchanges
+/// are delta-comparable only when their epochs match. A peer whose counters
+/// restarted from zero (process crash, socket replaced) bumps its epoch, so
+/// the reset is detected as a generation change instead of being misread as
+/// a gigantic wrapping delta.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct WireExchange {
     /// Messages sent but not yet acknowledged.
@@ -166,10 +217,14 @@ pub struct WireExchange {
     pub unread: WireSnapshot,
     /// Messages received but whose acknowledgment is still delayed.
     pub ackdelay: WireSnapshot,
+    /// Counter-state generation of the sharing endpoint (wrapping).
+    pub epoch: u8,
 }
 
 impl WireExchange {
-    /// Serializes to the paper's 36-byte exchange payload.
+    /// Serializes to the paper's 36-byte exchange payload (counters only;
+    /// the epoch tag travels in the option framing, see
+    /// [`encode_tagged`](Self::encode_tagged)).
     pub fn encode(&self) -> [u8; EXCHANGE_WIRE_BYTES] {
         let mut out = [0u8; EXCHANGE_WIRE_BYTES];
         out[0..12].copy_from_slice(&self.unacked.encode());
@@ -178,7 +233,16 @@ impl WireExchange {
         out
     }
 
-    /// Deserializes a 36-byte exchange payload.
+    /// Serializes to the epoch-tagged wire form: one generation byte
+    /// followed by the 36 counters.
+    pub fn encode_tagged(&self) -> [u8; TAGGED_EXCHANGE_WIRE_BYTES] {
+        let mut out = [0u8; TAGGED_EXCHANGE_WIRE_BYTES];
+        out[0] = self.epoch;
+        out[1..].copy_from_slice(&self.encode());
+        out
+    }
+
+    /// Deserializes a 36-byte exchange payload (epoch defaults to 0).
     pub fn decode(buf: &[u8; EXCHANGE_WIRE_BYTES]) -> Self {
         let part = |lo: usize| {
             let mut arr = [0u8; SNAPSHOT_WIRE_BYTES];
@@ -189,10 +253,44 @@ impl WireExchange {
             unacked: part(0),
             unread: part(12),
             ackdelay: part(24),
+            epoch: 0,
         }
     }
 
-    /// Packs three full-resolution snapshots.
+    /// Deserializes an untrusted counters-only payload; total — never
+    /// panics. Trailing bytes are ignored; the epoch defaults to 0.
+    pub fn try_decode(buf: &[u8]) -> Result<Self, WireDecodeError> {
+        match buf.get(..EXCHANGE_WIRE_BYTES) {
+            Some(head) => {
+                let mut arr = [0u8; EXCHANGE_WIRE_BYTES];
+                arr.copy_from_slice(head);
+                Ok(Self::decode(&arr))
+            }
+            None => Err(WireDecodeError::Truncated {
+                need: EXCHANGE_WIRE_BYTES,
+                got: buf.len(),
+            }),
+        }
+    }
+
+    /// Deserializes an untrusted epoch-tagged payload (epoch byte + 36
+    /// counters); total — never panics.
+    pub fn try_decode_tagged(buf: &[u8]) -> Result<Self, WireDecodeError> {
+        match buf.split_first() {
+            Some((&epoch, rest)) if rest.len() >= EXCHANGE_WIRE_BYTES => {
+                let mut ex = Self::try_decode(rest)?;
+                ex.epoch = epoch;
+                Ok(ex)
+            }
+            _ => Err(WireDecodeError::Truncated {
+                need: TAGGED_EXCHANGE_WIRE_BYTES,
+                got: buf.len(),
+            }),
+        }
+    }
+
+    /// Packs three full-resolution snapshots (epoch 0; see
+    /// [`with_epoch`](Self::with_epoch)).
     pub fn pack(
         unacked: &Snapshot,
         unread: &Snapshot,
@@ -203,7 +301,14 @@ impl WireExchange {
             unacked: WireSnapshot::pack(unacked, scale),
             unread: WireSnapshot::pack(unread, scale),
             ackdelay: WireSnapshot::pack(ackdelay, scale),
+            epoch: 0,
         }
+    }
+
+    /// The same exchange stamped with a counter-state generation.
+    pub fn with_epoch(mut self, epoch: u8) -> Self {
+        self.epoch = epoch;
+        self
     }
 }
 
@@ -254,8 +359,73 @@ mod tests {
                 total: 8,
                 integral: 9,
             },
+            epoch: 0,
         };
         assert_eq!(WireExchange::decode(&ex.encode()), ex);
+        // The tagged form carries the epoch as well.
+        let tagged = ex.with_epoch(0xA7);
+        assert_eq!(tagged.encode_tagged().len(), TAGGED_EXCHANGE_WIRE_BYTES);
+        assert_eq!(
+            WireExchange::try_decode_tagged(&tagged.encode_tagged()),
+            Ok(tagged)
+        );
+    }
+
+    #[test]
+    fn try_decode_rejects_truncation() {
+        let ex = WireExchange::default().with_epoch(3);
+        let tagged = ex.encode_tagged();
+        for cut in 0..TAGGED_EXCHANGE_WIRE_BYTES {
+            assert_eq!(
+                WireExchange::try_decode_tagged(&tagged[..cut]),
+                Err(WireDecodeError::Truncated {
+                    need: TAGGED_EXCHANGE_WIRE_BYTES,
+                    got: cut,
+                })
+            );
+        }
+        assert_eq!(
+            WireSnapshot::try_decode(&[0u8; 11]),
+            Err(WireDecodeError::Truncated { need: 12, got: 11 })
+        );
+        assert_eq!(
+            WireExchange::try_decode(&[0u8; 35]),
+            Err(WireDecodeError::Truncated { need: 36, got: 35 })
+        );
+    }
+
+    /// Seeded random-bytes sweep (the repo's proptest substitute): decoding
+    /// arbitrary byte soup of arbitrary length must be total — an `Ok` for
+    /// sufficient input, a `Truncated` error otherwise, and never a panic.
+    #[test]
+    fn decode_of_arbitrary_bytes_is_total() {
+        // Minimal xorshift so littles stays dependency-free even in tests.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10_000 {
+            let len = (next() % 64) as usize;
+            let mut buf = vec![0u8; len];
+            for b in buf.iter_mut() {
+                *b = next() as u8;
+            }
+            assert_eq!(WireSnapshot::try_decode(&buf).is_ok(), len >= SNAPSHOT_WIRE_BYTES);
+            assert_eq!(WireExchange::try_decode(&buf).is_ok(), len >= EXCHANGE_WIRE_BYTES);
+            let tagged = WireExchange::try_decode_tagged(&buf);
+            assert_eq!(tagged.is_ok(), len >= TAGGED_EXCHANGE_WIRE_BYTES);
+            if let Ok(ex) = tagged {
+                // What decoded must re-encode to the bytes consumed.
+                assert_eq!(
+                    ex.encode_tagged()[..],
+                    buf[..TAGGED_EXCHANGE_WIRE_BYTES],
+                    "tagged decode/encode roundtrip"
+                );
+            }
+        }
     }
 
     #[test]

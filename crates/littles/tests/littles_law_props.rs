@@ -177,8 +177,12 @@ fn wire_exchange_roundtrip() {
             unacked: mk(&mut rng),
             unread: mk(&mut rng),
             ackdelay: mk(&mut rng),
+            epoch: rng.next() as u8,
         };
-        assert_eq!(WireExchange::decode(&ex.encode()), ex);
+        // The counters-only form drops the epoch; the tagged Result path
+        // (the one untrusted bytes must take) preserves it.
+        assert_eq!(WireExchange::decode(&ex.encode()), ex.with_epoch(0));
+        assert_eq!(WireExchange::try_decode_tagged(&ex.encode_tagged()), Ok(ex));
     }
 }
 

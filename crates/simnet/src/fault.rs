@@ -19,6 +19,13 @@
 //! * **Server CPU stalls** — GC-pause-like windows during which the server
 //!   application thread cannot run (wired up via
 //!   [`CpuContext::set_stall_schedule`](crate::CpuContext::set_stall_schedule)).
+//! * **Exchange corruption** — bit flips confined to the metadata-exchange
+//!   option ([`CorruptConfig`]); data payload survives, only the shared
+//!   counters lie.
+//! * **Endpoint restarts** — scheduled client crashes
+//!   ([`RestartSchedule`]): socket and counter state reset, the connection
+//!   reconnects after a backoff, and the estimator must resynchronize via
+//!   the exchange's epoch tag.
 //!
 //! Every random fault class draws from its own *named* PCG stream
 //! ([`Pcg32::named`]), so enabling one class never shifts another class's
@@ -90,6 +97,43 @@ pub struct DuplicateConfig {
 pub struct JitterConfig {
     /// Maximum extra per-packet delay.
     pub max: Nanos,
+}
+
+/// Exchange-payload corruption: with `probability`, a transmitted metadata
+/// exchange (the 36-byte queue-state option and its epoch tag) has one
+/// field garbled by a single bit flip. Data payload is untouched — this
+/// models counter corruption that slips past checksums, a buggy peer
+/// stack, or an adversarial peer feeding the estimator garbage.
+#[derive(Debug, Clone, Copy)]
+pub struct CorruptConfig {
+    /// Per-exchange-carrying-packet probability of garbling.
+    pub probability: f64,
+}
+
+/// Scheduled endpoint restarts: at `first_at`, and then every `period`
+/// (0 = once), one client endpoint "crashes" — its socket and queue-state
+/// counters reset to zero and the connection is re-established after a
+/// backoff. Which client restarts is drawn from the `fault.restart`
+/// stream. Purely schedule-driven timing; no randomness is consumed until
+/// a restart actually fires.
+#[derive(Debug, Clone, Copy)]
+pub struct RestartSchedule {
+    /// Time of the first restart.
+    pub first_at: Nanos,
+    /// Distance between restarts (0 = a single restart).
+    pub period: Nanos,
+}
+
+/// Which part of an exchange to garble. `field` indexes the nine counters
+/// in wire order — queue `field / 3` (unacked, unread, ackdelay), counter
+/// `field % 3` (time, total, integral) — with `9` naming the epoch tag.
+/// `bit` is the bit to flip (taken modulo the field's width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptTarget {
+    /// Field index, `0..=9`.
+    pub field: u8,
+    /// Bit to flip within the field.
+    pub bit: u8,
 }
 
 /// A periodic schedule of windows `[first_at + k·period,
@@ -169,6 +213,11 @@ pub struct FaultConfig {
     pub blackout: Option<WindowSchedule>,
     /// Scheduled server application-thread stalls (GC-pause-like).
     pub server_stall: Option<WindowSchedule>,
+    /// Metadata-exchange corruption (bit flips in the shared counters; data
+    /// segments are otherwise untouched).
+    pub corrupt: Option<CorruptConfig>,
+    /// Scheduled client-endpoint restarts (crash + reconnect).
+    pub restart: Option<RestartSchedule>,
     /// Faults are inert before this time: no packets are touched and no
     /// RNG draws are consumed, so the handshake and early steady state
     /// are identical to a fault-free run. Window schedules
@@ -186,6 +235,8 @@ impl FaultConfig {
             || self.jitter.is_some()
             || self.blackout.is_some()
             || self.server_stall.is_some()
+            || self.corrupt.is_some()
+            || self.restart.is_some()
     }
 }
 
@@ -200,6 +251,8 @@ pub struct FaultCounters {
     pub reorders: u64,
     /// Packets dropped because a blackout window was open.
     pub blackout_drops: u64,
+    /// Metadata exchanges garbled in flight.
+    pub corruptions: u64,
 }
 
 impl FaultCounters {
@@ -210,12 +263,13 @@ impl FaultCounters {
             duplicates: self.duplicates + other.duplicates,
             reorders: self.reorders + other.reorders,
             blackout_drops: self.blackout_drops + other.blackout_drops,
+            corruptions: self.corruptions + other.corruptions,
         }
     }
 
     /// Total packets affected by any fault class.
     pub fn total(&self) -> u64 {
-        self.drops + self.duplicates + self.reorders + self.blackout_drops
+        self.drops + self.duplicates + self.reorders + self.blackout_drops + self.corruptions
     }
 }
 
@@ -242,8 +296,11 @@ pub struct FaultPlan {
     reorder_rng: Pcg32,
     dup_rng: Pcg32,
     jitter_rng: Pcg32,
+    corrupt_rng: Pcg32,
+    restart_rng: Pcg32,
     ge_bad: Vec<bool>,
     counters: Vec<FaultCounters>,
+    restarts: u64,
 }
 
 impl FaultPlan {
@@ -255,8 +312,11 @@ impl FaultPlan {
             reorder_rng: Pcg32::named(seed, "fault.reorder"),
             dup_rng: Pcg32::named(seed, "fault.duplicate"),
             jitter_rng: Pcg32::named(seed, "fault.jitter"),
+            corrupt_rng: Pcg32::named(seed, "fault.corrupt"),
+            restart_rng: Pcg32::named(seed, "fault.restart"),
             ge_bad: vec![false; 2 * num_links],
             counters: vec![FaultCounters::default(); 2 * num_links],
+            restarts: 0,
         }
     }
 
@@ -335,6 +395,43 @@ impl FaultPlan {
         decision
     }
 
+    /// Decides whether to garble the metadata exchange a surviving packet
+    /// carries. Call only for packets that actually carry the option, in
+    /// transmission order; consumes no randomness when corruption is
+    /// disabled or before [`FaultConfig::start_at`].
+    pub fn corrupt_exchange(
+        &mut self,
+        link: usize,
+        toward_server: bool,
+        now: Nanos,
+    ) -> Option<CorruptTarget> {
+        let cfg = self.config.corrupt?;
+        if now < self.config.start_at {
+            return None;
+        }
+        if !self.corrupt_rng.gen_bool(cfg.probability) {
+            return None;
+        }
+        self.counters[2 * link + usize::from(toward_server)].corruptions += 1;
+        Some(CorruptTarget {
+            field: self.corrupt_rng.gen_range(10) as u8,
+            bit: self.corrupt_rng.gen_range(32) as u8,
+        })
+    }
+
+    /// Picks which of `num_clients` endpoints restarts for one scheduled
+    /// restart event, and counts it. Draws exactly one value from the
+    /// `fault.restart` stream per fired restart.
+    pub fn pick_restart_target(&mut self, num_clients: usize) -> usize {
+        self.restarts += 1;
+        self.restart_rng.gen_range(num_clients.max(1) as u64) as usize
+    }
+
+    /// Restart events fired so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
     /// Audit counters for one directed link.
     pub fn counters(&self, link: usize, toward_server: bool) -> FaultCounters {
         self.counters[2 * link + usize::from(toward_server)]
@@ -372,13 +469,68 @@ mod tests {
         for i in 0..1000u64 {
             let d = plan.on_transmit((i % 4) as usize, i % 2 == 0, us(i));
             assert!(!d.drop && !d.duplicate && d.extra_delay.is_zero());
+            assert!(plan.corrupt_exchange((i % 4) as usize, i % 2 == 0, us(i)).is_none());
         }
         // No RNG state advanced, no counters moved: bit-identical.
         assert_eq!(plan.loss_rng, pristine.loss_rng);
         assert_eq!(plan.reorder_rng, pristine.reorder_rng);
         assert_eq!(plan.dup_rng, pristine.dup_rng);
         assert_eq!(plan.jitter_rng, pristine.jitter_rng);
+        assert_eq!(plan.corrupt_rng, pristine.corrupt_rng);
+        assert_eq!(plan.restart_rng, pristine.restart_rng);
         assert!(plan.per_link_counters().iter().all(|c| c.total() == 0));
+    }
+
+    #[test]
+    fn corruption_is_counted_and_targets_are_in_range() {
+        let cfg = FaultConfig {
+            corrupt: Some(CorruptConfig { probability: 0.5 }),
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg, 11, 2);
+        let mut hits = 0u64;
+        for i in 0..4_000u64 {
+            if let Some(t) = plan.corrupt_exchange((i % 2) as usize, i % 2 == 0, us(i)) {
+                hits += 1;
+                assert!(t.field < 10, "field {}", t.field);
+                assert!(t.bit < 32, "bit {}", t.bit);
+            }
+        }
+        assert!((1_600..2_400).contains(&hits), "corruptions {hits}");
+        let counted: u64 = plan.per_link_counters().iter().map(|c| c.corruptions).sum();
+        assert_eq!(counted, hits);
+    }
+
+    #[test]
+    fn corruption_respects_start_at() {
+        let cfg = FaultConfig {
+            corrupt: Some(CorruptConfig { probability: 1.0 }),
+            start_at: us(500),
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg, 3, 1);
+        assert!(plan.corrupt_exchange(0, true, us(499)).is_none());
+        assert!(plan.corrupt_exchange(0, true, us(500)).is_some());
+    }
+
+    #[test]
+    fn restart_targets_are_deterministic_and_in_range() {
+        let cfg = FaultConfig {
+            restart: Some(RestartSchedule {
+                first_at: us(100),
+                period: us(1_000),
+            }),
+            ..FaultConfig::default()
+        };
+        let mut a = FaultPlan::new(cfg, 42, 8);
+        let mut b = FaultPlan::new(cfg, 42, 8);
+        let picks_a: Vec<usize> = (0..64).map(|_| a.pick_restart_target(8)).collect();
+        let picks_b: Vec<usize> = (0..64).map(|_| b.pick_restart_target(8)).collect();
+        assert_eq!(picks_a, picks_b);
+        assert!(picks_a.iter().all(|&t| t < 8));
+        // Not degenerate: more than one distinct target over 64 draws.
+        assert!(picks_a.iter().collect::<std::collections::BTreeSet<_>>().len() > 1);
+        assert_eq!(a.restarts(), 64);
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub mod topology;
 pub use cpu::{BusySnapshot, CpuContext};
 pub use engine::{run, run_until_idle, EventQueue, EventToken, World};
 pub use fault::{
-    DuplicateConfig, FaultConfig, FaultCounters, FaultDecision, FaultPlan, GilbertElliott,
-    JitterConfig, ReorderConfig, WindowSchedule,
+    CorruptConfig, CorruptTarget, DuplicateConfig, FaultConfig, FaultCounters, FaultDecision,
+    FaultPlan, GilbertElliott, JitterConfig, ReorderConfig, RestartSchedule, WindowSchedule,
 };
 pub use hist::Histogram;
 pub use link::{DuplexLink, Link, LinkConfig};

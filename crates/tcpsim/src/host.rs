@@ -42,6 +42,9 @@ pub struct Host {
     timer_gens: BTreeMap<(SocketId, TimerKind), u64>,
     /// Total doorbells rung (one per transmit batch).
     pub doorbells: u64,
+    /// Counter-state generations issued (wrapping); each registered socket
+    /// gets the next value as its exchange epoch.
+    epochs_issued: u8,
 }
 
 impl Host {
@@ -64,15 +67,27 @@ impl Host {
             nic_in_flight: 0,
             timer_gens: BTreeMap::new(),
             doorbells: 0,
+            epochs_issued: 0,
         }
     }
 
-    /// Registers a socket, returning its id.
-    pub fn add_socket(&mut self, sock: TcpSocket) -> SocketId {
+    /// Registers a socket, returning its id. The socket is stamped with
+    /// the host's next counter-state epoch, so a socket created to replace
+    /// a crashed one shares counters under a fresh generation tag.
+    pub fn add_socket(&mut self, mut sock: TcpSocket) -> SocketId {
+        sock.set_epoch(self.epochs_issued);
+        self.epochs_issued = self.epochs_issued.wrapping_add(1);
         let id = SocketId(self.sockets.len());
         self.flows.insert(sock.flow(), id);
         self.sockets.push(sock);
         id
+    }
+
+    /// Drops the flow mapping for a socket (the endpoint-restart fault):
+    /// segments for that flow become stray deliveries and are dropped at
+    /// the softirq layer, exactly as if the owning process disappeared.
+    pub fn remove_flow(&mut self, flow: FlowId) {
+        self.flows.remove(&flow);
     }
 
     /// Looks up the socket serving `flow`.

@@ -28,10 +28,13 @@ pub const HEADER_BYTES: usize = 58;
 pub const TIMESTAMP_OPTION_BYTES: usize = 12;
 
 /// Wire bytes of the end-to-end exchange option carrying `n` units'
-/// counters: kind + length + unit bitmap + 36 bytes per unit, padded to a
-/// 4-byte boundary. One unit — the paper's configuration — is 40 bytes.
+/// counters: kind + length + unit bitmap + epoch tag + 36 bytes per unit,
+/// padded to a 4-byte boundary. One unit — the paper's configuration — is
+/// 40 bytes. The epoch byte lives in what used to be padding: `4 + 36n` is
+/// already a multiple of 4, so tagging costs zero extra wire bytes at any
+/// unit count.
 pub const fn e2e_option_bytes(units: usize) -> usize {
-    (2 + 1 + EXCHANGE_WIRE_BYTES * units).div_ceil(4) * 4
+    (2 + 1 + 1 + EXCHANGE_WIRE_BYTES * units).div_ceil(4) * 4
 }
 
 /// Wire bytes of the single-unit exchange option (the paper's 36 bytes of
@@ -78,12 +81,19 @@ pub struct TimestampOption {
 pub struct E2eOption {
     /// Per-unit exchanges, indexed by [`Unit::index`].
     pub exchanges: [Option<WireExchange>; 3],
+    /// Counter-state generation of the sharing endpoint (one tag covers
+    /// every unit — they all reset together when the endpoint restarts).
+    pub epoch: u8,
 }
 
 impl E2eOption {
-    /// An option carrying a single unit's counters.
+    /// An option carrying a single unit's counters (the exchange's own
+    /// epoch stamps the option).
     pub fn single(unit: Unit, exchange: WireExchange) -> Self {
-        let mut opt = E2eOption::default();
+        let mut opt = E2eOption {
+            epoch: exchange.epoch,
+            ..E2eOption::default()
+        };
         opt.exchanges[unit.index()] = Some(exchange);
         opt
     }
@@ -302,8 +312,9 @@ mod tests {
 
     #[test]
     fn e2e_option_is_40_bytes() {
-        // 2 (kind+len) + 1 (unit bitmap) + 36 (counters) = 39, padded to
-        // 40.
+        // 2 (kind+len) + 1 (unit bitmap) + 1 (epoch tag) + 36 (counters)
+        // = 40 exactly — the epoch byte occupies what used to be padding,
+        // so the option costs the same wire bytes it did untagged.
         assert_eq!(E2E_OPTION_BYTES, 40);
         assert_eq!(e2e_option_bytes(3), 112);
     }

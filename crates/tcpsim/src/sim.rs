@@ -30,13 +30,16 @@ use std::collections::BTreeMap;
 
 use crate::payload::Payload;
 use littles::{Nanos, Snapshot};
-use simnet::{DuplexLink, EventQueue, FaultConfig, FaultPlan, LinkConfig, Pcg32, StarTopology, World};
+use simnet::{
+    CorruptTarget, DuplexLink, EventQueue, FaultConfig, FaultPlan, LinkConfig, Pcg32,
+    StarTopology, World,
+};
 
 use crate::config::TcpConfig;
 use crate::host::{Host, HostId};
 use crate::knob::KnobSetting;
-use crate::segment::{FlowId, Segment};
-use crate::socket::{Action, SocketId, TcpSocket, TimerKind, TxEnv, WakeReason};
+use crate::segment::{E2eOption, FlowId, Segment};
+use crate::socket::{Action, SocketId, TcpSocket, TcpState, TimerKind, TxEnv, WakeReason};
 
 /// Delay between a packet leaving the NIC and the transmit-completion
 /// interrupt that frees its ring slot (what auto-corking waits for).
@@ -93,6 +96,9 @@ pub enum Event {
         /// Ring slots freed.
         packets: u32,
     },
+    /// A scheduled endpoint crash: one client host (drawn from the fault
+    /// plan's restart stream) loses all socket state and must reconnect.
+    Restart,
 }
 
 /// Which CPU context pays for transmit work triggered by socket actions.
@@ -382,7 +388,7 @@ fn apply_actions(
     let mut transmitted = false;
     for action in actions {
         match action {
-            Action::Transmit(seg) => {
+            Action::Transmit(mut seg) => {
                 let cost = host.tx_cost(&seg);
                 let cpu = match charge {
                     Charge::App => &mut host.app_cpu,
@@ -431,6 +437,17 @@ fn apply_actions(
                         } else {
                             arrival = Some(t + decision.extra_delay);
                             duplicate = decision.duplicate;
+                            // Corruption garbles only the exchange option —
+                            // the data payload survives, but the shared
+                            // counters lie. Applied before duplication so
+                            // both copies carry the same lie.
+                            if let Some(opt) = seg.options.e2e.as_mut() {
+                                if let Some(target) =
+                                    plan.corrupt_exchange(link_idx, toward_server, depart)
+                                {
+                                    garble_e2e(opt, target);
+                                }
+                            }
                         }
                     }
                 }
@@ -482,6 +499,31 @@ fn apply_actions(
         };
         cpu.run(now, host.costs.tx_doorbell);
         host.doorbells += 1;
+    }
+}
+
+/// Applies one deterministic bit flip to an exchange option. Fields
+/// `0..=8` target a counter — `field / 3` selects the queue (unacked,
+/// unread, ackdelay), `field % 3` the `(time, total, integral)` component
+/// — in every carried unit; field `9` flips a bit of the epoch tag (a
+/// spurious-restart signal: safe degradation rather than poisoning).
+fn garble_e2e(opt: &mut E2eOption, target: CorruptTarget) {
+    if target.field == 9 {
+        opt.epoch ^= 1 << (target.bit % 8);
+        return;
+    }
+    let mask = 1u32 << (target.bit % 32);
+    for ex in opt.exchanges.iter_mut().flatten() {
+        let queue = match target.field / 3 {
+            0 => &mut ex.unacked,
+            1 => &mut ex.unread,
+            _ => &mut ex.ackdelay,
+        };
+        match target.field % 3 {
+            0 => queue.time ^= mask,
+            1 => queue.total ^= mask,
+            _ => queue.integral ^= mask,
+        }
     }
 }
 
@@ -607,7 +649,12 @@ impl<C: App, S: App> NetSim<C, S> {
 
     /// Invokes every application's `on_start` — the server first (so it is
     /// listening before any client connects), then clients in host order.
+    /// When the fault plan schedules endpoint restarts, the first crash
+    /// event is queued here.
     pub fn start(&mut self, queue: &mut EventQueue<Event>) {
+        if let Some(rs) = self.faults.as_ref().and_then(|p| p.config().restart) {
+            queue.schedule_at(rs.first_at, Event::Restart);
+        }
         let server_idx = self.topology.server_index();
         let NetSim {
             clients,
@@ -830,6 +877,48 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     server.on_wake(&mut ctx, sock, reason);
                 } else {
                     clients[h].on_wake(&mut ctx, sock, reason);
+                }
+            }
+            Event::Restart => {
+                let Some(plan) = self.faults.as_mut() else {
+                    return;
+                };
+                let num_clients = self.topology.num_clients();
+                let target = plan.pick_restart_target(num_clients);
+                if let Some(rs) = plan.config().restart {
+                    if !rs.period.is_zero() {
+                        queue.schedule(rs.period, Event::Restart);
+                    }
+                }
+                // The crash: every live socket on the target host loses
+                // its state. The flow mapping is dropped so in-flight and
+                // retransmitted segments for the old connection are
+                // discarded as strays (the softirq path ignores unknown
+                // flows that are not SYNs); pending timers are invalidated
+                // by bumping their generations. The application is woken
+                // with `Reset` to re-establish a fresh connection, whose
+                // new socket gets a new epoch.
+                let host = &mut self.hosts[target];
+                let ids: Vec<SocketId> = host.socket_ids().collect();
+                for id in ids {
+                    let sock = host.socket_mut(id);
+                    if sock.state() == TcpState::Closed {
+                        continue;
+                    }
+                    let flow = sock.flow();
+                    sock.reset();
+                    host.remove_flow(flow);
+                    host.bump_timer(id, TimerKind::Rto);
+                    host.bump_timer(id, TimerKind::Delack);
+                    host.bump_timer(id, TimerKind::Cork);
+                    queue.schedule(
+                        Nanos::ZERO,
+                        Event::AppWake {
+                            host: target,
+                            sock: id,
+                            reason: WakeReason::Reset,
+                        },
+                    );
                 }
             }
             Event::AppCall { host: h, token } => {

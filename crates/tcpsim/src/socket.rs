@@ -77,6 +77,10 @@ pub enum WakeReason {
     Readable,
     /// Send-buffer space was freed.
     Writable,
+    /// The endpoint process restarted: the socket was torn down with all
+    /// of its counter state and the application should re-establish the
+    /// connection.
+    Reset,
 }
 
 /// Side effects requested by the socket, executed by the host.
@@ -223,6 +227,12 @@ pub struct TcpSocket {
     flow: FlowId,
     config: TcpConfig,
     state: TcpState,
+    /// Counter-state generation stamped on outgoing exchanges. Assigned by
+    /// the host at registration (a per-host creation counter), so a socket
+    /// replacing a crashed one carries a different epoch and the peer's
+    /// validator detects the counter reset instead of computing a gigantic
+    /// wrapping delta.
+    epoch: u8,
     iss: SeqNum,
     irs: SeqNum,
     snd: SendBuffer,
@@ -295,6 +305,7 @@ impl TcpSocket {
             flow,
             config,
             state,
+            epoch: 0,
             iss: SeqNum::new(Self::ISS),
             irs: SeqNum::new(0),
             snd: SendBuffer::new(config.sndbuf),
@@ -391,6 +402,32 @@ impl TcpSocket {
     /// Current connection state.
     pub fn state(&self) -> TcpState {
         self.state
+    }
+
+    /// Counter-state generation stamped on outgoing exchanges.
+    pub fn epoch(&self) -> u8 {
+        self.epoch
+    }
+
+    /// Assigns the counter-state generation (the host does this once at
+    /// registration).
+    pub(crate) fn set_epoch(&mut self, epoch: u8) {
+        self.epoch = epoch;
+    }
+
+    /// Tears the socket down in place — the endpoint-restart fault. The
+    /// process behind this endpoint is gone, and every bit of connection
+    /// and queue-counter state went with it: the socket stops transmitting,
+    /// ignores all input, and never shares counters again. The host drops
+    /// the flow mapping and invalidates pending timers; the application is
+    /// woken separately to re-establish a fresh connection (whose new
+    /// socket gets a new epoch).
+    pub fn reset(&mut self) {
+        self.state = TcpState::Closed;
+        self.rto_armed = false;
+        self.corked_since = None;
+        self.fin_wanted = false;
+        self.fin_sent = false;
     }
 
     /// The socket's configuration.
@@ -791,11 +828,17 @@ impl TcpSocket {
                 Some(last) => now.saturating_sub(last) >= cfg.min_interval,
             };
             if due {
-                let mut opt = E2eOption::default();
+                let mut opt = E2eOption {
+                    epoch: self.epoch,
+                    ..E2eOption::default()
+                };
                 for unit in Unit::ALL {
                     if cfg.units[unit.index()] {
-                        opt.exchanges[unit.index()] =
-                            Some(self.queues.wire_exchange(now, unit, WireScale::default()));
+                        opt.exchanges[unit.index()] = Some(
+                            self.queues
+                                .wire_exchange(now, unit, WireScale::default())
+                                .with_epoch(self.epoch),
+                        );
                     }
                 }
                 options.e2e = Some(opt);
@@ -943,7 +986,12 @@ impl TcpSocket {
         if let Some(e2e) = seg.options.e2e {
             for unit in Unit::ALL {
                 if let Some(exchange) = e2e.get(unit) {
-                    self.remote.unit_mut(unit).push(exchange);
+                    // The option's epoch tag covers every unit it carries;
+                    // stamp it onto each stored exchange so downstream
+                    // consumers (estimator, validator) see the generation.
+                    self.remote
+                        .unit_mut(unit)
+                        .push(exchange.with_epoch(e2e.epoch));
                 }
             }
             self.remote.received += 1;

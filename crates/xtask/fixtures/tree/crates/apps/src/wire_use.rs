@@ -1,0 +1,9 @@
+//! Raw wire decodes outside the wire module.
+fn feed(buf: &[u8; 36], snap: &[u8; 12], raw: &[u8]) {
+    let _a = WireExchange::decode(buf);
+    let _b = WireSnapshot::decode(snap);
+    let _c = WireExchange::try_decode(raw);
+    // lint:allow(untrusted-wire): replay harness feeds the codec directly
+    let _d = WireSnapshot::try_decode(raw);
+    let _e = WireExchange::try_decode_tagged(raw);
+}

@@ -1,0 +1,10 @@
+//! The wire module itself: raw decodes are its implementation details.
+
+/// Parses a snapshot straight off the wire.
+pub fn parse_snapshot(buf: &[u8; 12]) -> WireSnapshot {
+    WireSnapshot::decode(buf)
+}
+
+fn parse_exchange(buf: &[u8; 36]) -> Option<WireExchange> {
+    WireExchange::try_decode(buf).ok()
+}

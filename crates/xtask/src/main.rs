@@ -15,6 +15,7 @@ fn usage() -> ExitCode {
     eprintln!("  panic-hygiene  no unwrap/expect in littles or e2e-core library code");
     eprintln!("  pub-docs       doc comments required on pub items in littles/e2e-core");
     eprintln!("  actuation      no raw batching-knob setters outside tcpsim's apply path");
+    eprintln!("  untrusted-wire no raw wire-metadata decodes outside littles' wire module");
     eprintln!();
     eprintln!("Suppress with `// lint:allow(<rule>): <justification>` on the same");
     eprintln!("or preceding line.");

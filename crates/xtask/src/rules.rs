@@ -4,12 +4,13 @@ use crate::diag::Diagnostic;
 use crate::mask::{self, line_col, Masked};
 
 /// Rule identifiers, as accepted by `lint:allow(...)`.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "determinism",
     "float-eq",
     "panic-hygiene",
     "pub-docs",
     "actuation",
+    "untrusted-wire",
 ];
 
 /// Calls into wall clocks, sleeps, or OS entropy that break simulation
@@ -46,6 +47,26 @@ const ACTUATION_BANNED: [(&str, &str); 3] = [
     ("switch_mode", "raw delayed-ACK mode switch"),
 ];
 
+/// Wire-metadata decode entry points that assume trusted bytes. The
+/// exchange payload arrives from the peer and may be garbled, truncated,
+/// or produced by a peer that restarted mid-stream, so everything outside
+/// `littles::wire` must go through the `try_decode_tagged` Result path
+/// (which also carries the peer's counter epoch) and handle the error.
+/// The infallible array decodes and the untagged/snapshot-level decodes
+/// are implementation details of the wire module itself.
+const UNTRUSTED_WIRE_BANNED: [(&str, &str); 4] = [
+    ("WireExchange::decode", "infallible exchange decode"),
+    ("WireSnapshot::decode", "infallible snapshot decode"),
+    (
+        "WireExchange::try_decode",
+        "untagged exchange decode (drops the peer epoch)",
+    ),
+    (
+        "WireSnapshot::try_decode",
+        "snapshot-level decode (skips exchange framing and epoch)",
+    ),
+];
+
 /// How a file relates to the rule scopes, derived from its path.
 #[derive(Debug, Clone, Default)]
 pub struct FileContext {
@@ -67,6 +88,10 @@ pub struct FileContext {
     /// `socket.rs`, `sim.rs`, `delack.rs`) → `actuation` does not apply:
     /// these are the only files allowed to touch the raw setters.
     pub apply_path: bool,
+    /// File is the wire codec itself (littles' `wire.rs`) →
+    /// `untrusted-wire` does not apply: the raw decode entry points are
+    /// its implementation details.
+    pub wire_module: bool,
 }
 
 /// A parsed `lint:allow` marker.
@@ -398,6 +423,30 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
         }
     }
 
+    // untrusted-wire: raw decode of peer metadata outside the wire
+    // module (tests exempt — roundtrip/fuzz tests of the codec itself
+    // are legitimate). Peer bytes are untrusted input: consumers must
+    // take the fallible tagged path and handle the error.
+    if !ctx.testlike && !ctx.wire_module {
+        for (needle, what) in UNTRUSTED_WIRE_BANNED {
+            for offset in token_matches(text, needle) {
+                if in_test_region(&regions, offset) {
+                    continue;
+                }
+                push(
+                    &mut diags,
+                    "untrusted-wire",
+                    offset,
+                    format!(
+                        "`{needle}` ({what}) outside `littles::wire`; peer bytes \
+                         are untrusted — decode with \
+                         `WireExchange::try_decode_tagged` and handle the `Err`"
+                    ),
+                );
+            }
+        }
+    }
+
     // float-eq: `==` / `!=` with a float operand, outside tests.
     if !ctx.testlike {
         for op in ["==", "!="] {
@@ -637,6 +686,7 @@ mod tests {
             testlike: false,
             fault_code: false,
             apply_path: false,
+            wire_module: false,
         }
     }
 
@@ -792,6 +842,60 @@ mod tests {
     fn actuation_suppressible_with_justification() {
         let src = "// lint:allow(actuation): migration shim removed next release\n\
                    fn f() { sock.set_nagle_enabled(true); }\n";
+        assert!(lint_source("x.rs", src, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn untrusted_wire_bans_raw_decodes() {
+        let src = "fn f(b: &[u8; 36], s: &[u8; 12], t: &[u8]) {\n\
+                   let _a = WireExchange::decode(b);\n\
+                   let _b = WireSnapshot::decode(s);\n\
+                   let _c = WireExchange::try_decode(t);\n\
+                   let _d = WireSnapshot::try_decode(t);\n\
+                   }\n";
+        let d = lint_source("x.rs", src, &FileContext::default());
+        let rules: Vec<&str> = d.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            rules,
+            vec![
+                "untrusted-wire",
+                "untrusted-wire",
+                "untrusted-wire",
+                "untrusted-wire"
+            ]
+        );
+    }
+
+    #[test]
+    fn untrusted_wire_allows_the_tagged_result_path() {
+        // `try_decode_tagged` must not be caught by the `try_decode`
+        // needle: `_` is an identifier byte, so the token match fails.
+        let src = "fn f(t: &[u8]) { let _ = WireExchange::try_decode_tagged(t); }\n";
+        assert!(lint_source("x.rs", src, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn untrusted_wire_exempt_in_wire_module_and_tests() {
+        let src = "fn f(b: &[u8; 36]) { let _ = WireExchange::decode(b); }\n";
+        let wire_ctx = FileContext {
+            wire_module: true,
+            ..FileContext::default()
+        };
+        assert!(lint_source("x.rs", src, &wire_ctx).is_empty());
+        let test_ctx = FileContext {
+            testlike: true,
+            ..FileContext::default()
+        };
+        assert!(lint_source("x.rs", src, &test_ctx).is_empty());
+        let in_mod =
+            "#[cfg(test)]\nmod tests { fn f() { let _ = WireExchange::decode(&BUF); } }\n";
+        assert!(lint_source("x.rs", in_mod, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn untrusted_wire_suppressible_with_justification() {
+        let src = "// lint:allow(untrusted-wire): fuzz harness feeds the codec directly\n\
+                   fn f(b: &[u8; 36]) { let _ = WireExchange::decode(b); }\n";
         assert!(lint_source("x.rs", src, &FileContext::default()).is_empty());
     }
 

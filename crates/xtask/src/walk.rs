@@ -68,6 +68,7 @@ pub fn classify(root: &Path, file: &Path) -> FileContext {
         apply_path: crate_dir == Some("tcpsim")
             && in_src
             && matches!(file_name, "socket.rs" | "sim.rs" | "delack.rs"),
+        wire_module: crate_dir == Some("littles") && in_src && file_name == "wire.rs",
     }
 }
 
@@ -99,6 +100,21 @@ mod tests {
             "/r/crates/apps/src/driver.rs",
         ] {
             assert!(!classify(Path::new("/r"), Path::new(p)).apply_path, "{p}");
+        }
+    }
+
+    #[test]
+    fn classify_wire_module() {
+        let ctx = classify(Path::new("/r"), Path::new("/r/crates/littles/src/wire.rs"));
+        assert!(ctx.wire_module);
+        assert!(ctx.strict_library, "the codec is still held to the library bar");
+        for p in [
+            "/r/crates/littles/src/queue.rs",
+            "/r/crates/littles/tests/wire.rs",
+            "/r/crates/core/src/wire.rs",
+            "/r/crates/apps/src/driver.rs",
+        ] {
+            assert!(!classify(Path::new("/r"), Path::new(p)).wire_module, "{p}");
         }
     }
 

@@ -126,6 +126,26 @@ fn actuation_rule_bans_raw_setters_outside_apply_path() {
 }
 
 #[test]
+fn untrusted_wire_rule_bans_raw_decodes_outside_wire_module() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "apps/src/wire_use.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    // Line 7 is suppressed by the justified marker above it, and the
+    // tagged decode on line 8 is the sanctioned Result path.
+    assert_eq!(
+        got,
+        vec![
+            ("untrusted-wire", 3, 14), // WireExchange::decode
+            ("untrusted-wire", 4, 14), // WireSnapshot::decode
+            ("untrusted-wire", 5, 14), // WireExchange::try_decode
+        ]
+    );
+
+    // The wire module itself keeps its raw decode entry points.
+    assert!(for_file(&diags, "littles/src/wire.rs").is_empty());
+}
+
+#[test]
 fn suppressions_require_justification() {
     let diags = fixture_diags();
     let d = for_file(&diags, "simnet/src/suppressed.rs");
