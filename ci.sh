@@ -4,7 +4,18 @@ set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> xtask lint"
+echo "==> linter self-test (lexer, model, call graph, rules, fixtures)"
+cargo test -q -p xtask
+
+echo "==> workspace-rule inputs are checked in"
+# The RNG-stream manifest and the ratchet baselines are part of the
+# linted contract: a missing file would silently read as an empty
+# baseline, so their presence is asserted explicitly.
+test -s crates/xtask/rng_streams.toml
+test -s crates/xtask/lint_baselines/panic_reachability.txt
+test -s crates/xtask/lint_baselines/hot_path_alloc.txt
+
+echo "==> xtask lint (all rules; ratchets must not move up)"
 cargo run -q -p xtask -- lint
 
 echo "==> cargo build --release"

@@ -63,7 +63,7 @@ impl QueueState {
     ///
     /// In debug builds, panics if `now` precedes the last update or if the
     /// occupancy would go negative.
-    pub fn track(&mut self, now: Nanos, nitems: i64) {
+    pub fn track(&mut self, now: Nanos, nitems: i64) { // hot-path: runs on every enqueue/dequeue
         debug_assert!(
             now >= self.time,
             "TRACK time went backwards: {} < {}",

@@ -106,9 +106,9 @@ impl WireSnapshot {
     /// Packs a full-resolution snapshot.
     pub fn pack(s: &Snapshot, scale: WireScale) -> Self {
         WireSnapshot {
-            time: (s.time.as_nanos() >> scale.time_shift) as u32,
-            total: s.total as u32,
-            integral: (s.integral >> scale.integral_shift) as u32,
+            time: (s.time.as_nanos() >> scale.time_shift) as u32, // lint:allow(cast-truncation): modular by design — the wire clock wraps at 2^(32+time_shift) ns
+            total: s.total as u32, // lint:allow(cast-truncation): wrapping wire counter by contract; peers difference it with wrapping_sub
+            integral: (s.integral >> scale.integral_shift) as u32, // lint:allow(cast-truncation): scaled occupancy integral wraps by contract, like `total`
         }
     }
 
@@ -509,6 +509,28 @@ mod tests {
         assert!(
             wire.as_nanos().abs_diff(full.as_nanos()) <= tolerance.as_nanos(),
             "wire {wire} vs full {full}"
+        );
+    }
+    #[test]
+    fn pack_time_wraps_modulo_wire_clock() {
+        // The wire clock is (nanos >> time_shift) mod 2^32: with the
+        // default shift of 10 it wraps every ~73 minutes. Packing is
+        // modular *by design* — this pins the behaviour the
+        // cast-truncation lint allows at the `as u32` in `pack`, and
+        // shows the wrapped difference still recovers the elapsed time.
+        let scale = WireScale::default();
+        let period = 1u64 << (32 + scale.time_shift); // ~2^42 ns
+        let before = snap(period - 4_096, 10, 0);
+        let after = snap(period + 4_096, 20, 0);
+
+        let wb = WireSnapshot::pack(&before, scale);
+        let wa = WireSnapshot::pack(&after, scale);
+        // The raw packed value wrapped past zero…
+        assert!(wa.time < wb.time, "packed clock must wrap: {} vs {}", wa.time, wb.time);
+        // …but the wrapping difference is exactly the elapsed wire ticks.
+        assert_eq!(
+            wa.time.wrapping_sub(wb.time),
+            ((4_096u64 * 2) >> scale.time_shift) as u32
         );
     }
 }

@@ -104,6 +104,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `event` at absolute time `at` (clamped to `now`).
+    // hot-path: runs once per scheduled event; must not allocate per call
     pub fn schedule_at(&mut self, at: Nanos, event: E) -> EventToken {
         debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
         let seq = self.next_seq;
@@ -127,6 +128,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
+    // hot-path: the event-loop inner loop; must not allocate per call
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
             if self.cancelled.remove(&entry.seq) {

@@ -356,7 +356,7 @@ impl TcpSocket {
                 syn: true,
                 ..Flags::default()
             },
-            sock.rcv.window() as u32,
+            sock.rcv.window() as u32, // lint:allow(cast-truncation): advertised window is clamped to the receive buffer capacity, far under u32::MAX
         );
         actions.push(Action::Transmit(syn));
         actions.push(Action::ArmTimer(TimerKind::Rto, sock.rtt.rto()));
@@ -386,7 +386,7 @@ impl TcpSocket {
                 ack: true,
                 ..Flags::default()
             },
-            sock.rcv.window() as u32,
+            sock.rcv.window() as u32, // lint:allow(cast-truncation): advertised window is clamped to the receive buffer capacity, far under u32::MAX
         );
         actions.push(Action::Transmit(synack));
         actions.push(Action::ArmTimer(TimerKind::Rto, sock.rtt.rto()));
@@ -794,7 +794,7 @@ impl TcpSocket {
                     ack: true,
                     ..Flags::default()
                 },
-                self.rcv.window() as u32,
+                self.rcv.window() as u32, // lint:allow(cast-truncation): advertised window is clamped to the receive buffer capacity, far under u32::MAX
             );
             fin.options.timestamps = Some(self.make_ts(now));
             actions.push(Action::Transmit(fin));
@@ -803,19 +803,19 @@ impl TcpSocket {
     }
 
     fn offset_to_seq(&self, offset: u64) -> SeqNum {
-        self.iss + 1 + (offset as u32)
+        self.iss + 1 + (offset as u32) // lint:allow(cast-truncation): sequence arithmetic is modular; SeqNum wraps by design
     }
 
     /// The cumulative ACK to advertise: everything received in order, plus
     /// one for the peer's FIN once seen.
     fn ack_field(&self) -> SeqNum {
         let fin = u32::from(self.peer_fin_received);
-        self.irs + 1 + (self.last_data_offset as u32) + fin
+        self.irs + 1 + (self.last_data_offset as u32) + fin // lint:allow(cast-truncation): sequence arithmetic is modular; SeqNum wraps by design
     }
 
     fn make_ts(&self, now: Nanos) -> TimestampOption {
         TimestampOption {
-            tsval: now.as_nanos() as u32,
+            tsval: now.as_nanos() as u32, // lint:allow(cast-truncation): tsval wraps mod 2^32 per RFC 7323 and is only echoed, never differenced
             tsecr: self.ts_recent,
         }
     }
@@ -868,7 +868,7 @@ impl TcpSocket {
     ) {
         let len = payload.len();
         gate(self.invariants.on_transmit(offset, len, retransmit));
-        let wire_packets = len.div_ceil(self.config.mss).max(1) as u32;
+        let wire_packets = len.div_ceil(self.config.mss).max(1) as u32; // lint:allow(cast-truncation): wire_packets <= len/mss + 1, bounded by the send buffer
         let psh = boundaries.last() == Some(&(offset + len as u64));
         let mut options = Options {
             timestamps: Some(self.make_ts(now)),
@@ -885,7 +885,7 @@ impl TcpSocket {
                 psh,
                 ..Flags::default()
             },
-            window: self.rcv.window() as u32,
+            window: self.rcv.window() as u32, // lint:allow(cast-truncation): advertised window is clamped to the receive buffer capacity, far under u32::MAX
             payload,
             boundaries,
             options,
@@ -899,7 +899,7 @@ impl TcpSocket {
         self.queues.unacked.track_packets(now, wire_packets as i64);
         self.in_flight.push_back(InFlight {
             offset,
-            len: len as u32,
+            len: len as u32, // lint:allow(cast-truncation): segment length is MSS-bounded, far under u32::MAX
             wire_packets,
             sent_at: now,
             retransmitted: retransmit,
@@ -955,7 +955,7 @@ impl TcpSocket {
                 ack: true,
                 ..Flags::default()
             },
-            self.rcv.window() as u32,
+            self.rcv.window() as u32, // lint:allow(cast-truncation): advertised window is clamped to the receive buffer capacity, far under u32::MAX
         );
         seg.options = options;
         self.flush_ackdelay(now);
@@ -1163,7 +1163,7 @@ impl TcpSocket {
                 if end > self.last_data_offset {
                     // Track the furthest in-order point for ACK fields.
                     let new_nxt = self.rcv.rcv_nxt();
-                    self.last_data_seq += (new_nxt - self.last_data_offset) as u32;
+                    self.last_data_seq += (new_nxt - self.last_data_offset) as u32; // lint:allow(cast-truncation): in-order advance is bounded by the receive buffer; seq space is modular
                     self.last_data_offset = new_nxt;
                 }
                 if res.in_order_bytes > 0 {
@@ -1277,7 +1277,7 @@ impl TcpSocket {
                             self.iss,
                             if flags.ack { self.irs + 1 } else { SeqNum::new(0) },
                             flags,
-                            self.rcv.window() as u32,
+                            self.rcv.window() as u32, // lint:allow(cast-truncation): advertised window is clamped to the receive buffer capacity, far under u32::MAX
                         );
                         actions.push(Action::Transmit(seg));
                         self.arm_rto(actions);
@@ -1339,5 +1339,54 @@ impl TcpSocket {
             actions.push(Action::CancelTimer(TimerKind::Cork));
             self.poll_transmit(now, env, actions);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Regression tests for the sequence-unwrap path: stream offsets are
+    // u64 but wire sequence numbers are a 32-bit circular space, so a
+    // long-lived flow crosses the wrap and every (seq, offset) pair must
+    // survive the round trip. These pin the `as u32` modular arithmetic
+    // the cast-truncation lint allows in `offset_to_seq`/`ack_field`.
+
+    #[test]
+    fn unwrap_seq_round_trips_across_u32_wrap() {
+        // A flow that has already shipped just under 4 GiB: the next
+        // segments straddle the sequence wrap.
+        let last_offset: u64 = (1 << 32) - 1000;
+        let last_seq = SeqNum::new(u32::MAX.wrapping_sub(999));
+        for delta in [0u32, 1, 999, 1000, 1001, 65_535] {
+            let seq = last_seq + delta;
+            assert_eq!(
+                TcpSocket::unwrap_seq(seq, last_seq, last_offset),
+                Some(last_offset + u64::from(delta)),
+                "delta {delta} must unwrap past the wrap point"
+            );
+        }
+    }
+
+    #[test]
+    fn unwrap_seq_treats_large_backward_deltas_as_old_data() {
+        let last_offset: u64 = 5_000_000_000; // past one full wrap
+        let last_seq = SeqNum::new((last_offset % (1 << 32)) as u32);
+        // A little behind: still unwrappable (retransmitted old data).
+        assert_eq!(
+            TcpSocket::unwrap_seq(SeqNum::new(last_seq.raw().wrapping_sub(100)), last_seq, last_offset),
+            Some(last_offset - 100)
+        );
+        // Half the space ahead reads as behind (deltas ≥ 2³¹ are "old"):
+        // it unwraps backward, not forward.
+        assert_eq!(
+            TcpSocket::unwrap_seq(last_seq + (1 << 31), last_seq, last_offset),
+            Some(last_offset - (1 << 31))
+        );
+        // Behind the start of the stream: unrepresentable, rejected.
+        assert_eq!(
+            TcpSocket::unwrap_seq(SeqNum::new(u32::MAX), SeqNum::new(10), 10),
+            None
+        );
     }
 }

@@ -1,0 +1,28 @@
+//! Fixture: panic and allocation sites reachable from the per-event
+//! dispatch root (`handle`), plus an unreachable fn whose sites must
+//! NOT be counted.
+
+pub struct Engine {
+    items: Vec<u64>,
+}
+
+impl Engine {
+    pub fn handle(&mut self, ev: u64) {
+        self.step(ev);
+    }
+
+    // hot-path: per-event budget fixture
+    fn step(&mut self, ev: u64) {
+        let first = self.items[0];
+        let sum = ev.checked_add(first).unwrap();
+        let copy = self.items.clone();
+        let boxed = Box::new(sum);
+        self.items.insert(0, *boxed + copy.len() as u64);
+    }
+
+    fn offline(&self) {
+        let _ = self.items[1];
+        let _ = self.items.first().unwrap();
+        let _ = self.items.to_vec();
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: RNG stream registry violations — an undeclared name, a
+//! duplicated name (second site in fault_streams_b.rs), and dynamic
+//! (non-literal) stream names with and without a justification.
+
+pub fn build(seed: u64) {
+    let _split = Pcg32::named(seed, "fault.split");
+    let _mystery = Pcg32::named(seed, "fault.mystery");
+    let label = stream_label();
+    let _dynamic = Pcg32::named(seed, label);
+    // lint:allow(rng-streams): fixture justifies a deliberately dynamic name
+    let _excused = Pcg32::named(seed, label);
+}
+
+fn stream_label() -> &'static str {
+    "fault.runtime"
+}

@@ -1,0 +1,6 @@
+//! Fixture: the second construction site of "fault.split" — sharing a
+//! stream correlates both consumers' draws.
+
+pub fn build_b(seed: u64) {
+    let _split = Pcg32::named(seed, "fault.split");
+}

@@ -1,0 +1,6 @@
+//! Fixture: a dispatch root with no panic sites left, while the
+//! baseline still grants it one — the ratchet must demand tightening.
+
+pub fn run_until_idle(steps: u64) -> u64 {
+    steps.saturating_mul(2)
+}

@@ -1,0 +1,34 @@
+//! Fixture: narrowing casts and raw wire-counter arithmetic on
+//! WireSnapshot fields (cast-truncation rule).
+
+pub fn narrowing(total: u64) -> u32 {
+    total as u32
+}
+
+pub fn narrower(x: u64) -> u16 {
+    x as u16
+}
+
+pub fn excused(x: u64) -> u8 {
+    x as u8 // lint:allow(cast-truncation): fixture proves the escape hatch
+}
+
+pub fn widening(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn window(prev: &WireSnapshot, cur: &WireSnapshot) -> u32 {
+    cur.time - prev.time
+}
+
+pub fn window_wrapped(prev: &WireSnapshot, cur: &WireSnapshot) -> u32 {
+    cur.time.wrapping_sub(prev.time)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bounded_inputs_cast_freely() {
+        let _ = 70_000u64 as u16;
+    }
+}

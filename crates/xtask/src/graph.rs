@@ -1,0 +1,188 @@
+//! An approximate intra-workspace call graph over per-file semantic
+//! models.
+//!
+//! Resolution is name-based: a qualified call `Type::name` binds to fns
+//! whose enclosing impl type matches; anything else (and any qualified
+//! call with no such fn) binds to *every* fn with that name. This
+//! over-approximates — method calls on foreign types can alias local
+//! fns — which is the safe direction for reachability rules: a site is
+//! never missed because resolution was too timid, and false reachability
+//! is bounded by the ratchet baseline rather than silently growing.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::model::{CallKind, FileModel, FnModel};
+
+/// A node in the call graph: one non-test fn plus its defining file.
+#[derive(Debug, Clone, Copy)]
+pub struct Node<'a> {
+    /// Index into the model list the graph was built from.
+    pub file: usize,
+    /// The fn's semantic model.
+    pub f: &'a FnModel,
+}
+
+/// The workspace call graph.
+pub struct Graph<'a> {
+    /// All nodes (non-test fns), in file order then source order.
+    pub nodes: Vec<Node<'a>>,
+    /// Adjacency list: `edges[n]` are callee node ids.
+    edges: Vec<Vec<usize>>,
+}
+
+impl<'a> Graph<'a> {
+    /// Builds the graph over every non-test fn in `models` (one entry
+    /// per file; `Node::file` indexes this slice).
+    pub fn build(models: &[&'a FileModel]) -> Self {
+        let mut nodes = Vec::new();
+        for (file_idx, model) in models.iter().enumerate() {
+            for f in &model.fns {
+                if !f.in_test {
+                    nodes.push(Node { file: file_idx, f });
+                }
+            }
+        }
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, node) in nodes.iter().enumerate() {
+            by_name.entry(&node.f.name).or_default().push(id);
+            by_qual.entry(node.f.qualified()).or_default().push(id);
+        }
+        let mut edges = vec![Vec::new(); nodes.len()];
+        for (id, node) in nodes.iter().enumerate() {
+            let mut out = BTreeSet::new();
+            for call in &node.f.calls {
+                if call.kind == CallKind::Macro {
+                    continue; // macro sites are analysed directly, not as edges
+                }
+                let qualified_hit = call
+                    .qual
+                    .as_ref()
+                    .and_then(|_| by_qual.get(&call.callee()))
+                    .map(|ids| out.extend(ids.iter().copied()))
+                    .is_some();
+                if !qualified_hit {
+                    if let Some(ids) = by_name.get(call.name.as_str()) {
+                        out.extend(ids.iter().copied());
+                    }
+                }
+            }
+            edges[id] = out.into_iter().collect();
+        }
+        Graph { nodes, edges }
+    }
+
+    /// Node ids whose fns satisfy `pred`.
+    pub fn select(&self, mut pred: impl FnMut(&Node<'a>) -> bool) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| pred(&self.nodes[i])).collect()
+    }
+
+    /// BFS closure over the edge relation from `roots` (roots included).
+    pub fn reachable(&self, roots: &[usize]) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
+        let mut queue: VecDeque<usize> = roots.iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::mask::mask;
+    use crate::model::build as build_model;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<FileModel> {
+        srcs.iter()
+            .map(|(_, src)| {
+                let m = mask(src);
+                let toks = lex(&m);
+                build_model(src, &m, &toks)
+            })
+            .collect()
+    }
+
+    fn graph(models: &[FileModel]) -> Graph<'_> {
+        Graph::build(&models.iter().collect::<Vec<_>>())
+    }
+
+    fn names<'a>(g: &Graph<'a>, ids: &BTreeSet<usize>) -> Vec<String> {
+        ids.iter().map(|&i| g.nodes[i].f.qualified()).collect()
+    }
+
+    #[test]
+    fn reachability_follows_cross_file_calls() {
+        let fs = files(&[
+            ("a.rs", "impl Engine { fn handle(&mut self) { step(); } }\n"),
+            ("b.rs", "fn step() { finish(); }\nfn finish() {}\nfn unrelated() {}\n"),
+        ]);
+        let g = graph(&fs);
+        let roots = g.select(|n| n.f.name == "handle");
+        let reach = g.reachable(&roots);
+        let got = names(&g, &reach);
+        assert!(got.contains(&"Engine::handle".to_string()));
+        assert!(got.contains(&"step".to_string()));
+        assert!(got.contains(&"finish".to_string()));
+        assert!(!got.contains(&"unrelated".to_string()));
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_matching_impl() {
+        let fs = files(&[(
+            "a.rs",
+            "impl A { fn go() {} }\nimpl B { fn go() { other(); } }\n\
+             fn other() {}\nfn root() { A::go(); }\n",
+        )]);
+        let g = graph(&fs);
+        let roots = g.select(|n| n.f.name == "root");
+        let got = names(&g, &g.reachable(&roots));
+        assert!(got.contains(&"A::go".to_string()));
+        assert!(!got.contains(&"B::go".to_string()), "qualified call must not alias B::go");
+        assert!(!got.contains(&"other".to_string()));
+    }
+
+    #[test]
+    fn unresolved_qualified_calls_fall_back_by_name() {
+        // `invariants::check(…)` — module path, not an impl type. The
+        // by-name fallback keeps the edge rather than dropping it.
+        let fs = files(&[(
+            "a.rs",
+            "fn root() { invariants::check(); }\nfn check() {}\n",
+        )]);
+        let g = graph(&fs);
+        let roots = g.select(|n| n.f.name == "root");
+        assert!(names(&g, &g.reachable(&roots)).contains(&"check".to_string()));
+    }
+
+    #[test]
+    fn method_calls_over_approximate_by_name() {
+        let fs = files(&[(
+            "a.rs",
+            "impl Q { fn track(&mut self) { inner(); } }\nfn inner() {}\n\
+             fn root(q: &mut Q) { q.track(); }\n",
+        )]);
+        let g = graph(&fs);
+        let roots = g.select(|n| n.f.name == "root");
+        let got = names(&g, &g.reachable(&roots));
+        assert!(got.contains(&"Q::track".to_string()));
+        assert!(got.contains(&"inner".to_string()));
+    }
+
+    #[test]
+    fn test_fns_are_not_nodes() {
+        let fs = files(&[(
+            "a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { live(); }\n}\n",
+        )]);
+        let g = graph(&fs);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].f.name, "live");
+    }
+}

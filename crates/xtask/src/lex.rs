@@ -1,0 +1,231 @@
+//! A single-pass token stream over masked Rust source.
+//!
+//! The lexer runs on [`Masked`] output: comments and literals are
+//! already blanked, so only code bytes remain, and the literal spans
+//! recorded by the mask are re-injected as [`TokKind::Str`] /
+//! [`TokKind::Char`] tokens whose content can be recovered from the
+//! original source. This keeps the lexer a few dozen lines while still
+//! giving the semantic model access to string-literal arguments.
+
+use crate::mask::{LitKind, Masked};
+
+/// Token classification, deliberately coarse: the rules only need to
+/// distinguish identifiers/keywords, literals, and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `as`, `u32`, `handle`, …).
+    Ident,
+    /// Numeric literal (`42`, `1.5e3`, `0xFF_u32`).
+    Num,
+    /// String literal (plain, byte, or raw); content via the mask's
+    /// literal table.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation byte (the wrapped `u8`).
+    Punct(u8),
+}
+
+/// One token: a kind plus its byte span in the (masked) source.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Start byte offset (inclusive) in the source.
+    pub start: usize,
+    /// End byte offset (exclusive) in the source.
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text as it appears in the masked source. For `Str` /
+    /// `Char` tokens this is blanked; use the mask's literal table.
+    pub fn text<'a>(&self, masked_text: &'a str) -> &'a str {
+        &masked_text[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenizes masked source. Literal spans from the mask become single
+/// `Str`/`Char` tokens; everything else is lexed from the blanked text.
+pub fn lex(masked: &Masked) -> Vec<Tok> {
+    let bytes = masked.text.as_bytes();
+    let mut toks = Vec::with_capacity(bytes.len() / 6);
+    let mut lit_iter = masked.literals.iter().peekable();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        // Re-inject literal tokens at their recorded positions. The span
+        // bytes are spaces in the masked text, so without this they
+        // would vanish into whitespace.
+        if let Some(lit) = lit_iter.peek() {
+            if lit.start == i {
+                toks.push(Tok {
+                    kind: if lit.kind == LitKind::Char {
+                        TokKind::Char
+                    } else {
+                        TokKind::Str
+                    },
+                    start: lit.start,
+                    end: lit.end,
+                });
+                i = lit.end;
+                lit_iter.next();
+                continue;
+            }
+        }
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if is_ident_start(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                start,
+                end: i,
+            });
+        } else if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && (is_ident_byte(bytes[i])
+                    || (bytes[i] == b'.'
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)))
+            {
+                i += 1;
+            }
+            // Trailing `2.` (float with no fractional digits) — absorb
+            // the dot unless it starts a range (`0..n`) or method call.
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes.get(i + 1) != Some(&b'.')
+                && !bytes.get(i + 1).copied().is_some_and(is_ident_start)
+            {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                start,
+                end: i,
+            });
+        } else if b == b'\'' {
+            // Char literals were masked; a surviving quote is a lifetime
+            // or loop label.
+            let start = i;
+            i += 1;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Lifetime,
+                start,
+                end: i,
+            });
+        } else if b.is_ascii() {
+            toks.push(Tok {
+                kind: TokKind::Punct(b),
+                start: i,
+                end: i + 1,
+            });
+            i += 1;
+        } else {
+            // Non-ASCII code bytes (only ever inside identifiers in
+            // pathological sources): skip the byte.
+            i += 1;
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::mask;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(&mask(src)).iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let src = "fn f(x: u32) -> u64 { x as u64 + 1 }";
+        let m = mask(src);
+        let toks = lex(&m);
+        let texts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(&m.text))
+            .collect();
+        assert_eq!(texts, vec!["fn", "f", "x", "u32", "u64", "x", "as", "u64"]);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num));
+    }
+
+    #[test]
+    fn string_literals_survive_as_tokens() {
+        let src = "Pcg32::named(seed, \"fault.loss\")";
+        let m = mask(src);
+        let toks = lex(&m);
+        let strs: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(m.literals[0].content(src), "fault.loss");
+        assert_eq!((strs[0].start, strs[0].end), (m.literals[0].start, m.literals[0].end));
+    }
+
+    #[test]
+    fn floats_lex_as_single_numbers() {
+        let src = "let x = 1.5e3 + 2. - v.len();";
+        let m = mask(src);
+        let toks = lex(&m);
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text(&m.text))
+            .collect();
+        assert_eq!(nums, vec!["1.5e3", "2."]);
+        // `v.len()` keeps its dot as punctuation.
+        assert!(toks.iter().any(|t| t.kind == TokKind::Punct(b'.')));
+    }
+
+    #[test]
+    fn ranges_do_not_absorb_dots() {
+        let src = "for i in 0..10 {}";
+        let m = mask(src);
+        let toks = lex(&m);
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text(&m.text))
+            .collect();
+        assert_eq!(nums, vec!["0", "10"]);
+    }
+
+    #[test]
+    fn lifetimes_lex_whole() {
+        let src = "fn f<'a>(x: &'a str) {}";
+        assert!(kinds(src).contains(&TokKind::Lifetime));
+    }
+
+    #[test]
+    fn comments_disappear_entirely() {
+        let src = "a(); // b()\n/* c() */ d();";
+        let m = mask(src);
+        let toks = lex(&m);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(&m.text))
+            .collect();
+        assert_eq!(idents, vec!["a", "d"]);
+    }
+}

@@ -1,4 +1,4 @@
-//! `cargo run -p xtask -- lint [--json] [ROOT]`
+//! `cargo run -p xtask -- lint [--json] [--update-ratchet] [ROOT]`
 //!
 //! Exit status: 0 when clean, 1 when violations were found, 2 on usage
 //! or I/O errors.
@@ -7,18 +7,23 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo run -p xtask -- lint [--json] [ROOT]");
+    eprintln!("usage: cargo run -p xtask -- lint [--json] [--update-ratchet] [ROOT]");
     eprintln!();
     eprintln!("Lints the workspace (or ROOT) with the repo-specific rules:");
-    eprintln!("  determinism    no wall clocks / OS entropy in simulation crates");
-    eprintln!("  float-eq       no ==/!= on floats outside tests");
-    eprintln!("  panic-hygiene  no unwrap/expect in littles or e2e-core library code");
-    eprintln!("  pub-docs       doc comments required on pub items in littles/e2e-core");
-    eprintln!("  actuation      no raw batching-knob setters outside tcpsim's apply path");
-    eprintln!("  untrusted-wire no raw wire-metadata decodes outside littles' wire module");
+    eprintln!("  determinism        no wall clocks / OS entropy in simulation crates");
+    eprintln!("  float-eq           no ==/!= on floats outside tests");
+    eprintln!("  panic-hygiene      no unwrap/expect in littles or e2e-core library code");
+    eprintln!("  pub-docs           doc comments required on pub items in littles/e2e-core");
+    eprintln!("  actuation          no raw batching-knob setters outside tcpsim's apply path");
+    eprintln!("  untrusted-wire     no raw wire-metadata decodes outside littles' wire module");
+    eprintln!("  rng-streams        every Pcg32::named stream declared once in rng_streams.toml");
+    eprintln!("  cast-truncation    no unjustified narrowing casts / raw wire-counter `-`");
+    eprintln!("  panic-reachability reachable panic sites ratcheted down via baseline");
+    eprintln!("  hot-path-alloc     allocations in hot-path code ratcheted down via baseline");
     eprintln!();
     eprintln!("Suppress with `// lint:allow(<rule>): <justification>` on the same");
-    eprintln!("or preceding line.");
+    eprintln!("or preceding line. `--update-ratchet` regenerates the baseline");
+    eprintln!("files under crates/xtask/lint_baselines/ from the current tree.");
     ExitCode::from(2)
 }
 
@@ -28,10 +33,12 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut json = false;
+    let mut opts = xtask::LintOptions::default();
     let mut root: Option<PathBuf> = None;
     for arg in &args[1..] {
         match arg.as_str() {
             "--json" => json = true,
+            "--update-ratchet" => opts.update_ratchet = true,
             s if s.starts_with('-') => return usage(),
             s => root = Some(PathBuf::from(s)),
         }
@@ -45,7 +52,7 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| PathBuf::from("."))
     });
 
-    let diags = match xtask::lint_root(&root) {
+    let diags = match xtask::lint_root_with(&root, opts) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("xtask lint: {}: {e}", root.display());
@@ -60,7 +67,9 @@ fn main() -> ExitCode {
             println!("{d}");
         }
         if diags.is_empty() {
-            eprintln!("xtask lint: clean ({} rules)", xtask::rules::RULES.len() + 1);
+            // The rule table plus the two meta-diagnostics
+            // (bad-suppression, stale-allow).
+            eprintln!("xtask lint: clean ({} rules)", xtask::rules::RULES.len() + 2);
         } else {
             eprintln!("xtask lint: {} violation(s)", diags.len());
         }

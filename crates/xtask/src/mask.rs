@@ -1,6 +1,50 @@
 //! Source masking: blank out comments and string/char literals so the
 //! rule scanners can match tokens without tripping on prose, while the
-//! comment text itself is collected for `lint:allow` parsing.
+//! comment text itself is collected for `lint:allow` parsing and the
+//! literal spans are collected for the lexer ([`crate::lex`]), which
+//! needs to recover string contents (e.g. `Pcg32::named` stream names).
+
+/// What kind of literal a recorded span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitKind {
+    /// A `"…"` or `b"…"` string.
+    Str,
+    /// A raw `r"…"` / `r#"…"#` / `br#"…"#` string.
+    RawStr,
+    /// A `'…'` or `b'…'` char literal.
+    Char,
+}
+
+/// Byte span of one string/char literal in the original source,
+/// including its prefix (`b`, `r`, `br`, hashes) and quotes.
+#[derive(Debug, Clone, Copy)]
+pub struct Literal {
+    /// Start offset (inclusive) of the prefix or opening quote.
+    pub start: usize,
+    /// End offset (exclusive), just past the closing quote/hashes.
+    pub end: usize,
+    /// Literal family, used to strip delimiters when extracting content.
+    pub kind: LitKind,
+}
+
+impl Literal {
+    /// The literal's content with prefix, hashes, and quotes stripped,
+    /// sliced out of the original `source` the mask was built from.
+    /// Escapes are left un-processed (`\n` stays two characters).
+    pub fn content<'a>(&self, source: &'a str) -> &'a str {
+        let text = &source[self.start..self.end];
+        let quote = if self.kind == LitKind::Char { '\'' } else { '"' };
+        let open = match text.find(quote) {
+            Some(i) => i + 1,
+            None => return "",
+        };
+        let close = match text.rfind(quote) {
+            Some(i) if i >= open => i,
+            _ => text.len(),
+        };
+        &text[open..close]
+    }
+}
 
 /// The result of masking one source file.
 #[derive(Debug)]
@@ -11,6 +55,8 @@ pub struct Masked {
     /// `(line, text)` of every comment, 1-based line of the comment start.
     /// Block comments contribute one entry containing the full body.
     pub comments: Vec<(u32, String)>,
+    /// Spans of every string/char literal, in source order.
+    pub literals: Vec<Literal>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -36,16 +82,23 @@ fn is_lifetime(bytes: &[u8], i: usize) -> bool {
     bytes.get(i + 2) != Some(&b'\'')
 }
 
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
 /// Masks comments and literals out of `source`.
 pub fn mask(source: &str) -> Masked {
     let bytes = source.as_bytes();
     let mut out: Vec<u8> = bytes.to_vec();
     let mut comments = Vec::new();
+    let mut literals: Vec<Literal> = Vec::new();
 
     let mut state = State::Normal;
     let mut line: u32 = 1;
     let mut comment_start: usize = 0;
     let mut comment_line: u32 = 1;
+    let mut lit_start: usize = 0;
+    let mut lit_kind = LitKind::Str;
     let mut i = 0;
 
     macro_rules! blank {
@@ -73,23 +126,54 @@ pub fn mask(source: &str) -> Masked {
                     blank!(i + 1);
                     i += 1;
                 } else if b == b'"' {
-                    // Check for raw/byte string prefixes ending here.
-                    let mut hashes = 0usize;
+                    // Find the raw/byte prefix ending at this quote, if
+                    // any: `"` | `b"` | `r"` | `br"` | `r#…#"` | `br#…#"`.
+                    // The prefix letters must not be the tail of a longer
+                    // identifier (`bar"` is not a raw string).
                     let mut j = i;
                     while j > 0 && bytes[j - 1] == b'#' {
-                        hashes += 1;
                         j -= 1;
                     }
-                    let is_raw = j > 0 && (bytes[j - 1] == b'r')
-                        || (j > 1 && bytes[j - 1] == b'r' && bytes[j - 2] == b'b');
+                    let hashes = i - j;
+                    let mut prefix = j;
+                    let is_raw = j > 0 && bytes[j - 1] == b'r' && {
+                        let mut p = j - 1;
+                        if p > 0 && bytes[p - 1] == b'b' {
+                            p -= 1;
+                        }
+                        let free = p == 0 || !is_ident_byte(bytes[p - 1]);
+                        if free {
+                            prefix = p;
+                        }
+                        free
+                    };
                     if is_raw {
                         state = State::RawStr(hashes as u32);
+                        lit_kind = LitKind::RawStr;
                     } else {
+                        if j == i
+                            && i > 0
+                            && bytes[i - 1] == b'b'
+                            && (i < 2 || !is_ident_byte(bytes[i - 2]))
+                        {
+                            prefix = i - 1;
+                        }
                         state = State::Str;
+                        lit_kind = LitKind::Str;
                     }
-                    blank!(i);
+                    lit_start = prefix;
+                    for k in prefix..=i {
+                        blank!(k);
+                    }
                 } else if b == b'\'' && !is_lifetime(bytes, i) {
                     state = State::Char;
+                    lit_kind = LitKind::Char;
+                    lit_start = i;
+                    if i > 0 && bytes[i - 1] == b'b' && (i < 2 || !is_ident_byte(bytes[i - 2]))
+                    {
+                        lit_start = i - 1;
+                        blank!(i - 1);
+                    }
                     blank!(i);
                 }
             }
@@ -136,6 +220,11 @@ pub fn mask(source: &str) -> Masked {
                     }
                 } else if b == b'"' {
                     blank!(i);
+                    literals.push(Literal {
+                        start: lit_start,
+                        end: i + 1,
+                        kind: lit_kind,
+                    });
                     state = State::Normal;
                 } else {
                     blank!(i);
@@ -151,6 +240,11 @@ pub fn mask(source: &str) -> Masked {
                             blank!(i + k);
                         }
                         i += n;
+                        literals.push(Literal {
+                            start: lit_start,
+                            end: i + 1,
+                            kind: lit_kind,
+                        });
                         state = State::Normal;
                     }
                 } else {
@@ -166,6 +260,11 @@ pub fn mask(source: &str) -> Masked {
                     }
                 } else if b == b'\'' {
                     blank!(i);
+                    literals.push(Literal {
+                        start: lit_start,
+                        end: i + 1,
+                        kind: lit_kind,
+                    });
                     state = State::Normal;
                 } else {
                     blank!(i);
@@ -177,8 +276,20 @@ pub fn mask(source: &str) -> Masked {
         }
         i += 1;
     }
-    if state == State::LineComment {
-        comments.push((comment_line, source[comment_start..].trim().to_string()));
+    match state {
+        State::LineComment => {
+            comments.push((comment_line, source[comment_start..].trim().to_string()));
+        }
+        State::Str | State::RawStr(_) | State::Char => {
+            // Unterminated literal at EOF: close the span so the lexer
+            // still skips it instead of reading blanked bytes.
+            literals.push(Literal {
+                start: lit_start,
+                end: bytes.len(),
+                kind: lit_kind,
+            });
+        }
+        _ => {}
     }
 
     Masked {
@@ -187,6 +298,7 @@ pub fn mask(source: &str) -> Masked {
         // cannot produce invalid UTF-8.
         text: String::from_utf8(out).expect("masking preserves UTF-8"),
         comments,
+        literals,
     }
 }
 
@@ -253,5 +365,86 @@ mod tests {
         let text = "ab\ncde\n";
         assert_eq!(line_col(text, 0), (1, 1));
         assert_eq!(line_col(text, 4), (2, 2));
+    }
+
+    #[test]
+    fn literal_spans_and_contents_recorded() {
+        let src = "f(\"fault.loss\", 'x', b\"bytes\")";
+        let m = mask(src);
+        let contents: Vec<&str> = m.literals.iter().map(|l| l.content(src)).collect();
+        assert_eq!(contents, vec!["fault.loss", "x", "bytes"]);
+        assert_eq!(m.literals[0].kind, LitKind::Str);
+        assert_eq!(m.literals[1].kind, LitKind::Char);
+        // The `b` prefix is part of the span (and blanked).
+        assert_eq!(&src[m.literals[2].start..m.literals[2].end], "b\"bytes\"");
+        assert!(!m.text.contains('b'), "byte-string prefix blanked: {}", m.text);
+    }
+
+    #[test]
+    fn raw_string_prefix_and_hashes_blanked() {
+        let src = r###"g(r#"x"#)"###;
+        let m = mask(src);
+        assert_eq!(m.text, "g(      )");
+        assert_eq!(m.literals.len(), 1);
+        assert_eq!(m.literals[0].content(src), "x");
+        assert_eq!(m.literals[0].kind, LitKind::RawStr);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string_prefix() {
+        // `br`/`r` must be standalone prefixes, not identifier tails; the
+        // macro-ish adjacency below must lex the quote as a plain string.
+        let src = "attr\"text with \\\" escape\" rest";
+        let m = mask(src);
+        assert!(m.text.starts_with("attr"), "{}", m.text);
+        assert!(m.text.contains("rest"));
+        assert_eq!(m.literals.len(), 1);
+    }
+
+    #[test]
+    fn byte_char_literal_prefix_blanked() {
+        let src = "if c == b'/' { h() }";
+        let m = mask(src);
+        assert_eq!(m.text, "if c ==      { h() }");
+        assert_eq!(m.literals[0].kind, LitKind::Char);
+        assert_eq!(m.literals[0].content(src), "/");
+    }
+
+    #[test]
+    fn adjacent_slash_char_literals_do_not_open_a_comment() {
+        // `'/'` twice in a row leaves no `//` in the masked text.
+        let src = "m('/', '/'); after()";
+        let m = mask(src);
+        assert!(!m.text.contains("//"), "{}", m.text);
+        assert!(m.text.contains("after()"));
+    }
+
+    #[test]
+    fn char_literal_containing_quote_and_escapes() {
+        let src = "p('\"', '\\'', '\\\\')";
+        let m = mask(src);
+        assert_eq!(m.literals.len(), 3);
+        assert!(m.text.contains("p("));
+        assert!(!m.text.contains('"'));
+    }
+
+    #[test]
+    fn raw_string_with_embedded_quotes_and_fewer_hashes() {
+        let src = r####"let s = r##"quote " and "# inside"##; tail()"####;
+        let m = mask(src);
+        assert!(!m.text.contains("quote"));
+        assert!(!m.text.contains("inside"));
+        assert!(m.text.contains("tail()"));
+        assert_eq!(m.literals.len(), 1);
+        assert_eq!(m.literals[0].content(src), "quote \" and \"# inside");
+    }
+
+    #[test]
+    fn unterminated_literal_spans_to_eof() {
+        let src = "x(\"dangling";
+        let m = mask(src);
+        assert_eq!(m.literals.len(), 1);
+        assert_eq!(m.literals[0].end, src.len());
+        assert!(!m.text.contains("dangling"));
     }
 }

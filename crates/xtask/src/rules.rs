@@ -1,17 +1,29 @@
 //! The lint rules and the per-file driver.
 
+use std::cell::Cell;
+
 use crate::diag::Diagnostic;
 use crate::mask::{self, line_col, Masked};
+use crate::model::{in_test_region, test_regions};
 
 /// Rule identifiers, as accepted by `lint:allow(...)`.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 10] = [
     "determinism",
     "float-eq",
     "panic-hygiene",
     "pub-docs",
     "actuation",
     "untrusted-wire",
+    "rng-streams",
+    "cast-truncation",
+    "panic-reachability",
+    "hot-path-alloc",
 ];
+
+/// Rules that run in the cross-file workspace pass (`lint_root`), not in
+/// [`lint_source`]. Their `lint:allow` markers are only checked for
+/// staleness after that pass has had a chance to consume them.
+pub const WORKSPACE_RULES: [&str; 3] = ["rng-streams", "panic-reachability", "hot-path-alloc"];
 
 /// Calls into wall clocks, sleeps, or OS entropy that break simulation
 /// determinism. Matched as whole tokens against masked source.
@@ -67,6 +79,13 @@ const UNTRUSTED_WIRE_BANNED: [(&str, &str); 4] = [
     ),
 ];
 
+/// `u32` wire-counter fields of `WireSnapshot` whose deltas must use
+/// `wrapping_sub`: the time field wraps every `2^42 ns ≈ 73 min` of
+/// simulated time at the default scale, and the counters wrap under
+/// long-horizon load, so a raw `-` yields a garbage delta (or a debug
+/// overflow panic) on the far side of the wrap.
+const WIRE_COUNTER_FIELDS: [&str; 3] = ["time", "total", "integral"];
+
 /// How a file relates to the rule scopes, derived from its path.
 #[derive(Debug, Clone, Default)]
 pub struct FileContext {
@@ -92,12 +111,21 @@ pub struct FileContext {
     /// `untrusted-wire` does not apply: the raw decode entry points are
     /// its implementation details.
     pub wire_module: bool,
+    /// File handles wire counters or clock values (littles' `wire.rs`,
+    /// `e2e-core` src, `tcpsim` src) → `cast-truncation` applies: lossy
+    /// `as u32`/`as u16`/`as u8` casts and raw `-` on wire-counter
+    /// fields must be proven bounded (or modular by design) and carry a
+    /// justified `lint:allow`.
+    pub cast_scope: bool,
 }
 
-/// A parsed `lint:allow` marker.
-struct Allow {
-    line: u32,
-    rule: String,
+/// A parsed `lint:allow` marker. `used` is flipped by [`allowed`] when
+/// the marker suppresses a diagnostic, so markers that suppress nothing
+/// can be reported as `stale-allow`.
+pub(crate) struct Allow {
+    pub(crate) line: u32,
+    pub(crate) rule: String,
+    pub(crate) used: Cell<bool>,
 }
 
 /// Offset of the bracket matching the opener at `start`, if any.
@@ -118,84 +146,9 @@ fn match_bracket(bytes: &[u8], start: usize, open: u8, close: u8) -> Option<usiz
     None
 }
 
-/// Byte ranges of `#[cfg(test)]` / `#[test]` items in masked text.
-fn test_regions(masked: &str) -> Vec<(usize, usize)> {
-    let bytes = masked.as_bytes();
-    let mut regions = Vec::new();
-    let mut search = 0usize;
-    while let Some(pos) = masked[search..].find("#[") {
-        let attr_start = search + pos;
-        // Find the matching `]` (attributes can nest brackets).
-        let mut depth = 0i32;
-        let mut j = attr_start;
-        let mut attr_end = None;
-        while j < bytes.len() {
-            match bytes[j] {
-                b'[' => depth += 1,
-                b']' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        attr_end = Some(j);
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        let Some(attr_end) = attr_end else { break };
-        let attr = &masked[attr_start..=attr_end];
-        let is_test_attr = attr.contains("cfg(test") || attr.contains("#[test]")
-            || attr.trim_end_matches(']').trim_start_matches("#[").trim() == "test";
-        search = attr_end + 1;
-        if !is_test_attr {
-            continue;
-        }
-        // Skip whitespace and further attributes, then bracket-match the
-        // item body. A `;` first means a declaration without a body.
-        let mut k = attr_end + 1;
-        let mut body_start = None;
-        while k < bytes.len() {
-            match bytes[k] {
-                b'{' => {
-                    body_start = Some(k);
-                    break;
-                }
-                b';' => break,
-                _ => k += 1,
-            }
-        }
-        let Some(body_start) = body_start else { continue };
-        let mut depth = 0i32;
-        let mut end = bytes.len();
-        let mut m = body_start;
-        while m < bytes.len() {
-            match bytes[m] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = m;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            m += 1;
-        }
-        regions.push((attr_start, end));
-        search = attr_end + 1;
-    }
-    regions
-}
-
-fn in_test_region(regions: &[(usize, usize)], offset: usize) -> bool {
-    regions.iter().any(|&(s, e)| offset >= s && offset <= e)
-}
-
 /// Parses `lint:allow(rule): justification` markers out of the comment
 /// list; malformed markers become `bad-suppression` diagnostics.
-fn parse_allows(file: &str, masked: &Masked, diags: &mut Vec<Diagnostic>) -> Vec<Allow> {
+pub(crate) fn parse_allows(file: &str, masked: &Masked, diags: &mut Vec<Diagnostic>) -> Vec<Allow> {
     let mut allows = Vec::new();
     for (line, text) in &masked.comments {
         // Markers live in plain `//` comments only; doc comments merely
@@ -218,7 +171,11 @@ fn parse_allows(file: &str, masked: &Masked, diags: &mut Vec<Diagnostic>) -> Vec
             Some((rule, justification))
                 if RULES.contains(&rule.as_str()) && !justification.is_empty() =>
             {
-                allows.push(Allow { line: *line, rule });
+                allows.push(Allow {
+                    line: *line,
+                    rule,
+                    used: Cell::new(false),
+                });
             }
             Some((rule, justification)) => {
                 let why = if !RULES.contains(&rule.as_str()) {
@@ -251,10 +208,48 @@ fn parse_allows(file: &str, masked: &Masked, diags: &mut Vec<Diagnostic>) -> Vec
     allows
 }
 
-fn allowed(allows: &[Allow], rule: &str, line: u32) -> bool {
-    allows
-        .iter()
-        .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+/// Whether a marker suppresses `rule` at `line` (same or next line).
+/// Matching markers are recorded as used for `stale-allow`.
+pub(crate) fn allowed(allows: &[Allow], rule: &str, line: u32) -> bool {
+    let mut hit = false;
+    for a in allows {
+        if a.rule == rule && (a.line == line || a.line + 1 == line) {
+            a.used.set(true);
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// Emits `stale-allow` diagnostics for markers that suppressed nothing.
+/// Workspace-rule markers are skipped unless `workspace_rules_ran`: in a
+/// single-file lint the cross-file pass never runs, so those markers
+/// cannot be judged stale.
+pub(crate) fn stale_allows(
+    file: &str,
+    allows: &[Allow],
+    workspace_rules_ran: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for a in allows {
+        if a.used.get() {
+            continue;
+        }
+        if !workspace_rules_ran && WORKSPACE_RULES.contains(&a.rule.as_str()) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line: a.line,
+            col: 1,
+            rule: "stale-allow",
+            message: format!(
+                "`lint:allow({})` no longer suppresses anything; the code it \
+                 justified is gone — remove the marker",
+                a.rule
+            ),
+        });
+    }
 }
 
 fn is_ident_byte(b: u8) -> bool {
@@ -327,11 +322,30 @@ fn is_float_token(tok: &str) -> bool {
         || tok.ends_with("f32")
 }
 
-/// Runs every applicable rule over one file's source.
+/// Runs every per-file rule over one file's source, standalone: the
+/// workspace rules (`rng-streams`, `panic-reachability`,
+/// `hot-path-alloc`) need the whole tree and only run under
+/// [`crate::lint_root`].
 pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
     let masked = mask::mask(source);
     let mut diags = Vec::new();
     let allows = parse_allows(file, &masked, &mut diags);
+    lint_file(file, source, &masked, &allows, ctx, &mut diags);
+    stale_allows(file, &allows, false, &mut diags);
+    diags.sort();
+    diags
+}
+
+/// Runs every per-file rule over one file, using pre-parsed suppression
+/// markers (so the caller can later judge their staleness).
+pub(crate) fn lint_file(
+    file: &str,
+    source: &str,
+    masked: &Masked,
+    allows: &[Allow],
+    ctx: &FileContext,
+    diags: &mut Vec<Diagnostic>,
+) {
     let regions = test_regions(&masked.text);
     let text = &masked.text;
     let bytes = text.as_bytes();
@@ -355,7 +369,7 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
         for (needle, what) in DETERMINISM_BANNED {
             for offset in token_matches(text, needle) {
                 push(
-                    &mut diags,
+                    diags,
                     "determinism",
                     offset,
                     format!(
@@ -368,7 +382,7 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
         for (needle, replacement) in DETERMINISM_BANNED_COLLECTIONS {
             for offset in token_matches(text, needle) {
                 push(
-                    &mut diags,
+                    diags,
                     "determinism",
                     offset,
                     format!(
@@ -388,7 +402,7 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
     if ctx.fault_code {
         for offset in token_matches(text, "Pcg32::new") {
             push(
-                &mut diags,
+                diags,
                 "determinism",
                 offset,
                 "ad-hoc `Pcg32::new` in fault-injection code; use \
@@ -409,7 +423,7 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
                     continue;
                 }
                 push(
-                    &mut diags,
+                    diags,
                     "actuation",
                     offset,
                     format!(
@@ -434,7 +448,7 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
                     continue;
                 }
                 push(
-                    &mut diags,
+                    diags,
                     "untrusted-wire",
                     offset,
                     format!(
@@ -468,7 +482,7 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
                 let right = token_right(bytes, offset + op.len());
                 if is_float_token(&left) || is_float_token(&right) {
                     push(
-                        &mut diags,
+                        diags,
                         "float-eq",
                         offset,
                         format!(
@@ -485,7 +499,7 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
     // fields is the same bit-exact comparison, just written by the
     // compiler.
     if !ctx.testlike {
-        check_derived_float_eq(file, text, &regions, &allows, &mut diags);
+        check_derived_float_eq(file, text, &regions, &allows, diags);
     }
 
     // panic-hygiene: unwrap/expect in strict library code, outside tests.
@@ -499,7 +513,7 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
                     continue;
                 }
                 push(
-                    &mut diags,
+                    diags,
                     "panic-hygiene",
                     offset,
                     format!(
@@ -514,10 +528,88 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Diagnosti
 
     // pub-docs: doc comment required above pub items.
     if ctx.strict_library && !ctx.testlike {
-        check_pub_docs(file, source, text, &regions, &allows, &mut diags);
+        check_pub_docs(file, source, text, &regions, &allows, diags);
     }
 
-    diags
+    // cast-truncation: lossy narrowing casts and raw arithmetic on wire
+    // counters / clock values (tests exempt — they construct bounded
+    // inputs on purpose). Wire fields are u32 by design and *wrap*; a
+    // site is either provably bounded, modular by design (justify with an
+    // allow marker), or a long-horizon bug of the 2^42 ns wire-clock kind.
+    if ctx.cast_scope && !ctx.testlike {
+        for offset in token_matches(text, "as") {
+            if in_test_region(&regions, offset) {
+                continue;
+            }
+            let target = token_right(bytes, offset + 2);
+            if matches!(target.as_str(), "u32" | "u16" | "u8") {
+                push(
+                    diags,
+                    "cast-truncation",
+                    offset,
+                    format!(
+                        "`as {target}` silently truncates on overflow; prove the \
+                         value bounded (or modular by design) and justify with a \
+                         lint:allow, or convert with `try_into`"
+                    ),
+                );
+            }
+        }
+        // Raw `-` on a u32 wire-counter field: deltas must ride through
+        // the wrap via `wrapping_sub`. Only files that actually handle
+        // wire snapshots are in scope — same-named fields elsewhere
+        // (e.g. full-resolution u64 counters) subtract safely.
+        if !token_matches(text, "WireSnapshot").is_empty()
+            || !token_matches(text, "WireExchange").is_empty()
+        {
+            for field in WIRE_COUNTER_FIELDS {
+                let needle = format!(".{field}");
+                let mut search = 0usize;
+                while let Some(pos) = text[search..].find(&needle) {
+                    let start = search + pos;
+                    search = start + 1;
+                    let end = start + needle.len();
+                    // Must be a field access (`x.time`), not a longer
+                    // name (`.timestamp`) or a method (`.time(`).
+                    if start == 0
+                        || !(is_ident_byte(bytes[start - 1])
+                            || bytes[start - 1] == b')'
+                            || bytes[start - 1] == b']')
+                    {
+                        continue;
+                    }
+                    if end < bytes.len() && is_ident_byte(bytes[end]) {
+                        continue;
+                    }
+                    let mut j = end;
+                    while j < bytes.len() && bytes[j] == b' ' {
+                        j += 1;
+                    }
+                    // Binary `-` only: `-=` compounds and `->` arrows are
+                    // not wrap-sensitive deltas.
+                    if j >= bytes.len() || bytes[j] != b'-' {
+                        continue;
+                    }
+                    if matches!(bytes.get(j + 1), Some(b'=') | Some(b'>')) {
+                        continue;
+                    }
+                    if in_test_region(&regions, start) {
+                        continue;
+                    }
+                    push(
+                        diags,
+                        "cast-truncation",
+                        start,
+                        format!(
+                            "raw `-` on wire counter `{needle}`; the u32 wire \
+                             fields wrap (time every 2^42 ns at default scale) — \
+                             compute deltas with `wrapping_sub`"
+                        ),
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Flags `#[derive(.. PartialEq ..)]` on types whose body mentions `f32`
@@ -682,11 +774,15 @@ mod tests {
     fn sim_ctx() -> FileContext {
         FileContext {
             simulation_crate: true,
-            strict_library: false,
-            testlike: false,
-            fault_code: false,
-            apply_path: false,
-            wire_module: false,
+            ..FileContext::default()
+        }
+    }
+
+    fn cast_ctx() -> FileContext {
+        FileContext {
+            simulation_crate: true,
+            cast_scope: true,
+            ..FileContext::default()
         }
     }
 
@@ -944,5 +1040,76 @@ mod tests {
         };
         let src = "pub(crate) fn helper() {}\n";
         assert!(lint_source("x.rs", src, &ctx).is_empty());
+    }
+
+    #[test]
+    fn cast_truncation_flags_narrowing_casts() {
+        let src = "fn f(t: u64) -> (u32, u16, u8) { (t as u32, t as u16, t as u8) }\n";
+        let d = lint_source("x.rs", src, &cast_ctx());
+        let got: Vec<&str> = d.iter().map(|d| d.rule).collect();
+        assert_eq!(got, vec!["cast-truncation"; 3]);
+        // Out of scope (or widening), the same casts are fine.
+        assert!(lint_source("x.rs", src, &sim_ctx()).is_empty());
+        let widen = "fn f(t: u16) -> u64 { t as u64 }\n";
+        assert!(lint_source("x.rs", widen, &cast_ctx()).is_empty());
+    }
+
+    #[test]
+    fn cast_truncation_exempt_in_tests_and_suppressible() {
+        let in_mod = "#[cfg(test)]\nmod tests { fn f(t: u64) -> u32 { t as u32 } }\n";
+        assert!(lint_source("x.rs", in_mod, &cast_ctx()).is_empty());
+        let suppressed = "// lint:allow(cast-truncation): sequence space is modular by design\n\
+                          fn f(t: u64) -> u32 { t as u32 }\n";
+        assert!(lint_source("x.rs", suppressed, &cast_ctx()).is_empty());
+    }
+
+    #[test]
+    fn cast_truncation_flags_raw_wire_counter_subtraction() {
+        let src = "fn d(cur: &WireSnapshot, prev: &WireSnapshot) -> (u32, u32) {\n\
+                   (cur.time - prev.time, cur.total.wrapping_sub(prev.total))\n}\n";
+        let d = lint_source("x.rs", src, &cast_ctx());
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].line), ("cast-truncation", 2));
+        assert!(d[0].message.contains("wrapping_sub"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn wire_counter_subtraction_needs_wire_types_in_file() {
+        // Full-resolution u64 counters subtract safely; the sub-rule only
+        // wakes up in files that mention the wire snapshot types.
+        let src = "fn d(cur: &Snapshot, prev: &Snapshot) -> u64 { cur.time - prev.time }\n";
+        assert!(lint_source("x.rs", src, &cast_ctx()).is_empty());
+    }
+
+    #[test]
+    fn wire_counter_compound_ops_and_longer_fields_exempt() {
+        let src = "fn f(s: &mut Stats, w: &WireSnapshot) {\n\
+                   s.time -= 1;\n    s.timestamp - 1;\n    let _ = w.time;\n}\n";
+        assert!(lint_source("x.rs", src, &cast_ctx()).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_flags_unused_markers() {
+        let src = "// lint:allow(determinism): leftover from a removed Instant::now\n\
+                   fn f() -> u64 { 42 }\n";
+        let d = lint_source("x.rs", src, &sim_ctx());
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].line), ("stale-allow", 1));
+    }
+
+    #[test]
+    fn used_markers_are_not_stale() {
+        let src = "// lint:allow(determinism): calibration shim measures host time\n\
+                   fn f() { let t = Instant::now(); }\n";
+        assert!(lint_source("x.rs", src, &sim_ctx()).is_empty());
+    }
+
+    #[test]
+    fn workspace_rule_markers_not_judged_in_single_file_lint() {
+        // `lint_source` cannot run the cross-file pass, so a workspace-rule
+        // marker is left for `lint_root` to judge.
+        let src = "// lint:allow(rng-streams): shared stream justified\n\
+                   fn f() -> u64 { 42 }\n";
+        assert!(lint_source("x.rs", src, &sim_ctx()).is_empty());
     }
 }

@@ -69,6 +69,8 @@ pub fn classify(root: &Path, file: &Path) -> FileContext {
             && in_src
             && matches!(file_name, "socket.rs" | "sim.rs" | "delack.rs"),
         wire_module: crate_dir == Some("littles") && in_src && file_name == "wire.rs",
+        cast_scope: (crate_dir == Some("littles") && in_src && file_name == "wire.rs")
+            || (matches!(crate_dir, Some("core") | Some("tcpsim")) && in_src),
     }
 }
 
@@ -115,6 +117,25 @@ mod tests {
             "/r/crates/apps/src/driver.rs",
         ] {
             assert!(!classify(Path::new("/r"), Path::new(p)).wire_module, "{p}");
+        }
+    }
+
+    #[test]
+    fn classify_cast_scope() {
+        for p in [
+            "/r/crates/littles/src/wire.rs",
+            "/r/crates/core/src/estimator.rs",
+            "/r/crates/tcpsim/src/socket.rs",
+        ] {
+            assert!(classify(Path::new("/r"), Path::new(p)).cast_scope, "{p}");
+        }
+        for p in [
+            "/r/crates/littles/src/queue.rs",
+            "/r/crates/tcpsim/tests/mechanisms.rs",
+            "/r/crates/simnet/src/engine.rs",
+            "/r/crates/apps/src/driver.rs",
+        ] {
+            assert!(!classify(Path::new("/r"), Path::new(p)).cast_scope, "{p}");
         }
     }
 

@@ -95,6 +95,104 @@ fn fault_code_requires_named_rng_streams() {
 }
 
 #[test]
+fn rng_stream_registry_rules() {
+    let diags = fixture_diags();
+
+    // fault_streams.rs: duplicate construction of "fault.split" (second
+    // site in fault_streams_b.rs), an undeclared name, and a dynamic
+    // name; the justified dynamic site on line 11 is suppressed.
+    let d = for_file(&diags, "simnet/src/fault_streams.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("rng-streams", 6, 25), // "fault.split" — 2 sites
+            ("rng-streams", 7, 27), // "fault.mystery" — undeclared
+            ("rng-streams", 9, 27), // non-literal stream name
+        ]
+    );
+    assert!(d[0].message.contains("constructed at 2 sites"), "{}", d[0].message);
+    assert!(d[1].message.contains("undeclared"), "{}", d[1].message);
+    assert!(d[2].message.contains("non-literal"), "{}", d[2].message);
+
+    // The duplicate is reported at BOTH sites.
+    let d = for_file(&diags, "simnet/src/fault_streams_b.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    assert_eq!(got, vec![("rng-streams", 5, 25)]);
+
+    // The declared-but-unconstructed entry is flagged in the manifest
+    // itself; "fault.loss" (used by fault_gen.rs) is not.
+    let d = for_file(&diags, "xtask/rng_streams.toml");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    assert_eq!(got, vec![("rng-streams", 6, 1)]);
+    assert!(d[0].message.contains("fault.unused"), "{}", d[0].message);
+}
+
+#[test]
+fn cast_truncation_fixture_positions() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "tcpsim/src/casts.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    // The justified `as u8` on line 13, the widening `as u64` on line 17,
+    // the `wrapping_sub` on line 25, and the cast inside `mod tests` are
+    // all clean; the two narrowing casts and the raw `-` on a wire
+    // counter are flagged.
+    assert_eq!(
+        got,
+        vec![
+            ("cast-truncation", 5, 11), // total as u32
+            ("cast-truncation", 9, 7),  // x as u16
+            ("cast-truncation", 21, 8), // cur.time - prev.time
+        ]
+    );
+    assert!(d[2].message.contains("wrapping_sub"), "{}", d[2].message);
+}
+
+#[test]
+fn ratchet_rules_count_reachable_sites_against_baselines() {
+    let diags = fixture_diags();
+
+    // dispatch.rs: `handle` reaches `step`, whose 2 panic sites exceed
+    // the baseline grant of 1, and whose 3 allocation sites exceed the
+    // grant of 2. `offline` is NOT reachable from the dispatch root: its
+    // indexing/unwrap/to_vec sites are excluded (the counts would
+    // otherwise be 5 and 4).
+    let d = for_file(&diags, "simnet/src/dispatch.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("panic-reachability", 16, 31), // first site: self.items[0]
+            ("hot-path-alloc", 18, 31),     // first site: .clone()
+        ]
+    );
+    assert!(d[0].message.contains("2 "), "{}", d[0].message);
+    assert!(d[0].message.contains("allows 1"), "{}", d[0].message);
+    assert!(d[1].message.contains("3 allocation"), "{}", d[1].message);
+
+    // quiet.rs has no sites left, but its baseline still grants one: the
+    // ratchet reports the stale grant against the baseline file.
+    assert!(for_file(&diags, "simnet/src/quiet.rs").is_empty());
+    let d = for_file(&diags, "lint_baselines/panic_reachability.txt");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    assert_eq!(got, vec![("panic-reachability", 4, 1)]);
+    assert!(d[0].message.contains("only 0 remain"), "{}", d[0].message);
+}
+
+#[test]
+fn stale_allow_reported_when_nothing_left_to_suppress() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "simnet/src/stale.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    assert_eq!(got, vec![("stale-allow", 5, 1)]);
+    assert!(
+        d[0].message.contains("lint:allow(determinism)"),
+        "{}",
+        d[0].message
+    );
+}
+
+#[test]
 fn derived_float_partial_eq_flagged_outside_tests() {
     let diags = fixture_diags();
     let d = for_file(&diags, "apps/src/derive_eq.rs");
