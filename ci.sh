@@ -24,6 +24,15 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> simperf smoke (event-loop throughput floor at N=64)"
+cargo bench -q -p bench --bench simperf -- --smoke
+# The full-mode snapshot (with the N=1024 row) is checked in; the smoke
+# mode above guards the floor without rewriting machine-dependent wall
+# times on every CI run.
+test -s crates/bench/BENCH_simperf.json
+grep -q '"bench": "simperf"' crates/bench/BENCH_simperf.json
+grep -q '"num_clients": 1024' crates/bench/BENCH_simperf.json
+
 echo "==> fanin smoke (N=4, short run)"
 cargo run -q --release --example fanin -- --smoke
 

@@ -13,6 +13,7 @@ use simnet::{
 };
 
 use crate::runner::{run_point, NagleSetting, Overrides, PointResult, RunConfig};
+use crate::grid::{default_threads, run_grid};
 use crate::sweep::{run_sweep, SweepResult};
 use crate::workload::WorkloadSpec;
 use crate::cost::CostProfile;
@@ -141,7 +142,7 @@ pub struct Figure4Data {
 fn figure4(
     variant: &str,
     rates: &[f64],
-    spec_at: impl Fn(f64) -> WorkloadSpec,
+    spec_at: impl Fn(f64) -> WorkloadSpec + Sync,
     warmup: Nanos,
     measure: Nanos,
     seed: u64,
@@ -630,11 +631,20 @@ pub fn knobs(
     measure: Nanos,
     seed: u64,
 ) -> KnobsData {
-    let mut cells = Vec::new();
+    // Cells (one per cost x width) run in parallel; the ten runs inside a
+    // cell stay serial. Index-ordered merge keeps the output identical to
+    // the serial nested loop.
+    let mut specs = Vec::new();
     for &cost in costs {
+        for &n in ns {
+            specs.push((cost, n));
+        }
+    }
+    let cells = run_grid(specs.len(), default_threads(), |i| {
+        let (cost, n) = specs[i];
         let mut profile = CostProfile::calibrated();
         profile.app.client_response_base = cost;
-        for &n in ns {
+        {
             let base = RunConfig {
                 profile,
                 warmup,
@@ -684,15 +694,15 @@ pub fn knobs(
                 },
                 ..base
             });
-            cells.push(KnobsCell {
+            KnobsCell {
                 client_cost: cost,
                 num_clients: n,
                 corners,
                 nagle_only,
                 joint,
-            });
+            }
         }
-    }
+    });
     KnobsData { cells }
 }
 
@@ -713,53 +723,60 @@ pub fn chaos(
     measure: Nanos,
     seed: u64,
 ) -> ChaosData {
-    let mut cells = Vec::new();
+    // Enumerate the grid up front, then run cells in parallel; the merge
+    // is by cell index, so the output order (and every byte in it) matches
+    // the serial triple loop this replaces.
+    let mut specs = Vec::new();
     for &n in ns {
         for &class in classes {
             for &intensity in intensities {
-                let base = RunConfig {
-                    warmup,
-                    measure,
-                    seed,
-                    num_clients: n,
-                    fault: class.fault_at(intensity),
-                    overrides: Overrides {
-                        // The Linux-default 200 ms RTO floor exceeds the
-                        // whole measure window, and exponential backoff
-                        // toward the 60 s cap can park a lossy connection
-                        // past it entirely; clamp both (identically in
-                        // all three arms) so loss episodes recover at
-                        // simulation timescales.
-                        min_rto: Some(Nanos::from_millis(5)),
-                        max_rto: Some(Nanos::from_millis(40)),
-                        ..Overrides::default()
-                    },
-                    ..RunConfig::new(WorkloadSpec::fig4a(rate_rps), NagleSetting::Off)
-                };
-                let off = run_point(&base);
-                let on = run_point(&RunConfig {
-                    nagle: NagleSetting::On,
-                    ..base
-                });
-                let adaptive = run_point(&RunConfig {
-                    nagle: NagleSetting::Dynamic {
-                        objective: Objective::MinLatency,
-                    },
-                    staleness_bound: Some(CHAOS_STALENESS_BOUND),
-                    breaker: Some(BreakerConfig::default()),
-                    ..base
-                });
-                cells.push(ChaosCell {
-                    class,
-                    intensity,
-                    num_clients: n,
-                    off,
-                    on,
-                    adaptive,
-                });
+                specs.push((n, class, intensity));
             }
         }
     }
+    let cells = run_grid(specs.len(), default_threads(), |i| {
+        let (n, class, intensity) = specs[i];
+        let base = RunConfig {
+            warmup,
+            measure,
+            seed,
+            num_clients: n,
+            fault: class.fault_at(intensity),
+            overrides: Overrides {
+                // The Linux-default 200 ms RTO floor exceeds the
+                // whole measure window, and exponential backoff
+                // toward the 60 s cap can park a lossy connection
+                // past it entirely; clamp both (identically in
+                // all three arms) so loss episodes recover at
+                // simulation timescales.
+                min_rto: Some(Nanos::from_millis(5)),
+                max_rto: Some(Nanos::from_millis(40)),
+                ..Overrides::default()
+            },
+            ..RunConfig::new(WorkloadSpec::fig4a(rate_rps), NagleSetting::Off)
+        };
+        let off = run_point(&base);
+        let on = run_point(&RunConfig {
+            nagle: NagleSetting::On,
+            ..base
+        });
+        let adaptive = run_point(&RunConfig {
+            nagle: NagleSetting::Dynamic {
+                objective: Objective::MinLatency,
+            },
+            staleness_bound: Some(CHAOS_STALENESS_BOUND),
+            breaker: Some(BreakerConfig::default()),
+            ..base
+        });
+        ChaosCell {
+            class,
+            intensity,
+            num_clients: n,
+            off,
+            on,
+            adaptive,
+        }
+    });
     ChaosData { cells }
 }
 
@@ -975,60 +992,65 @@ pub fn adversary(
     measure: Nanos,
     seed: u64,
 ) -> AdversaryData {
-    let mut cells = Vec::new();
+    // Same parallel-cells/serial-merge shape as the chaos grid.
+    let mut specs = Vec::new();
     for &n in ns {
         for &class in classes {
             for &intensity in intensities {
-                let base = RunConfig {
-                    warmup,
-                    measure,
-                    seed,
-                    num_clients: n,
-                    fault: class.fault_at(intensity),
-                    // The validator rides along in the static arms too:
-                    // it cannot change their latency (no policy consumes
-                    // the estimates) but its counters prove the faults
-                    // actually reached the metadata path.
-                    validate: Some(ValidateConfig::default()),
-                    overrides: Overrides {
-                        // Same RTO clamps as the chaos grid, identical in
-                        // all four arms, so restart-induced loss episodes
-                        // recover at simulation timescales.
-                        min_rto: Some(Nanos::from_millis(5)),
-                        max_rto: Some(Nanos::from_millis(40)),
-                        ..Overrides::default()
-                    },
-                    ..RunConfig::new(WorkloadSpec::fig4a(rate_rps), NagleSetting::Off)
-                };
-                let off = run_point(&base);
-                let on = run_point(&RunConfig {
-                    nagle: NagleSetting::On,
-                    ..base
-                });
-                let guarded_cfg = RunConfig {
-                    nagle: NagleSetting::Dynamic {
-                        objective: Objective::MinLatency,
-                    },
-                    staleness_bound: Some(CHAOS_STALENESS_BOUND),
-                    breaker: Some(adversary_breaker()),
-                    ..base
-                };
-                let guarded = run_point(&guarded_cfg);
-                let exposed = run_point(&RunConfig {
-                    validate: None,
-                    ..guarded_cfg
-                });
-                cells.push(AdversaryCell {
-                    class,
-                    intensity,
-                    num_clients: n,
-                    off,
-                    on,
-                    guarded,
-                    exposed,
-                });
+                specs.push((n, class, intensity));
             }
         }
     }
+    let cells = run_grid(specs.len(), default_threads(), |i| {
+        let (n, class, intensity) = specs[i];
+        let base = RunConfig {
+            warmup,
+            measure,
+            seed,
+            num_clients: n,
+            fault: class.fault_at(intensity),
+            // The validator rides along in the static arms too:
+            // it cannot change their latency (no policy consumes
+            // the estimates) but its counters prove the faults
+            // actually reached the metadata path.
+            validate: Some(ValidateConfig::default()),
+            overrides: Overrides {
+                // Same RTO clamps as the chaos grid, identical in
+                // all four arms, so restart-induced loss episodes
+                // recover at simulation timescales.
+                min_rto: Some(Nanos::from_millis(5)),
+                max_rto: Some(Nanos::from_millis(40)),
+                ..Overrides::default()
+            },
+            ..RunConfig::new(WorkloadSpec::fig4a(rate_rps), NagleSetting::Off)
+        };
+        let off = run_point(&base);
+        let on = run_point(&RunConfig {
+            nagle: NagleSetting::On,
+            ..base
+        });
+        let guarded_cfg = RunConfig {
+            nagle: NagleSetting::Dynamic {
+                objective: Objective::MinLatency,
+            },
+            staleness_bound: Some(CHAOS_STALENESS_BOUND),
+            breaker: Some(adversary_breaker()),
+            ..base
+        };
+        let guarded = run_point(&guarded_cfg);
+        let exposed = run_point(&RunConfig {
+            validate: None,
+            ..guarded_cfg
+        });
+        AdversaryCell {
+            class,
+            intensity,
+            num_clients: n,
+            off,
+            on,
+            guarded,
+            exposed,
+        }
+    });
     AdversaryData { cells }
 }

@@ -22,6 +22,7 @@
 pub mod cost;
 pub mod driver;
 pub mod experiments;
+pub mod grid;
 pub mod kv;
 pub mod loadgen;
 pub mod resp;

@@ -311,6 +311,7 @@ impl LancetClient {
     }
 }
 
+
 impl App for LancetClient {
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
         // `sock` is assigned on `Connected` (same path as a reconnect);

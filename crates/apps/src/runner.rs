@@ -284,6 +284,9 @@ pub struct PointResult {
     pub client_restarts: u64,
     /// Endpoint restarts the fault plan injected.
     pub fault_restarts: u64,
+    /// Total simulator events processed across warmup, measurement, and
+    /// drain — the denominator of the self-bench's events/sec metric.
+    pub events: u64,
 }
 
 fn shield<T: batchpolicy::BatchToggler>(
@@ -547,7 +550,7 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
     sim.start(&mut queue);
 
     // Run warmup, snapshot CPU accounting, run the measurement window.
-    run(&mut sim, &mut queue, cfg.warmup);
+    let mut events = run(&mut sim, &mut queue, cfg.warmup);
     let snaps: Vec<_> = (0..=n)
         .map(|h| {
             (
@@ -557,10 +560,10 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         })
         .collect();
     let end = cfg.warmup + cfg.measure;
-    run(&mut sim, &mut queue, end);
+    events += run(&mut sim, &mut queue, end);
     // Drain a little so in-flight responses complete (not measured —
     // samples are keyed by arrival time).
-    run(&mut sim, &mut queue, end + Nanos::from_millis(20));
+    events += run(&mut sim, &mut queue, end + Nanos::from_millis(20));
 
     let (from, to) = (cfg.warmup, end);
     let util = |h: usize| CpuUtil {
@@ -742,6 +745,7 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         validation,
         client_restarts: sim.clients.iter().map(|lg| lg.restarts_seen).sum(),
         fault_restarts: sim.fault_plan().map(|p| p.restarts()).unwrap_or(0),
+        events,
     }
 }
 

@@ -9,6 +9,7 @@
 
 use littles::Nanos;
 
+use crate::grid::{default_threads, run_grid};
 use crate::runner::{run_point, NagleSetting, PointResult, RunConfig};
 use crate::workload::WorkloadSpec;
 
@@ -81,37 +82,39 @@ impl SweepResult {
 }
 
 /// Runs a sweep over `rates` for the workload produced by `spec_at`.
+///
+/// Rows run in parallel across worker threads (each row's two-or-three
+/// simulation cells stay serial within it); results are merged back in
+/// rate order, so the output is bitwise identical to a serial sweep.
 pub fn run_sweep(
     rates: &[f64],
-    spec_at: impl Fn(f64) -> WorkloadSpec,
+    spec_at: impl Fn(f64) -> WorkloadSpec + Sync,
     base: &RunConfig,
     include_dynamic: bool,
 ) -> SweepResult {
-    let rows = rates
-        .iter()
-        .map(|&rate| {
-            let mk = |nagle: NagleSetting| RunConfig {
-                workload: spec_at(rate),
-                nagle,
-                ..*base
-            };
-            SweepRow {
-                rate_rps: rate,
-                off: run_point(&mk(NagleSetting::Off)),
-                on: run_point(&mk(NagleSetting::On)),
-                dynamic: include_dynamic.then(|| {
-                    // Inherit the base config's objective when it is
-                    // already dynamic; default to the paper's
-                    // "prefer latency" policy otherwise.
-                    let objective = match base.nagle {
-                        NagleSetting::Dynamic { objective } => objective,
-                        _ => batchpolicy::Objective::MinLatency,
-                    };
-                    run_point(&mk(NagleSetting::Dynamic { objective }))
-                }),
-            }
-        })
-        .collect();
+    let rows = run_grid(rates.len(), default_threads(), |i| {
+        let rate = rates[i];
+        let mk = |nagle: NagleSetting| RunConfig {
+            workload: spec_at(rate),
+            nagle,
+            ..*base
+        };
+        SweepRow {
+            rate_rps: rate,
+            off: run_point(&mk(NagleSetting::Off)),
+            on: run_point(&mk(NagleSetting::On)),
+            dynamic: include_dynamic.then(|| {
+                // Inherit the base config's objective when it is
+                // already dynamic; default to the paper's
+                // "prefer latency" policy otherwise.
+                let objective = match base.nagle {
+                    NagleSetting::Dynamic { objective } => objective,
+                    _ => batchpolicy::Objective::MinLatency,
+                };
+                run_point(&mk(NagleSetting::Dynamic { objective }))
+            }),
+        }
+    });
     SweepResult { rows }
 }
 
@@ -164,6 +167,7 @@ mod tests {
             validation: None,
             client_restarts: 0,
             fault_restarts: 0,
+            events: 0,
         }
     }
 

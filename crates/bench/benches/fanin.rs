@@ -14,7 +14,7 @@ use bench::params::{MEASURE, SEED, WARMUP};
 use e2e_apps::experiments::fanin;
 use littles::Nanos;
 
-const NS: [usize; 4] = [1, 4, 16, 64];
+const NS: [usize; 6] = [1, 4, 16, 64, 256, 1024];
 const RATES: [f64; 5] = [40_000.0, 60_000.0, 75_000.0, 88_000.0, 105_000.0];
 
 fn fmt(n: Option<Nanos>) -> String {

@@ -7,8 +7,6 @@
 //! average is throughput-weighted — a connection carrying 100× the
 //! requests should dominate the policy's view of latency.
 
-use std::collections::BTreeMap;
-
 use littles::wire::{WireExchange, WireScale};
 use littles::Nanos;
 
@@ -148,15 +146,18 @@ impl MultiConnectionAggregator {
 /// single connection's [`Estimate`] sees the throughput-weighted
 /// aggregate instead.
 ///
-/// Keyed by a `BTreeMap`: registry state is iterated during aggregation,
-/// and simulation code must iterate in a deterministic order.
+/// Connection ids are small sequential integers (the simulation's flow
+/// counter), so estimators live in a dense `Vec` indexed by id — lookup
+/// on the per-tick update path is one bounds check rather than a tree
+/// walk, and iteration in ascending index order reproduces the old
+/// `BTreeMap`'s deterministic key order exactly.
 #[derive(Debug, Clone)]
 pub struct EstimatorRegistry {
     scale: WireScale,
     smoothing_alpha: f64,
     staleness_bound: Option<Nanos>,
     validation: Option<ValidateConfig>,
-    estimators: BTreeMap<u64, E2eEstimator>,
+    estimators: Vec<Option<E2eEstimator>>,
 }
 
 impl EstimatorRegistry {
@@ -168,7 +169,7 @@ impl EstimatorRegistry {
             smoothing_alpha,
             staleness_bound: None,
             validation: None,
-            estimators: BTreeMap::new(),
+            estimators: Vec::new(),
         }
     }
 
@@ -221,9 +222,12 @@ impl EstimatorRegistry {
             self.staleness_bound,
             self.validation,
         );
-        self.estimators
-            .entry(conn)
-            .or_insert_with(|| {
+        let idx = conn as usize;
+        if idx >= self.estimators.len() {
+            self.estimators.resize_with(idx + 1, || None);
+        }
+        self.estimators[idx]
+            .get_or_insert_with(|| {
                 let mut est = E2eEstimator::new(scale, alpha);
                 if let Some(b) = bound {
                     est = est.with_staleness_bound(b);
@@ -240,7 +244,7 @@ impl EstimatorRegistry {
     /// validation is disabled).
     pub fn validation_stats(&self) -> ValidateStats {
         let mut total = ValidateStats::default();
-        for est in self.estimators.values() {
+        for est in self.estimators.iter().flatten() {
             if let Some(stats) = est.validation_stats() {
                 total.merge(&stats);
             }
@@ -250,24 +254,30 @@ impl EstimatorRegistry {
 
     /// Number of registered connections.
     pub fn connections(&self) -> usize {
-        self.estimators.len()
+        self.estimators.iter().filter(|e| e.is_some()).count()
     }
 
     /// The latest estimate of one connection, if it has produced any.
     pub fn last(&self, conn: u64) -> Option<Estimate> {
-        self.estimators.get(&conn).and_then(|e| e.last())
+        self.estimators
+            .get(conn as usize)
+            .and_then(Option::as_ref)
+            .and_then(|e| e.last())
     }
 
-    /// Drops a closed connection's estimator.
+    /// Drops a closed connection's estimator. The slot stays vacant so
+    /// surviving connections keep their indices.
     pub fn remove(&mut self, conn: u64) {
-        self.estimators.remove(&conn);
+        if let Some(slot) = self.estimators.get_mut(conn as usize) {
+            *slot = None;
+        }
     }
 
     /// Throughput-weighted aggregate over every connection's latest
     /// estimate. `None` until at least one connection has estimated.
     pub fn aggregate(&self) -> Option<AggregateEstimate> {
         let mut agg = MultiConnectionAggregator::new();
-        for est in self.estimators.values().filter_map(|e| e.last()) {
+        for est in self.estimators.iter().flatten().filter_map(|e| e.last()) {
             agg.add(est);
         }
         agg.aggregate()

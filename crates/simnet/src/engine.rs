@@ -7,41 +7,22 @@
 //! [`run_until_idle`] until the queue drains.
 //!
 //! Timers are events like any other; cancellation is supported through
-//! [`EventToken`]s with lazy removal (cancelled entries are skipped when
-//! popped), the standard technique for binary-heap schedulers.
-
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+//! [`EventToken`]s. The queue is backed by the hierarchical timer wheel in
+//! [`wheel`](crate::wheel): O(1) schedule and cancel, amortized-O(1) pop,
+//! and no heap allocation in steady state — the slab and slot storage are
+//! recycled. (It replaced a lazy-deletion `BinaryHeap` + `BTreeSet` pair
+//! that allocated tree nodes on every schedule.)
 
 use littles::Nanos;
 
+use crate::wheel::{TimerWheel, WheelToken};
+
 /// Identifies a scheduled event so it can be cancelled.
+///
+/// Tokens are generation-checked: cancelling an event that already fired
+/// (or was already cancelled) is recognized as stale and is a true no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventToken(u64);
-
-#[derive(Debug)]
-struct Entry<E> {
-    at: Nanos,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
 
 /// A time-ordered queue of future events.
 ///
@@ -63,15 +44,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    now: Nanos,
-    next_seq: u64,
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Seqs issued and not yet popped. Guards [`cancel`](Self::cancel)
-    /// against tokens that already fired (or were cancelled before), so the
-    /// `cancelled` set only ever names entries still in the heap and
-    /// [`len`](Self::len) stays exact.
-    pending: BTreeSet<u64>,
-    cancelled: BTreeSet<u64>,
+    wheel: TimerWheel<E>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -84,85 +57,63 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            now: Nanos::ZERO,
-            next_seq: 0,
-            heap: BinaryHeap::new(),
-            pending: BTreeSet::new(),
-            cancelled: BTreeSet::new(),
+            wheel: TimerWheel::new(),
         }
     }
 
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> Nanos {
-        self.now
+        Nanos::from_nanos(self.wheel.now_ns())
     }
 
     /// Schedules `event` to fire `delay` from now.
     pub fn schedule(&mut self, delay: Nanos, event: E) -> EventToken {
-        self.schedule_at(self.now.saturating_add(delay), event)
+        self.schedule_at(self.now().saturating_add(delay), event)
     }
 
     /// Schedules `event` at absolute time `at` (clamped to `now`).
     // hot-path: runs once per scheduled event; must not allocate per call
     pub fn schedule_at(&mut self, at: Nanos, event: E) -> EventToken {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.pending.insert(seq);
-        self.heap.push(Reverse(Entry {
-            at: at.max(self.now),
-            seq,
-            event,
-        }));
-        EventToken(seq)
+        debug_assert!(
+            at >= self.now(),
+            "scheduling into the past: {at} < {}",
+            self.now()
+        );
+        EventToken(self.wheel.schedule(at.as_nanos(), event).0)
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a true no-op: only
-    /// tokens still pending in the heap enter the lazy-removal set.
+    /// already fired (or was already cancelled) is a true no-op: the
+    /// token's generation no longer matches its slab cell, so `len` stays
+    /// exact.
+    // hot-path: runs once per cancelled timer; must not allocate per call
     pub fn cancel(&mut self, token: EventToken) {
-        if self.pending.remove(&token.0) {
-            self.cancelled.insert(token.0);
-        }
+        self.wheel.cancel(WheelToken(token.0));
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
     // hot-path: the event-loop inner loop; must not allocate per call
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            self.pending.remove(&entry.seq);
-            self.now = entry.at;
-            return Some((entry.at, entry.event));
-        }
-        None
+        self.wheel
+            .pop()
+            .map(|(at, event)| (Nanos::from_nanos(at), event))
     }
 
-    /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<Nanos> {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(entry.at);
-        }
-        None
+    /// Timestamp of the next live event without popping it. Read-only:
+    /// cancelled entries are skipped, not pruned.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.wheel.peek().map(Nanos::from_nanos)
     }
 
     /// Number of live events still queued.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.wheel.len()
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.wheel.is_empty()
     }
 }
 
@@ -267,8 +218,8 @@ mod tests {
         let tok = q.schedule(Nanos::from_nanos(1), 1);
         assert_eq!(q.pop().map(|(_, e)| e), Some(1));
         q.cancel(tok);
-        // Regression: the stale cancel must not leak into the lazy-removal
-        // set — `len` stays exact and later events still fire.
+        // Regression: the stale cancel must not affect live bookkeeping —
+        // `len` stays exact and later events still fire.
         assert_eq!(q.len(), 0);
         q.schedule(Nanos::from_nanos(2), 2);
         assert_eq!(q.len(), 1);
@@ -307,6 +258,15 @@ mod tests {
         q.schedule(Nanos::from_nanos(9), 2);
         q.cancel(tok);
         assert_eq!(q.peek_time(), Some(Nanos::from_nanos(9)));
+    }
+
+    #[test]
+    fn peek_time_is_shared_ref() {
+        // Satellite regression: peek must not need `&mut self`.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule(Nanos::from_nanos(3), 1);
+        let shared: &EventQueue<u32> = &q;
+        assert_eq!(shared.peek_time(), Some(Nanos::from_nanos(3)));
     }
 
     struct Counter {

@@ -11,6 +11,9 @@
 //! * [`engine`] — a generic event queue ([`EventQueue`]) with a total order
 //!   on `(time, sequence)`, cancellable timers, and a [`World`] trait plus
 //!   [`run`] driver.
+//! * [`wheel`] — the hierarchical timer wheel backing [`EventQueue`]:
+//!   O(1) schedule/cancel, amortized-O(1) pop, allocation-free in steady
+//!   state.
 //! * [`rng`] — a tiny, seedable PCG32 generator with the distributions the
 //!   workloads need (uniform, exponential inter-arrivals, Bernoulli).
 //! * [`link`] — a point-to-point link with propagation delay, serialization
@@ -39,6 +42,7 @@ pub mod hist;
 pub mod link;
 pub mod rng;
 pub mod topology;
+pub mod wheel;
 
 pub use cpu::{BusySnapshot, CpuContext};
 pub use engine::{run, run_until_idle, EventQueue, EventToken, World};

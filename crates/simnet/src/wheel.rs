@@ -1,0 +1,460 @@
+//! Hierarchical timer wheel: the allocation-free core under [`EventQueue`].
+//!
+//! [`EventQueue`](crate::EventQueue) used to keep a lazy-deletion
+//! `BinaryHeap` plus two `BTreeSet`s, which allocated a tree node on every
+//! schedule — on a path documented "must not allocate per call". This module
+//! replaces it with a hierarchical timer wheel in the style of hashed
+//! hierarchical wheels (Varghese & Lauck) and production async runtimes:
+//!
+//! * [`LEVELS`] levels of [`SLOTS`] slots each. Level `l` has a granularity
+//!   of `64^l` nanoseconds, so level 0 resolves single nanoseconds and the
+//!   top level spans the whole `u64` range — there is no separate overflow
+//!   list.
+//! * Events are slotted by **absolute time**: an event at time `at` lives
+//!   at the level of the highest 6-bit block in which `at` differs from the
+//!   wheel's cursor. Popping scans the lowest non-empty level's lowest
+//!   occupied slot (an occupancy bitmap per level makes this two
+//!   `trailing_zeros` instructions); slots above level 0 are *cascaded* —
+//!   drained and re-slotted at finer levels — as the cursor reaches them.
+//! * Every scheduled event owns a generation-checked cell in a slab, and
+//!   the cells themselves form **intrusive FIFO lists**: each slot is just
+//!   a `(head, tail)` pair of slab indices and each cell carries a `next`
+//!   link. Scheduling, cancelling, popping, and cascading therefore move
+//!   indices around preallocated storage and never allocate — the slab's
+//!   high-water mark is the only growth point, so steady state performs
+//!   zero heap allocations (asserted by `simnet/tests/hot_path_alloc.rs`).
+//! * Cancellation vacates the cell in O(1) (the event is dropped, the
+//!   token's generation goes stale) but leaves it linked; the cell is
+//!   reaped for reuse when its slot is next visited — the wheel's analogue
+//!   of the old heap's lazy deletion, with exact [`TimerWheel::len`]
+//!   maintained by a live counter.
+//!
+//! # Ordering
+//!
+//! The wheel preserves the engine's `(time, sequence)` total order
+//! *structurally*, without storing sequence numbers: a level-0 slot names
+//! one exact nanosecond, so FIFO order within its list is insertion order;
+//! and cascades walk a slot front-to-back and append, so two same-time
+//! events are never reordered on their way down the levels.
+//!
+//! Lower level ⇒ strictly earlier: a level-`l` entry agrees with the cursor
+//! on every block above `l`, while a level-`l'` (`l' > l`) entry exceeds
+//! the cursor in block `l'` — so the former compares smaller. Within a
+//! level, a lower slot index is a smaller block value, hence earlier. This
+//! is what makes a read-only [`TimerWheel::peek`] possible: scan in (level,
+//! slot) order and take the minimum live timestamp of the first slot with
+//! any live entry.
+
+/// Bits per wheel level: each level fans out into `2^BITS` slots.
+pub const BITS: u32 = 6;
+/// Slots per level.
+pub const SLOTS: usize = 1 << BITS;
+/// Number of levels. `64^11 = 2^66` exceeds the `u64` nanosecond range, so
+/// every representable timestamp maps to some level and no overflow spill
+/// list is needed.
+pub const LEVELS: usize = 11;
+
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Null link / empty slot sentinel.
+const NIL: u32 = u32::MAX;
+
+/// Identifies a scheduled entry so it can be cancelled in O(1).
+///
+/// Packs `(slab index, generation)`; the generation is bumped every time
+/// the cell's tenant fires or is cancelled, so tokens for spent entries
+/// are recognized as stale. (A generation is 32 bits, so a token could in
+/// principle alias after 2^32 reuses of one cell — far beyond any run's
+/// event budget.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WheelToken(pub(crate) u64);
+
+#[inline]
+fn pack(idx: u32, gen: u32) -> u64 {
+    (u64::from(gen) << 32) | u64::from(idx)
+}
+
+#[inline]
+fn unpack(packed: u64) -> (u32, u32) {
+    (packed as u32, (packed >> 32) as u32)
+}
+
+/// The level at which a timestamp `at` is slotted, relative to `cursor`:
+/// the index of the highest 6-bit block where the two differ (0 when
+/// equal, i.e. due immediately).
+#[inline]
+fn level_for(cursor: u64, at: u64) -> usize {
+    let differing = cursor ^ at;
+    if differing == 0 {
+        0
+    } else {
+        ((63 - differing.leading_zeros()) / BITS) as usize
+    }
+}
+
+#[derive(Debug)]
+struct Cell<E> {
+    gen: u32,
+    /// Intrusive link to the next cell in the same slot (or [`NIL`]).
+    next: u32,
+    at: u64,
+    /// `Some` while live; `None` once cancelled (awaiting reap) or fired.
+    event: Option<E>,
+}
+
+#[derive(Debug)]
+struct Level {
+    /// Bit `s` set ⇔ slot `s`'s list is non-empty (possibly all stale).
+    occupied: u64,
+    head: [u32; SLOTS],
+    tail: [u32; SLOTS],
+}
+
+impl Level {
+    fn new() -> Self {
+        Level {
+            occupied: 0,
+            head: [NIL; SLOTS],
+            tail: [NIL; SLOTS],
+        }
+    }
+}
+
+/// A hierarchical timer wheel over nanosecond timestamps.
+///
+/// The wheel owns a monotone cursor (the engine's simulated clock):
+/// [`TimerWheel::pop`] advances it to each popped event's timestamp, and
+/// [`TimerWheel::schedule`] clamps timestamps below the cursor up to it.
+#[derive(Debug)]
+pub struct TimerWheel<E> {
+    cursor: u64,
+    /// Live (scheduled, not yet fired or cancelled) entries — exact.
+    live: usize,
+    levels: Vec<Level>,
+    cells: Vec<Cell<E>>,
+    /// Reusable slab indices (fired or reaped cells).
+    free: Vec<u32>,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// Creates an empty wheel with the cursor at zero.
+    pub fn new() -> Self {
+        let mut levels = Vec::with_capacity(LEVELS);
+        levels.resize_with(LEVELS, Level::new);
+        TimerWheel {
+            cursor: 0,
+            live: 0,
+            levels,
+            cells: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Current cursor position (the simulated clock), in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live entries remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Appends cell `idx` to the slot its timestamp maps to.
+    // hot-path: runs on every schedule and once per cascade hop
+    #[inline]
+    fn place(&mut self, idx: u32, at: u64) {
+        let lvl = level_for(self.cursor, at);
+        let slot = ((at >> (BITS * lvl as u32)) & SLOT_MASK) as usize;
+        self.cells[idx as usize].next = NIL;
+        let tail = self.levels[lvl].tail[slot];
+        if tail == NIL {
+            self.levels[lvl].head[slot] = idx;
+            self.levels[lvl].occupied |= 1 << slot;
+        } else {
+            self.cells[tail as usize].next = idx;
+        }
+        self.levels[lvl].tail[slot] = idx;
+    }
+
+    /// Schedules `event` at absolute nanosecond `at` (clamped up to the
+    /// cursor). Allocation-free once the slab has reached its high-water
+    /// mark.
+    // hot-path: runs once per scheduled event; must not allocate per call
+    pub fn schedule(&mut self, at: u64, event: E) -> WheelToken {
+        let at = at.max(self.cursor);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let cell = &mut self.cells[idx as usize];
+                cell.at = at;
+                cell.event = Some(event);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.cells.len()).expect("wheel slab capacity");
+                self.cells.push(Cell {
+                    gen: 0,
+                    next: NIL,
+                    at,
+                    event: Some(event),
+                });
+                idx
+            }
+        };
+        let token = pack(idx, self.cells[idx as usize].gen);
+        self.place(idx, at);
+        self.live += 1;
+        WheelToken(token)
+    }
+
+    /// Cancels a scheduled entry. Returns whether the token named a live
+    /// entry; stale tokens (already fired or already cancelled) are a true
+    /// no-op. O(1): the cell is vacated in place — its event dropped and
+    /// its generation bumped — and reaped for reuse when its slot is next
+    /// visited.
+    // hot-path: runs once per cancelled timer; must not allocate per call
+    pub fn cancel(&mut self, token: WheelToken) -> bool {
+        let (idx, gen) = unpack(token.0);
+        let Some(cell) = self.cells.get_mut(idx as usize) else {
+            return false;
+        };
+        if cell.gen != gen || cell.event.is_none() {
+            return false;
+        }
+        cell.event = None;
+        cell.gen = cell.gen.wrapping_add(1);
+        self.live -= 1;
+        true
+    }
+
+    /// Pops the earliest live entry, advancing the cursor to its
+    /// timestamp. The cursor never moves past any live entry's time.
+    // hot-path: the event-loop inner loop; must not allocate per call
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            let lvl = self
+                .levels
+                .iter()
+                .position(|l| l.occupied != 0)
+                .expect("live entries imply an occupied slot");
+            let slot = self.levels[lvl].occupied.trailing_zeros() as usize;
+            let slot_time = self.slot_start(lvl, slot);
+            debug_assert!(slot_time >= self.cursor, "wheel cursor passed a slot");
+            self.cursor = slot_time;
+            // Detach the slot's whole list; live cells are either returned
+            // (level 0) or re-slotted finer (cascade), stale ones reaped.
+            let mut head = self.levels[lvl].head[slot];
+            let orig_tail = self.levels[lvl].tail[slot];
+            self.levels[lvl].head[slot] = NIL;
+            self.levels[lvl].tail[slot] = NIL;
+            self.levels[lvl].occupied &= !(1 << slot);
+            if lvl == 0 {
+                // A level-0 slot names one exact nanosecond; FIFO order in
+                // its list is insertion order, which is the tie-break.
+                while head != NIL {
+                    let idx = head as usize;
+                    head = self.cells[idx].next;
+                    if let Some(event) = self.cells[idx].event.take() {
+                        debug_assert_eq!(self.cells[idx].at, slot_time);
+                        self.cells[idx].gen = self.cells[idx].gen.wrapping_add(1);
+                        self.free.push(idx as u32);
+                        self.live -= 1;
+                        // Reattach the unconsumed remainder of the list
+                        // (a suffix of the original, so it keeps the
+                        // original tail).
+                        if head != NIL {
+                            self.reattach_front(slot, head, orig_tail);
+                        }
+                        return Some((slot_time, event));
+                    }
+                    self.free.push(idx as u32); // reap a cancelled cell
+                }
+            } else {
+                // Cascade: walk the coarse slot and re-slot each live
+                // entry at the finer level it now maps to. Front-to-back
+                // walk + tail append keeps same-time entries in order.
+                while head != NIL {
+                    let idx = head as usize;
+                    head = self.cells[idx].next;
+                    if self.cells[idx].event.is_some() {
+                        let at = self.cells[idx].at;
+                        debug_assert!(level_for(self.cursor, at) < lvl);
+                        self.place(idx as u32, at);
+                    } else {
+                        self.free.push(idx as u32); // reap a cancelled cell
+                    }
+                }
+            }
+        }
+    }
+
+    /// Relinks a detached list `head..=tail` at the front of level-0
+    /// `slot` (which pop just emptied — the list is a suffix of the
+    /// slot's original, so `tail` is the original tail).
+    // hot-path: runs once per pop from a shared-timestamp slot
+    #[inline]
+    fn reattach_front(&mut self, slot: usize, head: u32, tail: u32) {
+        debug_assert_eq!(self.levels[0].head[slot], NIL);
+        debug_assert_eq!(self.cells[tail as usize].next, NIL);
+        self.levels[0].head[slot] = head;
+        self.levels[0].tail[slot] = tail;
+        self.levels[0].occupied |= 1 << slot;
+    }
+
+    /// Timestamp of the earliest live entry, without mutating anything —
+    /// stale entries are skipped read-only, not reaped.
+    pub fn peek(&self) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        for (lvl, level) in self.levels.iter().enumerate() {
+            let mut bits = level.occupied;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // The first slot with any live entry holds the global
+                // earliest (lower level ⇒ earlier; lower slot ⇒ earlier);
+                // above level 0 its entries span a range, so take the min.
+                let mut earliest: Option<u64> = None;
+                let mut idx = level.head[slot];
+                while idx != NIL {
+                    let cell = &self.cells[idx as usize];
+                    if cell.event.is_some() {
+                        earliest = Some(earliest.map_or(cell.at, |e| e.min(cell.at)));
+                    }
+                    idx = cell.next;
+                }
+                if earliest.is_some() {
+                    debug_assert!(lvl > 0 || earliest == Some(self.slot_start(0, slot)));
+                    return earliest;
+                }
+            }
+        }
+        unreachable!("live entries imply a live slot reference")
+    }
+
+    /// The earliest timestamp covered by `slot` at `lvl`, given the
+    /// cursor's position in all coarser blocks.
+    #[inline]
+    fn slot_start(&self, lvl: usize, slot: usize) -> u64 {
+        let shift = BITS * lvl as u32;
+        let above = match shift.checked_add(BITS) {
+            Some(s) if s < 64 => !((1u64 << s) - 1),
+            _ => 0,
+        };
+        (self.cursor & above) | ((slot as u64) << shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_cover_u64() {
+        // The top level must be reachable for any cursor/timestamp pair.
+        assert_eq!(level_for(0, u64::MAX), LEVELS - 1);
+        assert_eq!(level_for(0, 0), 0);
+        assert_eq!(level_for(5, 5), 0);
+        assert_eq!(level_for(0, 63), 0);
+        assert_eq!(level_for(0, 64), 1);
+    }
+
+    #[test]
+    fn far_future_cascades_down() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.schedule(u64::MAX, 1);
+        w.schedule(1 << 40, 2);
+        w.schedule(7, 3);
+        assert_eq!(w.peek(), Some(7));
+        assert_eq!(w.pop(), Some((7, 3)));
+        assert_eq!(w.pop(), Some((1 << 40, 2)));
+        assert_eq!(w.pop(), Some((u64::MAX, 1)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn cancel_is_exact_and_generational() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let t1 = w.schedule(10, 1);
+        assert!(w.cancel(t1));
+        assert!(!w.cancel(t1), "double cancel is stale");
+        let t2 = w.schedule(20, 2);
+        assert!(!w.cancel(t1), "stale token must not hit a new tenant");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some((20, 2)));
+        assert!(!w.cancel(t2), "cancel after fire is stale");
+    }
+
+    #[test]
+    fn same_time_entries_keep_insertion_order_across_cascades() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let t = (1 << 30) + 5; // deep enough to cascade several levels
+        for v in 0..10 {
+            w.schedule(t, v);
+        }
+        for v in 0..10 {
+            assert_eq!(w.pop(), Some((t, v)));
+        }
+    }
+
+    #[test]
+    fn same_time_inserts_during_drain_fire_after_remainder() {
+        // Pop one of three same-time events, schedule two more at that
+        // exact time, and confirm FIFO across the reattached remainder.
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        for v in 0..3 {
+            w.schedule(100, v);
+        }
+        assert_eq!(w.pop(), Some((100, 0)));
+        w.schedule(100, 3);
+        w.schedule(100, 4);
+        for v in 1..5 {
+            assert_eq!(w.pop(), Some((100, v)));
+        }
+    }
+
+    #[test]
+    fn peek_is_read_only_and_skips_stale() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let tok = w.schedule(100, 1);
+        w.schedule(1 << 20, 2);
+        w.cancel(tok);
+        assert_eq!(w.peek(), Some(1 << 20));
+        assert_eq!(w.peek(), Some(1 << 20), "peek does not consume");
+        assert_eq!(w.pop(), Some((1 << 20, 2)));
+    }
+
+    #[test]
+    fn slab_reaches_a_high_water_mark() {
+        // One-in-flight churn across many distinct slots must not grow the
+        // slab beyond a handful of cells: storage is recycled, not
+        // proportional to slots touched.
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        for round in 0..10_000u64 {
+            w.schedule(w.now_ns() + round % 5_000 + 1, round as u32);
+            w.pop();
+        }
+        assert!(
+            w.cells.len() <= 4,
+            "slab grew to {} cells for one-in-flight churn",
+            w.cells.len()
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Steady-state allocation assertion for the event-queue hot path.
+//!
+//! `EventQueue::schedule_at` / `pop` / `cancel` are documented "must not
+//! allocate per call" — a promise the old `BinaryHeap` + `BTreeSet`
+//! implementation broke on every schedule (tree-node allocation). This
+//! test installs a counting global allocator, warms the timer wheel to its
+//! high-water mark (slab cells, slot-deque capacity, cascade scratch),
+//! then replays the same churn pattern and asserts the steady-state phase
+//! performs **zero** heap allocations.
+//!
+//! The file holds exactly one test so no sibling test thread can allocate
+//! concurrently and pollute the counter.
+
+// The counting allocator is the one place the simulator's test suite needs
+// `unsafe`: implementing `GlobalAlloc` is inherently unsafe. The override
+// is scoped to this integration test, not the library.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use simnet::{EventQueue, EventToken, Nanos, Pcg32};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One churn phase: a deterministic mix of schedules (spanning several
+/// wheel levels), cancels, and pops. Identical across phases modulo the
+/// advancing clock, so capacity warmed by earlier phases covers later
+/// ones.
+fn churn(q: &mut EventQueue<u64>, rng: &mut Pcg32, tokens: &mut Vec<EventToken>) {
+    for i in 0..20_000u64 {
+        let delay = match rng.gen_range(4) {
+            0 => rng.gen_range(64),
+            1 => rng.gen_range(1 << 10),
+            2 => rng.gen_range(1 << 14),
+            _ => rng.gen_range(1 << 18),
+        };
+        tokens.push(q.schedule(Nanos::from_nanos(delay), i));
+        if i % 3 == 0 {
+            if let Some(tok) = tokens.pop() {
+                q.cancel(tok);
+            }
+        }
+        if i % 2 == 0 {
+            q.pop();
+            q.peek_time();
+        }
+    }
+    while q.pop().is_some() {}
+    tokens.clear();
+}
+
+#[test]
+fn steady_state_hot_path_does_not_allocate() {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = Pcg32::new(0xA110_C8);
+    let mut tokens: Vec<EventToken> = Vec::with_capacity(32_768);
+
+    // Warm until a whole churn phase allocates nothing: the slab and free
+    // list, each level's slot deques, and the cascade scratch all reach
+    // their high-water marks. As the clock advances, phases keep landing
+    // in previously untouched higher-level slots, so the warmup must
+    // cycle every slot the delay distribution can reach — a fixed number
+    // of phases is not enough, a fixed point is. An implementation that
+    // allocates per call (the old heap + BTreeSet) never reaches one.
+    let mut warm_phases = 0;
+    loop {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        churn(&mut q, &mut rng, &mut tokens);
+        if ALLOCS.load(Ordering::SeqCst) == before {
+            break;
+        }
+        warm_phases += 1;
+        assert!(
+            warm_phases < 64,
+            "event-queue hot path still allocating after {warm_phases} phases: \
+             no steady state exists"
+        );
+    }
+
+    // And hold the fixed point: one more full phase, zero allocations.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    churn(&mut q, &mut rng, &mut tokens);
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "event-queue hot path allocated {} time(s) in steady state",
+        after - before
+    );
+}

@@ -1,0 +1,245 @@
+//! Differential sweep: the timer-wheel-backed [`EventQueue`] against a
+//! straightforward reference model (a `(time, seq)`-ordered `BinaryHeap`
+//! with eager cancellation), driven through 1 000 seeded rounds of random
+//! schedule / schedule_at / cancel / pop / peek interleavings.
+//!
+//! The reference is deliberately naive — correctness by construction — so
+//! any divergence in popped (time, payload) pairs, peeked times, or exact
+//! `len` is a wheel bug. Dedicated cases cover the corners the random
+//! sweep may under-sample: far-future timestamps that live in the top
+//! wheel levels, cancel-after-fire staleness, and mass cancellation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use simnet::{EventQueue, EventToken, Nanos, Pcg32};
+
+/// Reference scheduler: same `(time, seq)` total order and stale-cancel
+/// semantics as `EventQueue`, implemented the obvious O(log n) way.
+#[derive(Default)]
+struct RefModel {
+    now: u64,
+    next_seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    cancelled: Vec<u64>, // seqs cancelled while still pending
+}
+
+impl RefModel {
+    fn schedule_at(&mut self, at: u64, payload: u32) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at.max(self.now), seq, payload)));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) {
+        // Stale tokens (already fired or already cancelled) are no-ops.
+        let pending = self.heap.iter().any(|Reverse((_, s, _))| *s == seq);
+        if pending && !self.cancelled.contains(&seq) {
+            self.cancelled.push(seq);
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        while let Some(Reverse((at, seq, payload))) = self.heap.pop() {
+            if let Some(i) = self.cancelled.iter().position(|&s| s == seq) {
+                self.cancelled.swap_remove(i);
+                continue;
+            }
+            self.now = at;
+            return Some((at, payload));
+        }
+        None
+    }
+
+    fn peek(&mut self) -> Option<u64> {
+        while let Some(Reverse((at, seq, _))) = self.heap.peek() {
+            if let Some(i) = self.cancelled.iter().position(|s| *s == *seq) {
+                self.cancelled.swap_remove(i);
+                self.heap.pop();
+                continue;
+            }
+            return Some(*at);
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+}
+
+/// One outstanding token pair: the wheel's and the reference's handle for
+/// the same scheduled event.
+struct Outstanding {
+    token: EventToken,
+    seq: u64,
+}
+
+#[test]
+fn thousand_round_differential_sweep() {
+    let mut rng = Pcg32::new(0xD1FF_E7EA);
+    for round in 0..1_000 {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut model = RefModel::default();
+        let mut outstanding: Vec<Outstanding> = Vec::new();
+        let ops = 10 + rng.gen_range(60);
+        for op in 0..ops {
+            match rng.gen_range(100) {
+                // Schedule by relative delay, mostly near, sometimes far
+                // enough to land several wheel levels up.
+                0..=39 => {
+                    let delay = match rng.gen_range(4) {
+                        0 => rng.gen_range(64),                   // level 0
+                        1 => rng.gen_range(1 << 12),              // level ~2
+                        2 => rng.gen_range(1 << 30),              // level ~5
+                        _ => rng.gen_range(1 << 50),              // top levels
+                    };
+                    let payload = (round * 1_000 + op) as u32;
+                    let token = q.schedule(Nanos::from_nanos(delay), payload);
+                    let seq = model.schedule_at(model.now.saturating_add(delay), payload);
+                    outstanding.push(Outstanding { token, seq });
+                }
+                // Schedule at an absolute time, occasionally in the past
+                // (clamped) or at the current instant (tie-break order).
+                40..=54 => {
+                    let now = q.now().as_nanos();
+                    let at = match rng.gen_range(3) {
+                        0 => now,
+                        1 => now.saturating_sub(rng.gen_range(100)),
+                        _ => now + rng.gen_range(1 << 20),
+                    };
+                    let payload = (round * 1_000 + op) as u32;
+                    let token = q.schedule_at(Nanos::from_nanos(at.max(now)), payload);
+                    let seq = model.schedule_at(at.max(now), payload);
+                    outstanding.push(Outstanding { token, seq });
+                }
+                // Cancel a random token — half the time one that is still
+                // outstanding, half the time a spent one (stale no-op).
+                55..=69 => {
+                    if outstanding.is_empty() {
+                        continue;
+                    }
+                    let i = rng.gen_range(outstanding.len() as u64) as usize;
+                    if rng.gen_bool(0.5) {
+                        let o = outstanding.swap_remove(i);
+                        q.cancel(o.token);
+                        model.cancel(o.seq);
+                    } else {
+                        // Cancel twice: the second must be a no-op.
+                        let o = &outstanding[i];
+                        q.cancel(o.token);
+                        model.cancel(o.seq);
+                        q.cancel(o.token);
+                        model.cancel(o.seq);
+                        outstanding.swap_remove(i);
+                    }
+                }
+                // Pop and compare the full (time, payload) pair.
+                70..=89 => {
+                    let got = q.pop().map(|(t, e)| (t.as_nanos(), e));
+                    let want = model.pop();
+                    assert_eq!(got, want, "round {round} op {op}: pop diverged");
+                    if let Some((t, _)) = got {
+                        assert_eq!(q.now().as_nanos(), t, "clock follows pop");
+                        // Drop the fired event's handles so later cancels
+                        // of them exercise the stale-token path knowingly.
+                        outstanding.retain(|o| {
+                            model.heap.iter().any(|Reverse((_, s, _))| *s == o.seq)
+                        });
+                    }
+                }
+                // Peek (shared ref — must not mutate) and len exactness.
+                _ => {
+                    let got = q.peek_time().map(Nanos::as_nanos);
+                    let want = model.peek();
+                    assert_eq!(got, want, "round {round} op {op}: peek diverged");
+                    assert_eq!(got, q.peek_time().map(Nanos::as_nanos), "peek is idempotent");
+                }
+            }
+            assert_eq!(q.len(), model.len(), "round {round} op {op}: len diverged");
+            assert_eq!(q.is_empty(), model.len() == 0);
+        }
+        // Drain both completely: the tails must match event for event.
+        loop {
+            let got = q.pop().map(|(t, e)| (t.as_nanos(), e));
+            let want = model.pop();
+            assert_eq!(got, want, "round {round}: drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+        assert_eq!(q.len(), 0);
+    }
+}
+
+#[test]
+fn far_future_overflow_ordering() {
+    // Timestamps spanning every wheel level, scheduled in scrambled order,
+    // must pop in sorted order — including u64::MAX.
+    let mut q: EventQueue<usize> = EventQueue::new();
+    let mut times: Vec<u64> = (0..63).map(|b| 1u64 << b).collect();
+    times.push(u64::MAX);
+    times.push(0);
+    times.push(12_345);
+    let mut rng = Pcg32::new(7);
+    let mut scrambled: Vec<(usize, u64)> = times.iter().copied().enumerate().collect();
+    for i in (1..scrambled.len()).rev() {
+        let j = rng.gen_range(i as u64 + 1) as usize;
+        scrambled.swap(i, j);
+    }
+    for &(id, t) in &scrambled {
+        q.schedule_at(Nanos::from_nanos(t), id);
+    }
+    let mut expect: Vec<(u64, usize)> = times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+    expect.sort_unstable();
+    for &(want_t, want_id) in &expect {
+        let (at, id) = q.pop().expect("event remains");
+        assert_eq!((at.as_nanos(), id), (want_t, want_id));
+    }
+    assert!(q.pop().is_none());
+}
+
+#[test]
+fn cancel_after_fire_remains_noop_under_reuse() {
+    // Fire an event, then cancel its token repeatedly while the slab cell
+    // is reused by later schedules: the stale token must never hit the new
+    // tenants and `len` must stay exact throughout.
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let stale = q.schedule(Nanos::from_nanos(1), 1);
+    assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+    for i in 0..100 {
+        q.cancel(stale);
+        q.schedule(Nanos::from_nanos(10 + i), i as u32);
+        q.cancel(stale);
+        assert_eq!(q.len() as u64, i + 1, "stale cancels must not leak");
+    }
+    let mut fired = 0;
+    while q.pop().is_some() {
+        fired += 1;
+    }
+    assert_eq!(fired, 100);
+}
+
+#[test]
+fn mass_cancellation_keeps_len_exact() {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let tokens: Vec<EventToken> = (0..1_000)
+        .map(|i| q.schedule(Nanos::from_nanos(i % 97 + 1), i))
+        .collect();
+    assert_eq!(q.len(), 1_000);
+    for (i, tok) in tokens.iter().enumerate() {
+        if i % 3 != 0 {
+            q.cancel(*tok);
+        }
+    }
+    let survivors = (0..1_000).filter(|i| i % 3 == 0).count();
+    assert_eq!(q.len(), survivors);
+    let mut popped = 0;
+    while let Some((_, payload)) = q.pop() {
+        assert_eq!(payload % 3, 0, "cancelled event fired");
+        popped += 1;
+    }
+    assert_eq!(popped, survivors);
+    assert!(q.is_empty());
+}

@@ -6,13 +6,12 @@
 //! owns its sockets and the per-(socket, timer) generation counters used to
 //! cancel timers scheduled in the global event queue.
 
-use std::collections::BTreeMap;
-
 use simnet::{CpuContext, Nanos};
 
 use crate::config::{CostConfig, TcpConfig};
 use crate::segment::{FlowId, Segment};
 use crate::socket::{SocketId, TcpSocket, TimerKind};
+use crate::table::FlowMap;
 
 /// Index of a host in the simulation (0 = client, 1 = server by
 /// convention).
@@ -33,18 +32,24 @@ pub struct Host {
     /// Configuration used for passively accepted sockets.
     pub accept_config: TcpConfig,
     sockets: Vec<TcpSocket>,
-    // BTreeMap, not HashMap: host state is iterated (or may become so) and
-    // std HashMap's iteration order is seeded from OS entropy.
-    flows: BTreeMap<FlowId, SocketId>,
+    /// Flow → socket, dense-indexed by the (small, sequential) flow id.
+    flows: FlowMap<SocketId>,
     /// Packets handed to the NIC, not yet completed.
     nic_in_flight: u32,
-    /// Per-(socket, timer) generation counters for cancellation.
-    timer_gens: BTreeMap<(SocketId, TimerKind), u64>,
+    /// Per-socket timer generation counters for cancellation, indexed by
+    /// `SocketId` and [`TimerKind`].
+    timer_gens: Vec<[u64; TimerKind::COUNT]>,
     /// Total doorbells rung (one per transmit batch).
     pub doorbells: u64,
     /// Counter-state generations issued (wrapping); each registered socket
     /// gets the next value as its exchange epoch.
     epochs_issued: u8,
+    /// Sockets that corked a partial segment and are waiting for the NIC
+    /// to drain. Registered on the uncorked → corked transition (the cork
+    /// timer arm), drained at every NIC completion; entries can be stale
+    /// (the socket may have flushed meanwhile), so consumers re-check
+    /// `is_corked`. Keeps NIC completion O(corked), not O(sockets).
+    cork_waiters: Vec<SocketId>,
 }
 
 impl Host {
@@ -63,11 +68,12 @@ impl Host {
             costs,
             accept_config,
             sockets: Vec::new(),
-            flows: BTreeMap::new(),
+            flows: FlowMap::new(),
             nic_in_flight: 0,
-            timer_gens: BTreeMap::new(),
+            timer_gens: Vec::new(),
             doorbells: 0,
             epochs_issued: 0,
+            cork_waiters: Vec::new(),
         }
     }
 
@@ -78,8 +84,9 @@ impl Host {
         sock.set_epoch(self.epochs_issued);
         self.epochs_issued = self.epochs_issued.wrapping_add(1);
         let id = SocketId(self.sockets.len());
-        self.flows.insert(sock.flow(), id);
+        self.flows.set(sock.flow(), id);
         self.sockets.push(sock);
+        self.timer_gens.push([0; TimerKind::COUNT]);
         id
     }
 
@@ -87,12 +94,13 @@ impl Host {
     /// segments for that flow become stray deliveries and are dropped at
     /// the softirq layer, exactly as if the owning process disappeared.
     pub fn remove_flow(&mut self, flow: FlowId) {
-        self.flows.remove(&flow);
+        self.flows.remove(flow);
     }
 
     /// Looks up the socket serving `flow`.
+    // hot-path: runs on every segment delivery; must not allocate per call
     pub fn socket_for_flow(&self, flow: FlowId) -> Option<SocketId> {
-        self.flows.get(&flow).copied()
+        self.flows.get(flow).copied()
     }
 
     /// Immutable access to a socket.
@@ -138,17 +146,41 @@ impl Host {
         self.nic_in_flight = self.nic_in_flight.saturating_sub(packets);
     }
 
+    /// Registers a socket as waiting for NIC drain to revisit its corked
+    /// tail. Safe to call redundantly; NIC completion filters on the
+    /// socket's live cork state.
+    // hot-path: runs on every cork arm; must not allocate per call in steady state
+    pub fn note_cork_wait(&mut self, sock: SocketId) {
+        if self.cork_waiters.last() != Some(&sock) {
+            self.cork_waiters.push(sock);
+        }
+    }
+
+    /// Moves the pending cork waiters into `out` (clearing both first),
+    /// preserving registration order. Both vectors keep their capacity.
+    pub fn drain_cork_waiters_into(&mut self, out: &mut Vec<SocketId>) {
+        out.clear();
+        std::mem::swap(&mut self.cork_waiters, out);
+    }
+
     /// Bumps and returns the generation for a timer, invalidating any
     /// previously scheduled instance.
+    // hot-path: runs on every timer arm/cancel; must not allocate per call
     pub fn bump_timer(&mut self, sock: SocketId, kind: TimerKind) -> u64 {
-        let gen = self.timer_gens.entry((sock, kind)).or_insert(0);
+        if sock.0 >= self.timer_gens.len() {
+            self.timer_gens.resize_with(sock.0 + 1, || [0; TimerKind::COUNT]);
+        }
+        let gen = &mut self.timer_gens[sock.0][kind as usize];
         *gen += 1;
         *gen
     }
 
     /// Current generation for a timer.
+    // hot-path: runs on every timer fire; must not allocate per call
     pub fn timer_gen(&self, sock: SocketId, kind: TimerKind) -> u64 {
-        self.timer_gens.get(&(sock, kind)).copied().unwrap_or(0)
+        self.timer_gens
+            .get(sock.0)
+            .map_or(0, |gens| gens[kind as usize])
     }
 
     /// Softirq receive cost for a segment: one per-delivery charge (the

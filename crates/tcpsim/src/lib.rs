@@ -44,6 +44,7 @@ pub mod segment;
 pub mod seq;
 pub mod sim;
 pub mod socket;
+pub mod table;
 
 pub use config::{CostConfig, NagleMode, TcpConfig};
 pub use delack::{AckMode, AckSwitch};
@@ -53,4 +54,5 @@ pub use payload::Payload;
 pub use queues::{QueueSnapshots, SocketQueues, Unit};
 pub use segment::{FlowId, Segment};
 pub use sim::{App, Event, HostCtx, NetSim};
+pub use table::FlowMap;
 pub use socket::{Action, SocketId, TcpSocket, TcpState, TimerKind, TxEnv, WakeReason};

@@ -1,19 +1,26 @@
-//! Immutable, cheaply cloneable payload buffers.
+//! Immutable, cheaply cloneable, cheaply sliceable payload buffers.
 //!
-//! [`Payload`] replaces the `bytes::Bytes` dependency with a thin wrapper
-//! around `Arc<[u8]>`: the workspace must build with no registry access, and
-//! the simulator only ever needs immutable payloads that clone in O(1) as
-//! segments are retransmitted, duplicated by the lossy link, or stashed in
-//! the out-of-order store.
+//! [`Payload`] replaces the `bytes::Bytes` dependency with a view —
+//! a reference-counted buffer plus a byte range — because the workspace
+//! must build with no registry access and the simulator only ever needs
+//! immutable payloads. Cloning shares the allocation, and [`Payload::slice`]
+//! produces a sub-view in O(1) without copying, which is what lets the
+//! socket buffers hand MSS-sized segments out of a 16 KiB application
+//! message without per-segment byte copies.
+//!
+//! The empty payload carries no allocation at all, so pure ACKs (the most
+//! common segment at fan-in) construct without touching the heap.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
+/// An immutable, reference-counted byte buffer view.
 ///
 /// Dereferences to `&[u8]`, so all slice operations (`len`, indexing,
-/// iteration, range slicing) work directly.
+/// iteration, range slicing) work directly. Equality, ordering, and
+/// hashing see only the viewed bytes, never the backing allocation.
 ///
 /// # Examples
 ///
@@ -24,34 +31,73 @@ use std::sync::Arc;
 /// assert_eq!(&p[..], b"hello");
 /// let q = p.clone(); // O(1): shares the allocation
 /// assert_eq!(p, q);
+/// let mid = p.slice(1, 4); // O(1): a sub-view, no copy
+/// assert_eq!(&mid[..], b"ell");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Payload(Arc<[u8]>);
+#[derive(Clone)]
+pub struct Payload {
+    /// Backing buffer; `None` for the (allocation-free) empty payload.
+    buf: Option<Arc<Vec<u8>>>,
+    /// View start within `buf`.
+    start: usize,
+    /// View end within `buf`.
+    end: usize,
+}
 
 impl Payload {
-    /// An empty payload.
+    /// An empty payload (no heap allocation).
     pub fn new() -> Self {
-        Payload(Arc::from(&[][..]))
+        Payload {
+            buf: None,
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Wraps a static byte slice (copies once into the shared allocation).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Payload(Arc::from(bytes))
+        Payload::copy_from_slice(bytes)
     }
 
     /// Copies a slice into a new payload.
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
-        Payload(Arc::from(bytes))
+        Payload::from(bytes.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// True when the payload holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
+    }
+
+    /// A sub-view of bytes `[start, end)` of this payload, sharing the
+    /// backing allocation (O(1), no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    // hot-path: runs per emitted segment; must not allocate per call
+    pub fn slice(&self, start: usize, end: usize) -> Payload {
+        assert!(start <= end && end <= self.len(), "slice out of range");
+        if start == end {
+            return Payload::new();
+        }
+        Payload {
+            buf: self.buf.clone(),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.buf {
+            Some(b) => &b[self.start..self.end],
+            None => &[],
+        }
     }
 }
 
@@ -65,19 +111,28 @@ impl Deref for Payload {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Payload {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Payload {
+    /// Takes ownership of the vector without copying its bytes.
     fn from(v: Vec<u8>) -> Self {
-        Payload(Arc::from(v))
+        if v.is_empty() {
+            return Payload::new();
+        }
+        let end = v.len();
+        Payload {
+            buf: Some(Arc::new(v)),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -87,9 +142,35 @@ impl From<&[u8]> for Payload {
     }
 }
 
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialOrd for Payload {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Payload {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Payload {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Payload({} bytes)", self.0.len())
+        write!(f, "Payload({} bytes)", self.len())
     }
 }
 
@@ -105,10 +186,44 @@ mod tests {
     }
 
     #[test]
+    fn empty_views_compare_equal_regardless_of_origin() {
+        // An allocation-free empty payload equals an empty slice of a
+        // non-empty buffer: equality sees bytes, not representation.
+        let p = Payload::copy_from_slice(b"abc");
+        assert_eq!(p.slice(1, 1), Payload::new());
+        assert_eq!(Payload::copy_from_slice(b""), Payload::new());
+    }
+
+    #[test]
     fn clone_shares_allocation() {
         let a = Payload::from(vec![1u8, 2, 3]);
         let b = a.clone();
         assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn slice_shares_allocation_and_nests() {
+        let p = Payload::copy_from_slice(b"abcdefgh");
+        let s = p.slice(2, 7); // "cdefg"
+        assert_eq!(&s[..], b"cdefg");
+        assert!(std::ptr::eq(p.as_ref()[2..].as_ptr(), s.as_ref().as_ptr()));
+        let t = s.slice(1, 3); // "de" relative to s
+        assert_eq!(&t[..], b"de");
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn slice_out_of_range_panics() {
+        let p = Payload::copy_from_slice(b"abc");
+        let _ = p.slice(1, 5);
+    }
+
+    #[test]
+    fn from_vec_does_not_copy() {
+        let v = vec![9u8; 64];
+        let ptr = v.as_ptr();
+        let p = Payload::from(v);
+        assert!(std::ptr::eq(ptr, p.as_ref().as_ptr()));
     }
 
     #[test]
@@ -126,5 +241,8 @@ mod tests {
         let mut m: HashMap<Payload, u32> = HashMap::new();
         m.insert(Payload::from_static(b"k"), 7);
         assert_eq!(m.get(&Payload::copy_from_slice(b"k")), Some(&7));
+        // A sub-view with the same bytes hashes identically.
+        let big = Payload::copy_from_slice(b"xkx");
+        assert_eq!(m.get(&big.slice(1, 2)), Some(&7));
     }
 }

@@ -26,8 +26,6 @@
 //! makes application batching (one wakeup amortized over several requests)
 //! emerge naturally under load, as in the paper's Figure 1.
 
-use std::collections::BTreeMap;
-
 use crate::payload::Payload;
 use littles::{Nanos, Snapshot};
 use simnet::{
@@ -40,6 +38,7 @@ use crate::host::{Host, HostId};
 use crate::knob::KnobSetting;
 use crate::segment::{E2eOption, FlowId, Segment};
 use crate::socket::{Action, SocketId, TcpSocket, TcpState, TimerKind, TxEnv, WakeReason};
+use crate::table::FlowMap;
 
 /// Delay between a packet leaving the NIC and the transmit-completion
 /// interrupt that frees its ring slot (what auto-corking waits for).
@@ -133,9 +132,13 @@ pub struct HostCtx<'a> {
     pub rng: &'a mut Pcg32,
     queue: &'a mut EventQueue<Event>,
     topology: &'a mut StarTopology,
-    routes: &'a mut BTreeMap<FlowId, usize>,
+    routes: &'a mut FlowMap<usize>,
     faults: &'a mut Option<FaultPlan>,
     next_flow: &'a mut u64,
+    /// Shared scratch buffer for socket actions; `apply_actions` drains
+    /// it, so it is empty between events and never reallocated in steady
+    /// state.
+    actions: &'a mut Vec<Action>,
 }
 
 impl HostCtx<'_> {
@@ -151,9 +154,8 @@ impl HostCtx<'_> {
         let flow = FlowId(*self.next_flow);
         *self.next_flow += 1;
         // Flows are routed back to the client host that opened them.
-        self.routes.insert(flow, self.host_idx);
-        let mut actions = Vec::new();
-        let sock = TcpSocket::client(flow, config, now, &mut actions);
+        self.routes.set(flow, self.host_idx);
+        let sock = TcpSocket::client(flow, config, now, self.actions);
         let id = self.host.add_socket(sock);
         let syscall = self.host.costs.syscall;
         self.host.app_cpu.run(now, syscall);
@@ -165,7 +167,7 @@ impl HostCtx<'_> {
             self.rng,
             self.faults,
             id,
-            actions,
+            self.actions,
             Charge::App,
         );
         id
@@ -181,11 +183,10 @@ impl HostCtx<'_> {
         let env = TxEnv {
             nic_in_flight: self.host.nic_in_flight(),
         };
-        let mut actions = Vec::new();
         let accepted = self
             .host
             .socket_mut(sock)
-            .send(now, data, env, &mut actions);
+            .send(now, data, env, self.actions);
         apply_actions(
             self.host,
             self.topology,
@@ -194,7 +195,7 @@ impl HostCtx<'_> {
             self.rng,
             self.faults,
             sock,
-            actions,
+            self.actions,
             Charge::App,
         );
         accepted
@@ -213,8 +214,7 @@ impl HostCtx<'_> {
         let now = self.now();
         let syscall = self.host.costs.syscall;
         self.host.app_cpu.run(now, syscall);
-        let mut actions = Vec::new();
-        let out = self.host.socket_mut(sock).recv(now, max, &mut actions);
+        let out = self.host.socket_mut(sock).recv(now, max, self.actions);
         apply_actions(
             self.host,
             self.topology,
@@ -223,7 +223,7 @@ impl HostCtx<'_> {
             self.rng,
             self.faults,
             sock,
-            actions,
+            self.actions,
             Charge::App,
         );
         out
@@ -235,8 +235,7 @@ impl HostCtx<'_> {
         let env = TxEnv {
             nic_in_flight: self.host.nic_in_flight(),
         };
-        let mut actions = Vec::new();
-        self.host.socket_mut(sock).close(now, env, &mut actions);
+        self.host.socket_mut(sock).close(now, env, self.actions);
         apply_actions(
             self.host,
             self.topology,
@@ -245,7 +244,7 @@ impl HostCtx<'_> {
             self.rng,
             self.faults,
             sock,
-            actions,
+            self.actions,
             Charge::App,
         );
     }
@@ -295,12 +294,11 @@ impl HostCtx<'_> {
     /// state changed.
     pub fn apply(&mut self, sock: SocketId, setting: KnobSetting) -> bool {
         let now = self.now();
-        let mut actions = Vec::new();
         let changed = self
             .host
             .socket_mut(sock)
-            .apply(now, setting, &mut actions);
-        if !actions.is_empty() {
+            .apply(now, setting, self.actions);
+        if !self.actions.is_empty() {
             apply_actions(
                 self.host,
                 self.topology,
@@ -309,7 +307,7 @@ impl HostCtx<'_> {
                 self.rng,
                 self.faults,
                 sock,
-                actions,
+                self.actions,
                 Charge::App,
             );
         }
@@ -342,10 +340,9 @@ impl HostCtx<'_> {
         let env = TxEnv {
             nic_in_flight: self.host.nic_in_flight(),
         };
-        let mut actions = Vec::new();
         self.host
             .socket_mut(sock)
-            .poll_transmit(now, env, &mut actions);
+            .poll_transmit(now, env, self.actions);
         apply_actions(
             self.host,
             self.topology,
@@ -354,7 +351,7 @@ impl HostCtx<'_> {
             self.rng,
             self.faults,
             sock,
-            actions,
+            self.actions,
             Charge::App,
         );
     }
@@ -374,19 +371,19 @@ impl HostCtx<'_> {
 fn apply_actions(
     host: &mut Host,
     topology: &mut StarTopology,
-    routes: &BTreeMap<FlowId, usize>,
+    routes: &FlowMap<usize>,
     queue: &mut EventQueue<Event>,
     rng: &mut Pcg32,
     faults: &mut Option<FaultPlan>,
     sock: SocketId,
-    actions: Vec<Action>,
+    actions: &mut Vec<Action>,
     charge: Charge,
 ) {
     let now = queue.now();
     let host_idx = host.id.0;
     let server_idx = topology.server_index();
     let mut transmitted = false;
-    for action in actions {
+    for action in actions.drain(..) {
         match action {
             Action::Transmit(mut seg) => {
                 let cost = host.tx_cost(&seg);
@@ -405,7 +402,7 @@ fn apply_actions(
                 };
                 let dst = if host_idx == server_idx {
                     *routes
-                        .get(&seg.flow)
+                        .get(seg.flow)
                         .expect("server transmit on an unrouted flow")
                 } else {
                     server_idx
@@ -465,6 +462,12 @@ fn apply_actions(
                 }
             }
             Action::ArmTimer(kind, delay) => {
+                if kind == TimerKind::Cork {
+                    // The cork timer arms exactly on the uncorked → corked
+                    // transition, so this keeps the host's NIC-drain
+                    // waiter list covering every corked socket.
+                    host.note_cork_wait(sock);
+                }
                 let gen = host.bump_timer(sock, kind);
                 queue.schedule(
                     delay,
@@ -537,7 +540,7 @@ pub struct NetSim<C: App, S: App> {
     hosts: Vec<Host>,
     topology: StarTopology,
     /// Flow → owning-client-host routing, registered at `connect`.
-    routes: BTreeMap<FlowId, usize>,
+    routes: FlowMap<usize>,
     /// Per-host RNG streams. Host 0 carries the legacy stream
     /// `Pcg32::new(seed)` (so N = 1 replays the two-host pair bit-for-bit);
     /// the rest are independent children forked from one splitter.
@@ -546,6 +549,10 @@ pub struct NetSim<C: App, S: App> {
     /// not to perturb the simulation in any way.
     faults: Option<FaultPlan>,
     next_flow: u64,
+    /// Reused socket-action buffer (see `HostCtx::actions`).
+    scratch: Vec<Action>,
+    /// Reused NIC-drain waiter buffer (see the `NicComplete` arm).
+    cork_scratch: Vec<SocketId>,
 }
 
 impl<C: App, S: App> NetSim<C, S> {
@@ -611,10 +618,12 @@ impl<C: App, S: App> NetSim<C, S> {
             server,
             hosts,
             topology: StarTopology::new(n, link_config),
-            routes: BTreeMap::new(),
+            routes: FlowMap::new(),
             rngs,
             faults: None,
             next_flow: 1,
+            scratch: Vec::new(),
+            cork_scratch: Vec::new(),
         }
     }
 
@@ -665,6 +674,8 @@ impl<C: App, S: App> NetSim<C, S> {
             rngs,
             faults,
             next_flow,
+            scratch,
+            cork_scratch: _,
         } = self;
         server.on_start(&mut HostCtx {
             host_idx: server_idx,
@@ -675,6 +686,7 @@ impl<C: App, S: App> NetSim<C, S> {
             routes,
             faults,
             next_flow,
+            actions: scratch,
         });
         for (i, client) in clients.iter_mut().enumerate() {
             client.on_start(&mut HostCtx {
@@ -686,6 +698,7 @@ impl<C: App, S: App> NetSim<C, S> {
                 routes,
                 faults,
                 next_flow,
+                actions: scratch,
             });
         }
     }
@@ -746,6 +759,7 @@ impl<C: App, S: App> NetSim<C, S> {
     }
 }
 
+
 impl<C: App, S: App> World for NetSim<C, S> {
     type Event = Event;
 
@@ -763,20 +777,21 @@ impl<C: App, S: App> World for NetSim<C, S> {
                 let env = TxEnv {
                     nic_in_flight: host.nic_in_flight(),
                 };
-                let mut actions = Vec::new();
                 let sock_id = match host.socket_for_flow(seg.flow) {
                     Some(id) => {
                         let sock = host.socket_mut(id);
-                        sock.on_segment(now, &seg, env, &mut actions);
+                        sock.on_segment(now, &seg, env, &mut self.scratch);
                         // Conservation gates run after every stack entry
                         // point (debug builds only; see tcpsim::invariants).
-                        crate::invariants::gate(sock.check_invariants(now));
+                        if cfg!(debug_assertions) {
+                            crate::invariants::gate(sock.check_invariants(now));
+                        }
                         id
                     }
                     None if seg.flags.syn && !seg.flags.ack => {
                         let config = host.accept_config;
                         let sock =
-                            TcpSocket::server_on_syn(seg.flow, config, now, &seg, &mut actions);
+                            TcpSocket::server_on_syn(seg.flow, config, now, &seg, &mut self.scratch);
                         host.add_socket(sock)
                     }
                     None => return, // stray segment for an unknown flow
@@ -789,7 +804,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     &mut self.rngs[h],
                     &mut self.faults,
                     sock_id,
-                    actions,
+                    &mut self.scratch,
                     Charge::Softirq,
                 );
             }
@@ -806,11 +821,12 @@ impl<C: App, S: App> World for NetSim<C, S> {
                 let env = TxEnv {
                     nic_in_flight: host.nic_in_flight(),
                 };
-                let mut actions = Vec::new();
                 {
                     let s = host.socket_mut(sock);
-                    s.on_timer(now, kind, env, &mut actions);
-                    crate::invariants::gate(s.check_invariants(now));
+                    s.on_timer(now, kind, env, &mut self.scratch);
+                    if cfg!(debug_assertions) {
+                        crate::invariants::gate(s.check_invariants(now));
+                    }
                 }
                 apply_actions(
                     host,
@@ -820,7 +836,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     &mut self.rngs[h],
                     &mut self.faults,
                     sock,
-                    actions,
+                    &mut self.scratch,
                     Charge::Softirq,
                 );
             }
@@ -830,10 +846,25 @@ impl<C: App, S: App> World for NetSim<C, S> {
                 let env = TxEnv {
                     nic_in_flight: host.nic_in_flight(),
                 };
-                let ids: Vec<SocketId> = host.socket_ids().collect();
-                for id in ids {
-                    let mut actions = Vec::new();
-                    host.socket_mut(id).on_nic_drained(now, env, &mut actions);
+                // Visit only sockets registered as cork waiters (the arm
+                // site in `apply_actions` covers every uncorked → corked
+                // transition) instead of scanning all N sockets per NIC
+                // completion — at N = 1024 fan-in that scan dominated the
+                // event loop. Entries can be stale; `is_corked` filters.
+                let mut waiters = std::mem::take(&mut self.cork_scratch);
+                host.drain_cork_waiters_into(&mut waiters);
+                // Ascending socket order, one visit per socket — the
+                // visit sequence is exactly the full scan's, minus the
+                // uncorked sockets it would have skipped anyway.
+                waiters.sort_unstable();
+                waiters.dedup();
+                for i in 0..waiters.len() {
+                    let id = waiters[i];
+                    let host = &mut self.hosts[h];
+                    if !host.socket(id).is_corked() {
+                        continue;
+                    }
+                    host.socket_mut(id).on_nic_drained(now, env, &mut self.scratch);
                     apply_actions(
                         host,
                         &mut self.topology,
@@ -842,10 +873,16 @@ impl<C: App, S: App> World for NetSim<C, S> {
                         &mut self.rngs[h],
                         &mut self.faults,
                         id,
-                        actions,
+                        &mut self.scratch,
                         Charge::Softirq,
                     );
+                    if host.socket(id).is_corked() {
+                        // Still held (e.g. the NIC is busy again): keep it
+                        // on the waiter list for the next completion.
+                        host.note_cork_wait(id);
+                    }
                 }
+                self.cork_scratch = waiters;
             }
             Event::AppWake {
                 host: h,
@@ -862,6 +899,8 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     rngs,
                     faults,
                     next_flow,
+                    scratch,
+                    cork_scratch: _,
                 } = self;
                 let mut ctx = HostCtx {
                     host_idx: h,
@@ -872,6 +911,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     routes,
                     faults,
                     next_flow,
+                    actions: scratch,
                 };
                 if h == server_idx {
                     server.on_wake(&mut ctx, sock, reason);
@@ -899,8 +939,8 @@ impl<C: App, S: App> World for NetSim<C, S> {
                 // with `Reset` to re-establish a fresh connection, whose
                 // new socket gets a new epoch.
                 let host = &mut self.hosts[target];
-                let ids: Vec<SocketId> = host.socket_ids().collect();
-                for id in ids {
+                for i in 0..host.socket_count() {
+                    let id = SocketId(i);
                     let sock = host.socket_mut(id);
                     if sock.state() == TcpState::Closed {
                         continue;
@@ -932,6 +972,8 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     rngs,
                     faults,
                     next_flow,
+                    scratch,
+                    cork_scratch: _,
                 } = self;
                 let mut ctx = HostCtx {
                     host_idx: h,
@@ -942,6 +984,7 @@ impl<C: App, S: App> World for NetSim<C, S> {
                     routes,
                     faults,
                     next_flow,
+                    actions: scratch,
                 };
                 if h == server_idx {
                     server.on_call(&mut ctx, token);

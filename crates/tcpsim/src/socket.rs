@@ -66,6 +66,11 @@ pub enum TimerKind {
     Cork,
 }
 
+impl TimerKind {
+    /// Number of timer kinds — the width of dense per-socket timer tables.
+    pub const COUNT: usize = 3;
+}
+
 /// Why the application is being woken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WakeReason {
@@ -1329,6 +1334,15 @@ impl TcpSocket {
             }
         }
         self.verify_invariants(now);
+    }
+
+    /// True while data is held back by auto-corking. [`on_nic_drained`]
+    /// (Self::on_nic_drained) is a no-op unless this holds, which lets the
+    /// NIC-completion path skip uncorked sockets without calling in.
+    // hot-path: checked for every socket on every NIC completion
+    #[inline]
+    pub fn is_corked(&self) -> bool {
+        self.corked_since.is_some()
     }
 
     /// Called by the host when the NIC ring drains: corked data may now be

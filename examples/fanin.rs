@@ -1,4 +1,4 @@
-//! Fan-in: the same aggregate load spread over N ∈ {1, 4, 16, 64}
+//! Fan-in: the same aggregate load spread over N ∈ {1, 4, …, 1024}
 //! client connections into one shared server.
 //!
 //! Shows the two headline effects of the multi-connection topology:
@@ -31,7 +31,7 @@ fn main() {
         )
     } else {
         (
-            vec![1usize, 4, 16, 64],
+            vec![1usize, 4, 16, 64, 256, 1024],
             vec![
                 20_000.0, 40_000.0, 60_000.0, 75_000.0, 88_000.0, 105_000.0,
             ],
