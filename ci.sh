@@ -52,6 +52,16 @@ test -s crates/bench/BENCH_adversary.json
 grep -q '"version": 1' crates/bench/BENCH_adversary.json
 grep -q '"bench": "adversary"' crates/bench/BENCH_adversary.json
 
+echo "==> shard smoke (two-tier proxy, N=8/K=4 skewed cell, bound holds)"
+cargo run -q --release --example shard -- --smoke
+
+echo "==> shard bench regenerates BENCH_shard.json (hot-shard rank + adaptive win)"
+rm -f crates/bench/BENCH_shard.json
+cargo bench -q -p bench --bench shard >/dev/null
+test -s crates/bench/BENCH_shard.json
+grep -q '"version": 1' crates/bench/BENCH_shard.json
+grep -q '"bench": "shard"' crates/bench/BENCH_shard.json
+
 echo "==> knobs bench regenerates BENCH_knobs.json"
 rm -f crates/bench/BENCH_knobs.json
 cargo bench -q -p bench --bench knobs >/dev/null

@@ -42,6 +42,11 @@ pub struct AppCosts {
     pub client_response_base: Nanos,
     /// Client: additional processing cost per KiB of response payload.
     pub client_response_per_kib: Nanos,
+    /// Proxy: fixed cost to parse and forward one command or response
+    /// (no store access — route, re-frame, write).
+    pub proxy_forward_base: Nanos,
+    /// Proxy: additional forwarding cost per KiB of payload.
+    pub proxy_forward_per_kib: Nanos,
 }
 
 impl Default for AppCosts {
@@ -54,6 +59,8 @@ impl Default for AppCosts {
             client_request_per_kib: Nanos::from_nanos(30),
             client_response_base: Nanos::from_nanos(300),
             client_response_per_kib: Nanos::from_nanos(60),
+            proxy_forward_base: Nanos::from_nanos(800),
+            proxy_forward_per_kib: Nanos::from_nanos(40),
         }
     }
 }
@@ -76,6 +83,12 @@ impl AppCosts {
     pub fn client_response(&self, payload: usize) -> Nanos {
         self.client_response_base
             + Nanos::from_nanos(self.client_response_per_kib.as_nanos() * payload as u64 / 1024)
+    }
+
+    /// Proxy cost to route one command or response with `payload` bytes.
+    pub fn proxy_forward(&self, payload: usize) -> Nanos {
+        self.proxy_forward_base
+            + Nanos::from_nanos(self.proxy_forward_per_kib.as_nanos() * payload as u64 / 1024)
     }
 }
 
@@ -136,6 +149,24 @@ impl CostProfile {
             app: AppCosts::default(),
             client_app_multiplier: 1.0,
         }
+    }
+
+    /// The two-tier shard profile: the shard's per-delivery receive work
+    /// dominates (a storage node's deep softirq path), so a hot shard
+    /// fed one small delivery per request saturates its receive context
+    /// — while upstream batching that coalesces requests into shared
+    /// deliveries amortizes almost all of it away. An idle shard has
+    /// receive capacity to burn and loses nothing by skipping batching:
+    /// the regime where per-upstream batching choices must genuinely
+    /// differ per shard. (The application thread cannot rescue the
+    /// receive path: its own per-pass overhead self-amortizes under
+    /// backlog, per-delivery work does not.)
+    pub fn shard_tier() -> Self {
+        let mut p = Self::calibrated();
+        p.server_stack.rx_per_delivery = Nanos::from_micros(16);
+        p.app.server_request_base = Nanos::from_micros(4);
+        p.app.server_batch_base = Nanos::from_micros(10);
+        p
     }
 
     /// The Figure 2 VM profile: same hardware, but the client's guest work

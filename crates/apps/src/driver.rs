@@ -9,7 +9,8 @@
 use batchpolicy::{
     AimdBatchLimit, BreakerState, CircuitBreaker, ControlPlane, EpsilonGreedy, TickController,
 };
-use e2e_core::combine::EndpointSnapshots;
+use e2e_core::combine::{combine_delays, EndpointSnapshots, EndpointWindows};
+use e2e_core::compose::compose_two;
 use e2e_core::hints::{HintEstimate, HintEstimator};
 use e2e_core::{
     AggregateEstimate, E2eEstimator, Estimate, EstimatorRegistry, ValidateConfig, ValidateStats,
@@ -39,6 +40,17 @@ pub struct EstimateRecorder {
     estimator: E2eEstimator,
     /// The recorded series.
     pub series: Vec<EstimateSample>,
+    /// Checkpoints of the estimator's cumulative (local, remote) windows,
+    /// taken at ticks that folded in a fresh exchange. Range queries
+    /// difference two checkpoints and evaluate the decomposition over the
+    /// resulting long window, instead of averaging noisy per-tick delay
+    /// ratios. Checkpointing at exchange ticks keeps both sides' sums
+    /// aligned to the same exchange boundaries and self-scales the memory:
+    /// at high per-connection load it is one entry per tick, at high
+    /// fan-in one entry per (sparse) exchange.
+    cum_series: Vec<(Nanos, EndpointWindows, EndpointWindows)>,
+    /// `remote_epoch` at the last checkpoint.
+    cum_epoch: u64,
 }
 
 impl EstimateRecorder {
@@ -48,6 +60,8 @@ impl EstimateRecorder {
             unit,
             estimator: E2eEstimator::new(WireScale::default(), 1.0),
             series: Vec::new(),
+            cum_series: Vec::new(),
+            cum_epoch: 0,
         }
     }
 
@@ -87,10 +101,49 @@ impl EstimateRecorder {
         if let Some(estimate) = self.estimator.update_validated(now, local, remote, srtt) {
             self.series.push(EstimateSample { at: now, estimate });
         }
+        if self.estimator.remote_epoch() != self.cum_epoch {
+            self.cum_epoch = self.estimator.remote_epoch();
+            let (cl, cr) = self.estimator.cumulative_windows();
+            self.cum_series.push((now, cl, cr));
+        }
     }
 
-    /// Mean estimated latency over samples taken in `[from, to)`.
+    /// The cumulative-window difference across the checkpoints falling in
+    /// `[from, to)`: one long (local, remote) window pair covering the
+    /// range, or `None` when fewer than two checkpoints fall inside it.
+    fn range_windows(&self, from: Nanos, to: Nanos) -> Option<(EndpointWindows, EndpointWindows)> {
+        let mut inside = self
+            .cum_series
+            .iter()
+            .filter(|(at, _, _)| *at >= from && *at < to);
+        let first = inside.next()?;
+        let last = inside.last()?;
+        let near = last.1.since(&first.1);
+        let far = last.2.since(&first.2);
+        (!near.unacked.dt.is_zero()).then_some((near, far))
+    }
+
+    /// Mean estimated latency over `[from, to)`.
+    ///
+    /// Evaluated by differencing cumulative queue windows across the range
+    /// and applying the §3.2 decomposition to the one long window —
+    /// Little's law with integrals and departures summed *before*
+    /// dividing. Averaging the per-tick estimates instead is biased at low
+    /// per-connection load (high fan-in): item residences straddle tick
+    /// windows, the per-window delay ratios swing by milliseconds, and
+    /// taking the larger of two noisy views each tick rectifies that
+    /// noise into a positive bias that once made the N = 64 fan-in
+    /// estimate ~32× the measured latency. Over the long window both
+    /// views are computed from hundreds of departures and the larger one
+    /// is a faithful guard against underestimation, as in the paper.
+    /// Falls back to the plain mean of recorded samples when the range
+    /// holds fewer than two exchange checkpoints.
     pub fn mean_latency_in(&self, from: Nanos, to: Nanos) -> Option<Nanos> {
+        if let Some((near, far)) = self.range_windows(from, to) {
+            let lv = combine_delays(&near, &far).latency();
+            let rv = combine_delays(&far, &near).latency();
+            return Some(lv.max(rv));
+        }
         let mut sum = 0u128;
         let mut n = 0u64;
         for s in &self.series {
@@ -102,8 +155,14 @@ impl EstimateRecorder {
         (n > 0).then(|| Nanos::from_nanos((sum / n as u128) as u64))
     }
 
-    /// Mean estimated throughput over samples in `[from, to)`.
+    /// Mean estimated throughput over `[from, to)`: departures over
+    /// elapsed time from the range's cumulative window when available
+    /// (see [`Self::mean_latency_in`]), otherwise the plain mean of the
+    /// per-tick samples.
     pub fn mean_throughput_in(&self, from: Nanos, to: Nanos) -> Option<f64> {
+        if let Some((near, _)) = self.range_windows(from, to) {
+            return Some(near.unread.throughput());
+        }
         let samples: Vec<f64> = self
             .series
             .iter()
@@ -308,6 +367,191 @@ impl ListenerDriver {
         let mut sum = 0u128;
         let mut n = 0u64;
         for (at, agg) in &self.series {
+            if *at >= from && *at < to {
+                sum += agg.latency.as_nanos() as u128;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| Nanos::from_nanos((sum / n as u128) as u64))
+    }
+}
+
+/// Proxy-side estimation and per-shard actuation (the two-tier topology's
+/// policy seat).
+///
+/// The proxy terminates every client connection (the *front* leg) and
+/// holds one upstream connection per shard (the *back* legs). This driver
+/// runs one front [`EstimatorRegistry`] over all accepted client
+/// connections, one back registry per shard, and — per shard — composes
+/// the two legs into a service-level [`AggregateEstimate`]
+/// ([`compose_two`]: latencies summed along the path as in Figure 3,
+/// confidence the weakest leg's). The composed series is the *reporting*
+/// view: it is what ranks shards by end-to-end delay. Each shard's
+/// [`ControlPlane`] decides on the *back-leg* estimate alone — the leg
+/// its knob actually controls — so the shared front leg's queueing noise
+/// (identical for every shard) cannot drown the per-shard signal. The
+/// decision actuates on that shard's upstream socket: a hot shard can
+/// batch while cold shards stay latency-optimal, independently.
+#[derive(Debug)]
+pub struct ProxyDriver {
+    /// The message unit the per-connection estimators use.
+    pub unit: Unit,
+    front: EstimatorRegistry,
+    backs: Vec<EstimatorRegistry>,
+    controllers: Vec<TickController<CircuitBreaker<ControlPlane>>>,
+    /// Per-shard recorded headline (Nagle) decisions (time, batching-on).
+    pub toggles: Vec<Vec<(Nanos, bool)>>,
+    /// Recorded front-leg (client → proxy) aggregate series.
+    pub front_series: Vec<(Nanos, AggregateEstimate)>,
+    /// Per-shard recorded *composed* (front + back) estimate series — the
+    /// service-level view that ranks shards by end-to-end latency.
+    pub shard_series: Vec<Vec<(Nanos, AggregateEstimate)>>,
+}
+
+impl ProxyDriver {
+    /// Creates a driver estimating in `unit` with one controller per
+    /// shard (each wrapped in a — possibly disabled — circuit breaker).
+    pub fn new(
+        unit: Unit,
+        controllers: Vec<TickController<CircuitBreaker<ControlPlane>>>,
+    ) -> Self {
+        let shards = controllers.len();
+        ProxyDriver {
+            unit,
+            front: EstimatorRegistry::new(WireScale::default(), 1.0),
+            backs: (0..shards)
+                .map(|_| EstimatorRegistry::new(WireScale::default(), 1.0))
+                .collect(),
+            controllers,
+            toggles: vec![Vec::new(); shards],
+            front_series: Vec::new(),
+            shard_series: vec![Vec::new(); shards],
+        }
+    }
+
+    /// Applies a staleness bound to every estimator the driver's
+    /// registries create.
+    pub fn with_staleness_bound(mut self, bound: Nanos) -> Self {
+        self.front = self.front.with_staleness_bound(bound);
+        self.backs = self
+            .backs
+            .drain(..)
+            .map(|b| b.with_staleness_bound(bound))
+            .collect();
+        self
+    }
+
+    /// Applies peer-state validation to every estimator the driver's
+    /// registries create.
+    pub fn with_validation(mut self, config: ValidateConfig) -> Self {
+        self.front = self.front.with_validation(config);
+        self.backs = self
+            .backs
+            .drain(..)
+            .map(|b| b.with_validation(config))
+            .collect();
+        self
+    }
+
+    /// Validation counters summed across the front registry and every
+    /// shard's back registry.
+    pub fn validation_stats(&self) -> ValidateStats {
+        let mut total = self.front.validation_stats();
+        for b in &self.backs {
+            total.merge(&b.validation_stats());
+        }
+        total
+    }
+
+    /// Number of shards the driver controls.
+    pub fn num_shards(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// The circuit breaker around one shard's plane.
+    pub fn breaker(&self, shard: usize) -> &CircuitBreaker<ControlPlane> {
+        self.controllers[shard].inner()
+    }
+
+    /// One shard's control plane.
+    pub fn plane(&self, shard: usize) -> &ControlPlane {
+        self.controllers[shard].inner().inner()
+    }
+
+    /// Client connections the front registry has seen.
+    pub fn front_connections(&self) -> usize {
+        self.front.connections()
+    }
+
+    /// Runs one tick: update the front registry over every client
+    /// connection and each shard's back registry over its upstream
+    /// connection, compose per-shard service estimates, and let each
+    /// shard's plane decide and actuate on its own upstream socket.
+    pub fn tick(
+        &mut self,
+        ctx: &mut HostCtx<'_>,
+        client_socks: &[SocketId],
+        upstreams: &[Option<SocketId>],
+    ) {
+        assert_eq!(upstreams.len(), self.backs.len(), "one upstream per shard");
+        let now = ctx.now();
+        let feed = |reg: &mut EstimatorRegistry, conn: u64, ctx: &HostCtx<'_>, sock: SocketId, unit| {
+            let snaps = ctx.socket(sock).local_snapshots(now, unit);
+            let local = EndpointSnapshots {
+                unacked: snaps.unacked,
+                unread: snaps.unread,
+                ackdelay: snaps.ackdelay,
+            };
+            let remote = ctx.socket(sock).remote().unit(unit).cur;
+            let srtt = ctx.socket(sock).srtt();
+            reg.update_validated(conn, now, local, remote, srtt);
+        };
+        for &sock in client_socks {
+            feed(&mut self.front, sock.0 as u64, ctx, sock, self.unit);
+        }
+        let front = self.front.aggregate();
+        if let Some(f) = front {
+            self.front_series.push((now, f));
+        }
+        for (shard, up) in upstreams.iter().enumerate() {
+            let Some(sock) = *up else { continue };
+            feed(&mut self.backs[shard], 0, ctx, sock, self.unit);
+            let Some(back) = self.backs[shard].aggregate() else {
+                continue;
+            };
+            // Until the front leg estimates (e.g. clients still idle) the
+            // back leg alone is the best available service view.
+            let composed = match front.as_ref() {
+                Some(f) => compose_two(f, &back),
+                None => back,
+            };
+            // Decide on the back leg: the Nagle knob only shapes
+            // proxy → shard traffic, and the front leg's aggregate delay
+            // is common to every shard — composing it in would only add
+            // shared noise to each plane's signal.
+            let on = self.controllers[shard].offer_aggregate(now, &back);
+            self.shard_series[shard].push((now, composed));
+            self.toggles[shard].push((now, on));
+            for setting in plane_settings(&self.controllers[shard], on) {
+                ctx.apply(sock, setting);
+            }
+        }
+    }
+
+    /// Fraction of one shard's decisions with batching on.
+    pub fn on_fraction(&self, shard: usize) -> f64 {
+        let t = &self.toggles[shard];
+        if t.is_empty() {
+            return 0.0;
+        }
+        t.iter().filter(|(_, on)| *on).count() as f64 / t.len() as f64
+    }
+
+    /// Mean composed service latency for one shard over `[from, to)`.
+    pub fn shard_mean_latency_in(&self, shard: usize, from: Nanos, to: Nanos) -> Option<Nanos> {
+        let mut sum = 0u128;
+        let mut n = 0u64;
+        for (at, agg) in &self.shard_series[shard] {
             if *at >= from && *at < to {
                 sum += agg.latency.as_nanos() as u128;
                 n += 1;

@@ -13,6 +13,7 @@ use simnet::{
 };
 
 use crate::runner::{run_point, NagleSetting, Overrides, PointResult, RunConfig};
+use crate::shard::{run_shard_point, ShardPointResult, ShardRunConfig, ShardSetting};
 use crate::grid::{default_threads, run_grid};
 use crate::sweep::{run_sweep, SweepResult};
 use crate::workload::WorkloadSpec;
@@ -1053,4 +1054,126 @@ pub fn adversary(
         }
     });
     AdversaryData { cells }
+}
+
+/// Minimum fraction of measurement windows in which the service-level
+/// estimates must rank the hot shard's composed delay highest, checked
+/// on the *unadapted* (`TCP_NODELAY`-pinned) run at the saturated top
+/// rate. The diagnostic claim lives on that arm deliberately: the
+/// adaptive planes consume the very signal being measured — once the
+/// hot upstream flips to batching, its delay drops back into the pack.
+pub const SHARD_HOT_RANK_MIN: f64 = 0.9;
+/// Degradation bound for every shard-grid cell: adaptive P99 within
+/// `SHARD_BOUND_FACTOR × best-static-corner + SHARD_BOUND_SLACK`. Looser
+/// than the knob-grid bound because at unsaturated rates the per-shard
+/// planes pay exploration excursions on upstreams where both corners are
+/// already cheap; the headline claim (strictly beating the best corner)
+/// is asserted separately on the saturated cell.
+pub const SHARD_BOUND_FACTOR: f64 = 1.5;
+/// Additive slack for the shard-grid degradation bound.
+pub const SHARD_BOUND_SLACK: Nanos = Nanos::from_micros(60);
+
+/// One cell of the sharded-proxy grid: both static upstream corners and
+/// the per-shard adaptive planes, at one aggregate rate.
+#[derive(Debug, Clone)]
+pub struct ShardCell {
+    /// Aggregate offered load (requests/second).
+    pub rate_rps: f64,
+    /// Upstreams pinned `TCP_NODELAY`.
+    pub off: ShardPointResult,
+    /// Upstreams pinned Nagle-on.
+    pub on: ShardPointResult,
+    /// Per-shard adaptive planes at the proxy.
+    pub adaptive: ShardPointResult,
+}
+
+impl ShardCell {
+    /// The best (lowest) static-corner P99 — the global pin an operator
+    /// sweeping both corners would have picked for the whole fleet.
+    pub fn best_corner_p99(&self) -> Option<Nanos> {
+        [self.off.measured_p99, self.on.measured_p99]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Adaptive-vs-best-corner P99 ratio (< 1 means the per-shard planes
+    /// beat every global static choice).
+    pub fn regression(&self) -> Option<f64> {
+        let best = self.best_corner_p99()?;
+        let adaptive = self.adaptive.measured_p99?;
+        Some(adaptive.as_nanos() as f64 / best.as_nanos().max(1) as f64)
+    }
+
+    /// True if the adaptive P99 stays within `factor × best-corner +
+    /// slack`.
+    pub fn within_bound(&self, factor: f64, slack: Nanos) -> bool {
+        match (self.best_corner_p99(), self.adaptive.measured_p99) {
+            (Some(best), Some(adaptive)) => {
+                let bound = Nanos::from_nanos((best.as_nanos() as f64 * factor) as u64) + slack;
+                adaptive <= bound
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The sharded-proxy experiment's full result.
+#[derive(Debug, Clone)]
+pub struct ShardData {
+    /// One cell per aggregate rate, in sweep order.
+    pub cells: Vec<ShardCell>,
+}
+
+/// Runs the sharded-proxy grid: for each aggregate rate, one skewed-load
+/// cell of three two-tier runs — upstreams pinned off, pinned on, and
+/// per-shard adaptive. The skew concentrates `hot_fraction` of the
+/// traffic on one shard, so a *global* static pin is wrong for someone:
+/// the hot upstream wants request batching (amortizing the hot shard's
+/// per-delivery receive work), the cold ones want immediacy. The cell
+/// exposes whether the composed per-shard estimates (a) rank the hot
+/// shard first and (b) let the per-shard planes beat both global pins.
+pub fn shard(
+    rates: &[f64],
+    num_clients: usize,
+    num_shards: usize,
+    hot_fraction: f64,
+    warmup: Nanos,
+    measure: Nanos,
+    seed: u64,
+) -> ShardData {
+    let specs: Vec<f64> = rates.to_vec();
+    let cells = run_grid(specs.len(), default_threads(), |i| {
+        let rate = specs[i];
+        let base = ShardRunConfig {
+            num_clients,
+            num_shards,
+            hot_fraction,
+            warmup,
+            measure,
+            seed,
+            ..ShardRunConfig::new(
+                WorkloadSpec::shard(rate),
+                ShardSetting::Corner { nagle: false },
+            )
+        };
+        let off = run_shard_point(&base);
+        let on = run_shard_point(&ShardRunConfig {
+            setting: ShardSetting::Corner { nagle: true },
+            ..base
+        });
+        let adaptive = run_shard_point(&ShardRunConfig {
+            setting: ShardSetting::Adaptive {
+                objective: Objective::MinLatency,
+            },
+            ..base
+        });
+        ShardCell {
+            rate_rps: rate,
+            off,
+            on,
+            adaptive,
+        }
+    });
+    ShardData { cells }
 }

@@ -25,18 +25,23 @@ pub mod experiments;
 pub mod grid;
 pub mod kv;
 pub mod loadgen;
+pub mod proxy;
 pub mod resp;
 pub mod runner;
 pub mod server;
+pub mod shard;
 pub mod sweep;
 pub mod workload;
 
 pub use cost::{AppCosts, CostProfile};
 pub use driver::{
     EstimateRecorder, HintRecorder, ListenerDriver, ListenerPlaneDriver, PlaneDriver, PolicyDriver,
+    ProxyDriver,
 };
-pub use loadgen::LancetClient;
+pub use loadgen::{KeyPool, LancetClient};
+pub use proxy::{ProxyApp, ShardRouter};
 pub use runner::{run_point, ClientResult, NagleSetting, PointResult, RunConfig};
 pub use server::RedisServer;
+pub use shard::{run_shard_point, ShardPointResult, ShardRunConfig, ShardSetting};
 pub use sweep::{run_sweep, SweepResult};
 pub use workload::WorkloadSpec;

@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 
 use e2e_core::RequestTracker;
 use littles::{Nanos, Snapshot};
-use simnet::Histogram;
+use simnet::{Histogram, Pcg32};
 use tcpsim::{App, HostCtx, SocketId, TcpConfig, WakeReason};
 
 use crate::cost::AppCosts;
@@ -36,6 +36,53 @@ const KIND_RECONNECT: u64 = 5;
 
 fn token(kind: u64) -> u64 {
     kind << TOKEN_KIND_SHIFT
+}
+
+/// A skewed key-selection pool: draws from a small *hot* set of key
+/// indices with probability `hot_fraction`, from the *cold* remainder
+/// otherwise. Used by the sharded-proxy experiments to concentrate load
+/// on the shard owning the hot keys; the plain round-robin key walk stays
+/// the default everywhere else.
+///
+/// Draws come from the pool's own RNG (forked from the `"shard.skew"`
+/// named stream at the experiment level) so adding skew never perturbs
+/// the client's arrival/value RNG sequence.
+#[derive(Debug)]
+pub struct KeyPool {
+    hot: Vec<u64>,
+    cold: Vec<u64>,
+    hot_fraction: f64,
+    rng: Pcg32,
+}
+
+impl KeyPool {
+    /// Creates a pool over the given hot/cold key-index sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either set is empty or `hot_fraction` is not in (0, 1).
+    pub fn new(hot: Vec<u64>, cold: Vec<u64>, hot_fraction: f64, rng: Pcg32) -> Self {
+        assert!(!hot.is_empty() && !cold.is_empty(), "both pools must be non-empty");
+        assert!(
+            hot_fraction > 0.0 && hot_fraction < 1.0,
+            "hot_fraction must be in (0, 1)"
+        );
+        KeyPool {
+            hot,
+            cold,
+            hot_fraction,
+            rng,
+        }
+    }
+
+    fn draw(&mut self) -> u64 {
+        let (pool, r) = if self.rng.next_f64() < self.hot_fraction {
+            (&self.hot, self.rng.next_u64())
+        } else {
+            (&self.cold, self.rng.next_u64())
+        };
+        pool[(r % pool.len() as u64) as usize]
+    }
 }
 
 /// The load-generator application.
@@ -65,6 +112,7 @@ pub struct LancetClient {
     call_pending: bool,
     flush_pending: bool,
     key_counter: u64,
+    key_pool: Option<KeyPool>,
 
     /// Measured latency over the measurement window.
     pub hist: Histogram,
@@ -117,6 +165,7 @@ impl LancetClient {
             call_pending: false,
             flush_pending: false,
             key_counter: 0,
+            key_pool: None,
             hist: Histogram::new(),
             tracker: RequestTracker::new(Nanos::ZERO),
             tracker_at_warmup: None,
@@ -143,6 +192,13 @@ impl LancetClient {
     pub fn with_tick_period(mut self, period: Nanos) -> Self {
         assert!(!period.is_zero(), "tick period must be positive");
         self.tick_period = period;
+        self
+    }
+
+    /// Replaces the round-robin key walk with skewed draws from a
+    /// [`KeyPool`] (the sharded-proxy hot-shard workload).
+    pub fn with_key_pool(mut self, pool: KeyPool) -> Self {
+        self.key_pool = Some(pool);
         self
     }
 
@@ -193,7 +249,10 @@ impl LancetClient {
 
     fn next_wire(&mut self, ctx: &mut HostCtx<'_>) -> (Vec<u8>, bool) {
         let is_set = self.spec.set_ratio >= 1.0 || ctx.rng.next_f64() < self.spec.set_ratio;
-        let key_idx = self.key_counter % self.spec.key_space as u64;
+        let key_idx = match self.key_pool.as_mut() {
+            Some(pool) => pool.draw(),
+            None => self.key_counter % self.spec.key_space as u64,
+        };
         self.key_counter += 1;
         let key = format!("key:{key_idx:012}");
         debug_assert_eq!(key.len(), self.spec.key_size);

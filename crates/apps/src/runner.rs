@@ -289,7 +289,7 @@ pub struct PointResult {
     pub events: u64,
 }
 
-fn shield<T: batchpolicy::BatchToggler>(
+pub(crate) fn shield<T: batchpolicy::BatchToggler>(
     inner: T,
     breaker: Option<BreakerConfig>,
 ) -> CircuitBreaker<T> {
@@ -299,7 +299,7 @@ fn shield<T: batchpolicy::BatchToggler>(
     }
 }
 
-fn tcp_config(nagle: NagleMode, ov: &Overrides) -> TcpConfig {
+pub(crate) fn tcp_config(nagle: NagleMode, ov: &Overrides) -> TcpConfig {
     let mut config = TcpConfig {
         nagle,
         // Exchange byte- and message-unit counters so one run yields both
@@ -521,7 +521,7 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
     let client_hosts: Vec<Host> = (0..n)
         .map(|i| {
             Host::new(
-                HostId(i),
+                HostId::from_index(i),
                 CpuContext::with_multiplier("client-app", cfg.profile.client_app_multiplier),
                 CpuContext::new("client-softirq"),
                 cfg.profile.client_stack,
@@ -530,7 +530,7 @@ pub fn run_point(cfg: &RunConfig) -> PointResult {
         })
         .collect();
     let server_host = Host::new(
-        HostId(n),
+        HostId::from_index(n),
         CpuContext::new("server-app"),
         CpuContext::new("server-softirq"),
         cfg.profile.server_stack,

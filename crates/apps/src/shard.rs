@@ -1,0 +1,427 @@
+//! Running one two-tier (sharded proxy) experiment point.
+//!
+//! The star harness ([`crate::runner`]) measures one leg; this one
+//! measures the composed path of the datacenter topology: N load
+//! generators fan into a [`ProxyApp`](crate::proxy::ProxyApp) which
+//! routes by key over K [`RedisServer`] shards. The proxy runs the
+//! estimation machinery on *both* legs and composes them per shard
+//! (client→proxy + proxy→shard, Figure 3 terms summed), so the run
+//! reports a per-shard service-level estimate — the signal that lets a
+//! per-shard control plane treat a hot shard differently from its idle
+//! neighbours.
+//!
+//! The workload is deliberately skewed: a configurable fraction of
+//! requests draw keys owned by one *hot* shard (chosen as the shard
+//! owning the largest slice of the key space), the rest spread over the
+//! cold shards. The interesting comparison is [`ShardSetting::Corner`]
+//! (one global static batching choice for every upstream) against
+//! [`ShardSetting::Adaptive`] (per-shard planes free to batch the hot
+//! upstream while leaving cold ones latency-optimal).
+
+use batchpolicy::{ControlPlane, EpsilonGreedy, Objective, TickController};
+use littles::Nanos;
+use simnet::{run, CpuContext, EventQueue, Histogram, LinkConfig, Pcg32};
+use tcpsim::{Host, HostId, NagleMode, TierSim, Unit};
+
+use crate::cost::CostProfile;
+use crate::driver::ProxyDriver;
+use crate::loadgen::{KeyPool, LancetClient};
+use crate::proxy::{ProxyApp, ShardRouter};
+use crate::runner::{shield, tcp_config, CpuUtil, Overrides};
+use crate::server::RedisServer;
+use crate::workload::WorkloadSpec;
+
+/// How the proxy's upstream (proxy → shard) batching is controlled. The
+/// client → proxy leg stays `TCP_NODELAY` in every arm so the comparison
+/// isolates the knob under study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardSetting {
+    /// One static choice applied to every upstream connection.
+    Corner {
+        /// Nagle enabled on every upstream.
+        nagle: bool,
+    },
+    /// Per-shard control planes at the proxy, each deciding on its
+    /// shard's back-leg estimate (the leg the knob controls) while the
+    /// composed two-leg estimate provides the service-level ranking.
+    Adaptive {
+        /// The optimization objective.
+        objective: Objective,
+    },
+}
+
+/// Everything that defines one two-tier experiment point.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRunConfig {
+    /// The aggregate workload (rate split evenly across clients; keys
+    /// drawn from the skewed pool, not the round-robin walk).
+    pub workload: WorkloadSpec,
+    /// CPU cost profile (clients and the proxy use the client stack —
+    /// the proxy is a lean router — shards the server stack).
+    pub profile: CostProfile,
+    /// Upstream batching control.
+    pub setting: ShardSetting,
+    /// Warmup duration (excluded from measurement).
+    pub warmup: Nanos,
+    /// Measurement duration.
+    pub measure: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+    /// Client hosts fanning into the proxy.
+    pub num_clients: usize,
+    /// Shard hosts behind the proxy.
+    pub num_shards: usize,
+    /// Fraction of requests drawing keys owned by the hot shard.
+    pub hot_fraction: f64,
+}
+
+impl ShardRunConfig {
+    /// A standard two-tier run: 4 clients, 4 shards, 70% hot traffic,
+    /// 200 ms warmup, 800 ms measurement.
+    pub fn new(workload: WorkloadSpec, setting: ShardSetting) -> Self {
+        ShardRunConfig {
+            workload,
+            profile: CostProfile::shard_tier(),
+            setting,
+            warmup: Nanos::from_millis(200),
+            measure: Nanos::from_millis(800),
+            seed: 0x5AAD,
+            num_clients: 4,
+            num_shards: 4,
+            hot_fraction: 0.7,
+        }
+    }
+}
+
+/// The result of one two-tier run.
+#[derive(Debug, Clone)]
+pub struct ShardPointResult {
+    /// Offered aggregate load (requests/second).
+    pub offered_rps: f64,
+    /// Achieved goodput across every client.
+    pub achieved_rps: f64,
+    /// Measured mean end-to-end latency (client arrival → response
+    /// processed, both legs included).
+    pub measured_mean: Option<Nanos>,
+    /// Measured median latency.
+    pub measured_p50: Option<Nanos>,
+    /// Measured 99th-percentile latency.
+    pub measured_p99: Option<Nanos>,
+    /// Latency samples in the window.
+    pub samples: u64,
+    /// The shard owning the hot key pool.
+    pub hot_shard: usize,
+    /// Commands the proxy routed to each shard.
+    pub per_shard_requests: Vec<u64>,
+    /// Mean composed (two-leg) estimated latency per shard over the
+    /// measurement window.
+    pub shard_estimates: Vec<Option<Nanos>>,
+    /// Measured back-leg (proxy → shard) round-trip p99 per shard, over
+    /// the whole run including warmup — the ground truth behind the
+    /// back-leg estimates.
+    pub shard_rtt_p99: Vec<Option<Nanos>>,
+    /// Fraction of estimation windows in which the hot shard's composed
+    /// estimate ranked highest across shards — the "can the estimate
+    /// find the hot shard" acceptance metric.
+    pub hot_rank_fraction: Option<f64>,
+    /// Fraction of plane decisions with batching on, per shard
+    /// (meaningful for [`ShardSetting::Adaptive`]; the planes still run,
+    /// inert, in corner arms).
+    pub shard_on_fraction: Vec<f64>,
+    /// Each shard plane's learned (off, on) arm scores at the end of the
+    /// run (negated µs under `MinLatency`; `None` = arm never scored).
+    pub shard_arm_scores: Vec<(Option<f64>, Option<f64>)>,
+    /// Proxy-host CPU utilization over the window.
+    pub proxy_cpu: CpuUtil,
+    /// Simulator events processed.
+    pub events: u64,
+}
+
+/// Partitions the workload's key indices by routed shard; returns
+/// per-shard index lists.
+fn partition_keys(spec: &WorkloadSpec, router: &ShardRouter) -> Vec<Vec<u64>> {
+    let mut owned: Vec<Vec<u64>> = vec![Vec::new(); router.num_shards()];
+    for idx in 0..spec.key_space as u64 {
+        let key = format!("key:{idx:012}");
+        owned[router.route(key.as_bytes())].push(idx);
+    }
+    owned
+}
+
+/// Executes one two-tier experiment point.
+pub fn run_shard_point(cfg: &ShardRunConfig) -> ShardPointResult {
+    let n = cfg.num_clients;
+    let k = cfg.num_shards;
+    assert!(n > 0, "a run needs at least one client");
+    assert!(k > 1, "skew needs at least two shards");
+
+    let ov = Overrides::default();
+    // Front leg pinned NODELAY in every arm; only the upstream mode
+    // varies (Dynamic so per-shard planes can actuate, or a static pin).
+    let front_tcp = tcp_config(NagleMode::Off, &ov);
+    let upstream_mode = match cfg.setting {
+        ShardSetting::Corner { nagle: true } => NagleMode::On,
+        ShardSetting::Corner { nagle: false } => NagleMode::Off,
+        ShardSetting::Adaptive { .. } => NagleMode::Dynamic,
+    };
+    let upstream_tcp = tcp_config(upstream_mode, &ov);
+    // Shards answer with NODELAY in every arm: the knob under study is
+    // the proxy's request batching, not the shard's response batching.
+    let shard_tcp = tcp_config(NagleMode::Off, &ov);
+
+    // Key → shard ownership and the hot/cold split. The hot shard is the
+    // one owning the largest slice (deterministic in the seed).
+    let router = ShardRouter::new(k, cfg.seed);
+    let owned = partition_keys(&cfg.workload, &router);
+    let hot_shard = owned
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, keys)| keys.len())
+        .map(|(s, _)| s)
+        .expect("at least one shard");
+    let hot: Vec<u64> = owned[hot_shard].clone();
+    let cold: Vec<u64> = owned
+        .iter()
+        .enumerate()
+        .filter(|(s, _)| *s != hot_shard)
+        .flat_map(|(_, keys)| keys.iter().copied())
+        .collect();
+
+    // The skew stream: one named construction, forked per client so the
+    // draws never perturb arrival/value RNG sequences.
+    let mut skew_rng = Pcg32::named(cfg.seed, "shard.skew");
+
+    let mut spec = cfg.workload;
+    spec.rate_rps = cfg.workload.rate_rps / n as f64;
+    let end = cfg.warmup + cfg.measure;
+
+    let clients: Vec<LancetClient> = (0..n)
+        .map(|_| {
+            LancetClient::new(spec, cfg.profile.app, front_tcp, cfg.warmup, end).with_key_pool(
+                KeyPool::new(hot.clone(), cold.clone(), cfg.hot_fraction, skew_rng.fork()),
+            )
+        })
+        .collect();
+
+    // Per-shard planes: Nagle bandits seeded independently per shard
+    // (0xD keeps the streams disjoint from the star harness's client
+    // policies at 0xC and listener at 0x5). In corner arms the identical
+    // machinery runs but its Nagle actuation is inert on statically
+    // pinned sockets — every arm pays the same estimation overhead.
+    let objective = match cfg.setting {
+        ShardSetting::Adaptive { objective } => objective,
+        ShardSetting::Corner { .. } => Objective::MinLatency,
+    };
+    let tick = Nanos::from_millis(1);
+    let controllers = (0..k)
+        .map(|j| {
+            let seed = cfg.seed ^ 0xD ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // Calmer than the star harness's client planes (ε .05, dwell
+            // 4, α .4): a wrong arm on a saturated shard is catastrophic,
+            // so the per-shard bandits explore rarely, dwell longer, and
+            // smooth harder — the per-window signal between arms is tens
+            // of µs against comparable sampling noise on a sparse
+            // upstream. The settle period keeps post-switch windows
+            // (still dominated by the previous arm's traffic) from being
+            // credited to the new arm.
+            let toggler =
+                EpsilonGreedy::new(objective, 0.01, 8, 0.5, seed).with_settle(3);
+            let plane = ControlPlane::new(toggler, 8);
+            TickController::new(shield(plane, None), tick)
+        })
+        .collect();
+    let driver = ProxyDriver::new(Unit::Bytes, controllers);
+
+    let shard_hosts_ids: Vec<HostId> = (0..k).map(|j| HostId::from_index(n + 1 + j)).collect();
+    let proxy = ProxyApp::new(cfg.profile.app, upstream_tcp, shard_hosts_ids, router.clone())
+        .with_driver(driver);
+
+    let shards: Vec<RedisServer> = (0..k).map(|_| RedisServer::new(cfg.profile.app)).collect();
+
+    let client_hosts: Vec<Host> = (0..n)
+        .map(|i| {
+            Host::new(
+                HostId::from_index(i),
+                CpuContext::with_multiplier("client-app", cfg.profile.client_app_multiplier),
+                CpuContext::new("client-softirq"),
+                cfg.profile.client_stack,
+                front_tcp,
+            )
+        })
+        .collect();
+    // The proxy runs the lean client stack: it is an L7 router, not a
+    // store — parse, hash, re-frame. Keeping it off the critical path
+    // lets the back-leg queueing (the hot *shard's* backlog) dominate
+    // each shard's composed estimate instead of shared proxy read delay.
+    let proxy_host = Host::new(
+        HostId::from_index(n),
+        CpuContext::new("proxy-app"),
+        CpuContext::new("proxy-softirq"),
+        cfg.profile.client_stack,
+        front_tcp, // accept config for client-facing connections
+    );
+    let shard_hosts: Vec<Host> = (0..k)
+        .map(|j| {
+            Host::new(
+                HostId::from_index(n + 1 + j),
+                CpuContext::new("shard-app"),
+                CpuContext::new("shard-softirq"),
+                cfg.profile.server_stack,
+                shard_tcp, // accept config for the proxy's upstreams
+            )
+        })
+        .collect();
+
+    // The back leg crosses the fabric (proxy and shards sit in different
+    // racks), so its propagation is real: a Nagle hold on an upstream
+    // waits a full ACK round trip. That is what makes the knob a genuine
+    // per-shard tradeoff — on a sparse cold upstream a held request eats
+    // the round trip for nothing, while on the hot upstream the same hold
+    // window coalesces several requests into one delivery and spares the
+    // shard's receive path.
+    let back_link = LinkConfig {
+        propagation: Nanos::from_micros(80),
+        ..LinkConfig::default()
+    };
+    let mut sim = TierSim::two_tier(
+        clients,
+        proxy,
+        shards,
+        client_hosts,
+        proxy_host,
+        shard_hosts,
+        LinkConfig::default(),
+        back_link,
+        cfg.seed,
+    );
+    let mut queue = EventQueue::new();
+    sim.start(&mut queue);
+
+    let mut events = run(&mut sim, &mut queue, cfg.warmup);
+    let proxy_snap = (
+        sim.proxy_host().app_cpu.busy_snapshot(queue.now()),
+        sim.proxy_host().softirq_cpu.busy_snapshot(queue.now()),
+    );
+    events += run(&mut sim, &mut queue, end);
+    events += run(&mut sim, &mut queue, end + Nanos::from_millis(20));
+
+    let (from, to) = (cfg.warmup, end);
+    let proxy_cpu = CpuUtil {
+        app: sim.proxy_host().app_cpu.utilization_since(&proxy_snap.0, to),
+        softirq: sim
+            .proxy_host()
+            .softirq_cpu
+            .utilization_since(&proxy_snap.1, to),
+    };
+
+    let mut hist = Histogram::new();
+    for lg in &sim.clients {
+        hist.merge(&lg.hist);
+    }
+    let achieved_rps: f64 = sim.clients.iter().map(|lg| lg.achieved_rps()).sum();
+
+    let driver = sim.proxy.driver.as_ref().expect("driver attached above");
+    let shard_estimates: Vec<Option<Nanos>> = (0..k)
+        .map(|j| driver.shard_mean_latency_in(j, from, to))
+        .collect();
+    let shard_on_fraction: Vec<f64> = (0..k).map(|j| driver.on_fraction(j)).collect();
+    let shard_arm_scores: Vec<(Option<f64>, Option<f64>)> = (0..k)
+        .map(|j| {
+            let p = driver.plane(j);
+            (p.nagle_arm_score(false), p.nagle_arm_score(true))
+        })
+        .collect();
+
+    // Rank the hot shard per estimation window. The per-shard series are
+    // produced by the same proxy tick, so entries align by timestamp;
+    // walk windows where every shard reported inside [from, to).
+    let hot_rank_fraction = {
+        let series: Vec<_> = (0..k).map(|j| &driver.shard_series[j]).collect();
+        let windows = series.iter().map(|s| s.len()).min().unwrap_or(0);
+        let mut ranked = 0u64;
+        let mut total = 0u64;
+        for w in 0..windows {
+            let at = series[0][w].0;
+            if at < from || at >= to {
+                continue;
+            }
+            total += 1;
+            let hot_latency = series[hot_shard][w].1.smoothed_latency;
+            if (0..k).all(|j| j == hot_shard || series[j][w].1.smoothed_latency < hot_latency) {
+                ranked += 1;
+            }
+        }
+        (total > 0).then(|| ranked as f64 / total as f64)
+    };
+
+    ShardPointResult {
+        offered_rps: cfg.workload.rate_rps,
+        achieved_rps,
+        measured_mean: hist.mean(),
+        measured_p50: hist.p50(),
+        measured_p99: hist.p99(),
+        samples: hist.count(),
+        hot_shard,
+        per_shard_requests: sim.proxy.stats.per_shard.clone(),
+        shard_estimates,
+        shard_rtt_p99: sim.proxy.stats.back_rtt.iter().map(|h| h.p99()).collect(),
+        hot_rank_fraction,
+        shard_on_fraction,
+        shard_arm_scores,
+        proxy_cpu,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg(setting: ShardSetting) -> ShardRunConfig {
+        let mut cfg = ShardRunConfig::new(WorkloadSpec::shard(8_000.0), setting);
+        cfg.num_clients = 2;
+        cfg.num_shards = 2;
+        cfg.warmup = Nanos::from_millis(50);
+        cfg.measure = Nanos::from_millis(150);
+        cfg
+    }
+
+    #[test]
+    fn corner_point_serves_skewed_traffic() {
+        let r = run_shard_point(&smoke_cfg(ShardSetting::Corner { nagle: false }));
+        assert!(r.samples > 500, "only {} samples", r.samples);
+        assert!(r.achieved_rps > 0.5 * r.offered_rps);
+        // Every shard saw traffic, and the hot one saw the most.
+        assert!(r.per_shard_requests.iter().all(|&c| c > 0));
+        let max = r
+            .per_shard_requests
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(s, _)| s)
+            .unwrap();
+        assert_eq!(max, r.hot_shard);
+    }
+
+    #[test]
+    fn adaptive_point_runs_per_shard_planes() {
+        let r = run_shard_point(&smoke_cfg(ShardSetting::Adaptive {
+            objective: Objective::MinLatency,
+        }));
+        assert!(r.samples > 500, "only {} samples", r.samples);
+        assert_eq!(r.shard_on_fraction.len(), 2);
+        assert!(r.shard_estimates.iter().all(|e| e.is_some()));
+        assert!(r.hot_rank_fraction.is_some());
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let cfg = smoke_cfg(ShardSetting::Corner { nagle: true });
+        let a = run_shard_point(&cfg);
+        let b = run_shard_point(&cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.measured_p99, b.measured_p99);
+        assert_eq!(a.per_shard_requests, b.per_shard_requests);
+    }
+}

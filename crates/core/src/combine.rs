@@ -104,6 +104,25 @@ impl QueueWindow {
             self.d_integral as f64 / self.dt.as_nanos() as f64
         }
     }
+
+    /// Accumulates an adjacent window of the same queue into this one
+    /// (component-wise sums): the union window.
+    pub fn merge(&mut self, other: &QueueWindow) {
+        self.dt += other.dt;
+        self.d_total += other.d_total;
+        self.d_integral += other.d_integral;
+    }
+
+    /// The window spanning from `earlier`'s end to this window's end,
+    /// assuming both are cumulative sums from the same origin (each
+    /// component of `self` is ≥ the corresponding one in `earlier`).
+    pub fn since(&self, earlier: &QueueWindow) -> QueueWindow {
+        QueueWindow {
+            dt: self.dt.saturating_sub(earlier.dt),
+            d_total: self.d_total.saturating_sub(earlier.d_total),
+            d_integral: self.d_integral.saturating_sub(earlier.d_integral),
+        }
+    }
 }
 
 /// One endpoint's three queue windows over the same measurement interval.
@@ -125,6 +144,24 @@ impl EndpointWindows {
             unread: QueueWindow::between(&prev.unread, &cur.unread)?,
             ackdelay: QueueWindow::between(&prev.ackdelay, &cur.ackdelay)?,
         })
+    }
+
+    /// Accumulates an adjacent window set into this one (see
+    /// [`QueueWindow::merge`]).
+    pub fn merge(&mut self, other: &EndpointWindows) {
+        self.unacked.merge(&other.unacked);
+        self.unread.merge(&other.unread);
+        self.ackdelay.merge(&other.ackdelay);
+    }
+
+    /// Per-queue difference of two cumulative window sets (see
+    /// [`QueueWindow::since`]).
+    pub fn since(&self, earlier: &EndpointWindows) -> EndpointWindows {
+        EndpointWindows {
+            unacked: self.unacked.since(&earlier.unacked),
+            unread: self.unread.since(&earlier.unread),
+            ackdelay: self.ackdelay.since(&earlier.ackdelay),
+        }
     }
 
     /// Windows between two wire exchanges of the same endpoint.

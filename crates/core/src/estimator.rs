@@ -5,14 +5,25 @@
 //! and whatever the peer has most recently shared; the estimator forms
 //! tick-to-tick local windows and exchange-to-exchange remote windows,
 //! evaluates the §3.2 decomposition **in both directions**, and returns the
-//! maximum — the paper's guard against underestimation, since each
-//! direction can only miss delay components, not invent them.
+//! larger view — the paper's guard against underestimation, since each
+//! direction can only miss delay components, not invent them. One
+//! refinement over a raw max: wire-quantized remote terms can invent
+//! up to one scaled unit per departure, so the views are compared by
+//! their quantization-discounted lower bounds (see
+//! [`wire_delay_granularity`]).
 
 use littles::wire::{WireExchange, WireScale};
 use littles::{Ewma, Nanos};
 
-use crate::combine::{combine_delays, DelaySet, EndpointSnapshots, EndpointWindows};
+use crate::combine::{combine_delays, DelaySet, EndpointSnapshots, EndpointWindows, QueueWindow};
 use crate::validate::{Admission, ExchangeValidator, ValidateConfig, ValidateCtx, ValidateStats};
+
+/// Resolution of a wire-decoded queue window's delay: the peer shares
+/// integrals right-shifted by `integral_shift`, so a delay recovered from
+/// the wire is only meaningful to within one scaled unit per departure.
+fn wire_delay_granularity(scale: WireScale, w: &QueueWindow) -> Nanos {
+    Nanos::from_nanos(((1u128 << scale.integral_shift) / w.d_total.max(1) as u128) as u64)
+}
 
 /// One end-to-end performance estimate over a measurement window.
 #[derive(Debug, Clone, Copy, PartialEq)] // lint:allow(float-eq): bit-exact equality is intended — determinism tests pin exact values
@@ -56,6 +67,30 @@ pub struct E2eEstimator {
     cached_remote: Option<EndpointWindows>,
     /// When the cached remote window was last refreshed by a new exchange.
     remote_fresh_at: Option<Nanos>,
+    /// Local snapshots captured at the tick that accepted the previous
+    /// fresh exchange — the near-side boundary of the span the cached
+    /// remote window covers.
+    local_at_remote: Option<EndpointSnapshots>,
+    /// Local windows spanning the same interval as `cached_remote`. The
+    /// remote-perspective evaluation subtracts the *local* deliberate ACK
+    /// delay from the *remote* unacked delay; those only cancel when both
+    /// are averaged over the same span. Pairing the exchange-to-exchange
+    /// remote window with a 500 µs tick window instead breaks the
+    /// cancellation whenever requests arrive slower than ticks — the
+    /// high-fan-in, low-per-connection-load regime — and was what made
+    /// the N = 64 fan-in estimate report the inter-arrival gap (~32×
+    /// the measured latency) rather than the latency.
+    cached_local_span: Option<EndpointWindows>,
+    /// Running sums of every valid local window since creation. Differencing
+    /// two checkpoints of this yields Little's-law delays over one long
+    /// window — integrals and departures summed *before* dividing — which is
+    /// the right way to average an estimate over a measurement range:
+    /// per-tick delay ratios are noisy whenever item residences straddle
+    /// window boundaries, and averaging the ratios (worse, max-ing noisy
+    /// view pairs) rectifies that noise into a positive bias.
+    cum_local: EndpointWindows,
+    /// Running sums of every accepted remote window since creation.
+    cum_remote: EndpointWindows,
     /// Counts fresh remote windows folded in — an epoch for the peer's
     /// shared 3-tuples, so callers can detect a peer that stopped sharing
     /// even while `cached_remote` keeps estimates flowing.
@@ -86,6 +121,10 @@ impl E2eEstimator {
             prev_remote: None,
             cached_remote: None,
             remote_fresh_at: None,
+            local_at_remote: None,
+            cached_local_span: None,
+            cum_local: EndpointWindows::default(),
+            cum_remote: EndpointWindows::default(),
             remote_epoch: 0,
             staleness_bound: None,
             validator: None,
@@ -140,6 +179,15 @@ impl E2eEstimator {
         self.remote_epoch
     }
 
+    /// Running sums of all (local, remote) windows folded in so far.
+    /// Checkpoint these and difference two checkpoints with
+    /// [`QueueWindow::since`] to evaluate the decomposition over one long
+    /// window — the low-noise way to average latency over a range (see
+    /// the field docs on `cum_local`).
+    pub fn cumulative_windows(&self) -> (EndpointWindows, EndpointWindows) {
+        (self.cum_local, self.cum_remote)
+    }
+
     /// Age of the cached remote window at `now`; `None` before the first
     /// remote window forms.
     pub fn remote_age(&self, now: Nanos) -> Option<Nanos> {
@@ -174,6 +222,9 @@ impl E2eEstimator {
             .as_ref()
             .and_then(|prev| EndpointWindows::between(prev, &local));
         self.prev_local = Some(local);
+        if let Some(w) = &local_window {
+            self.cum_local.merge(w);
+        }
 
         // Remote exchange-to-exchange window (only when a fresh exchange
         // arrived; duplicates produce an empty window and are skipped).
@@ -194,6 +245,14 @@ impl E2eEstimator {
                 match admission {
                     Admission::Accept => {
                         self.prev_remote = Some(cur);
+                        // The local windows spanning the same interval as
+                        // the fresh remote window, for the span-aligned
+                        // far-side correction in the remote view.
+                        self.cached_local_span = self
+                            .local_at_remote
+                            .as_ref()
+                            .and_then(|prev| EndpointWindows::between(prev, &local));
+                        self.local_at_remote = Some(local);
                         EndpointWindows::between_wire(&prev, &cur, self.scale)
                     }
                     Admission::EpochChange => {
@@ -204,18 +263,23 @@ impl E2eEstimator {
                         self.prev_remote = Some(cur);
                         self.cached_remote = None;
                         self.remote_fresh_at = None;
+                        self.local_at_remote = Some(local);
+                        self.cached_local_span = None;
                         None
                     }
                     Admission::Reject(_) => {
                         // Keep the last accepted baseline: the next
                         // plausible exchange forms a (longer) valid
-                        // window across the rejected gap.
+                        // window across the rejected gap, and the aligned
+                        // local span (anchored at the last accepted tick)
+                        // will cover the same gap.
                         None
                     }
                 }
             }
             (None, Some(cur)) => {
                 self.prev_remote = Some(cur);
+                self.local_at_remote = Some(local);
                 None
             }
             _ => None,
@@ -227,6 +291,7 @@ impl E2eEstimator {
                 self.cached_remote = Some(w);
                 self.remote_fresh_at = Some(now);
                 self.remote_epoch += 1;
+                self.cum_remote.merge(&w);
                 (w, Nanos::ZERO)
             }
             None => {
@@ -243,31 +308,49 @@ impl E2eEstimator {
         // estimate degrades to what the local queues alone can see
         // (missing the far side's unread delay, over-counting its
         // deliberate ACK delay — honest, but marked as such).
-        let (local_view, remote_view, confidence, remote_stale, components) =
+        let (local_view, remote_view, confidence, remote_stale, components, latency) =
             match self.staleness_bound {
                 Some(bound) if age > bound => {
                     let local_set = combine_delays(&local_window, &EndpointWindows::default());
                     let local_only = local_set.latency();
-                    (local_only, local_only, 0.0, true, local_set)
+                    (local_only, local_only, 0.0, true, local_set, local_only)
                 }
                 bound => {
                     let local_set = combine_delays(&local_window, &remote_window);
-                    let remote_set = combine_delays(&remote_window, &local_window);
+                    // Evaluate the remote perspective against local
+                    // windows covering the remote window's own span, not
+                    // this tick's — see `cached_local_span`.
+                    let far_local = self.cached_local_span.unwrap_or(local_window);
+                    let remote_set = combine_delays(&remote_window, &far_local);
                     let local_view = local_set.latency();
                     let remote_view = remote_set.latency();
                     let confidence = match bound {
                         Some(bound) => 1.0 - age.as_nanos() as f64 / bound.as_nanos() as f64,
                         None => 1.0,
                     };
-                    // Keep the component set behind the winning (max)
-                    // view, so per-knob routing blames the same queues
-                    // the headline latency was computed from.
-                    let components = if remote_view > local_view {
-                        remote_set
+                    // Each view mixes full-resolution local windows with
+                    // wire-quantized remote ones, so its value is only
+                    // credible to within the quantization granularity of
+                    // its remote-sourced terms. Compare lower bounds: a
+                    // raw max would rectify the symmetric quantization
+                    // noise into a positive bias of up to one scaled unit
+                    // per departure, which at low per-connection
+                    // throughput (high fan-in) dwarfs the true latency.
+                    let local_tol = wire_delay_granularity(self.scale, &remote_window.ackdelay)
+                        + wire_delay_granularity(self.scale, &remote_window.unread);
+                    let remote_tol = wire_delay_granularity(self.scale, &remote_window.unacked)
+                        + wire_delay_granularity(self.scale, &remote_window.unread);
+                    let remote_wins = remote_view.saturating_sub(remote_tol)
+                        > local_view.saturating_sub(local_tol);
+                    // Keep the component set behind the winning view, so
+                    // per-knob routing blames the same queues the
+                    // headline latency was computed from.
+                    let (winner, components) = if remote_wins {
+                        (remote_view, remote_set)
                     } else {
-                        local_set
+                        (local_view, local_set)
                     };
-                    (local_view, remote_view, confidence, false, components)
+                    (local_view, remote_view, confidence, false, components, winner)
                 }
             };
         // Consecutive rejected exchanges demote confidence (halved per
@@ -278,7 +361,6 @@ impl E2eEstimator {
                 .validator
                 .as_ref()
                 .map_or(1.0, |v| v.confidence_factor());
-        let latency = local_view.max(remote_view);
         let smoothed = self.smoother.update(latency.as_nanos() as f64);
         let est = Estimate {
             at: now,

@@ -31,6 +31,9 @@
 //!   delayed ACKs).
 //! * [`multi`] — aggregation across connections for policies that toggle
 //!   batching machine-wide.
+//! * [`compose`] — composition of per-leg aggregates along a multi-hop
+//!   path (client → proxy → shard), latencies summed per Figure 3,
+//!   confidence the weakest leg's.
 //! * [`route`] — per-knob views on estimates: each batching knob's
 //!   controller sees the decomposition component its mechanism causes.
 //! * [`validate`] — plausibility validation of the peer's shared state:
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod combine;
+pub mod compose;
 pub mod estimator;
 pub mod hints;
 pub mod multi;
@@ -54,6 +58,7 @@ pub mod rtt_baseline;
 pub mod validate;
 
 pub use combine::{combine_delays, DelaySet, EndpointSnapshots, EndpointWindows, QueueWindow};
+pub use compose::{compose_legs, compose_two};
 pub use estimator::{E2eEstimator, Estimate};
 pub use hints::{HintEstimator, RequestTracker};
 pub use multi::{AggregateEstimate, EstimatorRegistry, MultiConnectionAggregator};

@@ -73,6 +73,11 @@ pub struct EpsilonGreedy {
     /// estimate actually reflects the arm being scored.
     min_dwell: u32,
     dwell: u32,
+    /// Ticks to withhold scoring after a switch: estimation windows lag
+    /// the actuation, so the first estimates after a flip still reflect
+    /// the *previous* arm and would be credited to the wrong one.
+    settle: u32,
+    settling: u32,
     switches: u64,
     explorations: u64,
 }
@@ -104,9 +109,22 @@ impl EpsilonGreedy {
             current: false,
             min_dwell,
             dwell: 0,
+            settle: 0,
+            settling: 0,
             switches: 0,
             explorations: 0,
         }
+    }
+
+    /// Withholds scoring for `ticks` after every arm switch, so estimates
+    /// still dominated by the previous arm's traffic are not credited to
+    /// the new arm. Zero (the default) scores every tick — on a sparse
+    /// connection, where a short exploration visit produces only a few
+    /// estimation windows, the carryover otherwise swamps the visit and
+    /// the bandit can lock onto the wrong arm.
+    pub fn with_settle(mut self, ticks: u32) -> Self {
+        self.settle = ticks;
+        self
     }
 
     /// Reasonable defaults: ε = 0.05, dwell 4 ticks, score α = 0.4.
@@ -138,8 +156,12 @@ impl EpsilonGreedy {
     /// `decide_gated(est, true)` is exactly `decide(est)` — same scoring,
     /// same RNG stream, same dwell accounting.
     pub fn decide_gated(&mut self, estimate: &Estimate, may_explore: bool) -> bool {
-        let score = self.objective.score(estimate);
-        self.arms[usize::from(self.current)].update(score);
+        if self.settling > 0 {
+            self.settling -= 1;
+        } else {
+            let score = self.objective.score(estimate);
+            self.arms[usize::from(self.current)].update(score);
+        }
         self.dwell += 1;
         if self.dwell < self.min_dwell {
             return self.current;
@@ -168,6 +190,7 @@ impl EpsilonGreedy {
         if next != self.current {
             self.switches += 1;
             self.current = next;
+            self.settling = self.settle;
         }
         self.current
     }

@@ -1,10 +1,10 @@
-//! Deterministic fault injection over star-topology links.
+//! Deterministic fault injection over topology links.
 //!
 //! The figure experiments run lossless, as the paper's testbed did; this
 //! module adds the impaired regimes the estimator must survive (cf.
 //! "Waiting at the front door" and Dapper: diagnosis tools earn their keep
 //! exactly when the network is misbehaving). A [`FaultPlan`] sits above the
-//! links of a [`StarTopology`](crate::StarTopology) and decides, per
+//! links of a [`Topology`](crate::Topology) and decides, per
 //! transmitted packet, whether to drop, duplicate, or delay it:
 //!
 //! * **Bursty loss** — a per-directed-link Gilbert–Elliott two-state chain
@@ -33,6 +33,7 @@
 //! draws — lossless runs stay bit-identical to the golden digest.
 
 use crate::rng::Pcg32;
+use crate::topology::LinkId;
 use littles::Nanos;
 
 /// Gilbert–Elliott two-state bursty-loss parameters.
@@ -287,8 +288,10 @@ pub struct FaultDecision {
 /// The live fault state for one simulation: per-class named RNG streams,
 /// per-directed-link Gilbert–Elliott chain state, and audit counters.
 ///
-/// Directed links are indexed `2·link + toward_server`, matching
-/// [`StarTopology`](crate::StarTopology) link numbering (client index).
+/// Directed links are indexed `2·link + a_to_b`, the
+/// [`Topology::hop_index`](crate::Topology::hop_index) pair; on a star,
+/// link numbering is the client index and `a_to_b` means toward the
+/// server, so plans replay identically across the general-graph refactor.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     config: FaultConfig,
@@ -304,7 +307,7 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// Builds the plan for a star of `num_links` duplex links.
+    /// Builds the plan for a topology of `num_links` duplex links.
     pub fn new(config: FaultConfig, seed: u64, num_links: usize) -> Self {
         FaultPlan {
             config,
@@ -328,8 +331,8 @@ impl FaultPlan {
     /// Decides the fate of one packet departing at `now` on the given
     /// directed link. Call order per directed link must be transmission
     /// order (which the single-threaded event loop guarantees).
-    pub fn on_transmit(&mut self, link: usize, toward_server: bool, now: Nanos) -> FaultDecision {
-        let idx = 2 * link + usize::from(toward_server);
+    pub fn on_transmit(&mut self, link: LinkId, a_to_b: bool, now: Nanos) -> FaultDecision {
+        let idx = 2 * link.index() + usize::from(a_to_b);
         let mut decision = FaultDecision::default();
 
         // Before the start time the whole layer is inert — identical to a
@@ -401,8 +404,8 @@ impl FaultPlan {
     /// disabled or before [`FaultConfig::start_at`].
     pub fn corrupt_exchange(
         &mut self,
-        link: usize,
-        toward_server: bool,
+        link: LinkId,
+        a_to_b: bool,
         now: Nanos,
     ) -> Option<CorruptTarget> {
         let cfg = self.config.corrupt?;
@@ -412,7 +415,7 @@ impl FaultPlan {
         if !self.corrupt_rng.gen_bool(cfg.probability) {
             return None;
         }
-        self.counters[2 * link + usize::from(toward_server)].corruptions += 1;
+        self.counters[2 * link.index() + usize::from(a_to_b)].corruptions += 1;
         Some(CorruptTarget {
             field: self.corrupt_rng.gen_range(10) as u8,
             bit: self.corrupt_rng.gen_range(32) as u8,
@@ -433,8 +436,8 @@ impl FaultPlan {
     }
 
     /// Audit counters for one directed link.
-    pub fn counters(&self, link: usize, toward_server: bool) -> FaultCounters {
-        self.counters[2 * link + usize::from(toward_server)]
+    pub fn counters(&self, link: LinkId, a_to_b: bool) -> FaultCounters {
+        self.counters[2 * link.index() + usize::from(a_to_b)]
     }
 
     /// Audit counters per duplex link (both directions folded together).
@@ -467,9 +470,9 @@ mod tests {
         let mut plan = FaultPlan::new(FaultConfig::default(), 1, 4);
         let pristine = plan.clone();
         for i in 0..1000u64 {
-            let d = plan.on_transmit((i % 4) as usize, i % 2 == 0, us(i));
+            let d = plan.on_transmit(LinkId::from_index((i % 4) as usize), i % 2 == 0, us(i));
             assert!(!d.drop && !d.duplicate && d.extra_delay.is_zero());
-            assert!(plan.corrupt_exchange((i % 4) as usize, i % 2 == 0, us(i)).is_none());
+            assert!(plan.corrupt_exchange(LinkId::from_index((i % 4) as usize), i % 2 == 0, us(i)).is_none());
         }
         // No RNG state advanced, no counters moved: bit-identical.
         assert_eq!(plan.loss_rng, pristine.loss_rng);
@@ -490,7 +493,7 @@ mod tests {
         let mut plan = FaultPlan::new(cfg, 11, 2);
         let mut hits = 0u64;
         for i in 0..4_000u64 {
-            if let Some(t) = plan.corrupt_exchange((i % 2) as usize, i % 2 == 0, us(i)) {
+            if let Some(t) = plan.corrupt_exchange(LinkId::from_index((i % 2) as usize), i % 2 == 0, us(i)) {
                 hits += 1;
                 assert!(t.field < 10, "field {}", t.field);
                 assert!(t.bit < 32, "bit {}", t.bit);
@@ -509,8 +512,8 @@ mod tests {
             ..FaultConfig::default()
         };
         let mut plan = FaultPlan::new(cfg, 3, 1);
-        assert!(plan.corrupt_exchange(0, true, us(499)).is_none());
-        assert!(plan.corrupt_exchange(0, true, us(500)).is_some());
+        assert!(plan.corrupt_exchange(LinkId::from_index(0), true, us(499)).is_none());
+        assert!(plan.corrupt_exchange(LinkId::from_index(0), true, us(500)).is_some());
     }
 
     #[test]
@@ -541,7 +544,7 @@ mod tests {
         };
         let mut plan = FaultPlan::new(cfg, 7, 1);
         let drops: Vec<bool> = (0..20_000u64)
-            .map(|i| plan.on_transmit(0, true, us(i)).drop)
+            .map(|i| plan.on_transmit(LinkId::from_index(0), true, us(i)).drop)
             .collect();
         let total = drops.iter().filter(|&&d| d).count();
         // Stationary rate ≈ 5%.
@@ -554,7 +557,7 @@ mod tests {
             .count() as f64
             / total as f64;
         assert!(after_drop > 0.4, "P(drop|drop) = {after_drop:.3}");
-        assert_eq!(plan.counters(0, true).drops, total as u64);
+        assert_eq!(plan.counters(LinkId::from_index(0), true).drops, total as u64);
     }
 
     #[test]
@@ -569,7 +572,7 @@ mod tests {
         let mut plan = FaultPlan::new(cfg, 9, 1);
         let mut held = 0u64;
         for i in 0..5_000u64 {
-            let d = plan.on_transmit(0, false, us(i));
+            let d = plan.on_transmit(LinkId::from_index(0), false, us(i));
             assert!(d.extra_delay <= us(30));
             if !d.extra_delay.is_zero() {
                 held += 1;
@@ -577,7 +580,7 @@ mod tests {
             }
         }
         assert!((2_000..3_000).contains(&held), "held {held}");
-        assert_eq!(plan.counters(0, false).reorders, held);
+        assert_eq!(plan.counters(LinkId::from_index(0), false).reorders, held);
     }
 
     #[test]
@@ -588,7 +591,7 @@ mod tests {
         };
         let mut plan = FaultPlan::new(cfg, 3, 2);
         let dups = (0..10_000u64)
-            .filter(|&i| plan.on_transmit(1, true, us(i)).duplicate)
+            .filter(|&i| plan.on_transmit(LinkId::from_index(1), true, us(i)).duplicate)
             .count();
         assert!((800..1_200).contains(&dups), "dups {dups}");
     }
@@ -604,12 +607,12 @@ mod tests {
             ..FaultConfig::default()
         };
         let mut plan = FaultPlan::new(cfg, 5, 1);
-        assert!(!plan.on_transmit(0, true, us(99)).drop);
-        assert!(plan.on_transmit(0, true, us(100)).drop);
-        assert!(plan.on_transmit(0, true, us(149)).drop);
-        assert!(!plan.on_transmit(0, true, us(150)).drop);
-        assert!(plan.on_transmit(0, true, us(1120)).drop); // next period
-        assert_eq!(plan.counters(0, true).blackout_drops, 3);
+        assert!(!plan.on_transmit(LinkId::from_index(0), true, us(99)).drop);
+        assert!(plan.on_transmit(LinkId::from_index(0), true, us(100)).drop);
+        assert!(plan.on_transmit(LinkId::from_index(0), true, us(149)).drop);
+        assert!(!plan.on_transmit(LinkId::from_index(0), true, us(150)).drop);
+        assert!(plan.on_transmit(LinkId::from_index(0), true, us(1120)).drop); // next period
+        assert_eq!(plan.counters(LinkId::from_index(0), true).blackout_drops, 3);
         // Blackouts are RNG-free.
         assert_eq!(plan.loss_rng, Pcg32::named(5, "fault.loss"));
     }
@@ -656,8 +659,8 @@ mod tests {
         let mut dup_a = Vec::new();
         let mut dup_b = Vec::new();
         for i in 0..2_000u64 {
-            dup_a.push(a.on_transmit(0, true, us(i)).duplicate);
-            let d = b.on_transmit(0, true, us(i));
+            dup_a.push(a.on_transmit(LinkId::from_index(0), true, us(i)).duplicate);
+            let d = b.on_transmit(LinkId::from_index(0), true, us(i));
             if !d.drop {
                 dup_b.push(d.duplicate);
             }
@@ -677,7 +680,7 @@ mod tests {
         };
         let mut plan = FaultPlan::new(cfg, 11, 1);
         for i in 0..100u64 {
-            let d = plan.on_transmit(0, true, us(i));
+            let d = plan.on_transmit(LinkId::from_index(0), true, us(i));
             assert!(!d.drop && !d.duplicate && d.extra_delay.is_zero());
         }
         // Zero RNG draws consumed and zero faults counted before start.
@@ -688,7 +691,7 @@ mod tests {
         // From start_at on, the layer is live.
         let touched = (100..2_100u64)
             .filter(|&i| {
-                let d = plan.on_transmit(0, true, us(i));
+                let d = plan.on_transmit(LinkId::from_index(0), true, us(i));
                 d.drop || d.duplicate || !d.extra_delay.is_zero()
             })
             .count();

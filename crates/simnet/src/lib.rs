@@ -22,9 +22,11 @@
 //!   (Gilbert–Elliott) loss, bounded reordering, duplication, jitter, and
 //!   scheduled blackouts / CPU stalls, each on its own named RNG stream so
 //!   lossless runs stay bit-identical.
-//! * [`topology`] — multi-host wiring over links; a [`StarTopology`] joins
-//!   N clients to one server (the fan-in shape), with the two-host pair as
-//!   its N = 1 special case.
+//! * [`topology`] — multi-host wiring over links: a general directed-graph
+//!   [`Topology`] with typed [`HostId`]/[`LinkId`] handles and shape
+//!   constructors — [`Topology::star`] (N clients, one server; the
+//!   two-host pair is its N = 1 special case) and [`Topology::two_tier`]
+//!   (clients → proxy → sharded servers).
 //! * [`cpu`] — serially-executing CPU contexts (application thread, softirq)
 //!   with cost accounting and utilization windows; this is what makes
 //!   per-packet overheads translate into saturation, reproducing the
@@ -54,4 +56,4 @@ pub use hist::Histogram;
 pub use link::{DuplexLink, Link, LinkConfig};
 pub use littles::Nanos;
 pub use rng::Pcg32;
-pub use topology::StarTopology;
+pub use topology::{HostId, LinkId, Topology, TopologyBuilder};

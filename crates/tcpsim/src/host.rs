@@ -13,10 +13,9 @@ use crate::segment::{FlowId, Segment};
 use crate::socket::{SocketId, TcpSocket, TimerKind};
 use crate::table::FlowMap;
 
-/// Index of a host in the simulation (0 = client, 1 = server by
-/// convention).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct HostId(pub usize);
+// `HostId` moved to the topology layer (hosts are graph nodes now);
+// re-exported here so `tcpsim::host::HostId` keeps working.
+pub use simnet::HostId;
 
 /// One simulated machine.
 #[derive(Debug)]
@@ -213,7 +212,7 @@ use crate::payload::Payload;
 
     fn host() -> Host {
         Host::new(
-            HostId(0),
+            HostId::from_index(0),
             CpuContext::new("app"),
             CpuContext::new("softirq"),
             CostConfig::default(),

@@ -45,6 +45,7 @@ pub mod seq;
 pub mod sim;
 pub mod socket;
 pub mod table;
+pub mod tier;
 
 pub use config::{CostConfig, NagleMode, TcpConfig};
 pub use delack::{AckMode, AckSwitch};
@@ -53,6 +54,8 @@ pub use knob::KnobSetting;
 pub use payload::Payload;
 pub use queues::{QueueSnapshots, SocketQueues, Unit};
 pub use segment::{FlowId, Segment};
-pub use sim::{App, Event, HostCtx, NetSim};
+pub use sim::{App, Event, FlowRoute, HostCtx, NetSim};
+pub use simnet::{LinkId, Topology};
+pub use tier::TierSim;
 pub use table::FlowMap;
 pub use socket::{Action, SocketId, TcpSocket, TcpState, TimerKind, TxEnv, WakeReason};

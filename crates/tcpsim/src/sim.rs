@@ -1,11 +1,14 @@
-//! The network simulation: N client hosts and one server host on a star.
+//! The network simulation: application hosts on a graph topology.
 //!
-//! [`NetSim`] wires client [`Host`]s to a server host through a
-//! [`StarTopology`] and drives their [`TcpSocket`]s and applications as a
+//! [`NetSim`] wires client [`Host`]s to a server host through a star
+//! [`Topology`] and drives their [`TcpSocket`]s and applications as a
 //! [`World`] over one global discrete-event queue. Applications implement
 //! [`App`] and interact with the stack only through [`HostCtx`] — the
 //! simulated socket API. The classic two-host pair is the `N = 1` special
 //! case (client host 0, server host 1) and reproduces bit-identically.
+//! The machinery underneath ([`SimCore`]) is topology-agnostic: the
+//! two-tier proxy simulation (`tier`) reuses it unchanged, with requests
+//! crossing two links instead of one.
 //!
 //! Fan-in contention is modelled faithfully: every connection terminating
 //! at the server shares the *same* server [`Host`] and therefore the same
@@ -29,12 +32,12 @@
 use crate::payload::Payload;
 use littles::{Nanos, Snapshot};
 use simnet::{
-    CorruptTarget, DuplexLink, EventQueue, FaultConfig, FaultPlan, LinkConfig, Pcg32,
-    StarTopology, World,
+    CorruptTarget, DuplexLink, EventQueue, FaultConfig, FaultPlan, HostId, LinkConfig, LinkId,
+    Pcg32, Topology, World,
 };
 
 use crate::config::TcpConfig;
-use crate::host::{Host, HostId};
+use crate::host::Host;
 use crate::knob::KnobSetting;
 use crate::segment::{E2eOption, FlowId, Segment};
 use crate::socket::{Action, SocketId, TcpSocket, TcpState, TimerKind, TxEnv, WakeReason};
@@ -49,22 +52,22 @@ const NIC_COMPLETION_DELAY: Nanos = Nanos::from_micros(2);
 pub enum Event {
     /// A segment finished traversing a link and reached `dst`'s NIC.
     Deliver {
-        /// Destination host index.
-        dst: usize,
+        /// Destination host.
+        dst: HostId,
         /// The segment.
         seg: Segment,
     },
     /// Softirq finished processing a received segment; run TCP input.
     SoftirqRx {
-        /// Host index.
-        host: usize,
+        /// Receiving host.
+        host: HostId,
         /// The segment.
         seg: Segment,
     },
     /// A socket timer fired.
     Timer {
-        /// Host index.
-        host: usize,
+        /// Host the socket lives on.
+        host: HostId,
         /// Socket the timer belongs to.
         sock: SocketId,
         /// Which timer.
@@ -74,8 +77,8 @@ pub enum Event {
     },
     /// The stack wants the application's attention (softirq context).
     AppWake {
-        /// Host index.
-        host: usize,
+        /// Host whose application is woken.
+        host: HostId,
         /// Socket the wake concerns.
         sock: SocketId,
         /// Why.
@@ -83,15 +86,15 @@ pub enum Event {
     },
     /// An application-scheduled continuation (application context).
     AppCall {
-        /// Host index.
-        host: usize,
+        /// Host whose application runs.
+        host: HostId,
         /// Opaque token the application chose.
         token: u64,
     },
     /// NIC transmit-completion interrupt.
     NicComplete {
-        /// Host index.
-        host: usize,
+        /// Host whose NIC completed.
+        host: HostId,
         /// Ring slots freed.
         packets: u32,
     },
@@ -109,6 +112,36 @@ enum Charge {
     Softirq,
 }
 
+/// The two ends of a connection: who opened it and who accepted it.
+///
+/// Registered when the initiating application calls
+/// [`HostCtx::connect_to`]; every transmitted segment of the flow is
+/// delivered to [`other`](Self::other) end, whichever host sends it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRoute {
+    /// The host that opened the connection.
+    pub initiator: HostId,
+    /// The host that accepted it.
+    pub acceptor: HostId,
+}
+
+impl FlowRoute {
+    /// The far end as seen from `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host` is neither end of the flow.
+    pub fn other(&self, host: HostId) -> HostId {
+        if host == self.initiator {
+            self.acceptor
+        } else if host == self.acceptor {
+            self.initiator
+        } else {
+            panic!("{host:?} is not an end of this flow")
+        }
+    }
+}
+
 /// A simulated application.
 ///
 /// See the module docs for the execution-context convention.
@@ -124,21 +157,24 @@ pub trait App {
 /// The application's view of its host: the socket API plus CPU-time
 /// accounting.
 pub struct HostCtx<'a> {
-    /// Index of this host (clients at `0..N`, the server at `N`).
-    pub host_idx: usize,
+    /// This host's id.
+    pub host_id: HostId,
     /// The host (CPU contexts, sockets, NIC).
     pub host: &'a mut Host,
     /// This host's deterministic randomness stream.
     pub rng: &'a mut Pcg32,
     queue: &'a mut EventQueue<Event>,
-    topology: &'a mut StarTopology,
-    routes: &'a mut FlowMap<usize>,
+    topology: &'a mut Topology,
+    routes: &'a mut FlowMap<FlowRoute>,
     faults: &'a mut Option<FaultPlan>,
     next_flow: &'a mut u64,
     /// Shared scratch buffer for socket actions; `apply_actions` drains
     /// it, so it is empty between events and never reallocated in steady
     /// state.
     actions: &'a mut Vec<Action>,
+    /// Where a plain [`connect`](Self::connect) goes (the server in a
+    /// star, the proxy for two-tier clients).
+    default_peer: HostId,
 }
 
 impl HostCtx<'_> {
@@ -147,14 +183,35 @@ impl HostCtx<'_> {
         self.queue.now()
     }
 
-    /// Opens a connection to the server host; completion is signalled by a
-    /// [`WakeReason::Connected`] wake. Charged to the application thread.
+    /// Opens a connection to this host's default peer (the server in a
+    /// star); completion is signalled by a [`WakeReason::Connected`] wake.
+    /// Charged to the application thread.
     pub fn connect(&mut self, config: TcpConfig) -> SocketId {
+        self.connect_to(self.default_peer, config)
+    }
+
+    /// Opens a connection to an explicit adjacent host (the proxy's
+    /// per-shard upstreams use this). Completion is signalled by a
+    /// [`WakeReason::Connected`] wake. Charged to the application thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-connection; the first transmit panics when no
+    /// link joins the two hosts.
+    pub fn connect_to(&mut self, peer: HostId, config: TcpConfig) -> SocketId {
+        assert_ne!(peer, self.host_id, "cannot connect a host to itself");
         let now = self.now();
         let flow = FlowId(*self.next_flow);
         *self.next_flow += 1;
-        // Flows are routed back to the client host that opened them.
-        self.routes.set(flow, self.host_idx);
+        // Segments of this flow are delivered to whichever end did not
+        // send them.
+        self.routes.set(
+            flow,
+            FlowRoute {
+                initiator: self.host_id,
+                acceptor: peer,
+            },
+        );
         let sock = TcpSocket::client(flow, config, now, self.actions);
         let id = self.host.add_socket(sock);
         let syscall = self.host.costs.syscall;
@@ -266,7 +323,7 @@ impl HostCtx<'_> {
         self.queue.schedule_at(
             at,
             Event::AppCall {
-                host: self.host_idx,
+                host: self.host_id,
                 token,
             },
         );
@@ -363,15 +420,15 @@ impl HostCtx<'_> {
 }
 
 /// Executes socket actions: transmits segments (charging CPU, ringing the
-/// doorbell, driving the right star spoke), manages timers, and queues app
-/// wakes. The destination host is derived from the topology: clients
-/// always transmit toward the server; the server routes by the segment's
-/// flow (registered at `connect` time).
+/// doorbell, driving the right directed link), manages timers, and queues
+/// app wakes. The destination host comes from the flow's [`FlowRoute`]
+/// (registered at `connect_to` time): whichever end did not send the
+/// segment receives it.
 #[allow(clippy::too_many_arguments)]
 fn apply_actions(
     host: &mut Host,
-    topology: &mut StarTopology,
-    routes: &FlowMap<usize>,
+    topology: &mut Topology,
+    routes: &FlowMap<FlowRoute>,
     queue: &mut EventQueue<Event>,
     rng: &mut Pcg32,
     faults: &mut Option<FaultPlan>,
@@ -380,8 +437,7 @@ fn apply_actions(
     charge: Charge,
 ) {
     let now = queue.now();
-    let host_idx = host.id.0;
-    let server_idx = topology.server_index();
+    let host_id = host.id;
     let mut transmitted = false;
     for action in actions.drain(..) {
         match action {
@@ -400,21 +456,19 @@ fn apply_actions(
                     Charge::App => host.app_cpu.busy_until(),
                     Charge::Softirq => host.softirq_cpu.busy_until(),
                 };
-                let dst = if host_idx == server_idx {
-                    *routes
-                        .get(seg.flow)
-                        .expect("server transmit on an unrouted flow")
-                } else {
-                    server_idx
-                };
+                let dst = routes
+                    .get(seg.flow)
+                    .expect("transmit on an unrouted flow")
+                    .other(host_id);
                 let wire_len = seg.wire_len();
-                let link = topology.hop_mut(host_idx, dst);
+                let (link_id, a_to_b) = topology.hop_index(host_id, dst);
+                let link = topology.directed_mut(link_id, a_to_b);
                 let mut arrival = link.transmit_lossy(depart, wire_len, rng);
                 let serialized_at = link.busy_until().max(depart);
                 queue.schedule_at(
                     serialized_at + NIC_COMPLETION_DELAY,
                     Event::NicComplete {
-                        host: host_idx,
+                        host: host_id,
                         packets: seg.wire_packets,
                     },
                 );
@@ -425,11 +479,9 @@ fn apply_actions(
                 let mut duplicate = false;
                 if let (Some(plan), Some(t)) = (faults.as_mut(), arrival) {
                     if !seg.flags.syn {
-                        let toward_server = host_idx != server_idx;
-                        let link_idx = if toward_server { host_idx } else { dst };
-                        let decision = plan.on_transmit(link_idx, toward_server, depart);
+                        let decision = plan.on_transmit(link_id, a_to_b, depart);
                         if decision.drop {
-                            topology.hop_mut(host_idx, dst).record_drop(wire_len);
+                            topology.directed_mut(link_id, a_to_b).record_drop(wire_len);
                             arrival = None;
                         } else {
                             arrival = Some(t + decision.extra_delay);
@@ -440,7 +492,7 @@ fn apply_actions(
                             // both copies carry the same lie.
                             if let Some(opt) = seg.options.e2e.as_mut() {
                                 if let Some(target) =
-                                    plan.corrupt_exchange(link_idx, toward_server, depart)
+                                    plan.corrupt_exchange(link_id, a_to_b, depart)
                                 {
                                     garble_e2e(opt, target);
                                 }
@@ -472,7 +524,7 @@ fn apply_actions(
                 queue.schedule(
                     delay,
                     Event::Timer {
-                        host: host_idx,
+                        host: host_id,
                         sock,
                         kind,
                         gen,
@@ -486,7 +538,7 @@ fn apply_actions(
                 queue.schedule(
                     Nanos::ZERO,
                     Event::AppWake {
-                        host: host_idx,
+                        host: host_id,
                         sock,
                         reason,
                     },
@@ -530,6 +582,335 @@ fn garble_e2e(opt: &mut E2eOption, target: CorruptTarget) {
     }
 }
 
+/// What a non-application event resolved to: an application entry point
+/// the owning simulation must dispatch (it knows which app runs on which
+/// host — the core does not).
+pub(crate) enum AppEvent {
+    /// Deliver `on_wake(sock, reason)` to `host`'s application.
+    Wake(HostId, SocketId, WakeReason),
+    /// Deliver `on_call(token)` to `host`'s application.
+    Call(HostId, u64),
+}
+
+/// The topology-agnostic simulation machinery: hosts, links, flow routes,
+/// per-host RNG streams, fault state, and the handling of every event that
+/// does not enter application code. [`NetSim`] (star) and the two-tier
+/// proxy simulation both wrap one of these; only app dispatch differs.
+pub(crate) struct SimCore {
+    pub(crate) hosts: Vec<Host>,
+    pub(crate) topology: Topology,
+    /// Flow → endpoint pair, registered at `connect_to`.
+    pub(crate) routes: FlowMap<FlowRoute>,
+    /// Per-host RNG streams. Host 0 carries the legacy stream
+    /// `Pcg32::new(seed)` (so N = 1 replays the two-host pair bit-for-bit);
+    /// the rest are independent children forked from one splitter.
+    pub(crate) rngs: Vec<Pcg32>,
+    /// Fault-injection state; `None` (the lossless default) is guaranteed
+    /// not to perturb the simulation in any way.
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) next_flow: u64,
+    /// Reused socket-action buffer (see `HostCtx::actions`).
+    pub(crate) scratch: Vec<Action>,
+    /// Reused NIC-drain waiter buffer (see the `NicComplete` arm).
+    pub(crate) cork_scratch: Vec<SocketId>,
+    /// Hosts `0..restart_pool` are eligible targets for scheduled
+    /// endpoint restarts (the client tier).
+    pub(crate) restart_pool: usize,
+    /// Per-host default `connect()` peer (a host with no meaningful
+    /// default — e.g. the server itself — points at itself, which
+    /// `connect_to` rejects).
+    pub(crate) default_peers: Vec<HostId>,
+}
+
+impl SimCore {
+    /// Assembles a core over `topology`. Host `i` must carry
+    /// `HostId::from_index(i)`; `default_peers[i]` is where host `i`'s
+    /// plain `connect()` goes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the host list does not match the topology or a host id
+    /// does not match its index.
+    pub(crate) fn new(
+        hosts: Vec<Host>,
+        topology: Topology,
+        default_peers: Vec<HostId>,
+        restart_pool: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(hosts.len(), topology.num_hosts(), "one host per node");
+        assert_eq!(hosts.len(), default_peers.len(), "one default peer per host");
+        for (i, h) in hosts.iter().enumerate() {
+            assert_eq!(
+                h.id,
+                HostId::from_index(i),
+                "host {i} must carry HostId({i})"
+            );
+        }
+        // Host 0 keeps the exact legacy stream; the remaining hosts get
+        // independent children split from one seeded splitter, so client
+        // arrival processes never share draws.
+        let mut splitter = Pcg32::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let rngs = (0..hosts.len())
+            .map(|i| {
+                if i == 0 {
+                    Pcg32::new(seed)
+                } else {
+                    splitter.fork()
+                }
+            })
+            .collect();
+        SimCore {
+            hosts,
+            topology,
+            routes: FlowMap::new(),
+            rngs,
+            faults: None,
+            next_flow: 1,
+            scratch: Vec::new(),
+            cork_scratch: Vec::new(),
+            restart_pool,
+            default_peers,
+        }
+    }
+
+    /// Installs a fault plan (and the server-stall schedule on `stall_on`,
+    /// when configured). A fully disabled config is a no-op.
+    pub(crate) fn install_faults(&mut self, config: FaultConfig, seed: u64, stall_on: HostId) {
+        if !config.is_enabled() {
+            return;
+        }
+        if let Some(stall) = config.server_stall {
+            self.hosts[stall_on.index()].app_cpu.set_stall_schedule(stall);
+        }
+        let links = self.topology.num_links();
+        self.faults = Some(FaultPlan::new(config, seed, links));
+    }
+
+    /// Queues the first scheduled restart, when the fault plan has one.
+    pub(crate) fn schedule_first_restart(&self, queue: &mut EventQueue<Event>) {
+        if let Some(rs) = self.faults.as_ref().and_then(|p| p.config().restart) {
+            queue.schedule_at(rs.first_at, Event::Restart);
+        }
+    }
+
+    /// An application context for `h`, split-borrowing the core.
+    pub(crate) fn ctx<'a>(
+        &'a mut self,
+        queue: &'a mut EventQueue<Event>,
+        h: HostId,
+    ) -> HostCtx<'a> {
+        let SimCore {
+            hosts,
+            topology,
+            routes,
+            rngs,
+            faults,
+            next_flow,
+            scratch,
+            default_peers,
+            ..
+        } = self;
+        HostCtx {
+            host_id: h,
+            host: &mut hosts[h.index()],
+            rng: &mut rngs[h.index()],
+            queue,
+            topology,
+            routes,
+            faults,
+            next_flow,
+            actions: scratch,
+            default_peer: default_peers[h.index()],
+        }
+    }
+
+    /// Handles one event. Stack-internal events (delivery, softirq, timers,
+    /// NIC completions, restarts) are fully absorbed; events that must
+    /// enter application code come back as an [`AppEvent`] for the owning
+    /// simulation to dispatch.
+    pub(crate) fn handle_infra(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        event: Event,
+    ) -> Option<AppEvent> {
+        let now = queue.now();
+        match event {
+            Event::Deliver { dst, seg } => {
+                let host = &mut self.hosts[dst.index()];
+                let cost = host.rx_cost(&seg);
+                let done = host.softirq_cpu.run(now, cost);
+                queue.schedule_at(done, Event::SoftirqRx { host: dst, seg });
+            }
+            Event::SoftirqRx { host: h, seg } => {
+                let host = &mut self.hosts[h.index()];
+                let env = TxEnv {
+                    nic_in_flight: host.nic_in_flight(),
+                };
+                let sock_id = match host.socket_for_flow(seg.flow) {
+                    Some(id) => {
+                        let sock = host.socket_mut(id);
+                        sock.on_segment(now, &seg, env, &mut self.scratch);
+                        // Conservation gates run after every stack entry
+                        // point (debug builds only; see tcpsim::invariants).
+                        if cfg!(debug_assertions) {
+                            crate::invariants::gate(sock.check_invariants(now));
+                        }
+                        id
+                    }
+                    None if seg.flags.syn && !seg.flags.ack => {
+                        let config = host.accept_config;
+                        let sock = TcpSocket::server_on_syn(
+                            seg.flow,
+                            config,
+                            now,
+                            &seg,
+                            &mut self.scratch,
+                        );
+                        host.add_socket(sock)
+                    }
+                    None => return None, // stray segment for an unknown flow
+                };
+                apply_actions(
+                    host,
+                    &mut self.topology,
+                    &self.routes,
+                    queue,
+                    &mut self.rngs[h.index()],
+                    &mut self.faults,
+                    sock_id,
+                    &mut self.scratch,
+                    Charge::Softirq,
+                );
+            }
+            Event::Timer {
+                host: h,
+                sock,
+                kind,
+                gen,
+            } => {
+                let host = &mut self.hosts[h.index()];
+                if host.timer_gen(sock, kind) != gen {
+                    return None; // cancelled or superseded
+                }
+                let env = TxEnv {
+                    nic_in_flight: host.nic_in_flight(),
+                };
+                {
+                    let s = host.socket_mut(sock);
+                    s.on_timer(now, kind, env, &mut self.scratch);
+                    if cfg!(debug_assertions) {
+                        crate::invariants::gate(s.check_invariants(now));
+                    }
+                }
+                apply_actions(
+                    host,
+                    &mut self.topology,
+                    &self.routes,
+                    queue,
+                    &mut self.rngs[h.index()],
+                    &mut self.faults,
+                    sock,
+                    &mut self.scratch,
+                    Charge::Softirq,
+                );
+            }
+            Event::NicComplete { host: h, packets } => {
+                let host = &mut self.hosts[h.index()];
+                host.nic_complete(packets);
+                let env = TxEnv {
+                    nic_in_flight: host.nic_in_flight(),
+                };
+                // Visit only sockets registered as cork waiters (the arm
+                // site in `apply_actions` covers every uncorked → corked
+                // transition) instead of scanning all N sockets per NIC
+                // completion — at N = 1024 fan-in that scan dominated the
+                // event loop. Entries can be stale; `is_corked` filters.
+                let mut waiters = std::mem::take(&mut self.cork_scratch);
+                host.drain_cork_waiters_into(&mut waiters);
+                // Ascending socket order, one visit per socket — the
+                // visit sequence is exactly the full scan's, minus the
+                // uncorked sockets it would have skipped anyway.
+                waiters.sort_unstable();
+                waiters.dedup();
+                for i in 0..waiters.len() {
+                    let id = waiters[i];
+                    let host = &mut self.hosts[h.index()];
+                    if !host.socket(id).is_corked() {
+                        continue;
+                    }
+                    host.socket_mut(id).on_nic_drained(now, env, &mut self.scratch);
+                    apply_actions(
+                        host,
+                        &mut self.topology,
+                        &self.routes,
+                        queue,
+                        &mut self.rngs[h.index()],
+                        &mut self.faults,
+                        id,
+                        &mut self.scratch,
+                        Charge::Softirq,
+                    );
+                    if host.socket(id).is_corked() {
+                        // Still held (e.g. the NIC is busy again): keep it
+                        // on the waiter list for the next completion.
+                        host.note_cork_wait(id);
+                    }
+                }
+                self.cork_scratch = waiters;
+            }
+            Event::Restart => {
+                let Some(plan) = self.faults.as_mut() else {
+                    return None;
+                };
+                let target = plan.pick_restart_target(self.restart_pool);
+                if let Some(rs) = plan.config().restart {
+                    if !rs.period.is_zero() {
+                        queue.schedule(rs.period, Event::Restart);
+                    }
+                }
+                // The crash: every live socket on the target host loses
+                // its state. The flow mapping is dropped so in-flight and
+                // retransmitted segments for the old connection are
+                // discarded as strays (the softirq path ignores unknown
+                // flows that are not SYNs); pending timers are invalidated
+                // by bumping their generations. The application is woken
+                // with `Reset` to re-establish a fresh connection, whose
+                // new socket gets a new epoch.
+                let host = &mut self.hosts[target];
+                for i in 0..host.socket_count() {
+                    let id = SocketId(i);
+                    let sock = host.socket_mut(id);
+                    if sock.state() == TcpState::Closed {
+                        continue;
+                    }
+                    let flow = sock.flow();
+                    sock.reset();
+                    host.remove_flow(flow);
+                    host.bump_timer(id, TimerKind::Rto);
+                    host.bump_timer(id, TimerKind::Delack);
+                    host.bump_timer(id, TimerKind::Cork);
+                    queue.schedule(
+                        Nanos::ZERO,
+                        Event::AppWake {
+                            host: HostId::from_index(target),
+                            sock: id,
+                            reason: WakeReason::Reset,
+                        },
+                    );
+                }
+            }
+            Event::AppWake {
+                host: h,
+                sock,
+                reason,
+            } => return Some(AppEvent::Wake(h, sock, reason)),
+            Event::AppCall { host: h, token } => return Some(AppEvent::Call(h, token)),
+        }
+        None
+    }
+}
+
 /// A complete star simulation: N client apps, one server app, their hosts,
 /// and the topology joining them.
 pub struct NetSim<C: App, S: App> {
@@ -537,22 +918,7 @@ pub struct NetSim<C: App, S: App> {
     pub clients: Vec<C>,
     /// The server application (runs on host `num_clients`).
     pub server: S,
-    hosts: Vec<Host>,
-    topology: StarTopology,
-    /// Flow → owning-client-host routing, registered at `connect`.
-    routes: FlowMap<usize>,
-    /// Per-host RNG streams. Host 0 carries the legacy stream
-    /// `Pcg32::new(seed)` (so N = 1 replays the two-host pair bit-for-bit);
-    /// the rest are independent children forked from one splitter.
-    rngs: Vec<Pcg32>,
-    /// Fault-injection state; `None` (the lossless default) is guaranteed
-    /// not to perturb the simulation in any way.
-    faults: Option<FaultPlan>,
-    next_flow: u64,
-    /// Reused socket-action buffer (see `HostCtx::actions`).
-    scratch: Vec<Action>,
-    /// Reused NIC-drain waiter buffer (see the `NicComplete` arm).
-    cork_scratch: Vec<SocketId>,
+    core: SimCore,
 }
 
 impl<C: App, S: App> NetSim<C, S> {
@@ -589,41 +955,18 @@ impl<C: App, S: App> NetSim<C, S> {
             client_hosts.len(),
             "one host per client app"
         );
-        for (i, h) in client_hosts.iter().enumerate() {
-            assert_eq!(h.id, HostId(i), "client host {i} must carry HostId({i})");
-        }
         let n = clients.len();
-        assert_eq!(
-            server_host.id,
-            HostId(n),
-            "server host must carry HostId({n})"
-        );
+        let server_id = HostId::from_index(n);
         let mut hosts = client_hosts;
         hosts.push(server_host);
-        // Host 0 keeps the exact legacy stream; the remaining hosts get
-        // independent children split from one seeded splitter, so client
-        // arrival processes never share draws.
-        let mut splitter = Pcg32::new(seed ^ 0x9E37_79B9_7F4A_7C15);
-        let rngs = (0..hosts.len())
-            .map(|i| {
-                if i == 0 {
-                    Pcg32::new(seed)
-                } else {
-                    splitter.fork()
-                }
-            })
-            .collect();
+        // Every host's plain connect() goes to the server (the server's
+        // own self-entry is rejected by connect_to, as it should be).
+        let default_peers = vec![server_id; n + 1];
+        let core = SimCore::new(hosts, Topology::star(n, link_config), default_peers, n, seed);
         NetSim {
             clients,
             server,
-            hosts,
-            topology: StarTopology::new(n, link_config),
-            routes: FlowMap::new(),
-            rngs,
-            faults: None,
-            next_flow: 1,
-            scratch: Vec::new(),
-            cork_scratch: Vec::new(),
+            core,
         }
     }
 
@@ -645,14 +988,8 @@ impl<C: App, S: App> NetSim<C, S> {
         fault_config: FaultConfig,
     ) -> Self {
         let mut sim = Self::star(clients, server, client_hosts, server_host, link_config, seed);
-        if fault_config.is_enabled() {
-            if let Some(stall) = fault_config.server_stall {
-                let srv = sim.topology.server_index();
-                sim.hosts[srv].app_cpu.set_stall_schedule(stall);
-            }
-            let n = sim.topology.num_clients();
-            sim.faults = Some(FaultPlan::new(fault_config, seed, n));
-        }
+        let server_id = sim.server_id();
+        sim.core.install_faults(fault_config, seed, server_id);
         sim
     }
 
@@ -661,45 +998,11 @@ impl<C: App, S: App> NetSim<C, S> {
     /// When the fault plan schedules endpoint restarts, the first crash
     /// event is queued here.
     pub fn start(&mut self, queue: &mut EventQueue<Event>) {
-        if let Some(rs) = self.faults.as_ref().and_then(|p| p.config().restart) {
-            queue.schedule_at(rs.first_at, Event::Restart);
-        }
-        let server_idx = self.topology.server_index();
-        let NetSim {
-            clients,
-            server,
-            hosts,
-            topology,
-            routes,
-            rngs,
-            faults,
-            next_flow,
-            scratch,
-            cork_scratch: _,
-        } = self;
-        server.on_start(&mut HostCtx {
-            host_idx: server_idx,
-            host: &mut hosts[server_idx],
-            rng: &mut rngs[server_idx],
-            queue,
-            topology,
-            routes,
-            faults,
-            next_flow,
-            actions: scratch,
-        });
-        for (i, client) in clients.iter_mut().enumerate() {
-            client.on_start(&mut HostCtx {
-                host_idx: i,
-                host: &mut hosts[i],
-                rng: &mut rngs[i],
-                queue,
-                topology,
-                routes,
-                faults,
-                next_flow,
-                actions: scratch,
-            });
+        self.core.schedule_first_restart(queue);
+        let server_id = self.server_id();
+        self.server.on_start(&mut self.core.ctx(queue, server_id));
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            client.on_start(&mut self.core.ctx(queue, HostId::from_index(i)));
         }
     }
 
@@ -708,9 +1011,14 @@ impl<C: App, S: App> NetSim<C, S> {
         self.clients.len()
     }
 
+    /// Id of the server host.
+    fn server_id(&self) -> HostId {
+        HostId::from_index(self.clients.len())
+    }
+
     /// Index of the server host.
     pub fn server_index(&self) -> usize {
-        self.topology.server_index()
+        self.clients.len()
     }
 
     /// The first client application (convenience for the N = 1 case).
@@ -725,271 +1033,63 @@ impl<C: App, S: App> NetSim<C, S> {
 
     /// Access a host by index.
     pub fn host(&self, idx: usize) -> &Host {
-        &self.hosts[idx]
+        &self.core.hosts[idx]
     }
 
     /// Mutable access to a host by index.
     pub fn host_mut(&mut self, idx: usize) -> &mut Host {
-        &mut self.hosts[idx]
+        &mut self.core.hosts[idx]
     }
 
     /// The server host (shared by every connection).
     pub fn server_host(&self) -> &Host {
-        &self.hosts[self.topology.server_index()]
+        &self.core.hosts[self.server_index()]
     }
 
     /// The link serving client 0 (the two-host pair's only link).
     pub fn link(&self) -> &DuplexLink {
-        self.topology.link(0)
+        self.core.topology.link(LinkId::from_index(0))
     }
 
     /// The link serving client `i`.
     pub fn link_for(&self, client: usize) -> &DuplexLink {
-        self.topology.link(client)
+        self.core.topology.link(LinkId::from_index(client))
     }
 
     /// The topology (for inspection).
-    pub fn topology(&self) -> &StarTopology {
-        &self.topology
+    pub fn topology(&self) -> &Topology {
+        &self.core.topology
     }
 
     /// The fault plan, if fault injection is active (for audit counters).
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
-        self.faults.as_ref()
+        self.core.faults.as_ref()
     }
 }
-
 
 impl<C: App, S: App> World for NetSim<C, S> {
     type Event = Event;
 
     fn handle(&mut self, queue: &mut EventQueue<Event>, event: Event) {
-        let now = queue.now();
-        match event {
-            Event::Deliver { dst, seg } => {
-                let host = &mut self.hosts[dst];
-                let cost = host.rx_cost(&seg);
-                let done = host.softirq_cpu.run(now, cost);
-                queue.schedule_at(done, Event::SoftirqRx { host: dst, seg });
-            }
-            Event::SoftirqRx { host: h, seg } => {
-                let host = &mut self.hosts[h];
-                let env = TxEnv {
-                    nic_in_flight: host.nic_in_flight(),
-                };
-                let sock_id = match host.socket_for_flow(seg.flow) {
-                    Some(id) => {
-                        let sock = host.socket_mut(id);
-                        sock.on_segment(now, &seg, env, &mut self.scratch);
-                        // Conservation gates run after every stack entry
-                        // point (debug builds only; see tcpsim::invariants).
-                        if cfg!(debug_assertions) {
-                            crate::invariants::gate(sock.check_invariants(now));
-                        }
-                        id
-                    }
-                    None if seg.flags.syn && !seg.flags.ack => {
-                        let config = host.accept_config;
-                        let sock =
-                            TcpSocket::server_on_syn(seg.flow, config, now, &seg, &mut self.scratch);
-                        host.add_socket(sock)
-                    }
-                    None => return, // stray segment for an unknown flow
-                };
-                apply_actions(
-                    host,
-                    &mut self.topology,
-                    &self.routes,
-                    queue,
-                    &mut self.rngs[h],
-                    &mut self.faults,
-                    sock_id,
-                    &mut self.scratch,
-                    Charge::Softirq,
-                );
-            }
-            Event::Timer {
-                host: h,
-                sock,
-                kind,
-                gen,
-            } => {
-                let host = &mut self.hosts[h];
-                if host.timer_gen(sock, kind) != gen {
-                    return; // cancelled or superseded
-                }
-                let env = TxEnv {
-                    nic_in_flight: host.nic_in_flight(),
-                };
-                {
-                    let s = host.socket_mut(sock);
-                    s.on_timer(now, kind, env, &mut self.scratch);
-                    if cfg!(debug_assertions) {
-                        crate::invariants::gate(s.check_invariants(now));
-                    }
-                }
-                apply_actions(
-                    host,
-                    &mut self.topology,
-                    &self.routes,
-                    queue,
-                    &mut self.rngs[h],
-                    &mut self.faults,
-                    sock,
-                    &mut self.scratch,
-                    Charge::Softirq,
-                );
-            }
-            Event::NicComplete { host: h, packets } => {
-                let host = &mut self.hosts[h];
-                host.nic_complete(packets);
-                let env = TxEnv {
-                    nic_in_flight: host.nic_in_flight(),
-                };
-                // Visit only sockets registered as cork waiters (the arm
-                // site in `apply_actions` covers every uncorked → corked
-                // transition) instead of scanning all N sockets per NIC
-                // completion — at N = 1024 fan-in that scan dominated the
-                // event loop. Entries can be stale; `is_corked` filters.
-                let mut waiters = std::mem::take(&mut self.cork_scratch);
-                host.drain_cork_waiters_into(&mut waiters);
-                // Ascending socket order, one visit per socket — the
-                // visit sequence is exactly the full scan's, minus the
-                // uncorked sockets it would have skipped anyway.
-                waiters.sort_unstable();
-                waiters.dedup();
-                for i in 0..waiters.len() {
-                    let id = waiters[i];
-                    let host = &mut self.hosts[h];
-                    if !host.socket(id).is_corked() {
-                        continue;
-                    }
-                    host.socket_mut(id).on_nic_drained(now, env, &mut self.scratch);
-                    apply_actions(
-                        host,
-                        &mut self.topology,
-                        &self.routes,
-                        queue,
-                        &mut self.rngs[h],
-                        &mut self.faults,
-                        id,
-                        &mut self.scratch,
-                        Charge::Softirq,
-                    );
-                    if host.socket(id).is_corked() {
-                        // Still held (e.g. the NIC is busy again): keep it
-                        // on the waiter list for the next completion.
-                        host.note_cork_wait(id);
-                    }
-                }
-                self.cork_scratch = waiters;
-            }
-            Event::AppWake {
-                host: h,
-                sock,
-                reason,
-            } => {
-                let server_idx = self.topology.server_index();
-                let NetSim {
-                    clients,
-                    server,
-                    hosts,
-                    topology,
-                    routes,
-                    rngs,
-                    faults,
-                    next_flow,
-                    scratch,
-                    cork_scratch: _,
-                } = self;
-                let mut ctx = HostCtx {
-                    host_idx: h,
-                    host: &mut hosts[h],
-                    rng: &mut rngs[h],
-                    queue,
-                    topology,
-                    routes,
-                    faults,
-                    next_flow,
-                    actions: scratch,
-                };
-                if h == server_idx {
-                    server.on_wake(&mut ctx, sock, reason);
+        let Some(app) = self.core.handle_infra(queue, event) else {
+            return;
+        };
+        let server_id = self.server_id();
+        match app {
+            AppEvent::Wake(h, sock, reason) => {
+                let mut ctx = self.core.ctx(queue, h);
+                if h == server_id {
+                    self.server.on_wake(&mut ctx, sock, reason);
                 } else {
-                    clients[h].on_wake(&mut ctx, sock, reason);
+                    self.clients[h.index()].on_wake(&mut ctx, sock, reason);
                 }
             }
-            Event::Restart => {
-                let Some(plan) = self.faults.as_mut() else {
-                    return;
-                };
-                let num_clients = self.topology.num_clients();
-                let target = plan.pick_restart_target(num_clients);
-                if let Some(rs) = plan.config().restart {
-                    if !rs.period.is_zero() {
-                        queue.schedule(rs.period, Event::Restart);
-                    }
-                }
-                // The crash: every live socket on the target host loses
-                // its state. The flow mapping is dropped so in-flight and
-                // retransmitted segments for the old connection are
-                // discarded as strays (the softirq path ignores unknown
-                // flows that are not SYNs); pending timers are invalidated
-                // by bumping their generations. The application is woken
-                // with `Reset` to re-establish a fresh connection, whose
-                // new socket gets a new epoch.
-                let host = &mut self.hosts[target];
-                for i in 0..host.socket_count() {
-                    let id = SocketId(i);
-                    let sock = host.socket_mut(id);
-                    if sock.state() == TcpState::Closed {
-                        continue;
-                    }
-                    let flow = sock.flow();
-                    sock.reset();
-                    host.remove_flow(flow);
-                    host.bump_timer(id, TimerKind::Rto);
-                    host.bump_timer(id, TimerKind::Delack);
-                    host.bump_timer(id, TimerKind::Cork);
-                    queue.schedule(
-                        Nanos::ZERO,
-                        Event::AppWake {
-                            host: target,
-                            sock: id,
-                            reason: WakeReason::Reset,
-                        },
-                    );
-                }
-            }
-            Event::AppCall { host: h, token } => {
-                let server_idx = self.topology.server_index();
-                let NetSim {
-                    clients,
-                    server,
-                    hosts,
-                    topology,
-                    routes,
-                    rngs,
-                    faults,
-                    next_flow,
-                    scratch,
-                    cork_scratch: _,
-                } = self;
-                let mut ctx = HostCtx {
-                    host_idx: h,
-                    host: &mut hosts[h],
-                    rng: &mut rngs[h],
-                    queue,
-                    topology,
-                    routes,
-                    faults,
-                    next_flow,
-                    actions: scratch,
-                };
-                if h == server_idx {
-                    server.on_call(&mut ctx, token);
+            AppEvent::Call(h, token) => {
+                let mut ctx = self.core.ctx(queue, h);
+                if h == server_id {
+                    self.server.on_call(&mut ctx, token);
                 } else {
-                    clients[h].on_call(&mut ctx, token);
+                    self.clients[h.index()].on_call(&mut ctx, token);
                 }
             }
         }

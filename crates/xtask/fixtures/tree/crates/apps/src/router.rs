@@ -1,0 +1,10 @@
+//! Fixture: raw topology-id construction outside `simnet::topology`.
+
+pub fn route(n: usize) {
+    let h = HostId(n + 1);
+    let l = LinkId(0);
+    // lint:allow(typed-ids): mirrors a packed on-wire id layout
+    let s = HostId(7);
+    let ok = HostId::from_index(n);
+    forward(h, l, s, ok);
+}

@@ -1,0 +1,7 @@
+//! Fixture: the topology module itself owns the raw id constructors.
+
+pub fn build(n: usize) {
+    let server = HostId(n);
+    let spoke = LinkId(0);
+    wire(server, spoke);
+}

@@ -7,7 +7,7 @@ use crate::mask::{self, line_col, Masked};
 use crate::model::{in_test_region, test_regions};
 
 /// Rule identifiers, as accepted by `lint:allow(...)`.
-pub const RULES: [&str; 10] = [
+pub const RULES: [&str; 11] = [
     "determinism",
     "float-eq",
     "panic-hygiene",
@@ -18,6 +18,7 @@ pub const RULES: [&str; 10] = [
     "cast-truncation",
     "panic-reachability",
     "hot-path-alloc",
+    "typed-ids",
 ];
 
 /// Rules that run in the cross-file workspace pass (`lint_root`), not in
@@ -58,6 +59,16 @@ const ACTUATION_BANNED: [(&str, &str); 3] = [
     ("set_batch_limit", "raw cork-limit setter"),
     ("switch_mode", "raw delayed-ACK mode switch"),
 ];
+
+/// Topology id newtypes whose raw tuple construction is confined to
+/// `simnet::topology`. After the star → graph generalization a host and
+/// a link index live in different spaces (client `i`, proxy `n`, shard
+/// `n+1+j` vs per-edge link numbering), so a literal `HostId(expr)` in
+/// routing code is exactly the off-by-one class the newtypes exist to
+/// catch. `from_index` is the sanctioned constructor: it keeps every
+/// index→id conversion greppable and inside the topology module's
+/// numbering contract.
+const TYPED_ID_NEWTYPES: [&str; 2] = ["HostId", "LinkId"];
 
 /// Wire-metadata decode entry points that assume trusted bytes. The
 /// exchange payload arrives from the peer and may be garbled, truncated,
@@ -117,6 +128,12 @@ pub struct FileContext {
     /// fields must be proven bounded (or modular by design) and carry a
     /// justified `lint:allow`.
     pub cast_scope: bool,
+    /// File is the topology module itself (simnet's `topology.rs`) →
+    /// `typed-ids` does not apply: the raw `HostId(..)`/`LinkId(..)`
+    /// tuple constructors are its implementation details. Everywhere
+    /// else index arithmetic must go through `from_index` so a grep for
+    /// it finds every place a raw index becomes an id.
+    pub topology_module: bool,
 }
 
 /// A parsed `lint:allow` marker. `used` is flipped by [`allowed`] when
@@ -431,6 +448,35 @@ pub(crate) fn lint_file(
                          through `TcpSocket::apply`/`HostCtx::apply` with a \
                          `KnobSetting` so ACK disposal and the transmit re-run \
                          happen"
+                    ),
+                );
+            }
+        }
+    }
+
+    // typed-ids: raw tuple construction of the topology id newtypes
+    // outside `simnet::topology` (tests exempt — hand-built fixture
+    // topologies are legitimate). A bare `HostId(i)` bakes the module's
+    // numbering convention into the call site; `from_index` keeps the
+    // conversion explicit and greppable.
+    if !ctx.testlike && !ctx.topology_module {
+        for needle in TYPED_ID_NEWTYPES {
+            for offset in token_matches(text, needle) {
+                if in_test_region(&regions, offset) {
+                    continue;
+                }
+                if bytes.get(offset + needle.len()) != Some(&b'(') {
+                    continue;
+                }
+                push(
+                    diags,
+                    "typed-ids",
+                    offset,
+                    format!(
+                        "raw `{needle}(..)` construction outside `simnet::topology`; \
+                         use `{needle}::from_index` (or carry an id handed out by \
+                         the topology) so index arithmetic stays inside the \
+                         numbering contract"
                     ),
                 );
             }
@@ -938,6 +984,46 @@ mod tests {
     fn actuation_suppressible_with_justification() {
         let src = "// lint:allow(actuation): migration shim removed next release\n\
                    fn f() { sock.set_nagle_enabled(true); }\n";
+        assert!(lint_source("x.rs", src, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn typed_ids_bans_raw_construction() {
+        let src = "fn f(n: usize) { route(HostId(n + 1), LinkId(0)); }\n";
+        let d = lint_source("x.rs", src, &FileContext::default());
+        let got: Vec<(&str, u32)> = d.iter().map(|d| (d.rule, d.line)).collect();
+        assert_eq!(got, vec![("typed-ids", 1), ("typed-ids", 1)]);
+        assert!(d[0].message.contains("HostId::from_index"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn typed_ids_allows_from_index_and_bare_mentions() {
+        let src = "use simnet::topology::{HostId, LinkId};\n\
+                   fn f(n: usize) -> HostId { let _l: LinkId = links[0]; HostId::from_index(n) }\n";
+        assert!(lint_source("x.rs", src, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn typed_ids_exempt_in_topology_module_and_tests() {
+        let src = "fn f() { let h = HostId(3); }\n";
+        let topo_ctx = FileContext {
+            topology_module: true,
+            ..sim_ctx()
+        };
+        assert!(lint_source("x.rs", src, &topo_ctx).is_empty());
+        let test_ctx = FileContext {
+            testlike: true,
+            ..FileContext::default()
+        };
+        assert!(lint_source("x.rs", src, &test_ctx).is_empty());
+        let in_mod = "#[cfg(test)]\nmod tests { fn f() { let h = HostId(3); } }\n";
+        assert!(lint_source("x.rs", in_mod, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn typed_ids_suppressible_with_justification() {
+        let src = "// lint:allow(typed-ids): FFI shim mirrors the C header's layout\n\
+                   fn f() { let h = HostId(3); }\n";
         assert!(lint_source("x.rs", src, &FileContext::default()).is_empty());
     }
 

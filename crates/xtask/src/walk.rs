@@ -71,6 +71,7 @@ pub fn classify(root: &Path, file: &Path) -> FileContext {
         wire_module: crate_dir == Some("littles") && in_src && file_name == "wire.rs",
         cast_scope: (crate_dir == Some("littles") && in_src && file_name == "wire.rs")
             || (matches!(crate_dir, Some("core") | Some("tcpsim")) && in_src),
+        topology_module: crate_dir == Some("simnet") && in_src && file_name == "topology.rs",
     }
 }
 
@@ -117,6 +118,21 @@ mod tests {
             "/r/crates/apps/src/driver.rs",
         ] {
             assert!(!classify(Path::new("/r"), Path::new(p)).wire_module, "{p}");
+        }
+    }
+
+    #[test]
+    fn classify_topology_module() {
+        let ctx = classify(Path::new("/r"), Path::new("/r/crates/simnet/src/topology.rs"));
+        assert!(ctx.topology_module);
+        assert!(ctx.simulation_crate, "the topology module is still simulation code");
+        for p in [
+            "/r/crates/simnet/src/engine.rs",
+            "/r/crates/simnet/tests/topology.rs",
+            "/r/crates/tcpsim/src/topology.rs",
+            "/r/crates/apps/src/shard.rs",
+        ] {
+            assert!(!classify(Path::new("/r"), Path::new(p)).topology_module, "{p}");
         }
     }
 

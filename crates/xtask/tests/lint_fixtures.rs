@@ -224,6 +224,26 @@ fn actuation_rule_bans_raw_setters_outside_apply_path() {
 }
 
 #[test]
+fn typed_ids_rule_bans_raw_ids_outside_topology_module() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "apps/src/router.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    // Line 7 is suppressed by the justified marker above it, and
+    // `from_index` on line 8 is the sanctioned constructor.
+    assert_eq!(
+        got,
+        vec![
+            ("typed-ids", 4, 13), // HostId(n + 1)
+            ("typed-ids", 5, 13), // LinkId(0)
+        ]
+    );
+    assert!(d[0].message.contains("HostId::from_index"), "{}", d[0].message);
+
+    // The topology module itself keeps the raw tuple constructors.
+    assert!(for_file(&diags, "simnet/src/topology.rs").is_empty());
+}
+
+#[test]
 fn untrusted_wire_rule_bans_raw_decodes_outside_wire_module() {
     let diags = fixture_diags();
     let d = for_file(&diags, "apps/src/wire_use.rs");

@@ -1,10 +1,14 @@
-//! N=1 golden-trace equivalence.
+//! Golden-trace equivalence across topology refactors.
 //!
-//! The topology refactor (two-host pair → N-client star) must leave the
-//! single-client path *bit-identical*: same seed, same event order, same
-//! RNG stream, same results. This test pins a digest of short N=1 runs
-//! covering the figure-1/2/4a/4b machinery against a golden file generated
-//! on the pre-refactor code.
+//! Each topology generalization (two-host pair → N-client star, then
+//! star → general directed graph) must leave the already-working paths
+//! *bit-identical*: same seed, same event order, same RNG stream, same
+//! results. The first test pins a digest of short N=1 runs covering the
+//! figure-1/2/4a/4b machinery against a golden file generated on the
+//! pre-refactor code; a star expressed as the general graph must
+//! reproduce it bitwise. The second pins an N=16 fan-in digest so the
+//! multi-spoke routing path (per-link queues, shared server host) is
+//! covered too, not just the degenerate single-link case.
 //!
 //! To regenerate after an *intentional* behavior change:
 //!
@@ -18,6 +22,7 @@ use e2e_batching::e2e_apps::workload::WorkloadSpec;
 use e2e_batching::littles::Nanos;
 
 const GOLDEN_PATH: &str = "tests/golden/n1_digest.txt";
+const FANIN_GOLDEN_PATH: &str = "tests/golden/fanin16_digest.txt";
 
 fn fmt_ns(v: Option<Nanos>) -> String {
     v.map_or_else(|| "-".to_string(), |n| n.as_nanos().to_string())
@@ -96,19 +101,37 @@ fn compute_digest() -> String {
     lines.join("\n") + "\n"
 }
 
-#[test]
-fn n1_runs_match_pre_refactor_golden() {
-    let digest = compute_digest();
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+fn check_or_bless(digest: &str, golden_path: &str, what: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(golden_path);
     if std::env::var("BLESS_GOLDEN").is_ok() {
         std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
-        std::fs::write(&path, &digest).expect("write golden");
+        std::fs::write(&path, digest).expect("write golden");
         return;
     }
     let golden = std::fs::read_to_string(&path)
         .expect("golden file missing — run `BLESS_GOLDEN=1 cargo test --test golden_n1`");
-    assert_eq!(
-        digest, golden,
-        "N=1 runs diverged from the pre-refactor golden trace"
-    );
+    assert_eq!(digest, golden, "{what} diverged from the golden trace");
+}
+
+#[test]
+fn n1_runs_match_pre_refactor_golden() {
+    check_or_bless(&compute_digest(), GOLDEN_PATH, "N=1 runs");
+}
+
+/// N=16 fan-in digest: sixteen spokes share the server host, so this
+/// covers per-spoke link queues, softirq contention, and the aggregate
+/// estimate's weighting — the paths a graph-routing regression would
+/// perturb first while leaving N=1 untouched.
+#[test]
+fn fanin_n16_runs_match_golden() {
+    let mut lines = Vec::new();
+    for (mode_tag, mode) in [("off", NagleSetting::Off), ("on", NagleSetting::On)] {
+        let r = run_point(&RunConfig {
+            num_clients: 16,
+            ..quick(WorkloadSpec::fig2(48_000.0, 512), mode)
+        });
+        lines.push(digest_point(&format!("fanin16@48k/{mode_tag}"), &r));
+    }
+    let digest = lines.join("\n") + "\n";
+    check_or_bless(&digest, FANIN_GOLDEN_PATH, "N=16 fan-in runs");
 }
