@@ -62,6 +62,16 @@ test -s crates/bench/BENCH_shard.json
 grep -q '"version": 1' crates/bench/BENCH_shard.json
 grep -q '"bench": "shard"' crates/bench/BENCH_shard.json
 
+echo "==> failover smoke (shard crash + brownout, defense ladder within bound)"
+cargo run -q --release --example failover -- --smoke
+
+echo "==> failover bench regenerates BENCH_failover.json (full stack holds, naive collapses)"
+rm -f crates/bench/BENCH_failover.json
+cargo bench -q -p bench --bench failover >/dev/null
+test -s crates/bench/BENCH_failover.json
+grep -q '"version": 1' crates/bench/BENCH_failover.json
+grep -q '"bench": "failover"' crates/bench/BENCH_failover.json
+
 echo "==> knobs bench regenerates BENCH_knobs.json"
 rm -f crates/bench/BENCH_knobs.json
 cargo bench -q -p bench --bench knobs >/dev/null

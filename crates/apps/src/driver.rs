@@ -463,6 +463,13 @@ impl ProxyDriver {
         total
     }
 
+    /// Validation counters for one shard's back-leg registry alone —
+    /// after a shard crash this is where the replacement connection's
+    /// epoch change (and the resync it forces) shows up.
+    pub fn back_validation_stats(&self, shard: usize) -> ValidateStats {
+        self.backs[shard].validation_stats()
+    }
+
     /// Number of shards the driver controls.
     pub fn num_shards(&self) -> usize {
         self.controllers.len()
@@ -545,6 +552,11 @@ impl ProxyDriver {
             return 0.0;
         }
         t.iter().filter(|(_, on)| *on).count() as f64 / t.len() as f64
+    }
+
+    /// The newest composed (front + back) service estimate for one shard.
+    pub fn latest_composed(&self, shard: usize) -> Option<&AggregateEstimate> {
+        self.shard_series[shard].last().map(|(_, e)| e)
     }
 
     /// Mean composed service latency for one shard over `[from, to)`.

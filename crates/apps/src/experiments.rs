@@ -12,6 +12,9 @@ use simnet::{
     RestartSchedule, WindowSchedule,
 };
 
+use crate::failover::{
+    run_failover_point, FailoverArm, FailoverPointResult, FailoverRunConfig, FailoverScenario,
+};
 use crate::runner::{run_point, NagleSetting, Overrides, PointResult, RunConfig};
 use crate::shard::{run_shard_point, ShardPointResult, ShardRunConfig, ShardSetting};
 use crate::grid::{default_threads, run_grid};
@@ -1176,4 +1179,129 @@ pub fn shard(
         }
     });
     ShardData { cells }
+}
+
+/// Degradation bound for the full defense stack in every failover cell:
+/// P99 within `FAILOVER_BOUND_FACTOR × never-failed oracle +
+/// FAILOVER_BOUND_SLACK`. The slack absorbs the deadline-scan
+/// granularity (a hedge can fire at most one proxy tick late).
+pub const FAILOVER_BOUND_FACTOR: f64 = 3.0;
+/// Additive slack for the full-stack failover bound.
+pub const FAILOVER_BOUND_SLACK: Nanos = Nanos::from_micros(300);
+/// The naive proxy must exceed this P99 multiple of the oracle in at
+/// least one cell — the collapse the defense ladder exists to prevent.
+pub const FAILOVER_NAIVE_FACTOR: f64 = 10.0;
+/// Goodput floor for the full stack, as a fraction of the oracle's.
+pub const FAILOVER_GOODPUT_MIN: f64 = 0.9;
+
+/// One cell of the failover grid: a fault scenario, the never-failed
+/// oracle, and the full defense-arm ladder under that fault.
+#[derive(Debug, Clone)]
+pub struct FailoverCell {
+    /// The injected fault.
+    pub scenario: FailoverScenario,
+    /// The identical configuration with the fault plan disabled.
+    pub oracle: FailoverPointResult,
+    /// One run per [`FailoverArm`], in `FailoverArm::ALL` order.
+    pub arms: Vec<(FailoverArm, FailoverPointResult)>,
+}
+
+impl FailoverCell {
+    /// The result for one arm.
+    pub fn arm(&self, arm: FailoverArm) -> &FailoverPointResult {
+        &self
+            .arms
+            .iter()
+            .find(|(a, _)| *a == arm)
+            .expect("every arm runs in every cell")
+            .1
+    }
+
+    /// One arm's P99 as a multiple of the oracle's.
+    pub fn p99_ratio(&self, arm: FailoverArm) -> Option<f64> {
+        let oracle = self.oracle.measured_p99?;
+        let armed = self.arm(arm).measured_p99?;
+        Some(armed.as_nanos() as f64 / oracle.as_nanos().max(1) as f64)
+    }
+
+    /// True when the full stack holds the cell's acceptance bound: P99
+    /// within `factor × oracle + slack` and goodput within
+    /// [`FAILOVER_GOODPUT_MIN`] of the oracle's.
+    pub fn full_within_bound(&self, factor: f64, slack: Nanos) -> bool {
+        let full = self.arm(FailoverArm::Full);
+        match (self.oracle.measured_p99, full.measured_p99) {
+            (Some(oracle), Some(p99)) => {
+                let bound =
+                    Nanos::from_nanos((oracle.as_nanos() as f64 * factor) as u64) + slack;
+                p99 <= bound && full.achieved_rps >= FAILOVER_GOODPUT_MIN * self.oracle.achieved_rps
+            }
+            _ => false,
+        }
+    }
+
+    /// True when the naive proxy's P99 blew past `factor ×` the oracle
+    /// (or stopped producing samples at all — total collapse).
+    pub fn naive_collapsed(&self, factor: f64) -> bool {
+        match self.p99_ratio(FailoverArm::NoDefense) {
+            Some(r) => r > factor,
+            None => true,
+        }
+    }
+}
+
+/// The failover experiment's full result.
+#[derive(Debug, Clone)]
+pub struct FailoverData {
+    /// One cell per scenario, in [`FailoverScenario::ALL`] order.
+    pub cells: Vec<FailoverCell>,
+}
+
+/// Runs the failover grid: for each fault scenario (hot-shard crash,
+/// cold-shard brownout), the never-failed oracle plus every defense arm
+/// — naive, deadlines only, +retries, and the full retry/hedge/breaker
+/// stack with ring-successor failover routing. The cells expose the
+/// robustness claim: end-to-end estimation is not only a batching signal
+/// but the timing source for hedges and the confidence feed for
+/// breakers, and with both in place a shard can die mid-run while the
+/// client-visible tail stays within a small factor of a healthy tier.
+pub fn failover(
+    rate: f64,
+    num_clients: usize,
+    num_shards: usize,
+    hot_fraction: f64,
+    warmup: Nanos,
+    measure: Nanos,
+    seed: u64,
+) -> FailoverData {
+    let scenarios = FailoverScenario::ALL;
+    let cells = run_grid(scenarios.len(), default_threads(), |i| {
+        let scenario = scenarios[i];
+        let base = FailoverRunConfig {
+            num_clients,
+            num_shards,
+            hot_fraction,
+            warmup,
+            measure,
+            seed,
+            ..FailoverRunConfig::new(
+                WorkloadSpec::shard(rate),
+                FailoverArm::Full,
+                Some(scenario),
+            )
+        };
+        let oracle = run_failover_point(&FailoverRunConfig {
+            scenario: None,
+            ..base
+        });
+        let arms = FailoverArm::ALL
+            .iter()
+            .map(|&arm| (arm, run_failover_point(&FailoverRunConfig { arm, ..base })))
+            .collect();
+        FailoverCell {
+            scenario,
+            oracle,
+            arms,
+        }
+    });
+    FailoverData { cells }
 }

@@ -1,18 +1,34 @@
 //! The in-memory key-value store behind the Redis-like server.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use tcpsim::Payload;
 
 use crate::resp::{Command, Response};
 
+/// How many recently applied request ids the dedup window remembers.
+/// Retries and hedges race their originals by at most a few deadlines, so
+/// a few thousand requests of memory is orders of magnitude more than the
+/// proxy can have outstanding.
+const DEDUP_WINDOW: usize = 4096;
+
 /// A trivially simple hash-map KV store.
+///
+/// Commands tagged with a request id (see [`Command::id`]) are applied
+/// *idempotently*: a SET whose id was already applied is acknowledged
+/// without re-executing, so a retry racing its original — or a hedge
+/// racing its primary — never double-applies. The window of remembered
+/// ids is bounded ([`DEDUP_WINDOW`]); untagged commands bypass it.
 #[derive(Debug, Default)]
 pub struct KvStore {
     map: HashMap<Payload, Payload>,
     sets: u64,
     gets: u64,
     hits: u64,
+    /// Applied tagged-SET ids, membership set + FIFO eviction order.
+    seen: HashSet<u64>,
+    seen_order: VecDeque<u64>,
+    dedup_hits: u64,
 }
 
 impl KvStore {
@@ -21,15 +37,39 @@ impl KvStore {
         Self::default()
     }
 
+    /// Records a tagged-SET id; true when it was already applied.
+    fn already_applied(&mut self, id: u64) -> bool {
+        if self.seen.contains(&id) {
+            self.dedup_hits += 1;
+            return true;
+        }
+        self.seen.insert(id);
+        self.seen_order.push_back(id);
+        if self.seen_order.len() > DEDUP_WINDOW {
+            let old = self.seen_order.pop_front().expect("non-empty");
+            self.seen.remove(&old);
+        }
+        false
+    }
+
     /// Executes one command, producing its response.
     pub fn execute(&mut self, cmd: Command) -> Response {
         match cmd {
-            Command::Set { key, value } => {
+            Command::Set { key, value, id } => {
+                if let Some(id) = id {
+                    if self.already_applied(id) {
+                        // Duplicate delivery of an already-applied write:
+                        // acknowledge without mutating (or re-counting).
+                        return Response::Ok;
+                    }
+                }
                 self.sets += 1;
                 self.map.insert(key, value);
                 Response::Ok
             }
-            Command::Get { key } => {
+            Command::Get { key, id: _ } => {
+                // Reads are naturally idempotent; re-executing a duplicate
+                // GET is harmless and keeps the response fresh.
                 self.gets += 1;
                 match self.map.get(&key) {
                     Some(v) => {
@@ -66,6 +106,11 @@ impl KvStore {
     pub fn hits(&self) -> u64 {
         self.hits
     }
+
+    /// Duplicate tagged SETs suppressed by the idempotency window.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
 }
 
 #[cfg(test)]
@@ -79,12 +124,14 @@ mod tests {
             kv.execute(Command::Set {
                 key: Payload::from_static(b"a"),
                 value: Payload::from_static(b"1"),
+                id: None,
             }),
             Response::Ok
         );
         assert_eq!(
             kv.execute(Command::Get {
-                key: Payload::from_static(b"a")
+                key: Payload::from_static(b"a"),
+                id: None,
             }),
             Response::Value(Payload::from_static(b"1"))
         );
@@ -96,7 +143,8 @@ mod tests {
         let mut kv = KvStore::new();
         assert_eq!(
             kv.execute(Command::Get {
-                key: Payload::from_static(b"nope")
+                key: Payload::from_static(b"nope"),
+                id: None,
             }),
             Response::Nil
         );
@@ -111,14 +159,93 @@ mod tests {
             kv.execute(Command::Set {
                 key: Payload::from_static(b"k"),
                 value: Payload::copy_from_slice(v),
+                id: None,
             });
         }
         assert_eq!(kv.len(), 1);
         assert_eq!(
             kv.execute(Command::Get {
-                key: Payload::from_static(b"k")
+                key: Payload::from_static(b"k"),
+                id: None,
             }),
             Response::Value(Payload::from_static(b"2"))
         );
+    }
+
+    #[test]
+    fn tagged_set_applies_exactly_once() {
+        let mut kv = KvStore::new();
+        let set = |v: &'static [u8]| Command::Set {
+            key: Payload::from_static(b"k"),
+            value: Payload::from_static(v),
+            id: Some(42),
+        };
+        assert_eq!(kv.execute(set(b"first")), Response::Ok);
+        // A retry or hedge duplicate: acknowledged, never re-applied —
+        // even if the duplicate carries different bytes.
+        assert_eq!(kv.execute(set(b"dup")), Response::Ok);
+        assert_eq!(kv.sets(), 1);
+        assert_eq!(kv.dedup_hits(), 1);
+        assert_eq!(
+            kv.execute(Command::Get {
+                key: Payload::from_static(b"k"),
+                id: None,
+            }),
+            Response::Value(Payload::from_static(b"first"))
+        );
+        // A different id is a different request.
+        assert_eq!(
+            kv.execute(Command::Set {
+                key: Payload::from_static(b"k"),
+                value: Payload::from_static(b"second"),
+                id: Some(43),
+            }),
+            Response::Ok
+        );
+        assert_eq!(kv.sets(), 2);
+    }
+
+    #[test]
+    fn untagged_sets_bypass_the_window_and_duplicate_gets_are_safe() {
+        let mut kv = KvStore::new();
+        for _ in 0..3 {
+            kv.execute(Command::Set {
+                key: Payload::from_static(b"k"),
+                value: Payload::from_static(b"v"),
+                id: None,
+            });
+        }
+        assert_eq!(kv.sets(), 3);
+        assert_eq!(kv.dedup_hits(), 0);
+        for _ in 0..2 {
+            assert_eq!(
+                kv.execute(Command::Get {
+                    key: Payload::from_static(b"k"),
+                    id: Some(7),
+                }),
+                Response::Value(Payload::from_static(b"v"))
+            );
+        }
+        assert_eq!(kv.gets(), 2);
+    }
+
+    #[test]
+    fn dedup_window_is_bounded() {
+        let mut kv = KvStore::new();
+        for id in 0..(DEDUP_WINDOW as u64 + 10) {
+            kv.execute(Command::Set {
+                key: Payload::from_static(b"k"),
+                value: Payload::from_static(b"v"),
+                id: Some(id),
+            });
+        }
+        assert!(kv.seen.len() <= DEDUP_WINDOW);
+        // The oldest ids were evicted: re-sending id 0 applies again.
+        kv.execute(Command::Set {
+            key: Payload::from_static(b"k"),
+            value: Payload::from_static(b"v"),
+            id: Some(0),
+        });
+        assert_eq!(kv.dedup_hits(), 0);
     }
 }

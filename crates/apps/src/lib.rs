@@ -22,6 +22,7 @@
 pub mod cost;
 pub mod driver;
 pub mod experiments;
+pub mod failover;
 pub mod grid;
 pub mod kv;
 pub mod loadgen;
@@ -38,8 +39,11 @@ pub use driver::{
     EstimateRecorder, HintRecorder, ListenerDriver, ListenerPlaneDriver, PlaneDriver, PolicyDriver,
     ProxyDriver,
 };
+pub use failover::{
+    run_failover_point, FailoverArm, FailoverPointResult, FailoverRunConfig, FailoverScenario,
+};
 pub use loadgen::{KeyPool, LancetClient};
-pub use proxy::{ProxyApp, ShardRouter};
+pub use proxy::{ProxyApp, Resilience, ShardRouter};
 pub use runner::{run_point, ClientResult, NagleSetting, PointResult, RunConfig};
 pub use server::RedisServer;
 pub use shard::{run_shard_point, ShardPointResult, ShardRunConfig, ShardSetting};

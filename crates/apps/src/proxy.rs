@@ -14,9 +14,23 @@
 //! initiator, composes the two per shard (see [`e2e_core::compose`]), and
 //! can batch each upstream independently via a per-shard control plane
 //! ([`ProxyDriver`]).
+//!
+//! With a [`Resilience`] configuration attached, the proxy also survives
+//! shard failure: every request is tagged with an id and tracked in a
+//! pending table, attempts carry per-request deadlines, expired attempts
+//! are retried under a token budget with backoff ([`RetryPolicy`]), late
+//! attempts are hedged to the key's failover replica when the composed
+//! estimate's P99 view says they should have finished, and a per-upstream
+//! [`UpstreamBreaker`] — fed jointly by timeouts, resets, and composed
+//! estimate confidence — redirects new traffic away from a dead shard.
+//! Upstream connections that reset are torn down cleanly (in-flight
+//! requests failed or retried, never mis-paired) and re-dialed with
+//! backoff. Without a `Resilience` config the proxy is the naive build:
+//! a reset upstream is simply forgotten and its requests are lost.
 
 use std::collections::{BTreeMap, VecDeque};
 
+use batchpolicy::{AttemptKind, BreakerConfig, RetryConfig, RetryPolicy, UpstreamBreaker};
 use littles::Nanos;
 use simnet::{Histogram, Pcg32};
 use tcpsim::{App, HostCtx, HostId, SocketId, TcpConfig, WakeReason};
@@ -24,7 +38,8 @@ use tcpsim::{App, HostCtx, HostId, SocketId, TcpConfig, WakeReason};
 use crate::cost::AppCosts;
 use crate::driver::ProxyDriver;
 use crate::resp::{
-    encode_get, encode_response, encode_set, Command, CommandParser, Response, ResponseParser,
+    encode_get, encode_get_with_id, encode_response, encode_set, encode_set_with_id, Command,
+    CommandParser, Response, ResponseParser,
 };
 
 const TOKEN_KIND_SHIFT: u32 = 32;
@@ -33,6 +48,12 @@ const KIND_TICK: u64 = 2;
 const KIND_FLUSH: u64 = 3;
 const KIND_UP_PROCESS: u64 = 4;
 const KIND_UP_FLUSH: u64 = 5;
+/// Fire a scheduled retry; the index is the request id.
+const KIND_RETRY: u64 = 6;
+/// Re-dial a reset upstream; the index is the shard.
+const KIND_RECONNECT: u64 = 7;
+/// Deadline/hedge scan (resilient proxies only; idx unused).
+const KIND_SCAN: u64 = 8;
 
 fn token(kind: u64, idx: usize) -> u64 {
     (kind << TOKEN_KIND_SHIFT) | idx as u64
@@ -102,12 +123,34 @@ impl ShardRouter {
     /// Routes a key to its shard.
     pub fn route(&self, key: &[u8]) -> usize {
         let h = key_hash(key);
-        let idx = match self.ring.binary_search_by_key(&h, |(p, _)| *p) {
+        self.ring[self.owner_idx(h)].1
+    }
+
+    /// Routes a key to its replica set of two: the primary plus the
+    /// failover — the owner of the next clockwise ring point held by a
+    /// *different* shard. Walking vnodes (rather than `(primary+1) % k`)
+    /// keeps the failover assignment consistent: removing an unrelated
+    /// shard's vnodes never changes which shard backs up a key. With one
+    /// shard the failover degenerates to the primary.
+    pub fn route_with_failover(&self, key: &[u8]) -> (usize, usize) {
+        let h = key_hash(key);
+        let idx = self.owner_idx(h);
+        let primary = self.ring[idx].1;
+        for step in 1..self.ring.len() {
+            let s = self.ring[(idx + step) % self.ring.len()].1;
+            if s != primary {
+                return (primary, s);
+            }
+        }
+        (primary, primary)
+    }
+
+    fn owner_idx(&self, h: u64) -> usize {
+        match self.ring.binary_search_by_key(&h, |(p, _)| *p) {
             Ok(i) => i,
             // Clockwise successor; past the last point wraps to the first.
             Err(i) => i % self.ring.len(),
-        };
-        self.ring[idx].1
+        }
     }
 }
 
@@ -141,10 +184,89 @@ struct Upstream {
     /// buffers everything issued before the handshake completes.
     out_backlog: VecDeque<Vec<u8>>,
     flush_pending: bool,
-    /// Clients awaiting responses from this shard with the time their
+    /// Requests awaiting responses from this shard with the time each
     /// command was forwarded, in request order (RESP responses come back
     /// FIFO per connection).
-    waiting: VecDeque<(SocketId, Nanos)>,
+    waiting: VecDeque<(u64, Nanos)>,
+    /// A reconnect call is already scheduled (resilient mode only).
+    reconnect_pending: bool,
+    /// Consecutive re-dials since the last successful connect; indexes
+    /// the reconnect backoff ladder.
+    reconnect_attempts: u32,
+}
+
+/// The proxy's failure-handling configuration — one per arm of the
+/// failover experiment. Attached via
+/// [`with_resilience`](ProxyApp::with_resilience); without it the proxy
+/// is the naive no-defense build.
+#[derive(Debug, Clone, Copy)]
+pub struct Resilience {
+    /// Deadline/backoff/budget tuning shared by retries and hedges.
+    pub retry: RetryConfig,
+    /// Grant retries for expired or reset attempts (off = attempts that
+    /// die are failed back to the client after one deadline).
+    pub retries_enabled: bool,
+    /// Hedge late attempts to the failover replica.
+    pub hedging_enabled: bool,
+    /// Per-upstream routing breaker tuning; `None` disables breakers.
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl Resilience {
+    /// Deadlines only: expired attempts fail fast, nothing is re-sent.
+    pub fn timeout_only(retry: RetryConfig) -> Self {
+        Resilience {
+            retry,
+            retries_enabled: false,
+            hedging_enabled: false,
+            breaker: None,
+        }
+    }
+
+    /// Deadlines plus budgeted retries.
+    pub fn with_retries(retry: RetryConfig) -> Self {
+        Resilience {
+            retries_enabled: true,
+            ..Self::timeout_only(retry)
+        }
+    }
+
+    /// The full stack: deadlines, retries, hedging, and breakers.
+    pub fn full(retry: RetryConfig, breaker: BreakerConfig) -> Self {
+        Resilience {
+            retry,
+            retries_enabled: true,
+            hedging_enabled: true,
+            breaker: Some(breaker),
+        }
+    }
+}
+
+/// One in-flight copy of a request.
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    shard: usize,
+    sent: Nanos,
+    deadline: Nanos,
+}
+
+/// A request admitted from a client and not yet answered (or failed).
+struct PendingReq {
+    client: SocketId,
+    cmd: Command,
+    /// The key's primary shard on the ring.
+    home: usize,
+    /// The key's failover replica (== `home` when there is only one
+    /// shard).
+    failover: usize,
+    /// Total attempts issued so far (the initial send counts).
+    attempts: u32,
+    hedged: bool,
+    /// A retry is scheduled on the app-call queue; suppresses further
+    /// expiry handling until it fires.
+    retry_scheduled: bool,
+    /// Live (unanswered, unexpired) copies, at most one per shard.
+    live: Vec<Attempt>,
 }
 
 /// Per-run proxy statistics.
@@ -159,6 +281,19 @@ pub struct ProxyStats {
     /// Per-shard measured back-leg round trips (command forwarded →
     /// response parsed) — the ground truth the back-leg estimates chase.
     pub back_rtt: Vec<Histogram>,
+    /// Attempts that outlived their deadline.
+    pub timeouts: u64,
+    /// Requests failed back to the client (deadline exhausted, no retry
+    /// granted).
+    pub failed: u64,
+    /// Attempts redirected away from a request's home shard (breaker
+    /// open at admit, or a retry probing the failover replica).
+    pub failovers: u64,
+    /// Upstream connection resets observed.
+    pub upstream_resets: u64,
+    /// Responses that arrived for a request no longer pending (hedge or
+    /// retry losers); their writes are deduplicated at the shard.
+    pub orphan_responses: u64,
 }
 
 /// The sharding proxy application.
@@ -168,15 +303,40 @@ pub struct ProxyApp {
     shard_hosts: Vec<HostId>,
     router: ShardRouter,
     tick_period: Nanos,
+    /// Deadline/hedge scan cadence. Much finer than the estimation tick:
+    /// a hedge fired one tick late is a hedge that loses to the deadline.
+    scan_period: Nanos,
     conns: BTreeMap<usize, ClientConn>,
     /// Upstream state, indexed by shard.
     ups: Vec<Upstream>,
-    /// Upstream socket → shard (the wake path's reverse map).
+    /// Upstream socket → shard (the wake path's reverse map). Stale
+    /// entries from before a reconnect stay in the map and are filtered
+    /// by comparing against the upstream's current socket.
     up_by_sock: BTreeMap<usize, usize>,
     /// Optional per-shard estimation + control planes.
     pub driver: Option<ProxyDriver>,
     /// Aggregate statistics.
     pub stats: ProxyStats,
+    /// Failure-handling configuration; `None` = naive no-defense build.
+    resilience: Option<Resilience>,
+    /// The deadline/retry/hedge arithmetic (present iff `resilience`).
+    policy: Option<RetryPolicy>,
+    /// Per-shard routing breakers (empty unless configured).
+    breakers: Vec<UpstreamBreaker>,
+    /// Pending requests by id. BTreeMap: the deadline scan iterates, and
+    /// simulation state must iterate deterministically.
+    reqs: BTreeMap<u64, PendingReq>,
+    next_req_id: u64,
+    /// Abandoned attempts `(id, shard, deadline)` of already-answered
+    /// requests (hedge losers). They stay on the books so the breaker
+    /// still learns: an orphan response before the deadline is a success,
+    /// expiry a failure — without this, hedges mask every slow-shard
+    /// timeout and the breaker never trips on a browning shard.
+    zombies: Vec<(u64, usize, Nanos)>,
+    /// `at` of the newest composed estimate already fed to each shard's
+    /// breaker, so a frozen (dead-upstream) estimate is fed only once and
+    /// cannot keep relaxing the trip streak while timeouts accumulate.
+    conf_fed_at: Vec<Nanos>,
 }
 
 impl ProxyApp {
@@ -204,6 +364,7 @@ impl ProxyApp {
             shard_hosts,
             router,
             tick_period: Nanos::from_micros(500),
+            scan_period: Nanos::from_micros(100),
             conns: BTreeMap::new(),
             ups: Vec::new(),
             up_by_sock: BTreeMap::new(),
@@ -213,7 +374,45 @@ impl ProxyApp {
                 back_rtt: vec![Histogram::new(); shards],
                 ..ProxyStats::default()
             },
+            resilience: None,
+            policy: None,
+            breakers: Vec::new(),
+            reqs: BTreeMap::new(),
+            next_req_id: 1,
+            zombies: Vec::new(),
+            conf_fed_at: vec![Nanos::ZERO; shards],
         }
+    }
+
+    /// Attaches a failure-handling stack (deadlines, and per the config:
+    /// retries, hedging, breakers). Requests gain idempotency ids on the
+    /// wire; upstream resets are recovered by re-dialing with backoff.
+    pub fn with_resilience(mut self, resilience: Resilience) -> Self {
+        self.policy = Some(RetryPolicy::new(resilience.retry));
+        self.breakers = match resilience.breaker {
+            Some(b) => (0..self.shard_hosts.len())
+                .map(|_| UpstreamBreaker::new(b))
+                .collect(),
+            None => Vec::new(),
+        };
+        self.resilience = Some(resilience);
+        self
+    }
+
+    /// The retry/hedge policy, when resilience is attached (for audit
+    /// counters: retries, hedges, budget denials).
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.policy.as_ref()
+    }
+
+    /// One shard's routing breaker, when breakers are configured.
+    pub fn upstream_breaker(&self, shard: usize) -> Option<&UpstreamBreaker> {
+        self.breakers.get(shard)
+    }
+
+    /// Total breaker trips across shards.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breakers.iter().map(|b| b.trips()).sum()
     }
 
     /// Attaches the per-shard estimation/control driver.
@@ -239,6 +438,19 @@ impl ProxyApp {
     /// The upstream socket serving a shard, once opened.
     pub fn upstream_sock(&self, shard: usize) -> Option<SocketId> {
         self.ups.get(shard).map(|u| u.sock)
+    }
+
+    /// Depth of a shard upstream's FIFO pairing queue: attempts written
+    /// to the *current* connection still awaiting their response. A
+    /// reconnect must leave nothing from the old connection here —
+    /// stale entries would pair with the new connection's responses.
+    pub fn upstream_waiting(&self, shard: usize) -> usize {
+        self.ups.get(shard).map_or(0, |u| u.waiting.len())
+    }
+
+    /// Requests admitted but not yet answered or failed back.
+    pub fn pending_requests(&self) -> usize {
+        self.reqs.len()
     }
 
     /// Writes to a client socket, stashing what the send buffer rejects.
@@ -325,19 +537,97 @@ impl ProxyApp {
             .parser
             .next_command()
         {
-            let (wire, payload, shard) = match &cmd {
-                Command::Set { key, value } => (
-                    encode_set(key, value),
-                    key.len() + value.len(),
-                    self.router.route(key),
-                ),
-                Command::Get { key } => (encode_get(key), key.len(), self.router.route(key)),
-            };
-            ctx.charge_app(self.costs.proxy_forward(payload));
-            self.ups[shard].waiting.push_back((sock, ctx.now()));
-            self.send_upstream(ctx, shard, wire);
-            self.stats.forwarded += 1;
-            self.stats.per_shard[shard] += 1;
+            self.admit(ctx, sock, cmd);
+        }
+    }
+
+    /// Admits one client command: route (diverting an open-breaker home
+    /// shard to the failover), register in the pending table, dispatch.
+    fn admit(&mut self, ctx: &mut HostCtx<'_>, client: SocketId, cmd: Command) {
+        let (payload, home, failover) = match &cmd {
+            Command::Set { key, value, .. } => {
+                let (h, f) = self.router.route_with_failover(key);
+                (key.len() + value.len(), h, f)
+            }
+            Command::Get { key, .. } => {
+                let (h, f) = self.router.route_with_failover(key);
+                (key.len(), h, f)
+            }
+        };
+        ctx.charge_app(self.costs.proxy_forward(payload));
+        let now = ctx.now();
+        let mut target = home;
+        if self.resilience.is_some() {
+            if !self.shard_allowed(home, now) && failover != home && self.shard_allowed(failover, now)
+            {
+                target = failover;
+                self.stats.failovers += 1;
+            }
+            if let Some(p) = self.policy.as_mut() {
+                p.on_request();
+            }
+        }
+        let deadline = self
+            .policy
+            .as_ref()
+            .map(|p| p.attempt_deadline(now))
+            .unwrap_or(Nanos::ZERO);
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        self.reqs.insert(
+            id,
+            PendingReq {
+                client,
+                cmd,
+                home,
+                failover,
+                attempts: 1,
+                hedged: false,
+                retry_scheduled: false,
+                live: vec![Attempt {
+                    shard: target,
+                    sent: now,
+                    deadline,
+                }],
+            },
+        );
+        self.dispatch(ctx, id, target);
+        self.stats.forwarded += 1;
+        self.stats.per_shard[target] += 1;
+    }
+
+    /// Encodes and sends one attempt of a pending request to `shard`.
+    /// Resilient mode tags the wire with the request id so the shard's
+    /// store can deduplicate retried/hedged writes; naive mode keeps the
+    /// untagged wire byte-identical to the pre-resilience proxy.
+    fn dispatch(&mut self, ctx: &mut HostCtx<'_>, id: u64, shard: usize) {
+        let req = self.reqs.get(&id).expect("dispatching a pending request");
+        let tagged = self.resilience.is_some();
+        let wire = match &req.cmd {
+            Command::Set { key, value, .. } => {
+                if tagged {
+                    encode_set_with_id(key, value, id)
+                } else {
+                    encode_set(key, value)
+                }
+            }
+            Command::Get { key, .. } => {
+                if tagged {
+                    encode_get_with_id(key, id)
+                } else {
+                    encode_get(key)
+                }
+            }
+        };
+        self.ups[shard].waiting.push_back((id, ctx.now()));
+        self.send_upstream(ctx, shard, wire);
+    }
+
+    /// True when the shard's breaker (if any) admits new attempts.
+    fn shard_allowed(&mut self, shard: usize, now: Nanos) -> bool {
+        match self.breakers.get_mut(shard) {
+            Some(b) => b.allow(now),
+            None => true,
         }
     }
 
@@ -345,6 +635,9 @@ impl ProxyApp {
     /// complete response to the client that asked, FIFO.
     fn process_upstream(&mut self, ctx: &mut HostCtx<'_>, shard: usize) {
         self.ups[shard].call_pending = false;
+        if !self.ups[shard].connected {
+            return;
+        }
         let sock = self.ups[shard].sock;
         let (data, _msgs) = ctx.recv(sock, usize::MAX);
         self.ups[shard].parser.feed(&data);
@@ -354,13 +647,41 @@ impl ProxyApp {
                 Response::Ok | Response::Nil => 0,
             };
             ctx.charge_app(self.costs.proxy_forward(payload));
-            let (client, sent_at) = self.ups[shard]
-                .waiting
-                .pop_front()
-                .expect("response without a waiting client");
-            self.stats.back_rtt[shard].record(ctx.now() - sent_at);
-            self.send_client(ctx, client, encode_response(&resp));
-            self.stats.responses += 1;
+            let Some((id, sent_at)) = self.ups[shard].waiting.pop_front() else {
+                if self.resilience.is_none() {
+                    panic!("response without a waiting client");
+                }
+                self.stats.orphan_responses += 1;
+                continue;
+            };
+            let now = ctx.now();
+            match self.reqs.remove(&id) {
+                Some(req) => {
+                    self.stats.back_rtt[shard].record(now - sent_at);
+                    if let Some(b) = self.breakers.get_mut(shard) {
+                        b.record_success(now);
+                    }
+                    // Any other live attempt (a hedge loser) stays on the
+                    // books for breaker accounting until its deadline.
+                    for a in req.live.iter().filter(|a| a.shard != shard) {
+                        self.zombies.push((id, a.shard, a.deadline));
+                    }
+                    self.send_client(ctx, req.client, encode_response(&resp));
+                    self.stats.responses += 1;
+                }
+                None => {
+                    // A hedge/retry loser, or a request already failed:
+                    // the client was answered elsewhere. The shard is
+                    // alive though — credit its breaker and retire the
+                    // matching zombie before it expires into a failure.
+                    self.stats.orphan_responses += 1;
+                    self.zombies
+                        .retain(|&(zid, zshard, _)| !(zid == id && zshard == shard));
+                    if let Some(b) = self.breakers.get_mut(shard) {
+                        b.record_success(now);
+                    }
+                }
+            }
         }
     }
 
@@ -375,9 +696,299 @@ impl ProxyApp {
                 .map(|u| u.connected.then_some(u.sock))
                 .collect();
             driver.tick(ctx, &client_socks, &upstreams);
+            // Joint breaker feed: each *fresh* composed estimate reports
+            // its confidence to the shard's breaker. Frozen estimates
+            // (dead upstream → no updates) are fed once, not every tick,
+            // so stale confidence cannot out-vote accumulating timeouts.
+            let now = ctx.now();
+            for shard in 0..self.breakers.len() {
+                if let Some(est) = driver.latest_composed(shard) {
+                    if est.at > self.conf_fed_at[shard] {
+                        self.conf_fed_at[shard] = est.at;
+                        self.breakers[shard].note_confidence(now, est.confidence);
+                    }
+                }
+            }
             self.driver = Some(driver);
         }
         ctx.call_after(self.tick_period, token(KIND_TICK, 0));
+    }
+
+    /// Runs on its own fine-grained cadence (resilient proxies only):
+    /// expires attempts past their deadline and hedges single attempts
+    /// the composed estimate's P99 view calls late.
+    fn scan_deadlines(&mut self, ctx: &mut HostCtx<'_>) {
+        let now = ctx.now();
+        let resilience = self.resilience.expect("scan only runs resilient");
+        let mut expired: Vec<(u64, usize)> = Vec::new();
+        let mut hedges: Vec<(u64, usize)> = Vec::new();
+        for (&id, req) in &self.reqs {
+            for a in &req.live {
+                if now >= a.deadline {
+                    expired.push((id, a.shard));
+                }
+            }
+            if resilience.hedging_enabled
+                && !req.hedged
+                && req.failover != req.home
+                && req.live.len() == 1
+            {
+                let a = req.live[0];
+                if now < a.deadline {
+                    // "Late" is judged against the *failover target's*
+                    // composed estimate — a healthy baseline for how long
+                    // this request should have taken. The stuck shard's
+                    // own estimate inflates under the very fault the
+                    // hedge defends against, which would push the hedge
+                    // window shut exactly when it is needed.
+                    let est_mean = self
+                        .driver
+                        .as_ref()
+                        .and_then(|d| d.latest_composed(req.failover))
+                        .map(|e| e.smoothed_latency);
+                    let delay = self
+                        .policy
+                        .as_ref()
+                        .expect("resilient proxies have a policy")
+                        .hedge_delay(est_mean);
+                    if now >= a.sent + delay {
+                        hedges.push((id, req.failover));
+                    }
+                }
+            }
+        }
+        for (id, shard) in expired {
+            self.attempt_failed(ctx, id, shard, true);
+        }
+        for (id, target) in hedges {
+            self.try_hedge(ctx, id, target);
+        }
+        // Abandoned hedge losers past their deadline: the shard never
+        // answered a request it owed — the breaker hears about it even
+        // though the client was long since served.
+        let zombies = std::mem::take(&mut self.zombies);
+        for (id, shard, deadline) in zombies {
+            if now >= deadline {
+                self.stats.timeouts += 1;
+                if let Some(b) = self.breakers.get_mut(shard) {
+                    b.record_failure(now);
+                }
+            } else {
+                self.zombies.push((id, shard, deadline));
+            }
+        }
+    }
+
+    /// Handles the death of one attempt (deadline expiry or connection
+    /// reset): drops the live copy, feeds the breaker, and — when no
+    /// copies remain — retries under budget or fails the request.
+    fn attempt_failed(&mut self, ctx: &mut HostCtx<'_>, id: u64, shard: usize, timed_out: bool) {
+        let now = ctx.now();
+        let Some(req) = self.reqs.get_mut(&id) else {
+            return;
+        };
+        let before = req.live.len();
+        req.live.retain(|a| a.shard != shard);
+        if req.live.len() == before {
+            return; // already removed (e.g. reset drained it first)
+        }
+        if timed_out {
+            self.stats.timeouts += 1;
+            // Resets feed the breaker once per event at the teardown
+            // site, not once per drained attempt.
+            if let Some(b) = self.breakers.get_mut(shard) {
+                b.record_failure(now);
+            }
+        }
+        let req = self.reqs.get_mut(&id).expect("still pending");
+        if !req.live.is_empty() || req.retry_scheduled {
+            return;
+        }
+        let attempts = req.attempts;
+        let retries_on = self
+            .resilience
+            .map(|r| r.retries_enabled)
+            .unwrap_or(false);
+        if retries_on {
+            if let Some(delay) = self
+                .policy
+                .as_mut()
+                .expect("resilient proxies have a policy")
+                .request_attempt(AttemptKind::Retry, attempts, id)
+            {
+                self.reqs.get_mut(&id).expect("still pending").retry_scheduled = true;
+                ctx.call_after(delay, token(KIND_RETRY, id as usize));
+                return;
+            }
+        }
+        self.fail_request(ctx, id);
+    }
+
+    /// Fails a pending request back to its client as `Nil` (keeping the
+    /// client's pipelined FIFO pairing intact — a silent drop would skew
+    /// every later response on that connection).
+    fn fail_request(&mut self, ctx: &mut HostCtx<'_>, id: u64) {
+        let Some(req) = self.reqs.remove(&id) else {
+            return;
+        };
+        self.stats.failed += 1;
+        self.send_client(ctx, req.client, encode_response(&Response::Nil));
+    }
+
+    /// A scheduled retry fires: issue the next attempt, alternating
+    /// between the failover replica and home (breaker permitting).
+    fn do_retry(&mut self, ctx: &mut HostCtx<'_>, id: u64) {
+        let now = ctx.now();
+        let Some(req) = self.reqs.get_mut(&id) else {
+            return; // answered while the backoff ran
+        };
+        req.retry_scheduled = false;
+        req.attempts += 1;
+        let (home, failover, attempts) = (req.home, req.failover, req.attempts);
+        // The first retry assumes a transient blip and goes back home
+        // (the owner keeps data locality; a delivered-but-stalled original
+        // is deduplicated there by the idempotency window). Later retries
+        // assume the shard is sick and probe the failover replica — unless
+        // the breaker says that side is dead and the other is not.
+        let (prefer, alt) = if attempts <= 2 {
+            (home, failover)
+        } else {
+            (failover, home)
+        };
+        let target = if self.shard_allowed(prefer, now) || !self.shard_allowed(alt, now) {
+            prefer
+        } else {
+            alt
+        };
+        let deadline = self
+            .policy
+            .as_ref()
+            .expect("resilient proxies have a policy")
+            .attempt_deadline(now);
+        let req = self.reqs.get_mut(&id).expect("still pending");
+        req.live.push(Attempt {
+            shard: target,
+            sent: now,
+            deadline,
+        });
+        let payload = cmd_payload(&req.cmd);
+        ctx.charge_app(self.costs.proxy_forward(payload));
+        if target != home {
+            self.stats.failovers += 1;
+        }
+        self.stats.per_shard[target] += 1;
+        self.dispatch(ctx, id, target);
+    }
+
+    /// Hedges a late request: duplicate the outstanding attempt to the
+    /// failover replica, budget permitting; first response wins.
+    fn try_hedge(&mut self, ctx: &mut HostCtx<'_>, id: u64, target: usize) {
+        let now = ctx.now();
+        if !self.shard_allowed(target, now) {
+            return;
+        }
+        let Some(req) = self.reqs.get_mut(&id) else {
+            return;
+        };
+        if req.hedged || req.live.len() != 1 || req.live[0].shard == target {
+            return;
+        }
+        let attempts = req.attempts;
+        if self
+            .policy
+            .as_mut()
+            .expect("resilient proxies have a policy")
+            .request_attempt(AttemptKind::Hedge, attempts, id)
+            .is_none()
+        {
+            return;
+        }
+        let deadline = self
+            .policy
+            .as_ref()
+            .expect("resilient proxies have a policy")
+            .attempt_deadline(now);
+        let req = self.reqs.get_mut(&id).expect("still pending");
+        req.hedged = true;
+        req.attempts += 1;
+        req.live.push(Attempt {
+            shard: target,
+            sent: now,
+            deadline,
+        });
+        let payload = cmd_payload(&req.cmd);
+        ctx.charge_app(self.costs.proxy_forward(payload));
+        self.stats.failovers += 1;
+        self.stats.per_shard[target] += 1;
+        self.dispatch(ctx, id, target);
+    }
+
+    /// An upstream connection reset. Tear the leg down cleanly: fresh
+    /// parser, cleared write backlog (never replayed on a new socket —
+    /// bytes already handed to the old socket are indistinguishable from
+    /// delivered), and every in-flight request on this shard failed or
+    /// retried — never left to mis-pair with the next connection's
+    /// responses. Resilient mode re-dials with backoff; the naive build
+    /// just marks the leg down and forgets.
+    fn on_upstream_reset(&mut self, ctx: &mut HostCtx<'_>, shard: usize) {
+        self.stats.upstream_resets += 1;
+        let now = ctx.now();
+        let up = &mut self.ups[shard];
+        up.connected = false;
+        if self.resilience.is_none() {
+            return;
+        }
+        up.parser = ResponseParser::new();
+        up.out_backlog.clear();
+        up.flush_pending = false;
+        let drained: Vec<u64> = up.waiting.drain(..).map(|(id, _)| id).collect();
+        // The reset counts as one breaker failure; zombies on this shard
+        // can never be answered now, so drop them rather than letting
+        // their expiry inflate that into a streak.
+        self.zombies.retain(|&(_, s, _)| s != shard);
+        if let Some(b) = self.breakers.get_mut(shard) {
+            b.record_failure(now);
+        }
+        for id in drained {
+            self.attempt_failed(ctx, id, shard, false);
+        }
+        self.schedule_reconnect(ctx, shard);
+    }
+
+    fn schedule_reconnect(&mut self, ctx: &mut HostCtx<'_>, shard: usize) {
+        if self.ups[shard].reconnect_pending {
+            return;
+        }
+        self.ups[shard].reconnect_pending = true;
+        self.ups[shard].reconnect_attempts += 1;
+        let delay = self
+            .policy
+            .as_ref()
+            .expect("resilient proxies have a policy")
+            .reconnect_backoff(self.ups[shard].reconnect_attempts, shard as u64);
+        ctx.call_after(delay, token(KIND_RECONNECT, shard));
+    }
+
+    /// Re-dials a reset upstream on a fresh socket. The old socket's
+    /// `up_by_sock` entry stays behind; wakes for it are filtered against
+    /// the upstream's current socket.
+    fn reconnect_upstream(&mut self, ctx: &mut HostCtx<'_>, shard: usize) {
+        self.ups[shard].reconnect_pending = false;
+        if self.ups[shard].connected {
+            return;
+        }
+        let sock = ctx.connect_to(self.shard_hosts[shard], self.upstream_config);
+        self.up_by_sock.insert(sock.0, shard);
+        self.ups[shard].sock = sock;
+        self.ups[shard].parser = ResponseParser::new();
+    }
+}
+
+/// Payload size the proxy charges for re-encoding a command.
+fn cmd_payload(cmd: &Command) -> usize {
+    match cmd {
+        Command::Set { key, value, .. } => key.len() + value.len(),
+        Command::Get { key, .. } => key.len(),
     }
 }
 
@@ -396,24 +1007,41 @@ impl App for ProxyApp {
                 out_backlog: VecDeque::new(),
                 flush_pending: false,
                 waiting: VecDeque::new(),
+                reconnect_pending: false,
+                reconnect_attempts: 0,
             });
         }
         ctx.call_after(self.tick_period, token(KIND_TICK, 0));
+        if self.resilience.is_some() {
+            ctx.call_after(self.scan_period, token(KIND_SCAN, 0));
+        }
     }
 
     fn on_wake(&mut self, ctx: &mut HostCtx<'_>, sock: SocketId, reason: WakeReason) {
         // Upstream sockets are the ones the proxy opened; everything else
-        // is a client-facing accept.
+        // is a client-facing accept. Wakes for a socket an upstream has
+        // reconnected away from are stale — drop them.
         let upstream = self.up_by_sock.get(&sock.0).copied();
+        if let Some(shard) = upstream {
+            if self.ups[shard].sock != sock {
+                return;
+            }
+        }
         match reason {
             WakeReason::Connected => {
                 if let Some(shard) = upstream {
                     self.ups[shard].connected = true;
+                    self.ups[shard].reconnect_attempts = 0;
                     if !self.ups[shard].out_backlog.is_empty() && !self.ups[shard].flush_pending {
                         self.ups[shard].flush_pending = true;
                         let at = ctx.app_free_at();
                         ctx.call_at(at, token(KIND_UP_FLUSH, shard));
                     }
+                }
+            }
+            WakeReason::Reset => {
+                if let Some(shard) = upstream {
+                    self.on_upstream_reset(ctx, shard);
                 }
             }
             WakeReason::Accepted => {
@@ -454,7 +1082,6 @@ impl App for ProxyApp {
                     }
                 }
             },
-            _ => {}
         }
     }
 
@@ -467,6 +1094,12 @@ impl App for ProxyApp {
             KIND_UP_PROCESS => self.process_upstream(ctx, idx),
             KIND_UP_FLUSH => self.flush_upstream(ctx, idx),
             KIND_TICK => self.tick(ctx),
+            KIND_SCAN => {
+                self.scan_deadlines(ctx);
+                ctx.call_after(self.scan_period, token(KIND_SCAN, 0));
+            }
+            KIND_RETRY => self.do_retry(ctx, idx as u64),
+            KIND_RECONNECT => self.reconnect_upstream(ctx, idx),
             other => panic!("unknown proxy token kind {other}"),
         }
     }
@@ -540,5 +1173,69 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn empty_router_rejected() {
         let _ = ShardRouter::new(0, 1);
+    }
+
+    #[test]
+    fn failover_replica_is_a_distinct_shard() {
+        let r = ShardRouter::new(4, 42);
+        for i in 0..1000 {
+            let key = format!("key:{i:012}");
+            let (home, failover) = r.route_with_failover(key.as_bytes());
+            assert_eq!(home, r.route(key.as_bytes()));
+            assert_ne!(home, failover, "replica set must span two shards");
+            assert!(failover < 4);
+        }
+        // Degenerate single-shard ring: failover folds onto the primary.
+        let one = ShardRouter::new(1, 42);
+        assert_eq!(one.route_with_failover(b"k"), (0, 0));
+    }
+
+    #[test]
+    fn failover_spreads_across_shards() {
+        // The failover of a hot shard's keys must not all pile onto one
+        // neighbor (that is the point of vnode-successor assignment over
+        // `(home + 1) % k`).
+        let r = ShardRouter::new(4, 7);
+        let mut counts = [[0usize; 4]; 4];
+        for i in 0..4000 {
+            let key = format!("key:{i:012}");
+            let (h, f) = r.route_with_failover(key.as_bytes());
+            counts[h][f] += 1;
+        }
+        for home in 0..4 {
+            let spread = (0..4).filter(|&f| f != home && counts[home][f] > 0).count();
+            assert!(
+                spread >= 2,
+                "shard {home}'s failovers collapse onto too few shards: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_successor_is_stable_under_vnode_removal() {
+        // Removing one shard from the ring must not reshuffle replica
+        // sets whose arcs it never owned: keys whose home *and* failover
+        // both survive keep exactly that (home, failover) pair on the
+        // smaller ring built from the same seed.
+        let four = ShardRouter::new(4, 9);
+        let three = ShardRouter::new(3, 9);
+        let (mut eligible, mut moved) = (0usize, 0usize);
+        for i in 0..2000 {
+            let key = format!("key:{i:012}");
+            let (h4, f4) = four.route_with_failover(key.as_bytes());
+            if h4 < 3 && f4 < 3 {
+                eligible += 1;
+                if three.route_with_failover(key.as_bytes()) != (h4, f4) {
+                    moved += 1;
+                }
+            }
+        }
+        assert!(eligible > 800, "test vacuous: only {eligible} eligible keys");
+        // Consistency bound: only pairs adjacent to the removed shard's
+        // vnodes may change — far fewer than a modulo scheme's ~100%.
+        assert!(
+            moved * 2 < eligible,
+            "{moved}/{eligible} surviving replica sets moved"
+        );
     }
 }

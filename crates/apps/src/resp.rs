@@ -10,20 +10,40 @@
 use tcpsim::Payload;
 
 /// A client command.
+///
+/// Commands may carry an optional *request id* as a trailing 8-byte bulk
+/// argument (`SET key value id8` / `GET key id8`). The proxy tags
+/// retried and hedged upstream commands with the originating request's
+/// id so the KV app can deduplicate: a retry racing its original, or a
+/// hedge racing its primary, must never double-apply. Client-originated
+/// traffic stays untagged and byte-identical to the plain encoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// `SET key value`.
+    /// `SET key value [id]`.
     Set {
         /// The key.
         key: Payload,
         /// The value.
         value: Payload,
+        /// Request id for idempotent dedup (proxy-tagged traffic only).
+        id: Option<u64>,
     },
-    /// `GET key`.
+    /// `GET key [id]`.
     Get {
         /// The key.
         key: Payload,
+        /// Request id for idempotent dedup (proxy-tagged traffic only).
+        id: Option<u64>,
     },
+}
+
+impl Command {
+    /// The request id, when the command is proxy-tagged.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Command::Set { id, .. } | Command::Get { id, .. } => *id,
+        }
+    }
 }
 
 /// A server reply.
@@ -51,6 +71,26 @@ pub fn encode_get(key: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(key.len() + 24);
     out.extend_from_slice(b"*2\r\n$3\r\nGET\r\n");
     push_bulk(&mut out, key);
+    out
+}
+
+/// Encodes a SET tagged with a request id (proxy → shard traffic that may
+/// be retried or hedged).
+pub fn encode_set_with_id(key: &[u8], value: &[u8], id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(value.len() + key.len() + 56);
+    out.extend_from_slice(b"*4\r\n$3\r\nSET\r\n");
+    push_bulk(&mut out, key);
+    push_bulk(&mut out, value);
+    push_bulk(&mut out, &id.to_be_bytes());
+    out
+}
+
+/// Encodes a GET tagged with a request id.
+pub fn encode_get_with_id(key: &[u8], id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() + 40);
+    out.extend_from_slice(b"*3\r\n$3\r\nGET\r\n");
+    push_bulk(&mut out, key);
+    push_bulk(&mut out, &id.to_be_bytes());
     out
 }
 
@@ -175,18 +215,27 @@ impl CommandParser {
             used += n;
         }
         self.stream.advance(used);
+        let id_arg = |arg: &Payload| {
+            let bytes: [u8; 8] = arg.as_ref().try_into().expect("request id is 8 bytes");
+            u64::from_be_bytes(bytes)
+        };
         match args[0].as_ref() {
             b"SET" => {
-                assert_eq!(args.len(), 3, "SET key value");
+                assert!(
+                    args.len() == 3 || args.len() == 4,
+                    "SET key value [id]"
+                );
                 Some(Command::Set {
                     key: args[1].clone(),
                     value: args[2].clone(),
+                    id: args.get(3).map(id_arg),
                 })
             }
             b"GET" => {
-                assert_eq!(args.len(), 2, "GET key");
+                assert!(args.len() == 2 || args.len() == 3, "GET key [id]");
                 Some(Command::Get {
                     key: args[1].clone(),
+                    id: args.get(2).map(id_arg),
                 })
             }
             other => panic!("unsupported command {:?}", String::from_utf8_lossy(other)),
@@ -253,6 +302,7 @@ mod tests {
             Some(Command::Set {
                 key: Payload::from_static(b"key:0001"),
                 value: Payload::from_static(b"hello"),
+                id: None,
             })
         );
         assert_eq!(p.next_command(), None);
@@ -266,9 +316,39 @@ mod tests {
         assert_eq!(
             p.next_command(),
             Some(Command::Get {
-                key: Payload::from_static(b"k")
+                key: Payload::from_static(b"k"),
+                id: None,
             })
         );
+    }
+
+    #[test]
+    fn tagged_commands_roundtrip_with_ids() {
+        let mut wire = encode_set_with_id(b"key:0001", b"hello", 0xDEAD_BEEF_0000_0042);
+        wire.extend(encode_get_with_id(b"key:0001", 7));
+        wire.extend(encode_set(b"key:0002", b"plain"));
+        let mut p = CommandParser::new();
+        p.feed(&wire);
+        assert_eq!(
+            p.next_command(),
+            Some(Command::Set {
+                key: Payload::from_static(b"key:0001"),
+                value: Payload::from_static(b"hello"),
+                id: Some(0xDEAD_BEEF_0000_0042),
+            })
+        );
+        assert_eq!(
+            p.next_command(),
+            Some(Command::Get {
+                key: Payload::from_static(b"key:0001"),
+                id: Some(7),
+            })
+        );
+        // Untagged traffic is unchanged and parses with no id.
+        let third = p.next_command().expect("plain SET");
+        assert_eq!(third.id(), None);
+        assert_eq!(p.next_command(), None);
+        assert_eq!(p.pending_bytes(), 0);
     }
 
     #[test]

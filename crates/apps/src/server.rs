@@ -201,8 +201,8 @@ impl RedisServer {
         let mut batch = 0u64;
         while let Some(cmd) = self.conns.get_mut(&sock.0).expect("conn").parser.next_command() {
             let payload = match &cmd {
-                Command::Set { key, value } => key.len() + value.len(),
-                Command::Get { key } => key.len(),
+                Command::Set { key, value, .. } => key.len() + value.len(),
+                Command::Get { key, .. } => key.len(),
             };
             ctx.charge_app(self.costs.server_request(payload));
             let resp = self.kv.execute(cmd);

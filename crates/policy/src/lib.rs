@@ -17,6 +17,10 @@
 //! * [`breaker`] — a circuit-breaker wrapper that reverts to a safe
 //!   static mode when estimator confidence collapses under faults and
 //!   re-probes with exponential backoff.
+//! * [`retry`] — the proxy's failure-handling time arithmetic: request
+//!   deadlines, budgeted retries with exponential backoff + deterministic
+//!   jitter, estimate-driven hedging, and the per-upstream routing
+//!   breaker.
 //! * [`aimd`] — additive-increase/multiplicative-decrease batch limits.
 //! * [`knob`] — the multi-knob control plane: a [`KnobController`] per
 //!   batching mechanism (Nagle, delayed ACKs, cork limit), each fed its
@@ -34,6 +38,7 @@ pub mod breaker;
 pub mod figure1;
 pub mod knob;
 pub mod objective;
+pub mod retry;
 pub mod tick;
 pub mod toggler;
 
@@ -42,5 +47,6 @@ pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use figure1::{figure1_model, BatchOutcome, Figure1Params, Metrics};
 pub use knob::{ControlPlane, DelAckToggler, KnobController};
 pub use objective::Objective;
+pub use retry::{AttemptKind, RetryConfig, RetryPolicy, UpstreamBreaker};
 pub use tick::TickController;
 pub use toggler::{BatchToggler, EpsilonGreedy, StaticToggler};

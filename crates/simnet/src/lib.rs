@@ -50,7 +50,8 @@ pub use cpu::{BusySnapshot, CpuContext};
 pub use engine::{run, run_until_idle, EventQueue, EventToken, World};
 pub use fault::{
     CorruptConfig, CorruptTarget, DuplicateConfig, FaultConfig, FaultCounters, FaultDecision,
-    FaultPlan, GilbertElliott, JitterConfig, ReorderConfig, RestartSchedule, WindowSchedule,
+    FaultPlan, GilbertElliott, JitterConfig, ReorderConfig, RestartSchedule, ShardBrownout,
+    ShardFaultPlan, ShardLinkBlackout, WindowSchedule,
 };
 pub use hist::Histogram;
 pub use link::{DuplexLink, Link, LinkConfig};

@@ -101,6 +101,10 @@ pub enum Event {
     /// A scheduled endpoint crash: one client host (drawn from the fault
     /// plan's restart stream) loses all socket state and must reconnect.
     Restart,
+    /// A scheduled shard crash on the two-tier topology: one shard host
+    /// loses all socket state, and so does the far (proxy) end of every
+    /// connection terminating there — both sides wake with `Reset`.
+    ShardCrash,
 }
 
 /// Which CPU context pays for transmit work triggered by socket actions.
@@ -616,6 +620,11 @@ pub(crate) struct SimCore {
     /// Hosts `0..restart_pool` are eligible targets for scheduled
     /// endpoint restarts (the client tier).
     pub(crate) restart_pool: usize,
+    /// Shard tier location on the two-tier topology: `(first_host, count)`
+    /// — shard `j` runs on host `first_host + j` and its back-leg link is
+    /// `LinkId(first_host - 1 + j)`. `None` on star topologies, where
+    /// shard faults are inert.
+    pub(crate) shard_tier: Option<(usize, usize)>,
     /// Per-host default `connect()` peer (a host with no meaningful
     /// default — e.g. the server itself — points at itself, which
     /// `connect_to` rejects).
@@ -670,6 +679,7 @@ impl SimCore {
             scratch: Vec::new(),
             cork_scratch: Vec::new(),
             restart_pool,
+            shard_tier: None,
             default_peers,
         }
     }
@@ -683,14 +693,35 @@ impl SimCore {
         if let Some(stall) = config.server_stall {
             self.hosts[stall_on.index()].app_cpu.set_stall_schedule(stall);
         }
+        if let Some((first, count)) = self.shard_tier {
+            if let Some(b) = config.shard.brownout {
+                assert!(b.shard < count, "brownout shard {} of {count}", b.shard);
+                self.hosts[first + b.shard].app_cpu.set_stall_schedule(b.windows);
+            }
+        }
         let links = self.topology.num_links();
-        self.faults = Some(FaultPlan::new(config, seed, links));
+        let mut plan = FaultPlan::new(config, seed, links);
+        if let Some((first, _)) = self.shard_tier {
+            plan.bind_shard_links(first - 1);
+        }
+        self.faults = Some(plan);
     }
 
     /// Queues the first scheduled restart, when the fault plan has one.
     pub(crate) fn schedule_first_restart(&self, queue: &mut EventQueue<Event>) {
         if let Some(rs) = self.faults.as_ref().and_then(|p| p.config().restart) {
             queue.schedule_at(rs.first_at, Event::Restart);
+        }
+    }
+
+    /// Queues the first scheduled shard crash, when the fault plan has one
+    /// and the topology actually carries a shard tier.
+    pub(crate) fn schedule_first_shard_crash(&self, queue: &mut EventQueue<Event>) {
+        if self.shard_tier.is_none() {
+            return;
+        }
+        if let Some(cs) = self.faults.as_ref().and_then(|p| p.config().shard.crash) {
+            queue.schedule_at(cs.first_at, Event::ShardCrash);
         }
     }
 
@@ -894,6 +925,65 @@ impl SimCore {
                         Nanos::ZERO,
                         Event::AppWake {
                             host: HostId::from_index(target),
+                            sock: id,
+                            reason: WakeReason::Reset,
+                        },
+                    );
+                }
+            }
+            Event::ShardCrash => {
+                let Some((first, count)) = self.shard_tier else {
+                    return None;
+                };
+                let Some(plan) = self.faults.as_mut() else {
+                    return None;
+                };
+                let target = first + plan.pick_shard_crash_target(count);
+                if let Some(cs) = plan.config().shard.crash {
+                    if !cs.period.is_zero() {
+                        queue.schedule(cs.period, Event::ShardCrash);
+                    }
+                }
+                // A shard crash takes down *both ends* of every connection
+                // terminating at the shard: the shard host loses its socket
+                // state exactly like a client restart, and the far (proxy)
+                // end is reset too — the peer of a crashed process observes
+                // a connection reset, not a silent stall. Both applications
+                // wake with `Reset`; in-flight segments for the dead flows
+                // are dropped as strays by the softirq path.
+                let mut ends: Vec<(usize, SocketId)> = Vec::new();
+                {
+                    let host = &self.hosts[target];
+                    for i in 0..host.socket_count() {
+                        let id = SocketId(i);
+                        if host.socket(id).state() != TcpState::Closed {
+                            ends.push((target, id));
+                        }
+                    }
+                }
+                let far: Vec<(usize, SocketId)> = ends
+                    .iter()
+                    .filter_map(|&(_, id)| {
+                        let flow = self.hosts[target].socket(id).flow();
+                        let route = self.routes.get(flow)?;
+                        let other = route.other(HostId::from_index(target));
+                        let peer = self.hosts[other.index()].socket_for_flow(flow)?;
+                        Some((other.index(), peer))
+                    })
+                    .collect();
+                ends.extend(far);
+                for (h, id) in ends {
+                    let host = &mut self.hosts[h];
+                    let flow = host.socket(id).flow();
+                    host.socket_mut(id).reset();
+                    host.remove_flow(flow);
+                    host.bump_timer(id, TimerKind::Rto);
+                    host.bump_timer(id, TimerKind::Delack);
+                    host.bump_timer(id, TimerKind::Cork);
+                    queue.schedule(
+                        Nanos::ZERO,
+                        Event::AppWake {
+                            host: HostId::from_index(h),
                             sock: id,
                             reason: WakeReason::Reset,
                         },

@@ -16,7 +16,11 @@
 //! instead of two. Restart faults draw from the client tier
 //! (hosts `0..n`), matching the star's semantics; stall schedules land on
 //! the proxy's application thread, the shared-CPU choke point of the
-//! topology.
+//! topology. The tier-aware shard faults
+//! ([`ShardFaultPlan`](simnet::ShardFaultPlan)) add scheduled shard
+//! crashes (both ends of each proxy↔shard connection reset), slow-shard
+//! CPU brownouts, and per-shard back-leg blackouts on top — composable
+//! with the client-tier restart chaos, each class on its own RNG stream.
 
 use simnet::{DuplexLink, EventQueue, FaultConfig, FaultPlan, HostId, LinkConfig, LinkId, Topology, World};
 
@@ -73,7 +77,11 @@ impl<C: App, P: App, S: App> TierSim<C, P, S> {
         // everywhere.
         let default_peers = vec![proxy_id; n + 1 + k];
         let topology = Topology::two_tier(n, k, client_link, shard_link);
-        let core = SimCore::new(hosts, topology, default_peers, n, seed);
+        let mut core = SimCore::new(hosts, topology, default_peers, n, seed);
+        // Shard `j` runs on host `n+1+j` over back-leg link `n+j`; telling
+        // the core makes the tier-aware shard faults (crash, brownout,
+        // per-link blackout) resolvable. Star sims leave this unset.
+        core.shard_tier = Some((n + 1, k));
         TierSim {
             clients,
             proxy,
@@ -118,9 +126,12 @@ impl<C: App, P: App, S: App> TierSim<C, P, S> {
     /// Invokes every application's `on_start` back-to-front: shards first
     /// (so they are listening), then the proxy (which opens its upstream
     /// connections), then clients in host order. When the fault plan
-    /// schedules endpoint restarts, the first crash event is queued here.
+    /// schedules endpoint restarts or shard crashes, the first events of
+    /// both chains are queued here — the two chaos kinds compose, each on
+    /// its own RNG stream.
     pub fn start(&mut self, queue: &mut EventQueue<Event>) {
         self.core.schedule_first_restart(queue);
+        self.core.schedule_first_shard_crash(queue);
         for (j, shard) in self.shards.iter_mut().enumerate() {
             let id = HostId::from_index(self.clients.len() + 1 + j);
             shard.on_start(&mut self.core.ctx(queue, id));

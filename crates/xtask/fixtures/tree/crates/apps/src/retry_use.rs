@@ -1,0 +1,19 @@
+//! Fixture: raw retry-ladder arithmetic outside `policy::retry`.
+
+pub fn homegrown(cfg: &RetryConfig, attempt: u32) -> Nanos {
+    let base = cfg.initial_backoff * (1 << attempt);
+    let capped = base.min(cfg.max_backoff);
+    let jitter = splitmix64(attempt as u64);
+    // lint:allow(retry-policy): dashboard mirrors the ladder read-only
+    let floor = cfg.min_hedge_delay;
+    let _ = (capped, jitter, floor);
+    policy.attempt_deadline(now)
+}
+
+pub fn build() -> RetryConfig {
+    RetryConfig {
+        initial_backoff: Nanos::from_micros(100),
+        max_backoff: Nanos::from_millis(2),
+        ..RetryConfig::default()
+    }
+}

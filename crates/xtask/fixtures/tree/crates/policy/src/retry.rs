@@ -1,0 +1,13 @@
+//! Fixture: the sanctioned ladder module keeps its raw arithmetic.
+
+pub fn backoff_for(config: &RetryConfig, attempt: u32) -> Nanos {
+    let base = config.initial_backoff * (1 << attempt.min(8));
+    let capped = base.min(config.max_backoff);
+    let spread = splitmix64(attempt as u64) % 2;
+    capped + Nanos::from_nanos(spread)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x
+}

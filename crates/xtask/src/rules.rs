@@ -7,7 +7,7 @@ use crate::mask::{self, line_col, Masked};
 use crate::model::{in_test_region, test_regions};
 
 /// Rule identifiers, as accepted by `lint:allow(...)`.
-pub const RULES: [&str; 11] = [
+pub const RULES: [&str; 12] = [
     "determinism",
     "float-eq",
     "panic-hygiene",
@@ -19,6 +19,7 @@ pub const RULES: [&str; 11] = [
     "panic-reachability",
     "hot-path-alloc",
     "typed-ids",
+    "retry-policy",
 ];
 
 /// Rules that run in the cross-file workspace pass (`lint_root`), not in
@@ -97,6 +98,21 @@ const UNTRUSTED_WIRE_BANNED: [(&str, &str); 4] = [
 /// overflow panic) on the far side of the wrap.
 const WIRE_COUNTER_FIELDS: [&str; 3] = ["time", "total", "integral"];
 
+/// Retry-ladder knobs whose *reads* are confined to the policy crate's
+/// retry/breaker modules. Reading one elsewhere means some caller is
+/// re-deriving backoff, jitter, or budget arithmetic by hand instead of
+/// asking `RetryPolicy` (`attempt_deadline` / `request_attempt` /
+/// `hedge_delay` / `reconnect_backoff`) — which forks the ladder and
+/// silently diverges from the audited, deterministic one. Struct-literal
+/// initialization (`initial_backoff: ..`) builds a config and is fine.
+const RETRY_CONFIG_FIELDS: [&str; 5] = [
+    "initial_backoff",
+    "max_backoff",
+    "min_hedge_delay",
+    "budget_per_mille",
+    "budget_burst",
+];
+
 /// How a file relates to the rule scopes, derived from its path.
 #[derive(Debug, Clone, Default)]
 pub struct FileContext {
@@ -134,6 +150,12 @@ pub struct FileContext {
     /// else index arithmetic must go through `from_index` so a grep for
     /// it finds every place a raw index becomes an id.
     pub topology_module: bool,
+    /// File owns a sanctioned backoff ladder (batchpolicy's `retry.rs`
+    /// and `breaker.rs`) → `retry-policy` does not apply: the raw
+    /// deadline/backoff/jitter arithmetic is their implementation
+    /// detail. Everywhere else must ask `RetryPolicy` for deadlines,
+    /// retry delays, and hedge windows.
+    pub retry_module: bool,
 }
 
 /// A parsed `lint:allow` marker. `used` is flipped by [`allowed`] when
@@ -451,6 +473,50 @@ pub(crate) fn lint_file(
                     ),
                 );
             }
+        }
+    }
+
+    // retry-policy: raw deadline/backoff arithmetic outside the policy
+    // crate's retry/breaker modules (tests exempt — driving a ladder
+    // with hand-picked knobs is legitimate there). A field *read* of a
+    // ladder knob, or a copy of the jitter hash, means some caller is
+    // re-deriving backoff math by hand instead of asking `RetryPolicy`.
+    if !ctx.testlike && !ctx.retry_module {
+        for field in RETRY_CONFIG_FIELDS {
+            for offset in token_matches(text, field) {
+                if in_test_region(&regions, offset) {
+                    continue;
+                }
+                // Struct-literal initialization (`initial_backoff: ..`)
+                // builds a config and is fine; only reads leak the math.
+                if offset == 0 || bytes[offset - 1] != b'.' {
+                    continue;
+                }
+                push(
+                    diags,
+                    "retry-policy",
+                    offset,
+                    format!(
+                        "`.{field}` read outside `policy::retry`; derive deadlines \
+                         and backoff through `RetryPolicy` (`attempt_deadline` / \
+                         `request_attempt` / `hedge_delay` / `reconnect_backoff`) \
+                         so the ladder, jitter, and budget stay in one audited place"
+                    ),
+                );
+            }
+        }
+        for offset in token_matches(text, "splitmix64") {
+            if in_test_region(&regions, offset) {
+                continue;
+            }
+            push(
+                diags,
+                "retry-policy",
+                offset,
+                "`splitmix64` (the backoff jitter hash) outside `policy::retry`; \
+                 ask `RetryPolicy` for jittered delays instead of re-deriving them"
+                    .to_string(),
+            );
         }
     }
 

@@ -72,6 +72,9 @@ pub fn classify(root: &Path, file: &Path) -> FileContext {
         cast_scope: (crate_dir == Some("littles") && in_src && file_name == "wire.rs")
             || (matches!(crate_dir, Some("core") | Some("tcpsim")) && in_src),
         topology_module: crate_dir == Some("simnet") && in_src && file_name == "topology.rs",
+        retry_module: crate_dir == Some("policy")
+            && in_src
+            && matches!(file_name, "retry.rs" | "breaker.rs"),
     }
 }
 
@@ -133,6 +136,24 @@ mod tests {
             "/r/crates/apps/src/shard.rs",
         ] {
             assert!(!classify(Path::new("/r"), Path::new(p)).topology_module, "{p}");
+        }
+    }
+
+    #[test]
+    fn classify_retry_module() {
+        for p in [
+            "/r/crates/policy/src/retry.rs",
+            "/r/crates/policy/src/breaker.rs",
+        ] {
+            assert!(classify(Path::new("/r"), Path::new(p)).retry_module, "{p}");
+        }
+        for p in [
+            "/r/crates/policy/src/aimd.rs",
+            "/r/crates/policy/tests/retry.rs",
+            "/r/crates/apps/src/proxy.rs",
+            "/r/crates/apps/src/failover.rs",
+        ] {
+            assert!(!classify(Path::new("/r"), Path::new(p)).retry_module, "{p}");
         }
     }
 

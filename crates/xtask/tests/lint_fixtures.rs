@@ -244,6 +244,28 @@ fn typed_ids_rule_bans_raw_ids_outside_topology_module() {
 }
 
 #[test]
+fn retry_policy_rule_confines_backoff_arithmetic() {
+    let diags = fixture_diags();
+    let d = for_file(&diags, "apps/src/retry_use.rs");
+    let got: Vec<(&str, u32, u32)> = d.iter().map(|d| (d.rule, d.line, d.col)).collect();
+    // The knob read on line 8 is suppressed by the justified marker
+    // above it; the struct-literal initializers in `build` and the
+    // `attempt_deadline` call are the sanctioned forms.
+    assert_eq!(
+        got,
+        vec![
+            ("retry-policy", 4, 20), // cfg.initial_backoff read
+            ("retry-policy", 5, 31), // cfg.max_backoff read
+            ("retry-policy", 6, 18), // splitmix64 copy
+        ]
+    );
+    assert!(d[0].message.contains("attempt_deadline"), "{}", d[0].message);
+
+    // The ladder modules themselves keep their raw arithmetic.
+    assert!(for_file(&diags, "policy/src/retry.rs").is_empty());
+}
+
+#[test]
 fn untrusted_wire_rule_bans_raw_decodes_outside_wire_module() {
     let diags = fixture_diags();
     let d = for_file(&diags, "apps/src/wire_use.rs");

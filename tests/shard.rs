@@ -8,13 +8,16 @@
 //! every client-facing *and* upstream socket on the proxy booked real
 //! traffic in both directions.
 
-use e2e_batching::batchpolicy::Objective;
+use e2e_batching::batchpolicy::{Objective, RetryConfig};
 use e2e_batching::e2e_apps::{
-    run_shard_point, CostProfile, LancetClient, ProxyApp, RedisServer, ShardRouter,
+    run_shard_point, CostProfile, LancetClient, ProxyApp, RedisServer, Resilience, ShardRouter,
     ShardRunConfig, ShardSetting, WorkloadSpec,
 };
 use e2e_batching::littles::Nanos;
-use e2e_batching::simnet::{run, CpuContext, EventQueue, LinkConfig};
+use e2e_batching::simnet::{
+    run, CpuContext, EventQueue, FaultConfig, LinkConfig, RestartSchedule, ShardBrownout,
+    ShardFaultPlan, WindowSchedule,
+};
 use e2e_batching::tcpsim::{Host, HostId, TcpConfig, TierSim};
 
 fn k4_cfg(setting: ShardSetting) -> ShardRunConfig {
@@ -183,5 +186,172 @@ fn invariant_gates_are_nonvacuous_on_proxy_sockets() {
         "{in_flight} requests unaccounted for (forwarded {}, responses {})",
         sim.proxy.stats.forwarded,
         sim.proxy.stats.responses
+    );
+}
+
+/// FIFO response pairing must survive an upstream reconnect: every
+/// request in flight on an upstream when its connection tears down is
+/// failed (or retried) at teardown — never left in the pairing queue to
+/// be matched against the *next* connection's responses. The scenario
+/// stalls shard 0 so in-flight requests pile up on its upstream, then
+/// crashes it mid-stall; without the teardown drain the replacement
+/// connection's first responses would pop the stale entries and every
+/// later response would pair one slot off for the rest of the run
+/// (orphans spike, goodput craters). Checked at both points: right
+/// after the reset (queue emptied while the pile was provably deep) and
+/// at the end (proxy healthy, accounting closed).
+#[test]
+fn fifo_pairing_survives_upstream_reconnect() {
+    let (n, k) = (2, 2);
+    let profile = CostProfile::shard_tier();
+    let tcp = TcpConfig::default();
+    let warmup = Nanos::from_millis(10);
+    let end = Nanos::from_millis(120);
+    let crash_at = Nanos::from_millis(32);
+
+    let mut spec = WorkloadSpec::shard(24_000.0);
+    spec.rate_rps /= n as f64;
+    let clients: Vec<LancetClient> = (0..n)
+        .map(|_| LancetClient::new(spec, profile.app, tcp, warmup, end))
+        .collect();
+    let router = ShardRouter::new(k, 0x5AAD);
+    let shard_ids: Vec<HostId> = (0..k).map(|j| HostId::from_index(n + 1 + j)).collect();
+    let proxy = ProxyApp::new(profile.app, tcp, shard_ids, router)
+        .with_resilience(Resilience::timeout_only(RetryConfig::default()));
+    let shards: Vec<RedisServer> = (0..k).map(|_| RedisServer::new(profile.app)).collect();
+
+    let client_hosts: Vec<Host> = (0..n)
+        .map(|i| {
+            Host::new(
+                HostId::from_index(i),
+                CpuContext::new("client-app"),
+                CpuContext::new("client-softirq"),
+                profile.client_stack,
+                tcp,
+            )
+        })
+        .collect();
+    let proxy_host = Host::new(
+        HostId::from_index(n),
+        CpuContext::new("proxy-app"),
+        CpuContext::new("proxy-softirq"),
+        profile.client_stack,
+        tcp,
+    );
+    let shard_hosts: Vec<Host> = (0..k)
+        .map(|j| {
+            Host::new(
+                HostId::from_index(n + 1 + j),
+                CpuContext::new("shard-app"),
+                CpuContext::new("shard-softirq"),
+                profile.server_stack,
+                tcp,
+            )
+        })
+        .collect();
+
+    // One 4 ms stall on shard 0 starting at 30 ms (no repeat within the
+    // run), with the crash pinned to 32 ms — mid-stall, when the
+    // upstream's pairing queue is at its deepest.
+    let faults = FaultConfig {
+        shard: ShardFaultPlan {
+            crash: Some(RestartSchedule {
+                first_at: crash_at,
+                period: Nanos::ZERO,
+            }),
+            crash_target: Some(0),
+            brownout: Some(ShardBrownout {
+                shard: 0,
+                windows: WindowSchedule {
+                    first_at: Nanos::from_millis(30),
+                    period: Nanos::from_millis(1000),
+                    duration: Nanos::from_millis(4),
+                },
+            }),
+            ..ShardFaultPlan::default()
+        },
+        start_at: warmup,
+        ..FaultConfig::default()
+    };
+
+    let mut sim = TierSim::two_tier_with_faults(
+        clients,
+        proxy,
+        shards,
+        client_hosts,
+        proxy_host,
+        shard_hosts,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        0x5AAD,
+        faults,
+    );
+    let mut queue = EventQueue::new();
+    sim.start(&mut queue);
+
+    // Run up to just before the crash: the stall has held shard 0's
+    // responses for 2 ms, so its pairing queue is provably deep.
+    run(&mut sim, &mut queue, crash_at - Nanos::from_nanos(1));
+    let piled = sim.proxy.upstream_waiting(0);
+    assert!(
+        piled >= 8,
+        "stall should pile in-flight requests on shard 0's upstream, got {piled}"
+    );
+
+    // Step past the crash: the reset must have drained the pile into
+    // failures, leaving at most the trickle of post-reset dispatches.
+    run(&mut sim, &mut queue, crash_at + Nanos::from_micros(100));
+    assert_eq!(sim.proxy.stats.upstream_resets, 1, "the crash resets the upstream once");
+    let after = sim.proxy.upstream_waiting(0);
+    assert!(
+        after <= 4,
+        "teardown left {after} stale entries in the pairing queue (was {piled})"
+    );
+    assert!(
+        sim.proxy.stats.failed > 0,
+        "drained in-flight requests must be failed back, not dropped silently"
+    );
+
+    // Run out the rest. A mis-paired queue would shift every subsequent
+    // response one slot off permanently: orphans would grow for the rest
+    // of the run and the last requests would never complete. Healthy
+    // recovery means bounded failures, bounded orphans, closed books.
+    run(&mut sim, &mut queue, end);
+    let stats = &sim.proxy.stats;
+    assert!(stats.responses > 1000, "proxy kept serving after the reconnect");
+    assert!(
+        stats.failed <= 80,
+        "failures must stay confined to the fault window, got {}",
+        stats.failed
+    );
+    assert!(
+        stats.orphan_responses <= 40,
+        "orphan responses must stay confined to the fault window, got {}",
+        stats.orphan_responses
+    );
+    for j in 0..k {
+        let depth = sim.proxy.upstream_waiting(j);
+        assert!(depth <= 4, "shard {j}: {depth} requests still paired at end");
+    }
+    assert!(
+        sim.proxy.pending_requests() <= 8,
+        "pending ledger must drain, got {}",
+        sim.proxy.pending_requests()
+    );
+    // Attempt accounting closes: every forwarded attempt was answered
+    // (to a live request or as an orphan), failed at teardown/deadline,
+    // or is part of the end-of-run tail above.
+    let answered = stats.responses + stats.orphan_responses;
+    let open = (0..k).map(|j| sim.proxy.upstream_waiting(j) as u64).sum::<u64>();
+    assert!(
+        stats.forwarded <= answered + stats.failed + open,
+        "attempts leaked: forwarded {} > answered {answered} + failed {} + open {open}",
+        stats.forwarded,
+        stats.failed
+    );
+    let achieved: f64 = sim.clients.iter().map(|lg| lg.achieved_rps()).sum();
+    assert!(
+        achieved >= 0.85 * 24_000.0,
+        "goodput cratered after the reconnect: {achieved:.0} rps"
     );
 }
